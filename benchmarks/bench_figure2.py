@@ -1,0 +1,54 @@
+"""Figure 2 / Theorem 4.1(1): the #SAT gadget.
+
+Regenerates the reduction's defining identity
+``FOMC(phi_F, n+1) = (n+1)! * #F`` for a family of Boolean formulas, and
+times the grounded counter on the gadget — the #P-hardness of combined
+complexity made executable.
+"""
+
+from math import factorial
+
+import pytest
+
+from repro.complexity.gadget import sat_gadget
+from repro.propositional.bruteforce import count_models_enumerate
+from repro.propositional.formula import pand, pnot, por, pvar
+from repro.wfomc.bruteforce import fomc_lineage
+
+from .conftest import print_table
+
+X1, X2, X3 = pvar("X1"), pvar("X2"), pvar("X3")
+
+FORMULAS = [
+    ("X1 | X2", por(X1, X2), ["X1", "X2"]),
+    ("X1 & X2", pand(X1, X2), ["X1", "X2"]),
+    ("X1 xor X2", por(pand(X1, pnot(X2)), pand(pnot(X1), X2)), ["X1", "X2"]),
+    ("X1 & ~X1", pand(X1, pnot(X1)), ["X1", "X2"]),
+    ("X1 | ~X1", por(X1, pnot(X1)), ["X1", "X2"]),
+]
+
+
+def test_figure2_identity_table(benchmark):
+    rows = []
+    for name, f, variables in FORMULAS:
+        n = len(variables)
+        sentence = sat_gadget(f, variables)
+        fomc = fomc_lineage(sentence, n + 1)
+        sharp = count_models_enumerate(f, universe=variables)
+        assert fomc == factorial(n + 1) * sharp
+        rows.append((name, sharp, fomc, "(n+1)!*#F = {}".format(factorial(n + 1) * sharp)))
+    print_table(
+        "Figure 2: FOMC(phi_F, n+1) = (n+1)! * #F",
+        ["F", "#F", "FOMC(phi_F, n+1)", "check"],
+        rows,
+    )
+    sentence = sat_gadget(por(X1, X2), ["X1", "X2"])
+    benchmark(fomc_lineage, sentence, 3)
+
+
+@pytest.mark.slow
+def test_figure2_three_variables(benchmark):
+    f = pand(X1, por(X2, X3))
+    sentence = sat_gadget(f, ["X1", "X2", "X3"])
+    result = benchmark.pedantic(fomc_lineage, args=(sentence, 4), rounds=1, iterations=1)
+    assert result == factorial(4) * 3

@@ -1,0 +1,45 @@
+"""Theorem 3.7: the Q_S4 dynamic program.
+
+The paper's point: Q_S4 is PTIME but outside all known lifted-inference
+rules.  The benchmark regenerates the exact count series (validated
+against grounding at small n) and times the DP at domain sizes utterly
+out of reach of grounding.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.weights import WeightPair
+from repro.wfomc.bruteforce import wfomc_lineage
+from repro.wfomc.qs4 import QS4_SENTENCE, wfomc_qs4
+
+from .conftest import print_table
+
+
+def test_qs4_series(benchmark):
+    rows = []
+    for n in range(0, 7):
+        value = wfomc_qs4(n)
+        total = 2 ** (n * n)
+        if n <= 3:
+            assert value == wfomc_lineage(QS4_SENTENCE, n)
+        rows.append((n, value, "{}/{}".format(value, total)))
+    print_table(
+        "Theorem 3.7: FOMC(Q_S4, n) (fraction of all 2^(n^2) worlds)",
+        ["n", "FOMC", "fraction"],
+        rows,
+    )
+    benchmark(wfomc_qs4, 30)
+
+
+def test_qs4_weighted(benchmark):
+    pair = WeightPair(Fraction(1, 3), Fraction(2, 3))
+    result = benchmark(wfomc_qs4, 25, pair)
+    assert result > 0
+
+
+def test_qs4_grounded_wall(benchmark):
+    """Grounding Q_S4 at n = 3: the contrast case for the DP."""
+    result = benchmark(wfomc_lineage, QS4_SENTENCE, 3)
+    assert result == wfomc_qs4(3)

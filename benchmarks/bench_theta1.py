@@ -1,0 +1,76 @@
+"""Theorem 3.1 / Appendix B: the FO3 Turing-machine encoding Theta_1.
+
+Regenerates the identity ``FOMC(Theta_1, n) = n! * #acc(n)`` at the
+domain sizes where grounding is feasible, and shows the simulator-side
+series further out (what the #P1-hard count *is*).
+"""
+
+from math import factorial
+
+import pytest
+
+from repro.complexity.encoding import encode_theta1
+from repro.complexity.turing import RIGHT, CountingTM, Transition
+from repro.logic.syntax import num_variables, predicates_of
+from repro.wfomc.bruteforce import fomc_lineage
+
+from .conftest import print_table
+
+
+def _machine():
+    return CountingTM(
+        states=["q0"],
+        initial="q0",
+        accepting=["q0"],
+        num_tapes=1,
+        active_tape={"q0": 0},
+        delta={
+            ("q0", 1): [Transition("q0", 1, RIGHT), Transition("q0", 0, RIGHT)],
+            ("q0", 0): [Transition("q0", 0, RIGHT)],
+        },
+    )
+
+
+def test_theta1_identity_and_series(benchmark):
+    tm = _machine()
+    enc = encode_theta1(tm, epochs=1)
+    assert num_variables(enc.sentence) == 3  # the FO3 claim of Theorem 3.1
+    rows = []
+    for n in (1, 2):
+        fomc = fomc_lineage(enc.sentence, n)
+        acc = tm.count_accepting(n, 1)
+        assert fomc == factorial(n) * acc
+        rows.append((n, acc, fomc, "n!*#acc = {}".format(factorial(n) * acc)))
+    for n in (3, 4, 5, 6):
+        acc = tm.count_accepting(n, 1)
+        rows.append((n, acc, "(grounding infeasible)", "n!*#acc = {}".format(factorial(n) * acc)))
+    print_table(
+        "Theta_1: FOMC(Theta_1, n) = n! * accepting computations",
+        ["n", "#acc(n)", "FOMC (grounded)", "identity"],
+        rows,
+    )
+    benchmark(fomc_lineage, enc.sentence, 2)
+
+
+def test_theta1_encoding_size(benchmark):
+    """The encoding itself is polynomial-size: count predicates/sentences."""
+    tm = _machine()
+    rows = []
+    for epochs in (1, 2, 3):
+        enc = encode_theta1(tm, epochs=epochs)
+        preds = predicates_of(enc.sentence)
+        rows.append((epochs, len(preds), len(enc.sentence.parts)))
+    print_table(
+        "Theta_1 encoding size vs clock epochs",
+        ["epochs c", "#predicates", "#sentences"],
+        rows,
+    )
+    benchmark(encode_theta1, tm, 2)
+
+
+@pytest.mark.slow
+def test_theta1_identity_n3(benchmark):
+    tm = _machine()
+    enc = encode_theta1(tm, epochs=1)
+    result = benchmark.pedantic(fomc_lineage, args=(enc.sentence, 3), rounds=1, iterations=1)
+    assert result == factorial(3) * tm.count_accepting(3, 1)

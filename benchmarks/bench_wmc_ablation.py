@@ -1,0 +1,43 @@
+"""Ablation: the DPLL weighted model counter vs naive enumeration.
+
+DESIGN.md calls out component decomposition + caching as the
+load-bearing design choice of the propositional substrate; this bench
+quantifies it on the lineage workloads the library actually produces.
+"""
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.grounding.lineage import ground_atom_weights, lineage
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.propositional.bruteforce import wmc_enumerate
+from repro.propositional.counter import wmc_formula
+
+SENTENCE = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+
+
+def _lineage_instance(n):
+    wv = WeightedVocabulary.counting(SENTENCE)
+    prop = lineage(SENTENCE, n)
+    weight_of, universe = ground_atom_weights(wv, n)
+    return prop, weight_of, universe
+
+
+def test_dpll_counter(benchmark):
+    prop, weight_of, universe = _lineage_instance(2)
+    result = benchmark(wmc_formula, prop, weight_of, universe)
+    assert result == 161  # Table 1 value at n = 2
+
+
+def test_enumeration_baseline(benchmark):
+    prop, weight_of, universe = _lineage_instance(2)
+    result = benchmark(wmc_enumerate, prop, weight_of, universe)
+    assert result == 161
+
+
+def test_dpll_beyond_enumeration(benchmark):
+    """n = 3: 15 atoms -> 32768 assignments for enumeration; DPLL's
+    component decomposition keeps it comfortable."""
+    prop, weight_of, universe = _lineage_instance(3)
+    result = benchmark(wmc_formula, prop, weight_of, universe)
+    assert result == 13009  # Table 1 value at n = 3

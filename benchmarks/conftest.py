@@ -1,0 +1,23 @@
+"""Benchmark configuration and shared reporting helpers.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each benchmark both
+(1) regenerates the rows/series of one table or figure of the paper —
+printed to stdout (add ``-s`` to see them live) and asserted exact where
+the paper gives a formula — and (2) times the implementing algorithm via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title, headers, rows):
+    """Render a small aligned table to stdout for the experiment logs."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print()
+    print("== {} ==".format(title))
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,103 @@
+"""A tour of the paper's complexity-theoretic constructions, executed.
+
+1. Theorem 4.1(1): #SAT embeds into FO2 model counting (Figure 2).
+2. Theorem 4.1(2): QBF embeds into the spectrum problem.
+3. Theorem 3.1 / Appendix B: a counting Turing machine encoded as an FO3
+   sentence Theta_1 with FOMC(Theta_1, n) = n! * #accepting-paths.
+4. Lemma 3.8: the pairing function behind the universal #P1 machine.
+
+Run:  python examples/complexity_tour.py   (takes ~1 minute)
+"""
+
+from math import factorial
+
+from repro.complexity import (
+    CountingTM,
+    QBF,
+    Transition,
+    decode_pair,
+    encode_pair,
+    encode_theta1,
+    evaluate_qbf,
+    has_model,
+    qbf_gadget,
+    sat_gadget,
+)
+from repro.complexity.turing import RIGHT
+from repro.logic.syntax import num_variables
+from repro.propositional.bruteforce import count_models_enumerate
+from repro.propositional.formula import pand, pnot, por, pvar
+from repro.wfomc.bruteforce import fomc_lineage
+
+
+def sat_demo():
+    print("1. #SAT via FOMC (Figure 2) " + "-" * 30)
+    X1, X2 = pvar("X1"), pvar("X2")
+    f = por(pand(X1, pnot(X2)), pand(pnot(X1), X2))  # xor: 2 models
+    sentence = sat_gadget(f, ["X1", "X2"])
+    print("  F = X1 xor X2, #F =", count_models_enumerate(f, ["X1", "X2"]))
+    print("  phi_F is FO2:", num_variables(sentence) == 2)
+    fomc = fomc_lineage(sentence, 3)
+    print("  FOMC(phi_F, 3) = {} = 3! * #F = {}".format(fomc, factorial(3) * 2))
+    print()
+
+
+def qbf_demo():
+    print("2. QBF via spectra (Theorem 4.1(2)) " + "-" * 22)
+    X1, X2 = pvar("X1"), pvar("X2")
+    iff = por(pand(X1, X2), pand(pnot(X1), pnot(X2)))
+    for quants in (("forall", "exists"), ("exists", "forall")):
+        q = QBF(quants, ("X1", "X2"), iff)
+        truth = evaluate_qbf(q)
+        model = has_model(qbf_gadget(q), 3)
+        print("  {} X1 {} X2 (X1 <-> X2): QBF = {}, gadget has size-3 model = {}".format(
+            quants[0], quants[1], truth, model))
+        assert truth == model
+    print()
+
+
+def theta1_demo():
+    print("3. Theta_1: a counting TM as an FO3 sentence " + "-" * 13)
+    tm = CountingTM(
+        states=["q0"],
+        initial="q0",
+        accepting=["q0"],
+        num_tapes=1,
+        active_tape={"q0": 0},
+        delta={
+            ("q0", 1): [Transition("q0", 1, RIGHT), Transition("q0", 0, RIGHT)],
+            ("q0", 0): [Transition("q0", 0, RIGHT)],
+        },
+    )
+    enc = encode_theta1(tm, epochs=1)
+    print("  machine: 1 state, forks on every 1 read -> #acc(n) = 2^(n-1)")
+    print("  Theta_1 uses", num_variables(enc.sentence), "variables (FO3)")
+    for n in (1, 2):
+        fomc = fomc_lineage(enc.sentence, n)
+        acc = tm.count_accepting(n, 1)
+        print("  n={}: FOMC(Theta_1, n) = {} = n! * #acc = {} * {}".format(
+            n, fomc, factorial(n), acc))
+        assert fomc == factorial(n) * acc
+    print("  (the simulator continues the series: {})".format(
+        [tm.count_accepting(n, 1) for n in range(1, 8)]))
+    print()
+
+
+def pairing_demo():
+    print("4. The Lemma 3.8 pairing function " + "-" * 24)
+    for i, j in ((1, 1), (2, 3), (3, 5)):
+        n = encode_pair(i, j)
+        print("  e({}, {}) = {} (decodes back to {})".format(i, j, n, decode_pair(n)))
+        assert decode_pair(n) == (i, j)
+    print("  e(i, j) >= (i j^i + i)^2 bounds the universal machine's clock.")
+
+
+def main():
+    sat_demo()
+    qbf_demo()
+    theta1_demo()
+    pairing_demo()
+
+
+if __name__ == "__main__":
+    main()

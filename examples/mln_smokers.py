@@ -1,0 +1,69 @@
+"""Markov Logic Network inference via the WFOMC reduction (Example 1.2).
+
+The classic "friends & smokers" MLN: smoking tends to propagate along
+friendships.  We compute exact query probabilities two ways —
+
+* by definition (enumerate every world, exponential), and
+* through the paper's reduction to symmetric WFOMC, which makes the
+  model FO2-liftable and polynomial in the domain size —
+
+and show they agree exactly before scaling the lifted route out.
+
+Run:  python examples/mln_smokers.py
+"""
+
+import time
+from fractions import Fraction
+
+from repro import HARD, MLN, parse
+from repro.mln import (
+    mln_probability_bruteforce,
+    mln_probability_wfomc,
+    reduce_to_wfomc,
+)
+
+
+def main():
+    mln = MLN(
+        [
+            # Soft: a smoker's friends tend to smoke (weight 3).
+            (3, parse("Smokes(x) & Friends(x, y) -> Smokes(y)")),
+            # Soft: smoking is a priori unlikely (weight 1/2 per smoker).
+            (Fraction(1, 2), parse("Smokes(x)")),
+            # Hard: friendship is irreflexive.
+            (HARD, parse("forall x. ~Friends(x, x)")),
+        ]
+    )
+    query = parse("exists x. Smokes(x)")
+
+    print("MLN:", mln)
+    print("Query:", query)
+    print()
+
+    reduction = reduce_to_wfomc(mln)
+    print("Reduction to symmetric WFOMC (Example 1.2):")
+    print("  hard constraints Gamma:", reduction.gamma)
+    print("  weighted vocabulary:", reduction.weighted_vocabulary)
+    print("  (note the negative weight -2 = 1/(1/2 - 1) from the w = 1/2 rule)")
+    print()
+
+    print("Exact agreement, world enumeration vs WFOMC reduction:")
+    for n in (1, 2):
+        brute = mln_probability_bruteforce(mln, query, n)
+        lifted = mln_probability_wfomc(mln, query, n)
+        assert brute == lifted
+        print("  n={}: Pr = {} (both methods)".format(n, brute))
+    print()
+
+    print("Scaling out with the lifted solver (enumeration would need")
+    print("2^(n + n^2) worlds):")
+    for n in (4, 6, 8, 10):
+        t0 = time.perf_counter()
+        p = mln_probability_wfomc(mln, query, n)
+        elapsed = time.perf_counter() - t0
+        print("  n={:>2}: Pr(somebody smokes) = {:.6f}   ({:.3f}s, exact rational)".format(
+            n, float(p), elapsed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: weighted first-order model counting in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    WeightedVocabulary,
+    fomc,
+    parse,
+    probability,
+    wfomc,
+)
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Model counting.  FOMC(Phi, n) counts the labeled structures over
+    #    the domain {1..n} that satisfy Phi.
+    # ------------------------------------------------------------------
+    phi = parse("forall x. exists y. R(x, y)")
+    print("Sentence:", phi)
+    for n in range(1, 6):
+        print("  FOMC over domain of size {}: {}".format(n, fomc(phi, n)))
+    print("  (the paper's closed form: (2^n - 1)^n)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Weighted counting.  Give each relation a weight pair (w, wbar):
+    #    a world's weight multiplies w per present tuple, wbar per absent.
+    # ------------------------------------------------------------------
+    wv = WeightedVocabulary.from_weights({"R": (Fraction(1, 2), 1)}, {"R": 2})
+    print("Weighted, with R tuples weighing (1/2, 1):")
+    for n in range(1, 4):
+        print("  WFOMC(n={}): {}".format(n, wfomc(phi, n, wv)))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Probabilities.  Weights (w, wbar) mean each tuple is present
+    #    independently with probability w / (w + wbar): here 1/3.
+    # ------------------------------------------------------------------
+    print("Pr(every element has an R-successor), tuples present w.p. 1/3:")
+    for n in (2, 5, 10, 20):
+        p = probability(phi, n, wv)
+        print("  n={:>3}: {} ~ {:.6f}".format(n, str(p)[:40], float(p)))
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. The solver is exact and lifted: FO2 sentences scale to domain
+    #    sizes where the 2^(n^2) worlds could never be enumerated.
+    # ------------------------------------------------------------------
+    big = fomc(phi, 50)
+    print("FOMC at n = 50 has {} digits; computed exactly via the".format(len(str(big))))
+    print("FO2 cell decomposition (Appendix C of the paper), not enumeration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Asymptotics: 0-1 laws and extension axioms (Section 1)."""
+
+from .zero_one import mu_n, mu_sequence, extension_axiom, simplified_extension_axiom
+
+__all__ = ["mu_n", "mu_sequence", "extension_axiom", "simplified_extension_axiom"]

@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+count        FOMC of a sentence over a domain size
+wfomc        weighted count, with ``--weight R=w,wbar`` options
+probability  probability of the sentence under the weight semantics
+spectrum     which domain sizes up to a bound admit a model
+mu           the labeled-structure fraction mu_n (0-1 laws)
+
+Examples::
+
+    python -m repro count "forall x. exists y. R(x, y)" 5
+    python -m repro wfomc "exists y. S(y)" 4 --weight S=1/2,1
+    python -m repro probability "exists x. P(x)" 3
+    python -m repro spectrum "exists x, y. x != y" 4
+    python -m repro mu "forall x. exists y. R(x, y)" 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from .complexity.spectrum import spectrum
+from .asymptotics.zero_one import mu_n
+from .logic.parser import parse
+from .logic.syntax import predicates_of
+from .logic.vocabulary import Vocabulary, Predicate, WeightedVocabulary
+from .weights import WeightPair
+from .wfomc.solver import fomc, probability, wfomc
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_weight_option(option):
+    """``R=1/2,1`` -> ``("R", WeightPair(1/2, 1))``."""
+    try:
+        name, pair_text = option.split("=", 1)
+        w_text, wbar_text = pair_text.split(",", 1)
+        return name, WeightPair(Fraction(w_text), Fraction(wbar_text))
+    except (ValueError, ZeroDivisionError) as exc:
+        raise argparse.ArgumentTypeError(
+            "weight options look like NAME=w,wbar (e.g. R=1/2,1): {}".format(exc)
+        )
+
+
+def _weighted_vocabulary(formula, weight_options):
+    arities = predicates_of(formula)
+    vocab = Vocabulary(Predicate(n, a) for n, a in sorted(arities.items()))
+    weights = {name: WeightPair(1, 1) for name in arities}
+    for name, pair in weight_options or []:
+        if name not in weights:
+            raise SystemExit(
+                "predicate {} does not occur in the sentence".format(name)
+            )
+        weights[name] = pair
+    return WeightedVocabulary(vocab, weights)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symmetric weighted first-order model counting (PODS 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("formula", help="an FO sentence, e.g. 'forall x. exists y. R(x, y)'")
+        p.add_argument("n", type=int, help="domain size")
+        p.add_argument(
+            "--method",
+            choices=("auto", "fo2", "lineage", "enumerate"),
+            default="auto",
+        )
+
+    p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
+    add_common(p_count)
+
+    p_wfomc = sub.add_parser("wfomc", help="weighted model count")
+    add_common(p_wfomc)
+    p_wfomc.add_argument(
+        "--weight",
+        action="append",
+        type=_parse_weight_option,
+        metavar="NAME=w,wbar",
+        help="weights for one predicate (default 1,1); repeatable",
+    )
+
+    p_prob = sub.add_parser("probability", help="probability of the sentence")
+    add_common(p_prob)
+    p_prob.add_argument(
+        "--weight",
+        action="append",
+        type=_parse_weight_option,
+        metavar="NAME=w,wbar",
+    )
+
+    p_spec = sub.add_parser("spectrum", help="domain sizes with a model")
+    p_spec.add_argument("formula")
+    p_spec.add_argument("max_n", type=int)
+
+    p_mu = sub.add_parser("mu", help="labeled-structure fraction mu_n")
+    p_mu.add_argument("formula")
+    p_mu.add_argument("n", type=int)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    formula = parse(args.formula)
+
+    if args.command == "count":
+        print(fomc(formula, args.n, method=args.method))
+    elif args.command == "wfomc":
+        wv = _weighted_vocabulary(formula, args.weight)
+        print(wfomc(formula, args.n, wv, method=args.method))
+    elif args.command == "probability":
+        wv = _weighted_vocabulary(formula, args.weight)
+        value = probability(formula, args.n, wv, method=args.method)
+        print("{} (~{:.6f})".format(value, float(value)))
+    elif args.command == "spectrum":
+        members = spectrum(formula, args.max_n)
+        print(" ".join(str(n) for n in sorted(members)) or "(empty)")
+    elif args.command == "mu":
+        value = mu_n(formula, args.n)
+        print("{} (~{:.6f})".format(value, float(value)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

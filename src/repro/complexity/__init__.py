@@ -1,0 +1,30 @@
+"""Complexity-theoretic constructions: Theta_1, the #SAT gadget, spectra."""
+
+from .turing import CountingTM, Transition
+from .encoding import encode_theta1, Theta1Encoding
+from .gadget import sat_gadget, gadget_model_count_identity
+from .qbf import QBF, qbf_gadget, evaluate_qbf
+from .pairing import encode_pair, decode_pair, machine_pair_at, machine_index_of
+from .universal import ClockedMachine, UniversalCounter
+from .spectrum import has_model, spectrum, in_spectrum
+
+__all__ = [
+    "CountingTM",
+    "Transition",
+    "encode_theta1",
+    "Theta1Encoding",
+    "sat_gadget",
+    "gadget_model_count_identity",
+    "QBF",
+    "qbf_gadget",
+    "evaluate_qbf",
+    "encode_pair",
+    "decode_pair",
+    "machine_pair_at",
+    "machine_index_of",
+    "ClockedMachine",
+    "UniversalCounter",
+    "has_model",
+    "spectrum",
+    "in_spectrum",
+]

@@ -1,0 +1,503 @@
+"""Appendix B: encoding a counting TM into the FO3 sentence Theta_1.
+
+Given a :class:`~repro.complexity.turing.CountingTM` running for ``c``
+epochs (``c * n`` time points over a domain of size ``n``), this module
+builds a first-order sentence ``Theta_1`` using exactly three variable
+names such that, for every ``n >= 1``::
+
+    FOMC(Theta_1, n) == n! * (number of accepting configuration paths)
+
+The ``n!`` counts the choices of the linear order ``<`` on the domain;
+for a fixed order the models correspond one-to-one to accepting
+computations (Lemma 3.9).
+
+Signature (one predicate per epoch ``e`` / region ``r`` / tape ``tau``):
+
+* ``Lt/2, Succ/2, Min/1, Max/1`` — the order skeleton;
+* ``St_q_e/1`` — machine in state ``q`` at time ``t`` of epoch ``e``;
+* ``H_tau_e_r/2`` — head of tape ``tau`` at position ``p`` of region ``r``;
+* ``T0_.../2, T1_.../2`` — tape cell contents;
+* ``L_.../2, R_.../2`` — "head is immediately left/right of ``p``"
+  (with clamping at the tape ends), used so transitions fit in three
+  variables;
+* ``U_.../2`` — frame predicate: cell ``(r, p)`` does not change at ``t``.
+
+Faithfulness notes (differences from the appendix's compressed listing,
+each needed to make the model count *exactly* ``n! * #acc``):
+
+* ``U`` (Unchanged) is *defined* by a biconditional — a cell changes iff
+  the active tape's head sits on it — rather than merely used; otherwise
+  a transition rewriting a symbol in place would leave ``U`` free and
+  double-count models.
+* The frame axiom is an implication ``(Succ & U) -> (T0 <-> T0')``; the
+  appendix's literal ``<->`` form would be unsatisfiable for changed
+  cells.
+* States/symbols with no outgoing transition get explicit "death" axioms
+  so that stuck computations contribute no models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import factorial
+
+from ..logic.syntax import (
+    Atom,
+    Eq,
+    Iff,
+    Var,
+    conj,
+    disj,
+    exists,
+    forall,
+    neg,
+)
+from ..logic.vocabulary import WeightedVocabulary
+from ..errors import EncodingError
+from .turing import LEFT
+
+__all__ = ["Theta1Encoding", "encode_theta1"]
+
+VX, VY, VZ = Var("x"), Var("y"), Var("z")
+
+
+@dataclass
+class Theta1Encoding:
+    """The encoded sentence plus metadata for validation."""
+
+    sentence: object
+    machine: object
+    epochs: int
+
+    def weighted_vocabulary(self):
+        """The unweighted (counting) vocabulary of the sentence."""
+        return WeightedVocabulary.counting(self.sentence)
+
+    def expected_fomc(self, n):
+        """``n! * #accepting-paths`` — the Lemma 3.9 identity."""
+        return factorial(n) * self.machine.count_accepting(n, self.epochs)
+
+
+def encode_theta1(machine, epochs):
+    """Build ``Theta_1`` for ``machine`` clocked at ``epochs * n`` steps."""
+    if epochs < 1:
+        raise EncodingError("need at least one epoch")
+    builder = _Builder(machine, epochs)
+    return Theta1Encoding(sentence=builder.build(), machine=machine, epochs=epochs)
+
+
+class _Builder:
+    def __init__(self, machine, epochs):
+        self.m = machine
+        self.c = epochs
+        self.sentences = []
+
+    # -- predicate helpers --------------------------------------------------
+
+    @staticmethod
+    def lt(a, b):
+        return Atom("Lt", (a, b))
+
+    @staticmethod
+    def succ(a, b):
+        return Atom("Succ", (a, b))
+
+    @staticmethod
+    def minimum(a):
+        return Atom("Min", (a,))
+
+    @staticmethod
+    def maximum(a):
+        return Atom("Max", (a,))
+
+    def state(self, q, e, t):
+        return Atom("St_{}_{}".format(q, e), (t,))
+
+    def head(self, tau, e, r, t, p):
+        return Atom("H_{}_{}_{}".format(tau, e, r), (t, p))
+
+    def tape(self, sym, tau, e, r, t, p):
+        return Atom("T{}_{}_{}_{}".format(sym, tau, e, r), (t, p))
+
+    def left(self, tau, e, r, t, p):
+        return Atom("L_{}_{}_{}".format(tau, e, r), (t, p))
+
+    def right(self, tau, e, r, t, p):
+        return Atom("R_{}_{}_{}".format(tau, e, r), (t, p))
+
+    def unchanged(self, tau, e, r, t, p):
+        return Atom("U_{}_{}_{}".format(tau, e, r), (t, p))
+
+    def _epochs(self):
+        return range(1, self.c + 1)
+
+    def _regions(self):
+        return range(1, self.c + 1)
+
+    def _tapes(self):
+        return range(self.m.num_tapes)
+
+    # -- sentence groups ------------------------------------------------------
+
+    def build(self):
+        self._order_axioms()
+        self._state_axioms()
+        self._head_axioms()
+        self._symbol_axioms()
+        self._initial_configuration()
+        self._transition_axioms()
+        self._unchanged_definition()
+        self._frame_axioms()
+        self._inactive_head_axioms()
+        self._movement_definitions()
+        self._acceptance()
+        return conj(*self.sentences)
+
+    def _order_axioms(self):
+        x, y, z = VX, VY, VZ
+        self.sentences.append(
+            forall([x, y], disj(Eq(x, y), self.lt(x, y), self.lt(y, x)))
+        )
+        self.sentences.append(
+            forall([x, y], disj(neg(self.lt(x, y)), neg(self.lt(y, x))))
+        )
+        self.sentences.append(
+            forall(
+                [x, y, z],
+                disj(neg(self.lt(x, y)), neg(self.lt(y, z)), self.lt(x, z)),
+            )
+        )
+        self.sentences.append(
+            forall([x], Iff(self.minimum(x), neg(exists([y], self.lt(y, x)))))
+        )
+        self.sentences.append(
+            forall([x], Iff(self.maximum(x), neg(exists([y], self.lt(x, y)))))
+        )
+        self.sentences.append(
+            forall(
+                [x, y],
+                Iff(
+                    self.succ(x, y),
+                    conj(
+                        self.lt(x, y),
+                        neg(exists([z], conj(self.lt(x, z), self.lt(z, y)))),
+                    ),
+                ),
+            )
+        )
+
+    def _state_axioms(self):
+        x = VX
+        for e in self._epochs():
+            self.sentences.append(
+                forall([x], disj(*(self.state(q, e, x) for q in self.m.states)))
+            )
+            states = list(self.m.states)
+            for i, q in enumerate(states):
+                for q2 in states[i + 1 :]:
+                    self.sentences.append(
+                        forall(
+                            [x],
+                            disj(neg(self.state(q, e, x)), neg(self.state(q2, e, x))),
+                        )
+                    )
+
+    def _head_axioms(self):
+        x, y, z = VX, VY, VZ
+        for tau in self._tapes():
+            for e in self._epochs():
+                # At least one position in some region.
+                self.sentences.append(
+                    forall(
+                        [x],
+                        exists(
+                            [y],
+                            disj(*(self.head(tau, e, r, x, y) for r in self._regions())),
+                        ),
+                    )
+                )
+                # At most one region.
+                regions = list(self._regions())
+                for i, r in enumerate(regions):
+                    for r2 in regions[i + 1 :]:
+                        self.sentences.append(
+                            forall(
+                                [x, y, z],
+                                disj(
+                                    neg(self.head(tau, e, r, x, y)),
+                                    neg(self.head(tau, e, r2, x, z)),
+                                ),
+                            )
+                        )
+                # At most one position within a region.
+                for r in regions:
+                    self.sentences.append(
+                        forall(
+                            [x, y, z],
+                            disj(
+                                neg(self.head(tau, e, r, x, y)),
+                                neg(self.head(tau, e, r, x, z)),
+                                Eq(y, z),
+                            ),
+                        )
+                    )
+
+    def _symbol_axioms(self):
+        x, y = VX, VY
+        for tau in self._tapes():
+            for e in self._epochs():
+                for r in self._regions():
+                    self.sentences.append(
+                        forall(
+                            [x, y],
+                            Iff(
+                                self.tape(0, tau, e, r, x, y),
+                                neg(self.tape(1, tau, e, r, x, y)),
+                            ),
+                        )
+                    )
+
+    def _initial_configuration(self):
+        x, y = VX, VY
+        q0 = self.m.initial
+        self.sentences.append(
+            forall([x], disj(neg(self.minimum(x)), self.state(q0, 1, x)))
+        )
+        for tau in self._tapes():
+            self.sentences.append(
+                forall(
+                    [x, y],
+                    disj(
+                        neg(self.minimum(x)),
+                        neg(self.minimum(y)),
+                        self.head(tau, 1, 1, x, y),
+                    ),
+                )
+            )
+        # Input 1**n fills region 1 of tape 0; all other cells are 0.
+        for tau in self._tapes():
+            for r in self._regions():
+                sym = 1 if (tau == 0 and r == 1) else 0
+                self.sentences.append(
+                    forall(
+                        [x, y],
+                        disj(neg(self.minimum(x)), self.tape(sym, tau, 1, r, x, y)),
+                    )
+                )
+
+    def _transition_axioms(self):
+        x, y, z = VX, VY, VZ  # t, t', p
+        for q in self.m.states:
+            tau = self.m.active_tape[q]
+            for sym in (0, 1):
+                transitions = self.m.delta.get((q, sym), ())
+                for e in self._epochs():
+                    for r in self._regions():
+                        pre = conj(
+                            self.state(q, e, x),
+                            self.head(tau, e, r, x, z),
+                            self.tape(sym, tau, e, r, x, z),
+                        )
+                        if not transitions:
+                            # Death: no continuation may be needed.
+                            if e < self.c:
+                                self.sentences.append(forall([x, z], neg(pre)))
+                            else:
+                                self.sentences.append(
+                                    forall([x, z], disj(neg(pre), self.maximum(x)))
+                                )
+                            continue
+                        # Within-epoch step: Succ(t, t').
+                        posts = [
+                            self._post(t, tau, e, r, y, z) for t in transitions
+                        ]
+                        self.sentences.append(
+                            forall(
+                                [x, y, z],
+                                disj(neg(conj(pre, self.succ(x, y))), disj(*posts)),
+                            )
+                        )
+                        # Epoch boundary: Max(t) & Min(t').
+                        if e < self.c:
+                            posts_next = [
+                                self._post(t, tau, e + 1, r, y, z) for t in transitions
+                            ]
+                            self.sentences.append(
+                                forall(
+                                    [x, y, z],
+                                    disj(
+                                        neg(
+                                            conj(
+                                                pre,
+                                                self.maximum(x),
+                                                self.minimum(y),
+                                            )
+                                        ),
+                                        disj(*posts_next),
+                                    ),
+                                )
+                            )
+
+    def _post(self, transition, tau, e, r, s, p):
+        """The effect of one transition at successor time ``s``, cell ``p``."""
+        move = (
+            self.left(tau, e, r, s, p)
+            if transition.move == LEFT
+            else self.right(tau, e, r, s, p)
+        )
+        return conj(
+            self.state(transition.new_state, e, s),
+            move,
+            self.tape(transition.write, tau, e, r, s, p),
+        )
+
+    def _unchanged_definition(self):
+        x, y = VX, VY
+        for tau in self._tapes():
+            active_states = [q for q in self.m.states if self.m.active_tape[q] == tau]
+            for e in self._epochs():
+                writing = disj(*(self.state(q, e, x) for q in active_states))
+                for r in self._regions():
+                    self.sentences.append(
+                        forall(
+                            [x, y],
+                            Iff(
+                                self.unchanged(tau, e, r, x, y),
+                                neg(conj(self.head(tau, e, r, x, y), writing)),
+                            ),
+                        )
+                    )
+
+    def _frame_axioms(self):
+        x, y, z = VX, VY, VZ  # t, t', p
+        for tau in self._tapes():
+            for e in self._epochs():
+                for r in self._regions():
+                    keep = Iff(
+                        self.tape(0, tau, e, r, x, z), self.tape(0, tau, e, r, y, z)
+                    )
+                    self.sentences.append(
+                        forall(
+                            [x, y, z],
+                            disj(
+                                neg(
+                                    conj(
+                                        self.succ(x, y),
+                                        self.unchanged(tau, e, r, x, z),
+                                    )
+                                ),
+                                keep,
+                            ),
+                        )
+                    )
+                    if e < self.c:
+                        keep_boundary = Iff(
+                            self.tape(0, tau, e, r, x, z),
+                            self.tape(0, tau, e + 1, r, y, z),
+                        )
+                        self.sentences.append(
+                            forall(
+                                [x, y, z],
+                                disj(
+                                    neg(
+                                        conj(
+                                            self.maximum(x),
+                                            self.minimum(y),
+                                            self.unchanged(tau, e, r, x, z),
+                                        )
+                                    ),
+                                    keep_boundary,
+                                ),
+                            )
+                        )
+
+    def _inactive_head_axioms(self):
+        x, y, z = VX, VY, VZ  # t, t', p
+        for q in self.m.states:
+            active = self.m.active_tape[q]
+            for tau in self._tapes():
+                if tau == active:
+                    continue
+                for e in self._epochs():
+                    for r in self._regions():
+                        pre = conj(self.state(q, e, x), self.head(tau, e, r, x, z))
+                        self.sentences.append(
+                            forall(
+                                [x, y, z],
+                                disj(
+                                    neg(conj(pre, self.succ(x, y))),
+                                    self.head(tau, e, r, y, z),
+                                ),
+                            )
+                        )
+                        if e < self.c:
+                            self.sentences.append(
+                                forall(
+                                    [x, y, z],
+                                    disj(
+                                        neg(
+                                            conj(
+                                                pre,
+                                                self.maximum(x),
+                                                self.minimum(y),
+                                            )
+                                        ),
+                                        self.head(tau, e + 1, r, y, z),
+                                    ),
+                                )
+                            )
+
+    def _movement_definitions(self):
+        x, y, z = VX, VY, VZ  # t, p, auxiliary position
+        for tau in self._tapes():
+            for e in self._epochs():
+                for r in self._regions():
+                    # Left: head immediately left of p (clamping at cell 1).
+                    in_region = exists(
+                        [z], conj(self.succ(z, y), self.head(tau, e, r, x, z))
+                    )
+                    if r == 1:
+                        boundary = conj(self.minimum(y), self.head(tau, e, 1, x, y))
+                    else:
+                        boundary = conj(
+                            self.minimum(y),
+                            exists(
+                                [z],
+                                conj(self.maximum(z), self.head(tau, e, r - 1, x, z)),
+                            ),
+                        )
+                    self.sentences.append(
+                        forall(
+                            [x, y],
+                            Iff(self.left(tau, e, r, x, y), disj(in_region, boundary)),
+                        )
+                    )
+                    # Right: head immediately right of p (clamping at the end).
+                    in_region = exists(
+                        [z], conj(self.succ(y, z), self.head(tau, e, r, x, z))
+                    )
+                    if r == self.c:
+                        boundary = conj(self.maximum(y), self.head(tau, e, self.c, x, y))
+                    else:
+                        boundary = conj(
+                            self.maximum(y),
+                            exists(
+                                [z],
+                                conj(self.minimum(z), self.head(tau, e, r + 1, x, z)),
+                            ),
+                        )
+                    self.sentences.append(
+                        forall(
+                            [x, y],
+                            Iff(self.right(tau, e, r, x, y), disj(in_region, boundary)),
+                        )
+                    )
+
+    def _acceptance(self):
+        x = VX
+        accepting = [self.state(q, self.c, x) for q in sorted(self.m.accepting)]
+        if not accepting:
+            raise EncodingError("machine has no accepting states")
+        self.sentences.append(
+            forall([x], disj(neg(self.maximum(x)), disj(*accepting)))
+        )

@@ -1,0 +1,165 @@
+"""The #SAT gadget of Theorem 4.1 / Figure 2 (combined complexity).
+
+Given a Boolean formula ``F`` over variables ``X_1..X_n`` (``n >= 2``),
+build an FO2 sentence ``phi_F`` over the fixed vocabulary
+``A/1, B/1, C/1, R/2, S/2`` such that over a domain of size ``n + 1``::
+
+    FOMC(phi_F, n + 1) == (n + 1)! * #F
+
+Every model consists of a permutation ``c_0, c_1, ..., c_n`` of the
+domain with ``C(c_0), A(c_1), B(c_n)`` and ``R`` exactly the chain
+``c_1 -> c_2 -> ... -> c_n``; the only freedom left is the set of tuples
+``S(c_0, c_i)``, which is in one-to-one correspondence with a truth
+assignment to ``X_1..X_n``.  The path-length constraints (no ``A``-to-
+``B`` path on ``m`` vertices for any ``m in [2n] - {n}``) pin ``R``: an
+extra or missing edge creates a path of a forbidden length, and a
+repeated vertex creates a cycle that pumps to one.
+
+Construction notes (details the compressed paper text leaves implicit,
+validated exactly by the tests):
+
+* ``n >= 2`` is required: ``n = 1`` would need the path's single vertex
+  to be both the unique ``A`` and the unique ``B`` element, which the
+  disjointness axioms forbid.
+* We add ``S(x, y) -> ~C(y)``: the paper constrains only the *source* of
+  ``S`` to be the ``C`` element, leaving ``S(c_0, c_0)`` unconstrained,
+  which would double every model count.
+"""
+
+from __future__ import annotations
+
+from ..logic.syntax import (
+    Atom,
+    Eq,
+    Var,
+    conj,
+    disj,
+    exists,
+    forall,
+    neg,
+)
+from ..propositional.formula import PAnd, PFalse, PNot, POr, PTrue, PVar
+
+__all__ = ["sat_gadget", "gadget_model_count_identity"]
+
+_A = lambda t: Atom("A", (t,))
+_B = lambda t: Atom("B", (t,))
+_C = lambda t: Atom("C", (t,))
+_R = lambda s, t: Atom("R", (s, t))
+_S = lambda s, t: Atom("S", (s, t))
+
+VX, VY = Var("x"), Var("y")
+
+
+def _unique_nonempty(pred):
+    """"There is exactly one element satisfying ``pred``" in FO2."""
+    x, y = VX, VY
+    return conj(
+        exists([x], pred(x)),
+        forall([x, y], disj(neg(pred(x)), neg(pred(y)), Eq(x, y))),
+    )
+
+
+def _alpha(i, var, other):
+    """``alpha_i(var)``: var is the i-th vertex of an A-rooted R-path.
+
+    Built with two alternating variables, so the whole tower is FO2:
+    ``alpha_1(x) = A(x)``; ``alpha_{i+1}(y) = exists x (alpha_i(x) & R(x, y))``.
+    """
+    if i == 1:
+        return _A(var)
+    return exists([other], conj(_alpha(i - 1, other, var), _R(other, var)))
+
+
+def _path_on_m_vertices(m):
+    """``exists x (alpha_m(x) & B(x))``: an A->B path on ``m`` vertices."""
+    if m % 2 == 1:
+        return exists([VX], conj(_alpha(m, VX, VY), _B(VX)))
+    return exists([VY], conj(_alpha(m, VY, VX), _B(VY)))
+
+
+def _translate(prop, gamma):
+    """Replace each propositional variable label by its FO2 sentence."""
+    if isinstance(prop, PTrue):
+        from ..logic.syntax import TRUE
+
+        return TRUE
+    if isinstance(prop, PFalse):
+        from ..logic.syntax import FALSE
+
+        return FALSE
+    if isinstance(prop, PVar):
+        return gamma[prop.label]
+    if isinstance(prop, PNot):
+        return neg(_translate(prop.body, gamma))
+    if isinstance(prop, PAnd):
+        return conj(*(_translate(p, gamma) for p in prop.parts))
+    if isinstance(prop, POr):
+        return disj(*(_translate(p, gamma) for p in prop.parts))
+    raise TypeError("not a propositional formula: {!r}".format(prop))
+
+
+def sat_gadget(boolean_formula, variable_order):
+    """Build ``phi_F`` for a propositional formula over ordered variables.
+
+    ``variable_order`` lists the labels ``X_1..X_n`` (``n >= 2``); every
+    variable of ``boolean_formula`` must be listed (extra listed labels
+    are fine: they become unconstrained ``S`` tuples, doubling the count
+    per unused variable exactly as #SAT over the larger variable set).
+    """
+    n = len(variable_order)
+    if n < 2:
+        raise ValueError(
+            "the gadget needs n >= 2 variables (with n = 1 the unique A and "
+            "B elements would have to coincide); pad F with a fresh variable"
+        )
+    x, y = VX, VY
+    parts = [
+        _unique_nonempty(_A),
+        _unique_nonempty(_B),
+        _unique_nonempty(_C),
+        neg(exists([x], conj(_A(x), _B(x)))),
+        neg(exists([x], conj(_A(x), _C(x)))),
+        neg(exists([x], conj(_B(x), _C(x)))),
+        # R avoids the C element entirely.
+        forall([x, y], disj(neg(_R(x, y)), conj(neg(_C(x)), neg(_C(y))))),
+        # S goes from the C element to non-C elements.
+        forall([x, y], disj(neg(_S(x, y)), conj(_C(x), neg(_C(y))))),
+        # The A -> B chain on exactly n vertices exists...
+        _path_on_m_vertices(n),
+    ]
+    # ... and no A -> B path on any other number of vertices up to 2n.
+    for m in range(1, 2 * n + 1):
+        if m != n:
+            parts.append(neg(_path_on_m_vertices(m)))
+
+    # gamma_i: "X_i is true", i.e. S reaches the i-th path vertex.
+    gamma = {}
+    for i, label in enumerate(variable_order, start=1):
+        if i % 2 == 1:
+            gamma[label] = exists(
+                [VX], conj(_alpha(i, VX, VY), exists([VY], _S(VY, VX)))
+            )
+        else:
+            gamma[label] = exists(
+                [VY], conj(_alpha(i, VY, VX), exists([VX], _S(VX, VY)))
+            )
+    parts.append(_translate(boolean_formula, gamma))
+    return conj(*parts)
+
+
+def gadget_model_count_identity(boolean_formula, variable_order, fomc):
+    """Check ``FOMC(phi_F, n+1) == (n+1)! * #F``; returns both sides.
+
+    ``fomc(sentence, domain_size)`` is the model counter to use.  Returns
+    ``(fomc_value, factorial * sharp_F)`` for the caller to compare.
+    """
+    from math import factorial
+
+    from ..propositional.bruteforce import count_models_enumerate
+
+    n = len(variable_order)
+    sentence = sat_gadget(boolean_formula, variable_order)
+    lhs = fomc(sentence, n + 1)
+    sharp_f = count_models_enumerate(boolean_formula, universe=variable_order)
+    return lhs, factorial(n + 1) * sharp_f

@@ -1,0 +1,107 @@
+"""The pairing function and machine enumeration of Lemma 3.8.
+
+The universal #P1 machine ``U_1`` receives a unary input ``n`` encoding a
+pair ``(i, j)`` — "simulate the i-th clocked machine on input j" — via
+
+``e(i, j) = 2**i * 3**(4 i ceil(log3 j)) * (6 j + 1)``
+
+chosen so that (a) ``(i, j)`` is recoverable in linear time, (b)
+``e(i, j) >= (i * j**i + i)**2`` bounds the simulation budget, and (c)
+``j -> e(i, j)`` is polynomial-time for fixed ``i``.  Decoding works
+because ``6j + 1`` is odd and ``!= 0 (mod 3)``: the power of 2 recovers
+``i``, stripping all factors of 3 leaves ``6j + 1``.
+
+The machine enumeration dovetails pairs ``(r, s)`` — "machine ``M'_r``
+clocked at ``s * j**s + s`` steps" — such that the pair index ``i``
+satisfies ``i >= s``, as the proof requires.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ceil_log3",
+    "encode_pair",
+    "decode_pair",
+    "budget",
+    "machine_pair_at",
+    "machine_index_of",
+    "clocked_run_budget",
+]
+
+
+def ceil_log3(j):
+    """``ceil(log_3 j)`` for ``j >= 1`` (exact integer arithmetic)."""
+    if j < 1:
+        raise ValueError("j must be >= 1")
+    k = 0
+    power = 1
+    while power < j:
+        power *= 3
+        k += 1
+    return k
+
+
+def encode_pair(i, j):
+    """``e(i, j) = 2**i * 3**(4 i ceil(log3 j)) * (6 j + 1)``."""
+    if i < 1 or j < 1:
+        raise ValueError("indices must be >= 1")
+    return 2 ** i * 3 ** (4 * i * ceil_log3(j)) * (6 * j + 1)
+
+
+def decode_pair(n):
+    """Recover ``(i, j)`` from ``n = e(i, j)``.
+
+    Raises ``ValueError`` when ``n`` is not a valid encoding.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    i = 0
+    while n % 2 == 0:
+        n //= 2
+        i += 1
+    while n % 3 == 0:
+        n //= 3
+    if n % 6 != 1:
+        raise ValueError("not a valid pairing-function value")
+    j = (n - 1) // 6
+    if i < 1 or j < 1:
+        raise ValueError("not a valid pairing-function value")
+    return i, j
+
+
+def budget(i, j):
+    """The simulation budget ``(i * j**i + i)**2`` dominated by ``e(i, j)``."""
+    return (i * j ** i + i) ** 2
+
+
+def machine_pair_at(index):
+    """The ``index``-th pair ``(r, s)`` in the dovetailed enumeration.
+
+    Pairs are enumerated along anti-diagonals ``r + s = d + 1`` in order
+    of increasing ``s``; this lists every pair exactly once and
+    guarantees ``index >= s`` (the pair ``(r, s)`` appears no earlier
+    than position ``s`` of its diagonal).
+    """
+    if index < 1:
+        raise ValueError("index must be >= 1")
+    d = 1
+    remaining = index
+    while remaining > d:
+        remaining -= d
+        d += 1
+    s = remaining
+    r = d + 1 - s
+    return r, s
+
+
+def machine_index_of(r, s):
+    """Inverse of :func:`machine_pair_at`."""
+    if r < 1 or s < 1:
+        raise ValueError("indices must be >= 1")
+    d = r + s - 1
+    return d * (d - 1) // 2 + s
+
+
+def clocked_run_budget(s, j):
+    """The clock of machine ``(M'_r, s)`` on input ``j``: ``s j**s + s``."""
+    return s * j ** s + s

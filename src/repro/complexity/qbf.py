@@ -1,0 +1,168 @@
+"""The QBF gadget: PSPACE-hardness of the spectrum problem (Theorem 4.1(2)).
+
+A Quantified Boolean Formula ``Q_1 X_1 ... Q_n X_n F`` is translated to an
+FO sentence ``phi`` over ``A/1, B/1, C/1, R/2, S/3`` such that ``phi`` has
+a model over a domain of size ``n + 1`` iff the QBF is true.
+
+The backbone (unique ``A``/``B``/``C`` elements and the ``R``-chain
+``c_1 .. c_n``) is the Figure 2 gadget.  ``S`` becomes ternary:
+``S(c_0, c_i, u)`` with ``u`` ranging over the two distinguished elements
+``c_1`` (the ``A`` element, reading "X_i is true") and ``c_n`` (the ``B``
+element, reading "X_i is false"); an axiom makes the two readings
+complementary.  Each QBF quantifier over ``X_i`` becomes a first-order
+quantifier over ``u`` relativized to ``A(u) | B(u)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..logic.syntax import (
+    Atom,
+    Var,
+    conj,
+    disj,
+    exists,
+    forall,
+    neg,
+)
+from ..propositional.formula import PAnd, PNot, POr, PTrue, PFalse, PVar, peval
+from .gadget import _alpha, _path_on_m_vertices, _unique_nonempty, _A, _B, _C, _R, VX, VY
+
+__all__ = ["QBF", "evaluate_qbf", "qbf_gadget"]
+
+
+def _S3(a, b, c):
+    return Atom("S", (a, b, c))
+
+
+@dataclass(frozen=True)
+class QBF:
+    """A prenex QBF: ``quantifiers[i]`` binds ``variables[i]`` in ``matrix``.
+
+    ``quantifiers`` entries are ``"forall"`` or ``"exists"``; ``matrix``
+    is a propositional formula over the variable labels.
+    """
+
+    quantifiers: Tuple[str, ...]
+    variables: Tuple[str, ...]
+    matrix: object
+
+    def __post_init__(self):
+        if len(self.quantifiers) != len(self.variables):
+            raise ValueError("one quantifier per variable required")
+        for q in self.quantifiers:
+            if q not in ("forall", "exists"):
+                raise ValueError("bad quantifier {!r}".format(q))
+
+
+def evaluate_qbf(qbf):
+    """Ground-truth QBF evaluation by recursion over the prefix."""
+
+    def rec(i, assignment):
+        if i == len(qbf.variables):
+            return peval(qbf.matrix, assignment)
+        var = qbf.variables[i]
+        results = (
+            rec(i + 1, {**assignment, var: value}) for value in (False, True)
+        )
+        if qbf.quantifiers[i] == "forall":
+            return all(results)
+        return any(results)
+
+    return rec(0, {})
+
+
+def qbf_gadget(qbf):
+    """The FO sentence whose spectrum contains ``n + 1`` iff ``qbf`` is true."""
+    n = len(qbf.variables)
+    if n < 2:
+        raise ValueError("need at least two QBF variables; pad with a dummy")
+    x, y = VX, VY
+    u_vars = [Var("u{}".format(i)) for i in range(n)]
+
+    parts = [
+        _unique_nonempty(_A),
+        _unique_nonempty(_B),
+        _unique_nonempty(_C),
+        neg(exists([x], conj(_A(x), _B(x)))),
+        neg(exists([x], conj(_A(x), _C(x)))),
+        neg(exists([x], conj(_B(x), _C(x)))),
+        forall([x, y], disj(neg(_R(x, y)), conj(neg(_C(x)), neg(_C(y))))),
+        _path_on_m_vertices(n),
+    ]
+    for m in range(1, 2 * n + 1):
+        if m != n:
+            parts.append(neg(_path_on_m_vertices(m)))
+
+    # S(x, y, u): x is the C element, y a path vertex, u the A or B element.
+    su = Var("su")
+    parts.append(
+        forall(
+            [x, y, su],
+            disj(
+                neg(_S3(x, y, su)),
+                conj(_C(x), neg(_C(y)), disj(_A(su), _B(su))),
+            ),
+        )
+    )
+    # The A-reading and B-reading of each S fact are complementary:
+    # forall u, v, x, y: A(u) & B(v) -> (S(x,y,u) xor S(x,y,v)).
+    u, v = Var("ua"), Var("ub")
+    xor = conj(
+        disj(_S3(x, y, u), _S3(x, y, v)),
+        disj(neg(_S3(x, y, u)), neg(_S3(x, y, v))),
+    )
+    parts.append(
+        forall(
+            [u, v, x, y],
+            disj(neg(_A(u)), neg(_B(v)), disj(neg(_C(x)), _C(y), xor)),
+        )
+    )
+
+    # gamma_i(u): X_i reads true at branch element u.
+    def gamma(i, u_var):
+        if i % 2 == 1:
+            return exists([VX], conj(_alpha(i, VX, VY), exists([VY], _S3(VY, VX, u_var))))
+        return exists([VY], conj(_alpha(i, VY, VX), exists([VX], _S3(VX, VY, u_var))))
+
+    def translate(prop, branch):
+        if isinstance(prop, PTrue):
+            from ..logic.syntax import TRUE
+
+            return TRUE
+        if isinstance(prop, PFalse):
+            from ..logic.syntax import FALSE
+
+            return FALSE
+        if isinstance(prop, PVar):
+            # X_i's value at branch element u is the S fact itself: as u
+            # sweeps the A and B elements, the xor axiom makes the fact
+            # take both truth values — simulating both assignments.
+            i = qbf.variables.index(prop.label) + 1
+            return gamma(i, branch[prop.label])
+        if isinstance(prop, PNot):
+            return neg(translate(prop.body, branch))
+        if isinstance(prop, PAnd):
+            return conj(*(translate(p, branch) for p in prop.parts))
+        if isinstance(prop, POr):
+            return disj(*(translate(p, branch) for p in prop.parts))
+        raise TypeError("not a propositional formula: {!r}".format(prop))
+
+    # Build the quantified translation inside-out.  "X_i true" at branch
+    # element u means: u is the A element and the S fact for vertex i at u
+    # holds — i.e. gamma_i(u) & A(u); by the xor axiom, at the B element
+    # the same fact reads negated, so quantifying u over {A, B} elements
+    # sweeps both truth values.
+    branch = {label: u_vars[i] for i, label in enumerate(qbf.variables)}
+    body = translate(qbf.matrix, branch)
+    for i in range(n - 1, -1, -1):
+        u_i = u_vars[i]
+        guard = disj(_A(u_i), _B(u_i))
+        if qbf.quantifiers[i] == "forall":
+            body = forall([u_i], disj(neg(guard), body))
+        else:
+            body = exists([u_i], conj(guard, body))
+    parts.append(body)
+    return conj(*parts)

@@ -1,0 +1,31 @@
+"""Spectrum membership: the decision problem associated with (W)FOMC.
+
+``Spec(Phi)`` is the set of domain sizes over which ``Phi`` has a model.
+The paper relates its complexity to NP1 (data), NP (combined, FO2) and
+PSPACE (combined, FO): here we provide the exact decision procedure used
+by the tests and benchmarks — SAT of the lineage, with early exit.
+"""
+
+from __future__ import annotations
+
+from ..grounding.lineage import lineage
+from ..propositional.counter import satisfiable
+from ..utils import check_domain_size
+
+__all__ = ["has_model", "in_spectrum", "spectrum"]
+
+
+def has_model(formula, n):
+    """Whether ``formula`` has a model over a domain of size ``n``."""
+    check_domain_size(n)
+    return satisfiable(lineage(formula, n))
+
+
+def in_spectrum(formula, n):
+    """Alias for :func:`has_model`: is ``n in Spec(formula)``?"""
+    return has_model(formula, n)
+
+
+def spectrum(formula, up_to):
+    """``Spec(formula)`` intersected with ``{1, ..., up_to}``."""
+    return {n for n in range(1, up_to + 1) if has_model(formula, n)}

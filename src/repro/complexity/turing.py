@@ -1,0 +1,170 @@
+"""Nondeterministic multi-tape counting Turing machines (Lemma 3.8).
+
+The #P1 hardness proof (Theorem 3.1) encodes a *counting TM* — a
+nondeterministic machine whose output is its number of accepting
+computations — into an FO3 sentence.  This module is the executable
+substrate: a clocked, multi-tape, binary-alphabet NTM simulator that
+counts accepting computations exactly, matching the conventions of the
+Appendix B encoding:
+
+* tapes have ``epochs * n`` cells (``epochs`` regions of ``n`` cells);
+* the head *clamps* at the tape ends (moving left at the first cell or
+  right at the last cell leaves it in place), mirroring the encoding's
+  boundary cases for the ``Left``/``Right`` predicates;
+* at every step exactly one tape (the active tape of the current state)
+  is read and written — the paper notes this is w.l.o.g.;
+* a run consists of exactly ``epochs * n`` time points, i.e.
+  ``epochs * n - 1`` transitions; a configuration with no applicable
+  transition before the last time point kills the computation;
+* acceptance is judged by the state at the final time point.
+
+**Counting convention**: we count *distinct configuration paths* (each
+step branches over the set of distinct successor configurations).  This
+matches the models of the FO3 encoding exactly; it differs from counting
+transition choices only in the degenerate case where two distinct
+transitions yield the same configuration (e.g. left/right moves that
+both clamp on a one-cell tape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+__all__ = ["Transition", "CountingTM", "Configuration"]
+
+LEFT = -1
+RIGHT = 1
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One nondeterministic choice: write ``write``, move, change state."""
+
+    new_state: str
+    write: int  # 0 or 1
+    move: int  # LEFT (-1) or RIGHT (+1)
+
+    def __post_init__(self):
+        if self.write not in (0, 1):
+            raise ValueError("tape alphabet is binary; write must be 0 or 1")
+        if self.move not in (LEFT, RIGHT):
+            raise ValueError("move must be -1 (left) or +1 (right)")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A full machine configuration: state, head positions, tape contents."""
+
+    state: str
+    heads: Tuple[int, ...]
+    tapes: Tuple[Tuple[int, ...], ...]
+
+
+class CountingTM:
+    """A nondeterministic counting TM over the binary alphabet.
+
+    Parameters
+    ----------
+    states:
+        All state names; ``initial`` must be among them.
+    initial:
+        The start state (the paper's ``q1``).
+    accepting:
+        States whose presence at the final time point accepts.
+    num_tapes:
+        Number of tapes; tape 0 is the input tape.
+    active_tape:
+        Maps each state to the single tape it reads/writes.
+    delta:
+        ``delta[(state, symbol)]`` is an iterable of :class:`Transition`;
+        missing keys mean the computation dies there.
+    """
+
+    def __init__(self, states, initial, accepting, num_tapes, active_tape, delta):
+        self.states = tuple(states)
+        if initial not in self.states:
+            raise ValueError("initial state {!r} not among states".format(initial))
+        self.initial = initial
+        self.accepting = frozenset(accepting)
+        if not self.accepting <= set(self.states):
+            raise ValueError("accepting states must be a subset of states")
+        self.num_tapes = num_tapes
+        self.active_tape = dict(active_tape)
+        for q in self.states:
+            if q not in self.active_tape:
+                raise ValueError("state {!r} has no active tape".format(q))
+            if not 0 <= self.active_tape[q] < num_tapes:
+                raise ValueError("active tape of {!r} out of range".format(q))
+        self.delta: Dict[Tuple[str, int], Tuple[Transition, ...]] = {}
+        for key, transitions in delta.items():
+            self.delta[key] = tuple(transitions)
+
+    def initial_configuration(self, n, epochs):
+        """Input ``1**n`` on tape 0 (filling region 1), heads at cell 0."""
+        length = epochs * n
+        input_tape = tuple([1] * n + [0] * (length - n))
+        blank = tuple([0] * length)
+        tapes = (input_tape,) + tuple(blank for _ in range(self.num_tapes - 1))
+        return Configuration(self.initial, (0,) * self.num_tapes, tapes)
+
+    def successors(self, config):
+        """The *set* of distinct successor configurations."""
+        tape_index = self.active_tape[config.state]
+        head = config.heads[tape_index]
+        symbol = config.tapes[tape_index][head]
+        transitions = self.delta.get((config.state, symbol), ())
+        length = len(config.tapes[tape_index])
+        result = set()
+        for t in transitions:
+            new_tape = list(config.tapes[tape_index])
+            new_tape[head] = t.write
+            new_head = head + t.move
+            if new_head < 0 or new_head >= length:
+                new_head = head  # clamp at the tape ends
+            heads = list(config.heads)
+            heads[tape_index] = new_head
+            tapes = list(config.tapes)
+            tapes[tape_index] = tuple(new_tape)
+            result.add(Configuration(t.new_state, tuple(heads), tuple(tapes)))
+        return frozenset(result)
+
+    def count_accepting(self, n, epochs):
+        """Number of accepting configuration paths on input ``1**n``.
+
+        A path has exactly ``epochs * n`` time points.  Matches
+        ``FOMC(Theta_1, n) / n!`` for the Appendix B encoding of this
+        machine with ``c = epochs``.
+        """
+        if n == 0:
+            raise ValueError("the encoding requires a domain of size >= 1")
+        steps = epochs * n - 1
+
+        @lru_cache(maxsize=None)
+        def count_from(config, remaining):
+            if remaining == 0:
+                return 1 if config.state in self.accepting else 0
+            return sum(
+                count_from(succ, remaining - 1) for succ in self.successors(config)
+            )
+
+        result = count_from(self.initial_configuration(n, epochs), steps)
+        count_from.cache_clear()
+        return result
+
+    def run_paths(self, n, epochs):
+        """Yield every configuration path (for tests; exponential)."""
+        steps = epochs * n - 1
+
+        def walk(config, remaining, path):
+            if remaining == 0:
+                yield path
+                return
+            for succ in sorted(
+                self.successors(config), key=lambda c: (c.state, c.heads, c.tapes)
+            ):
+                yield from walk(succ, remaining - 1, path + (succ,))
+
+        start = self.initial_configuration(n, epochs)
+        yield from walk(start, steps, (start,))

@@ -1,0 +1,32 @@
+"""Conjunctive queries: hypergraph acyclicity and lifted probability computation."""
+
+from .query import CQAtom, ConjunctiveQuery
+from .hypergraph import Hypergraph
+from .gamma import gamma_acyclic_probability
+from .bruteforce import cq_probability_bruteforce
+from .ck_reduction import CkReduction, reduce_ck_to_query, typed_cycle
+from .inclusion_exclusion import (
+    PositiveClause,
+    clause_probability,
+    union_clause,
+    cnf_probability,
+    dual_query,
+    conjoin_with_fresh_vocabulary,
+)
+
+__all__ = [
+    "CQAtom",
+    "ConjunctiveQuery",
+    "Hypergraph",
+    "gamma_acyclic_probability",
+    "cq_probability_bruteforce",
+    "CkReduction",
+    "reduce_ck_to_query",
+    "typed_cycle",
+    "PositiveClause",
+    "clause_probability",
+    "union_clause",
+    "cnf_probability",
+    "dual_query",
+    "conjoin_with_fresh_vocabulary",
+]

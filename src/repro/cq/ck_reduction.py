@@ -1,0 +1,106 @@
+"""The Ck-hardness reduction for beta-cyclic queries (Section 3.2).
+
+The paper argues every beta-cyclic CQ is "Ck-hard": a weak beta-cycle
+``R1 x1 R2 x2 ... xk R1`` inside the query lets the WFOMC of the typed
+cycle ``Ck`` be read off from the WFOMC of the query under the
+generalized (per-variable-domain) semantics:
+
+* relations **on** the cycle keep their weights; all other relations get
+  the neutral weights ``(1, 1)`` — their atoms become free mass;
+* variables **on** the cycle keep the Ck domain sizes; all other
+  variables get domain size 1.
+
+Then ``WFOMC(Ck, n, w) * (free mass) == WFOMC(Q, n', w')``.  This module
+constructs the reduction from any beta-cyclic query and validates the
+identity by brute force in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from ..errors import ReproError
+from ..utils import as_fraction
+from .bruteforce import cq_probability_bruteforce
+from .query import ConjunctiveQuery
+
+__all__ = ["CkReduction", "reduce_ck_to_query", "typed_cycle", "cycle_probability_bruteforce"]
+
+
+def typed_cycle(k, probability, n):
+    """The typed k-cycle ``Ck = R1(x1,x2), ..., Rk(xk,x1)`` as a CQ."""
+    if k < 3:
+        raise ValueError("cycles need k >= 3")
+    atoms = [
+        ("Ck_R{}".format(i), ("ck_x{}".format(i), "ck_x{}".format((i % k) + 1)))
+        for i in range(1, k + 1)
+    ]
+    probs = {"Ck_R{}".format(i): as_fraction(probability) for i in range(1, k + 1)}
+    return ConjunctiveQuery(atoms, probs, n)
+
+
+def cycle_probability_bruteforce(k, probability, n):
+    """Ground truth Pr(Ck) by grounding (tiny n only)."""
+    return cq_probability_bruteforce(typed_cycle(k, probability, n))
+
+
+@dataclass
+class CkReduction:
+    """A reduction instance: evaluate Q to learn Ck.
+
+    Attributes
+    ----------
+    query:
+        The beta-cyclic target query, re-weighted and re-domained: cycle
+    relations carry the Ck probability, all others probability 1;
+        cycle variables carry the Ck domain size, all others size 1.
+    cycle_edges, cycle_nodes:
+        The weak beta-cycle found in the target (length k).
+    k:
+        The cycle length: which ``Ck`` this instance computes.
+    """
+
+    query: ConjunctiveQuery
+    cycle_edges: Tuple[str, ...]
+    cycle_nodes: Tuple[str, ...]
+
+    @property
+    def k(self):
+        return len(self.cycle_edges)
+
+    def cycle_probability(self):
+        """Pr(Ck) read off the target query (brute force on the target).
+
+        With non-cycle relations certain (p = 1) and non-cycle variables
+        collapsed to singleton domains, the target's probability *is* the
+        cycle's.
+        """
+        return cq_probability_bruteforce(self.query)
+
+
+def reduce_ck_to_query(query, probability, n):
+    """Build the Section 3.2 reduction from ``Ck`` to a beta-cyclic ``query``.
+
+    ``probability`` and ``n`` are the Ck tuple probability and domain
+    size.  Raises :class:`ReproError` when the query is beta-acyclic
+    (then no weak beta-cycle exists and the reduction does not apply).
+    """
+    cycle = query.hypergraph().find_weak_beta_cycle()
+    if cycle is None:
+        raise ReproError(
+            "query is beta-acyclic: no weak beta-cycle, the Ck reduction "
+            "does not apply"
+        )
+    edges, nodes = cycle
+    probability = as_fraction(probability)
+
+    new_probs: Dict[str, Fraction] = {}
+    for rel in {a.relation for a in query.atoms}:
+        new_probs[rel] = probability if rel in edges else Fraction(1)
+    new_sizes = {
+        v: (n if v in nodes else 1) for v in query.variables
+    }
+    reduced = ConjunctiveQuery(query.atoms, new_probs, new_sizes)
+    return CkReduction(query=reduced, cycle_edges=tuple(edges), cycle_nodes=tuple(nodes))

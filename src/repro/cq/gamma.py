@@ -1,0 +1,197 @@
+"""PTIME probability computation for gamma-acyclic CQs (Theorem 3.6).
+
+The algorithm mirrors Fagin's gamma-acyclicity reduction rules, keeping
+exact probability bookkeeping at every step (quotes refer to the proof of
+Theorem 3.6):
+
+(a) *isolated node* ``x`` in a single atom ``R(x, y, z)``: replace ``R``
+    by ``R'(y, z)`` where each tuple holds with probability
+    ``1 - (1 - p)**n_x`` (the probability some ``x``-extension exists);
+(b) *singleton atom* ``R(x)``: condition on ``k = |R|``;
+    ``Pr(Q) = sum_k C(n_x, k) p**k (1-p)**(n_x - k) * p_k`` where ``p_k``
+    is the probability of the residual query with ``x`` ranging over
+    ``[k]`` — by symmetry only the cardinality matters;
+(c) *empty atom* ``R()``: multiply by ``p_R``;
+(d) *duplicate atoms* on the same variable set: merge with probability
+    ``p_R * p_S``;
+(e) *edge-equivalent variables* ``x, y``: merge into one variable with
+    domain size ``n_x * n_y``.
+
+The query must be self-join free and its hypergraph gamma-acyclic,
+otherwise :class:`~repro.errors.NotGammaAcyclicError` is raised.  All
+arithmetic is exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..errors import NotGammaAcyclicError, SelfJoinError
+from ..utils import binomial
+from .query import ConjunctiveQuery
+
+__all__ = ["gamma_acyclic_probability"]
+
+
+def gamma_acyclic_probability(query):
+    """Exact probability that the gamma-acyclic CQ ``query`` is true."""
+    if not isinstance(query, ConjunctiveQuery):
+        raise TypeError("expected a ConjunctiveQuery")
+    query.require_self_join_free()
+    if query.has_repeated_variable():
+        raise SelfJoinError(
+            "atoms with repeated variables (e.g. R(x, x)) are not supported; "
+            "rewrite R(x, x) as a fresh unary relation with the same "
+            "tuple probability"
+        )
+
+    atoms = frozenset((a.relation, a.variables) for a in query.atoms)
+    sizes = dict(query.domain_sizes)
+    solver = _GammaSolver(dict(query.probabilities))
+    return solver.probability(atoms, sizes)
+
+
+class _GammaSolver:
+    """Recursive evaluator; fresh relation names are created as rules fire."""
+
+    def __init__(self, probabilities):
+        self.probabilities = probabilities
+        self.memo = {}
+        self.fresh = 0
+
+    def _fresh_relation(self, base, probability):
+        self.fresh += 1
+        name = "{}~{}".format(base, self.fresh)
+        self.probabilities[name] = probability
+        return name
+
+    def probability(self, atoms, sizes):
+        """Pr of the query given atom set and per-variable domain sizes."""
+        key = (atoms, tuple(sorted((v, sizes[v]) for v in self._vars(atoms))))
+        cached = self.memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._solve(atoms, sizes)
+        self.memo[key] = result
+        return result
+
+    @staticmethod
+    def _vars(atoms):
+        result = set()
+        for _rel, vs in atoms:
+            result |= set(vs)
+        return result
+
+    def _solve(self, atoms, sizes):
+        atoms = set(atoms)
+        multiplier = Fraction(1)
+
+        while True:
+            if not atoms:
+                return multiplier
+
+            # A variable with an empty domain makes the query false: the
+            # existential quantifier has no witness.
+            if any(sizes[v] == 0 for v in self._vars(atoms)):
+                return Fraction(0)
+
+            # (c) empty atom R(): must be true, probability p_R.
+            done = False
+            for rel, vs in list(atoms):
+                if not vs:
+                    multiplier *= self.probabilities[rel]
+                    atoms.discard((rel, vs))
+                    done = True
+            if done:
+                continue
+
+            # (d) two atoms on exactly the same variable set: merge.
+            by_nodes = {}
+            for rel, vs in atoms:
+                by_nodes.setdefault(frozenset(vs), []).append((rel, vs))
+            merged = False
+            for group in by_nodes.values():
+                if len(group) > 1:
+                    (r1, v1), (r2, v2) = group[0], group[1]
+                    p = self.probabilities[r1] * self.probabilities[r2]
+                    name = self._fresh_relation(r1, p)
+                    atoms.discard((r1, v1))
+                    atoms.discard((r2, v2))
+                    atoms.add((name, v1))
+                    merged = True
+                    break
+            if merged:
+                continue
+
+            # (e) edge-equivalent variables: merge domains.
+            occurrence = {}
+            for rel, vs in atoms:
+                for v in vs:
+                    occurrence.setdefault(v, set()).add((rel, vs))
+            membership = {}
+            for v, occ in occurrence.items():
+                membership.setdefault(frozenset(occ), []).append(v)
+            merged = False
+            for group in membership.values():
+                if len(group) > 1:
+                    keep, drop = group[0], group[1]
+                    new_size = sizes[keep] * sizes[drop]
+                    new_atoms = set()
+                    for rel, vs in atoms:
+                        if drop in vs:
+                            vs = tuple(v for v in vs if v != drop)
+                        new_atoms.add((rel, vs))
+                    atoms = new_atoms
+                    sizes = dict(sizes)
+                    sizes[keep] = new_size
+                    merged = True
+                    break
+            if merged:
+                continue
+
+            # (a) isolated variable in a non-singleton atom: project out.
+            projected = False
+            for v, occ in occurrence.items():
+                if len(occ) == 1:
+                    (rel, vs) = next(iter(occ))
+                    if len(vs) > 1:
+                        p = self.probabilities[rel]
+                        p_new = 1 - (1 - p) ** sizes[v]
+                        name = self._fresh_relation(rel, p_new)
+                        atoms.discard((rel, vs))
+                        atoms.add((name, tuple(u for u in vs if u != v)))
+                        projected = True
+                        break
+            if projected:
+                continue
+
+            # (b) singleton atom R(x): condition on |R| = k.
+            singleton = None
+            for rel, vs in atoms:
+                if len(vs) == 1:
+                    singleton = (rel, vs)
+                    break
+            if singleton is not None:
+                rel, vs = singleton
+                x = vs[0]
+                p = self.probabilities[rel]
+                n_x = sizes[x]
+                rest = frozenset(atoms - {singleton})
+                if not any(x in a_vs for _r, a_vs in rest):
+                    # x occurs nowhere else: Pr(|R| >= 1) factors out.
+                    factor = 1 - (1 - p) ** n_x
+                    if not rest:
+                        return multiplier * factor
+                    return multiplier * factor * self.probability(rest, sizes)
+                total = Fraction(0)
+                for k in range(1, n_x + 1):
+                    residual_sizes = dict(sizes)
+                    residual_sizes[x] = k
+                    p_k = self.probability(rest, residual_sizes)
+                    total += binomial(n_x, k) * p ** k * (1 - p) ** (n_x - k) * p_k
+                return multiplier * total
+
+            raise NotGammaAcyclicError(
+                "no reduction rule applies; the query is not gamma-acyclic "
+                "(residual atoms: {})".format(sorted(atoms))
+            )

@@ -1,0 +1,226 @@
+"""Hypergraphs and Fagin's acyclicity hierarchy (Section 3.2, Figure 1).
+
+Fagin [14] defines three increasingly strict notions of acyclicity for
+hypergraphs; the paper's Figure 1 places the tractability frontier of
+symmetric WFOMC between them:
+
+* **alpha-acyclic** — reducible by the GYO procedure (remove isolated
+  nodes; remove edges contained in other edges).  As hard as general CQs
+  for symmetric WFOMC (add one atom containing all variables).
+* **beta-acyclic** — every subset of the edges is alpha-acyclic;
+  equivalently, no *weak beta-cycle*.  Conjectured hard (Ck-hard) in the
+  paper when cyclic.
+* **gamma-acyclic** — reducible to the empty hypergraph by Fagin's five
+  rules (the same rules drive the PTIME counting algorithm of
+  Theorem 3.6, implemented in :mod:`repro.cq.gamma`).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+__all__ = ["Hypergraph"]
+
+
+class Hypergraph:
+    """A named hypergraph: ``edges`` maps edge names to frozensets of nodes."""
+
+    def __init__(self, edges):
+        self.edges = {name: frozenset(nodes) for name, nodes in edges.items()}
+
+    def nodes(self):
+        result = set()
+        for nodes in self.edges.values():
+            result |= nodes
+        return result
+
+    # -- gamma-acyclicity ---------------------------------------------------
+
+    def gamma_reduce(self):
+        """Apply Fagin's five reduction rules until none applies.
+
+        Returns the residual edge dict; the hypergraph is gamma-acyclic
+        iff the residue is empty.  Rules (named as in Theorem 3.6):
+
+        (a) delete a node that occurs in exactly one edge (if the edge has
+            other nodes);
+        (b) delete an edge consisting of exactly one node;
+        (c) delete an empty edge;
+        (d) delete one of two edges with exactly the same nodes;
+        (e) merge two nodes that occur in exactly the same edges.
+        """
+        edges = dict(self.edges)
+        changed = True
+        while changed and edges:
+            changed = False
+
+            # (c) empty edges.
+            for name in list(edges):
+                if not edges[name]:
+                    del edges[name]
+                    changed = True
+            if changed:
+                continue
+
+            # (d) duplicate edges.
+            seen = {}
+            for name in list(edges):
+                key = edges[name]
+                if key in seen:
+                    del edges[name]
+                    changed = True
+                else:
+                    seen[key] = name
+            if changed:
+                continue
+
+            # (b) singleton edges.
+            for name in list(edges):
+                if len(edges[name]) == 1:
+                    del edges[name]
+                    changed = True
+                    break
+            if changed:
+                continue
+
+            # (a) isolated nodes.
+            occurrence = {}
+            for name, nodes in edges.items():
+                for v in nodes:
+                    occurrence.setdefault(v, []).append(name)
+            for v, names in occurrence.items():
+                if len(names) == 1 and len(edges[names[0]]) > 1:
+                    edges[names[0]] = edges[names[0]] - {v}
+                    changed = True
+                    break
+            if changed:
+                continue
+
+            # (e) edge-equivalent nodes.
+            membership = {}
+            for v, names in occurrence.items():
+                membership.setdefault(frozenset(names), []).append(v)
+            for group in membership.values():
+                if len(group) > 1:
+                    drop = group[1]
+                    edges = {
+                        name: (nodes - {drop}) for name, nodes in edges.items()
+                    }
+                    changed = True
+                    break
+        return edges
+
+    def is_gamma_acyclic(self):
+        return not self.gamma_reduce()
+
+    # -- alpha-acyclicity (GYO) ----------------------------------------------
+
+    def is_alpha_acyclic(self):
+        """GYO reduction: True iff the hypergraph reduces to nothing."""
+        edges = [set(nodes) for nodes in self.edges.values()]
+        changed = True
+        while changed and edges:
+            changed = False
+            # Remove isolated nodes (occur in exactly one edge).
+            occurrence = {}
+            for i, nodes in enumerate(edges):
+                for v in nodes:
+                    occurrence.setdefault(v, []).append(i)
+            for v, where in occurrence.items():
+                if len(where) == 1:
+                    edges[where[0]].discard(v)
+                    changed = True
+            # Remove edges contained in another edge (including empties).
+            # When two edges are equal, only one copy may be dropped, so
+            # the equality case breaks ties by index.
+            kept = []
+            for i, nodes in enumerate(edges):
+                drop = False
+                for j, other in enumerate(edges):
+                    if i == j:
+                        continue
+                    if nodes < other or (nodes == other and i > j):
+                        drop = True
+                        break
+                if drop or not nodes:
+                    changed = True
+                else:
+                    kept.append(nodes)
+            edges = kept
+        return not edges
+
+    # -- beta-acyclicity ------------------------------------------------------
+
+    def is_beta_acyclic(self):
+        """Every nonempty subset of edges is alpha-acyclic (Fagin [14]).
+
+        Exponential in the number of edges, which is fine for queries.
+        """
+        names = list(self.edges)
+        for r in range(1, len(names) + 1):
+            for subset in combinations(names, r):
+                sub = Hypergraph({name: self.edges[name] for name in subset})
+                if not sub.is_alpha_acyclic():
+                    return False
+        return True
+
+    def find_weak_beta_cycle(self):
+        """A weak beta-cycle ``R1 x1 R2 x2 ... xk R1`` if one exists.
+
+        Per Fagin [14] (as used in Section 3.2): a sequence of distinct
+        edges ``R1..Rk`` and distinct nodes ``x1..xk`` with ``k >= 3``,
+        where ``x_i`` occurs in ``R_i`` and ``R_{i+1}`` but in no other
+        edge of the sequence (``R_{k+1} = R_1``).  Returns
+        ``(edge_names, node_names)`` or ``None``.  Used by the
+        Ck-hardness reduction discussion of Section 3.2.
+        """
+        names = list(self.edges)
+
+        def valid_cycle(edge_path, node_path):
+            """Re-validate every node against the *complete* edge cycle:
+            node i must occur, among the cycle's edges, exactly in its two
+            adjacent edges (edge i and edge i+1 mod k)."""
+            k = len(edge_path)
+            for i, v in enumerate(node_path):
+                adjacent = {edge_path[i], edge_path[(i + 1) % k]}
+                for name in edge_path:
+                    if name in adjacent:
+                        continue
+                    if v in self.edges[name]:
+                        return False
+            return True
+
+        def extend(edge_path, node_path):
+            k = len(edge_path)
+            last = edge_path[-1]
+            for name in names:
+                if name in edge_path:
+                    # Closing the cycle back to the start.
+                    if name != edge_path[0] or k < 3:
+                        continue
+                    for v in self.edges[last] & self.edges[name]:
+                        if v in node_path:
+                            continue
+                        if valid_cycle(edge_path, node_path + [v]):
+                            return edge_path, node_path + [v]
+                    continue
+                for v in self.edges[last] & self.edges[name]:
+                    if v in node_path:
+                        continue
+                    result = extend(edge_path + [name], node_path + [v])
+                    if result is not None:
+                        return result
+            return None
+
+        for start in names:
+            result = extend([start], [])
+            if result is not None:
+                return result
+        return None
+
+    def __repr__(self):
+        parts = ", ".join(
+            "{}={{{}}}".format(name, ", ".join(sorted(nodes)))
+            for name, nodes in self.edges.items()
+        )
+        return "Hypergraph({})".format(parts)

@@ -1,0 +1,164 @@
+"""Clause/CQ duality and inclusion-exclusion (Corollary 3.2 machinery).
+
+The proof of Corollary 3.2 moves between three presentations:
+
+* a **positive clause** is a universally quantified disjunction of
+  positive atoms, e.g. ``forall x, y (R(x) | S(x, y))``;
+* its **dual CQ** negates the clause: ``Pr(clause) = 1 - Pr'(dual)``
+  where the dual CQ uses complemented tuple probabilities ``1 - p``;
+* a **disjunction of clauses** (variables renamed apart) is equivalent to
+  a single clause over the union of the variables — this is what makes
+  inclusion-exclusion over clause subsets close under the clause form.
+
+``cnf_probability`` computes ``Pr(C_1 & ... & C_k)`` by
+inclusion-exclusion over unions of clause complements; every term reduces
+to a single dual CQ, evaluated by the gamma-acyclic algorithm when
+possible and by grounding otherwise.
+
+``conjoin_with_fresh_vocabulary`` implements the final step of the
+Corollary: conjoining CQs over *disjoint copies* of the vocabulary makes
+their probabilities multiply, packing many queries into one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Tuple
+
+from ..errors import NotGammaAcyclicError, SelfJoinError
+from ..utils import as_fraction
+from .bruteforce import cq_probability_bruteforce
+from .gamma import gamma_acyclic_probability
+from .query import CQAtom, ConjunctiveQuery
+
+__all__ = [
+    "PositiveClause",
+    "union_clause",
+    "dual_query",
+    "clause_probability",
+    "cnf_probability",
+    "conjoin_with_fresh_vocabulary",
+]
+
+
+@dataclass(frozen=True)
+class PositiveClause:
+    """``forall variables. atom_1 | ... | atom_m`` with positive atoms."""
+
+    atoms: Tuple[CQAtom, ...]
+
+    def variables(self):
+        result = []
+        for a in self.atoms:
+            for v in a.variables:
+                if v not in result:
+                    result.append(v)
+        return tuple(result)
+
+    def rename(self, suffix):
+        """A copy with every variable suffixed (for renaming apart)."""
+        return PositiveClause(
+            tuple(
+                CQAtom(a.relation, tuple("{}{}".format(v, suffix) for v in a.variables))
+                for a in self.atoms
+            )
+        )
+
+    def __repr__(self):
+        return "forall {}. {}".format(
+            ", ".join(self.variables()), " | ".join(repr(a) for a in self.atoms)
+        )
+
+
+def union_clause(clauses):
+    """The single clause equivalent to a disjunction of clauses.
+
+    For sentences ``forall xbar phi(xbar)`` and ``forall ybar psi(ybar)``
+    with disjoint variables, ``(forall xbar phi) | (forall ybar psi)`` is
+    equivalent to ``forall xbar ybar (phi | psi)``: if the merged clause
+    held while both disjuncts failed, picking failing witnesses for each
+    would contradict it.  Variables are renamed apart by position.
+    """
+    renamed = [clause.rename("_c{}".format(i)) for i, clause in enumerate(clauses)]
+    atoms = tuple(a for clause in renamed for a in clause.atoms)
+    return PositiveClause(atoms)
+
+
+def dual_query(clause, probabilities, domain_sizes):
+    """The dual CQ of a positive clause, with complemented probabilities.
+
+    ``Pr(forall xbar. R_1 | ... | R_m) = 1 - Pr(exists xbar. ~R_1 & ... & ~R_m)``
+    and the negated atoms form an ordinary CQ once each relation's tuple
+    probability ``p`` is replaced by ``1 - p`` ("tuple absent").
+    """
+    complemented = {r: 1 - as_fraction(p) for r, p in probabilities.items()}
+    return ConjunctiveQuery(clause.atoms, complemented, domain_sizes)
+
+
+def clause_probability(clause, probabilities, domain_sizes):
+    """Exact probability of a positive clause via its dual CQ.
+
+    Uses the gamma-acyclic algorithm when the dual qualifies (acyclic and
+    self-join free — merged union clauses typically repeat relations) and
+    falls back to grounding otherwise.
+    """
+    dual = dual_query(clause, probabilities, domain_sizes)
+    try:
+        dual_pr = gamma_acyclic_probability(dual)
+    except (NotGammaAcyclicError, SelfJoinError):
+        dual_pr = cq_probability_bruteforce(dual)
+    return 1 - dual_pr
+
+
+def cnf_probability(clauses, probabilities, domain_sizes):
+    """``Pr(C_1 & ... & C_k)`` by inclusion-exclusion over clause subsets.
+
+    With ``A_i`` the event that clause ``C_i`` fails,
+    ``Pr(and C_i) = sum_{s subseteq [k]} (-1)**|s| Pr(and_{i in s} A_i)``
+    and ``Pr(and_s A_i) = 1 - Pr(or_s C_i)``, a single-clause probability
+    after merging (``2**k - 1`` clause evaluations, as in Corollary 3.2).
+    """
+    clauses = list(clauses)
+    k = len(clauses)
+    total = Fraction(0)
+    for mask in range(2 ** k):
+        subset = [clauses[i] for i in range(k) if mask >> i & 1]
+        size = len(subset)
+        if size == 0:
+            term = Fraction(1)
+        else:
+            merged = union_clause(subset)
+            term = 1 - clause_probability(merged, probabilities, domain_sizes)
+        total += (-1) ** size * term
+    return total
+
+
+def conjoin_with_fresh_vocabulary(queries):
+    """Pack CQs into one query over disjoint vocabulary copies.
+
+    Returns ``(big_query, factor_probabilities)`` where ``big_query`` is
+    the conjunction of the input queries with relation names suffixed by
+    the query index, and ``factor_probabilities`` is the list of
+    individual probabilities; by independence,
+    ``Pr(big_query) = prod(factor_probabilities)`` — the trick in the
+    proof of Corollary 3.2 that makes a single CQ as hard as a family.
+    """
+    atoms = []
+    probabilities = {}
+    sizes = {}
+    factors = []
+    for i, q in enumerate(queries):
+        for a in q.atoms:
+            new_rel = "{}__q{}".format(a.relation, i)
+            new_vars = tuple("{}__q{}".format(v, i) for v in a.variables)
+            atoms.append(CQAtom(new_rel, new_vars))
+            probabilities[new_rel] = q.probabilities[a.relation]
+        for v in q.variables:
+            sizes["{}__q{}".format(v, i)] = q.domain_sizes[v]
+        try:
+            factors.append(gamma_acyclic_probability(q))
+        except (NotGammaAcyclicError, SelfJoinError):
+            factors.append(cq_probability_bruteforce(q))
+    big = ConjunctiveQuery(atoms, probabilities, sizes)
+    return big, factors

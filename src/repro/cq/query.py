@@ -1,0 +1,117 @@
+"""Conjunctive queries with per-variable domains (Section 3).
+
+A conjunctive query is an existentially quantified conjunction of positive
+relational atoms, e.g. ``exists x, y. R(x) & S(x, y)``.  Following the
+paper's generalized semantics (proof of Theorem 3.6), every variable
+``x_i`` may range over its own domain ``[n_i]``; the standard semantics is
+the special case where all sizes are equal.
+
+Queries here are *Boolean* (all variables quantified) and are evaluated
+over tuple-independent probabilistic structures: each ground tuple of
+relation ``R`` is present independently with probability ``p_R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import SelfJoinError
+from ..logic.syntax import Atom, Var, conj, exists
+from ..utils import as_fraction, check_domain_size
+from .hypergraph import Hypergraph
+
+__all__ = ["CQAtom", "ConjunctiveQuery"]
+
+
+@dataclass(frozen=True)
+class CQAtom:
+    """One atom of a CQ: a relation name applied to variable names."""
+
+    relation: str
+    variables: Tuple[str, ...]
+
+    def __repr__(self):
+        return "{}({})".format(self.relation, ", ".join(self.variables))
+
+
+class ConjunctiveQuery:
+    """An existentially quantified conjunction of positive atoms.
+
+    Parameters
+    ----------
+    atoms:
+        Iterable of :class:`CQAtom` (or ``(relation, vars)`` pairs).
+    probabilities:
+        Mapping relation name -> tuple probability (exact rationals).
+    domain_sizes:
+        Either an int (all variables range over ``[n]``) or a mapping
+        variable name -> size, per the generalized semantics.
+    """
+
+    def __init__(self, atoms, probabilities, domain_sizes):
+        self.atoms = tuple(
+            a if isinstance(a, CQAtom) else CQAtom(a[0], tuple(a[1])) for a in atoms
+        )
+        if not self.atoms:
+            raise ValueError("a conjunctive query needs at least one atom")
+        self.probabilities = {r: as_fraction(p) for r, p in probabilities.items()}
+
+        names = [a.relation for a in self.atoms]
+        missing = set(names) - set(self.probabilities)
+        if missing:
+            raise ValueError("missing probabilities for relations: {}".format(sorted(missing)))
+
+        variables = []
+        for a in self.atoms:
+            for v in a.variables:
+                if v not in variables:
+                    variables.append(v)
+        self.variables = tuple(variables)
+
+        if isinstance(domain_sizes, int):
+            self.domain_sizes: Dict[str, int] = {v: domain_sizes for v in self.variables}
+        else:
+            self.domain_sizes = dict(domain_sizes)
+        for v in self.variables:
+            if v not in self.domain_sizes:
+                raise ValueError("no domain size for variable {}".format(v))
+            check_domain_size(self.domain_sizes[v])
+
+    def has_self_join(self):
+        """True when some relation symbol occurs in two atoms."""
+        names = [a.relation for a in self.atoms]
+        return len(names) != len(set(names))
+
+    def require_self_join_free(self):
+        if self.has_self_join():
+            raise SelfJoinError("query has a self-join: {}".format(self))
+
+    def has_repeated_variable(self):
+        """True when some atom repeats a variable (e.g. ``R(x, x)``)."""
+        return any(len(a.variables) != len(set(a.variables)) for a in self.atoms)
+
+    def hypergraph(self):
+        """The associated hypergraph: variables are nodes, atoms are edges."""
+        return Hypergraph(
+            {a.relation: frozenset(a.variables) for a in self.atoms}
+        )
+
+    def is_gamma_acyclic(self):
+        return self.hypergraph().is_gamma_acyclic()
+
+    def is_alpha_acyclic(self):
+        return self.hypergraph().is_alpha_acyclic()
+
+    def is_beta_acyclic(self):
+        return self.hypergraph().is_beta_acyclic()
+
+    def to_formula(self):
+        """The query as an FO sentence (requires a uniform domain size)."""
+        body = conj(*(Atom(a.relation, tuple(Var(v) for v in a.variables)) for a in self.atoms))
+        return exists([Var(v) for v in self.variables], body)
+
+    def __repr__(self):
+        return "exists {}. {}".format(
+            ", ".join(self.variables), " & ".join(repr(a) for a in self.atoms)
+        )

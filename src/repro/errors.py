@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  More specific subclasses indicate
+which solver or transformation rejected the input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ParseError(ReproError):
+    """Raised when a formula string cannot be parsed."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "{} (at position {})".format(message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedFormulaError(ReproError):
+    """Raised when a solver does not support the given sentence.
+
+    For example the FO2 lifted solver raises this for sentences that use
+    three or more logical variables, or predicates of arity above two.
+    """
+
+
+class NotFO2Error(UnsupportedFormulaError):
+    """Raised when a sentence is outside the FO2 fragment."""
+
+
+class NotGammaAcyclicError(UnsupportedFormulaError):
+    """Raised when a conjunctive query is not gamma-acyclic."""
+
+
+class SelfJoinError(UnsupportedFormulaError):
+    """Raised when a CQ algorithm requires a self-join-free query."""
+
+
+class DomainSizeError(ReproError):
+    """Raised when a domain size is negative or otherwise invalid."""
+
+
+class WeightError(ReproError):
+    """Raised when weights are missing or inconsistent for a vocabulary."""
+
+
+class EncodingError(ReproError):
+    """Raised when a Turing machine cannot be encoded into FO3."""

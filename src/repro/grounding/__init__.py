@@ -1,0 +1,13 @@
+"""Grounding: finite structures, ground tuples, and lineage formulas."""
+
+from .structures import Structure, ground_tuples, all_structures, world_weight
+from .lineage import lineage, ground_atom_weights
+
+__all__ = [
+    "Structure",
+    "ground_tuples",
+    "all_structures",
+    "world_weight",
+    "lineage",
+    "ground_atom_weights",
+]

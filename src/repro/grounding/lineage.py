@@ -1,0 +1,110 @@
+"""Lineage: grounding an FO sentence to a propositional formula.
+
+Section 2 of the paper defines the lineage ``F_{Phi,n}`` of a sentence over
+domain ``[n]`` inductively: quantifiers expand to conjunctions and
+disjunctions over domain elements, equality atoms evaluate to constants,
+and ground relational atoms become propositional variables labeled
+``(pred_name, args)``.  For a fixed sentence the lineage has size
+polynomial in ``n``.
+"""
+
+from __future__ import annotations
+
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+from ..utils import check_domain_size
+from .structures import ground_tuples
+from ..propositional.formula import pand, pnot, por, pvar, PFalse, PTrue
+
+__all__ = ["lineage", "ground_atom_weights"]
+
+
+def lineage(formula, n):
+    """The lineage of ``formula`` over domain ``[n]`` as a prop formula.
+
+    Free variables must have been substituted by constants beforehand.
+    """
+    check_domain_size(n)
+    return _ground(formula, n, {})
+
+
+def _term_value(t, env):
+    if isinstance(t, Const):
+        return t.value
+    if isinstance(t, Var):
+        try:
+            return env[t]
+        except KeyError:
+            raise ValueError(
+                "free variable {} in sentence being grounded".format(t)
+            ) from None
+    raise TypeError("not a term: {!r}".format(t))
+
+
+def _ground(f, n, env):
+    if isinstance(f, Top):
+        return PTrue()
+    if isinstance(f, Bottom):
+        return PFalse()
+    if isinstance(f, Atom):
+        args = tuple(_term_value(a, env) for a in f.args)
+        return pvar((f.pred, args))
+    if isinstance(f, Eq):
+        return PTrue() if _term_value(f.left, env) == _term_value(f.right, env) else PFalse()
+    if isinstance(f, Not):
+        return pnot(_ground(f.body, n, env))
+    if isinstance(f, And):
+        return pand(*(_ground(p, n, env) for p in f.parts))
+    if isinstance(f, Or):
+        return por(*(_ground(p, n, env) for p in f.parts))
+    if isinstance(f, Implies):
+        return por(pnot(_ground(f.antecedent, n, env)), _ground(f.consequent, n, env))
+    if isinstance(f, Iff):
+        left = _ground(f.left, n, env)
+        right = _ground(f.right, n, env)
+        return pand(por(pnot(left), right), por(left, pnot(right)))
+    if isinstance(f, (Forall, Exists)):
+        # Save and restore any outer binding of the same variable name:
+        # formulas like the FO2 alpha-towers rebind x inside the scope of
+        # an outer x.
+        missing = object()
+        saved = env.get(f.var, missing)
+        parts = []
+        for value in range(1, n + 1):
+            env[f.var] = value
+            parts.append(_ground(f.body, n, env))
+        if saved is missing:
+            env.pop(f.var, None)
+        else:
+            env[f.var] = saved
+        return pand(*parts) if isinstance(f, Forall) else por(*parts)
+    raise TypeError("not a formula: {!r}".format(f))
+
+
+def ground_atom_weights(weighted_vocabulary, n):
+    """Weight function over ground-atom labels, plus the full universe.
+
+    Returns ``(weight_of, universe)`` where ``weight_of`` maps a label
+    ``(pred, args)`` to its :class:`~repro.weights.WeightPair` and
+    ``universe`` is the list of all ground-atom labels ``Tup(n)``.
+    """
+    universe = ground_tuples(weighted_vocabulary.vocabulary, n)
+
+    def weight_of(label):
+        pred, _args = label
+        return weighted_vocabulary.weight(pred)
+
+    return weight_of, universe

@@ -1,0 +1,112 @@
+"""Finite labeled structures over the domain ``[n] = {1, ..., n}``.
+
+The paper counts *labeled* structures: isomorphic structures are distinct.
+:func:`all_structures` therefore enumerates every subset of the ground
+tuples, which is the exact (exponential) semantic baseline used to validate
+all the clever algorithms on small inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..utils import check_domain_size
+
+__all__ = ["Structure", "ground_tuples", "all_structures", "world_weight"]
+
+
+class Structure:
+    """A finite structure: a domain size and one relation per predicate.
+
+    ``relations`` maps predicate names to sets of argument tuples.  Tuples
+    are tuples of ints in ``1..n``; zero-ary relations hold the empty tuple
+    when 'true'.
+    """
+
+    __slots__ = ("n", "relations")
+
+    def __init__(self, n, relations=None):
+        self.n = check_domain_size(n)
+        self.relations = {}
+        if relations:
+            for name, tuples in relations.items():
+                self.relations[name] = frozenset(tuple(t) for t in tuples)
+
+    def domain(self):
+        """The domain as a range ``1..n``."""
+        return range(1, self.n + 1)
+
+    def holds(self, pred, args):
+        """Whether the ground atom ``pred(args)`` is true here."""
+        return tuple(args) in self.relations.get(pred, frozenset())
+
+    def with_tuple(self, pred, args):
+        """A copy with one extra tuple added to ``pred``."""
+        relations = dict(self.relations)
+        relations[pred] = relations.get(pred, frozenset()) | {tuple(args)}
+        return Structure(self.n, relations)
+
+    def size_of(self, pred):
+        """Number of tuples in relation ``pred``."""
+        return len(self.relations.get(pred, frozenset()))
+
+    def __eq__(self, other):
+        if not isinstance(other, Structure):
+            return NotImplemented
+        mine = {k: v for k, v in self.relations.items() if v}
+        theirs = {k: v for k, v in other.relations.items() if v}
+        return self.n == other.n and mine == theirs
+
+    def __hash__(self):
+        items = tuple(sorted((k, v) for k, v in self.relations.items() if v))
+        return hash((self.n, items))
+
+    def __repr__(self):
+        parts = []
+        for name in sorted(self.relations):
+            tuples = sorted(self.relations[name])
+            parts.append("{}={{{}}}".format(name, ", ".join(map(str, tuples))))
+        return "Structure(n={}, {})".format(self.n, ", ".join(parts))
+
+
+def ground_tuples(vocabulary, n):
+    """All ground atoms ``(pred_name, args)`` over the domain ``[n]``.
+
+    This is the set ``Tup(n)`` from Section 2, of size
+    ``sum_i n**arity(R_i)``.
+    """
+    check_domain_size(n)
+    result = []
+    for pred in vocabulary:
+        for args in itertools.product(range(1, n + 1), repeat=pred.arity):
+            result.append((pred.name, args))
+    return result
+
+
+def all_structures(vocabulary, n):
+    """Iterate over every structure for ``vocabulary`` on domain ``[n]``.
+
+    There are ``2**|Tup(n)|`` of them; only call this for tiny inputs.
+    """
+    tuples = ground_tuples(vocabulary, n)
+    names = [p.name for p in vocabulary]
+    for bits in itertools.product((False, True), repeat=len(tuples)):
+        relations = {name: set() for name in names}
+        for present, (pred, args) in zip(bits, tuples):
+            if present:
+                relations[pred].add(args)
+        yield Structure(n, relations)
+
+
+def world_weight(structure, weighted_vocabulary):
+    """The weight of a world: product of ``w``/``wbar`` over all tuples.
+
+    Implements Eq. (3) of the paper with symmetric per-relation weights.
+    """
+    total = 1
+    n = structure.n
+    for pred, pair in weighted_vocabulary.items():
+        present = structure.size_of(pred.name)
+        absent = n ** pred.arity - present
+        total *= pair.w ** present * pair.wbar ** absent
+    return total

@@ -1,0 +1,5 @@
+"""A lifted-inference rule engine (the Section 3.2 / Theorem 3.7 rule set)."""
+
+from .rules import LiftedRulesEngine, RulesIncompleteError, lifted_wfomc
+
+__all__ = ["LiftedRulesEngine", "RulesIncompleteError", "lifted_wfomc"]

@@ -1,0 +1,524 @@
+"""A rule-based lifted WFOMC engine — and its limits (Theorem 3.7's point).
+
+The lifted-inference literature computes symmetric WFOMC by applying a
+small set of *lifted rules*; the paper observes (discussion of Theorem
+3.7) that the known rule sets compute all of FO2 yet **cannot** compute
+Q_S4 — "we do not yet have a candidate for a complete set of lifted
+inference rules".  This module makes that observation executable: an
+engine with the standard rules, which
+
+* computes every Skolemized FO2 theory in polynomial time (validated
+  against the Appendix C cell algorithm), and
+* raises :class:`RulesIncompleteError` on Q_S4 — while the special
+  dynamic program of :mod:`repro.wfomc.qs4` computes it fine.
+
+Rules (on theories of universally quantified clauses over typed,
+pairwise-disjoint domains):
+
+independence
+    Clauses sharing no ground atoms count independently (their product).
+ground Shannon expansion
+    A literal all of whose argument domains are singletons is a single
+    ground atom: branch on it (this subsumes the zero-ary expansion of
+    Appendix C).
+unary atom counting
+    Condition on the number ``k`` of elements of domain ``D`` where a
+    unary predicate ``P`` holds: ``D`` splits into a ``P``-part and a
+    ``~P``-part, the ``P``-literals resolve, and a binomial weight
+    ``C(|D|, k) w^k wbar^(|D|-k)`` accounts for ``P``'s atoms.
+separator (independent instances)
+    If every clause has a variable of domain ``D`` occurring in every
+    atom, at a per-relation-consistent position, the clause instances
+    for distinct elements share no atoms: ``count = q ** |D|``.
+pair decomposition
+    If every clause has exactly the two variables ``x, y`` of the same
+    domain ``D`` and every atom uses both, the grounding splits into
+    diagonal and unordered-pair instances:
+    ``count = diag**|D| * offdiag**C(|D|, 2)``.  (With ``x: D1, y: D2``
+    from different domains the bipartite variant gives
+    ``count = inst ** (|D1| * |D2|)``.)
+
+Limitations (by design — this is the *incomplete* rule set the paper
+talks about): no equality atoms, no repeated variables inside an atom,
+and no rule invents the Q_S4 recursion.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, FrozenSet, Tuple
+
+from ..errors import UnsupportedFormulaError
+from ..logic.scott import scott_normalize, skolemize_scott
+from ..logic.syntax import Eq, Var
+from ..logic.transform import matrix_to_cnf_clauses
+from ..logic.vocabulary import WeightedVocabulary
+from ..utils import binomial, check_domain_size
+
+__all__ = ["RulesIncompleteError", "LiftedRulesEngine", "lifted_wfomc"]
+
+
+class RulesIncompleteError(UnsupportedFormulaError):
+    """No lifted rule applies: the theory escapes this rule set."""
+
+
+# A literal is (positive, pred, args) with args a tuple of variable names;
+# a clause is (literals: frozenset, var_domains: tuple[(var, domain), ...]).
+Literal = Tuple[bool, str, Tuple[str, ...]]
+Clause = Tuple[FrozenSet[Literal], Tuple[Tuple[str, str], ...]]
+
+
+def _clause(literals, var_domains):
+    relevant = {v for _s, _p, args in literals for v in args}
+    doms = tuple(sorted((v, d) for v, d in var_domains if v in relevant))
+    return (frozenset(literals), doms)
+
+
+def _clause_domains(clause):
+    return dict(clause[1])
+
+
+def _signatures_of(clause):
+    doms = _clause_domains(clause)
+    return {
+        (pred, tuple(doms[v] for v in args)) for _s, pred, args in clause[0]
+    }
+
+
+class LiftedRulesEngine:
+    """The rule engine; see the module docstring for the rule set."""
+
+    def __init__(self, weighted_vocabulary, domain_sizes):
+        self.wv = weighted_vocabulary
+        self.sizes: Dict[str, int] = dict(domain_sizes)
+        self._fresh = 0
+        self._memo = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _fresh_domain(self, size):
+        self._fresh += 1
+        name = "@d{}".format(self._fresh)
+        self.sizes[name] = size
+        return name
+
+    def _signature_size(self, signature):
+        _pred, domains = signature
+        size = 1
+        for d in domains:
+            size *= self.sizes[d]
+        return size
+
+    def _mass(self, signatures):
+        """Weight mass of unconstrained ground atoms: prod (w+wbar)^|sig|."""
+        total = Fraction(1)
+        for sig in signatures:
+            pair = self.wv.weight(sig[0])
+            total *= pair.total ** self._signature_size(sig)
+        return total
+
+    def _universe(self, clauses):
+        result = set()
+        for c in clauses:
+            result |= _signatures_of(c)
+        return result
+
+    def _descend(self, parent_universe, clauses, factor=Fraction(1)):
+        """Count a subproblem, massing out atoms the step dropped."""
+        lost = parent_universe - self._universe(clauses)
+        return factor * self._mass(lost) * self.count(frozenset(clauses))
+
+    # -- the engine ----------------------------------------------------------
+
+    def count(self, clauses):
+        """WMC over exactly the ground atoms the clause set mentions."""
+        clauses = frozenset(clauses)
+        if not clauses:
+            return Fraction(1)
+        key = (clauses, tuple(sorted(self.sizes.items())))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._apply_rules(clauses)
+        self._memo[key] = result
+        return result
+
+    def _apply_rules(self, clauses):
+        universe = self._universe(clauses)
+
+        # Simplification: tautologies and empty domains.
+        simplified = set()
+        changed = False
+        for c in clauses:
+            lits, doms = c
+            if not lits:
+                return Fraction(0)
+            if any((not s, p, a) in lits for s, p, a in lits):
+                changed = True
+                continue  # tautology
+            if any(self.sizes[d] == 0 for _v, d in doms):
+                changed = True
+                continue  # vacuous universal over an empty domain
+            simplified.add(c)
+        if changed:
+            return self._descend(universe, simplified)
+
+        for rule in (
+            self._rule_independence,
+            self._rule_ground_shannon,
+            self._rule_separator,
+            self._rule_atom_counting,
+            self._rule_pair,
+        ):
+            result = rule(clauses, universe)
+            if result is not None:
+                return result
+
+        raise RulesIncompleteError(
+            "no lifted rule applies to the residual theory {}; this theory "
+            "escapes the rule set (as Q_S4 does, Theorem 3.7)".format(
+                sorted(repr(c) for c in clauses)
+            )
+        )
+
+    # -- rule: independence ----------------------------------------------------
+
+    def _rule_independence(self, clauses, universe):
+        clause_list = list(clauses)
+        if len(clause_list) < 2:
+            return None
+        parent = list(range(len(clause_list)))
+
+        def find(i):
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        sig_owner = {}
+        for i, c in enumerate(clause_list):
+            for sig in _signatures_of(c):
+                if sig in sig_owner:
+                    ri, rj = find(i), find(sig_owner[sig])
+                    parent[ri] = rj
+                else:
+                    sig_owner[sig] = i
+        groups = {}
+        for i, c in enumerate(clause_list):
+            groups.setdefault(find(i), []).append(c)
+        if len(groups) < 2:
+            return None
+        total = Fraction(1)
+        for group in groups.values():
+            total *= self.count(frozenset(group))
+        return total
+
+    # -- rule: ground Shannon expansion ----------------------------------------
+
+    def _ground_literal(self, clause):
+        doms = _clause_domains(clause)
+        for s, p, args in clause[0]:
+            if all(self.sizes[doms[v]] == 1 for v in args):
+                return (p, tuple(doms[v] for v in args))
+        return None
+
+    def _rule_ground_shannon(self, clauses, universe):
+        target = None
+        for c in clauses:
+            target = self._ground_literal(c)
+            if target is not None:
+                break
+        if target is None:
+            return None
+        pred, arg_domains = target
+        pair = self.wv.weight(pred)
+        total = Fraction(0)
+        for value, weight in ((True, pair.w), (False, pair.wbar)):
+            conditioned = []
+            dead = False
+            for lits, doms in clauses:
+                cdoms = dict(doms)
+                new_lits = set()
+                satisfied = False
+                for s, p, args in lits:
+                    if (
+                        p == pred
+                        and tuple(cdoms[v] for v in args) == arg_domains
+                        and all(self.sizes[cdoms[v]] == 1 for v in args)
+                    ):
+                        if s == value:
+                            satisfied = True
+                            break
+                        continue  # falsified literal drops out
+                    new_lits.add((s, p, args))
+                if satisfied:
+                    continue
+                if not new_lits:
+                    dead = True
+                    break
+                conditioned.append(_clause(new_lits, doms))
+            if dead:
+                continue
+            total += self._descend(
+                universe - {target}, conditioned, factor=weight
+            )
+        return total
+
+    # -- rule: separator ---------------------------------------------------------
+
+    def _rule_separator(self, clauses, universe):
+        # Size-1 domains are handled by ground Shannon expansion; applying
+        # the separator to them would loop (a fresh unit domain replaces a
+        # unit domain forever).
+        domains = {
+            d for c in clauses for _v, d in c[1] if self.sizes[d] >= 2
+        }
+        for domain in sorted(domains):
+            choice = self._find_separators(clauses, domain)
+            if choice is None:
+                continue
+            unit = self._fresh_domain(1)
+            instance = []
+            for c, sep_var in zip(sorted(clauses, key=repr), choice):
+                lits, doms = c
+                new_doms = tuple(
+                    (v, unit if v == sep_var else d) for v, d in doms
+                )
+                instance.append(_clause(lits, new_doms))
+            q = self.count(frozenset(instance))
+            return q ** self.sizes[domain]
+        return None
+
+    def _find_separators(self, clauses, domain):
+        """Pick one separator var per clause with consistent positions.
+
+        Returns a list of variable names aligned with ``sorted(clauses,
+        key=repr)`` or ``None``.
+        """
+        ordered = sorted(clauses, key=repr)
+        candidate_lists = []
+        for lits, doms in ordered:
+            cdoms = dict(doms)
+            candidates = []
+            for v, d in doms:
+                if d != domain:
+                    continue
+                if all(args.count(v) == 1 for _s, _p, args in lits):
+                    if all(v in args for _s, _p, args in lits):
+                        candidates.append(v)
+            if not candidates:
+                return None
+            candidate_lists.append(candidates)
+
+        def backtrack(i, positions, chosen):
+            if i == len(ordered):
+                return list(chosen)
+            lits, _doms = ordered[i]
+            for v in candidate_lists[i]:
+                new_positions = dict(positions)
+                ok = True
+                for _s, p, args in lits:
+                    pos = args.index(v)
+                    if new_positions.setdefault(p, pos) != pos:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                chosen.append(v)
+                result = backtrack(i + 1, new_positions, chosen)
+                if result is not None:
+                    return result
+                chosen.pop()
+            return None
+
+        return backtrack(0, {}, [])
+
+    # -- rule: unary atom counting -------------------------------------------
+
+    def _rule_atom_counting(self, clauses, universe):
+        target = None
+        for pred, arg_domains in sorted(universe):
+            if len(arg_domains) == 1:
+                target = (pred, arg_domains[0])
+                break
+        if target is None:
+            return None
+        pred, domain = target
+        n = self.sizes[domain]
+        pair = self.wv.weight(pred)
+        expected_sig = (pred, (domain,))
+
+        total = Fraction(0)
+        for k in range(n + 1):
+            part_true = self._fresh_domain(k)
+            part_false = self._fresh_domain(n - k)
+            rewritten = []
+            for c in clauses:
+                rewritten.extend(
+                    self._split_clause(c, domain, part_true, part_false, pred)
+                )
+            expected = set()
+            for sig in universe:
+                if sig == expected_sig:
+                    continue
+                expected |= set(
+                    self._expand_signature(sig, domain, part_true, part_false)
+                )
+            weight = binomial(n, k) * pair.w ** k * pair.wbar ** (n - k)
+            if weight == 0:
+                continue
+            total += self._descend(expected, rewritten, factor=weight)
+        return total
+
+    def _split_clause(self, clause, domain, part_true, part_false, pred):
+        """All assignments of the clause's ``domain`` vars to the two parts,
+        resolving ``pred`` literals (true on ``part_true``)."""
+        lits, doms = clause
+        split_vars = [v for v, d in doms if d == domain]
+        results = []
+        for assignment in itertools.product(
+            (part_true, part_false), repeat=len(split_vars)
+        ):
+            mapping = dict(zip(split_vars, assignment))
+            if any(self.sizes[mapping[v]] == 0 for v in split_vars):
+                # A variable ranges over an empty part: this copy of the
+                # universal clause is vacuously true.  (Dropping it here is
+                # essential: the clause representation prunes variables
+                # that vanish from the literals, which would otherwise turn
+                # a vacuous copy into a live constraint.)
+                continue
+            new_doms = tuple((v, mapping.get(v, d)) for v, d in doms)
+            new_lits = set()
+            satisfied = False
+            for s, p, args in lits:
+                if p == pred and len(args) == 1 and args[0] in mapping:
+                    holds = mapping[args[0]] == part_true
+                    if s == holds:
+                        satisfied = True
+                        break
+                    continue
+                new_lits.add((s, p, args))
+            if satisfied:
+                continue
+            results.append(_clause(new_lits, new_doms))
+        return results
+
+    def _expand_signature(self, signature, domain, part_true, part_false):
+        pred, arg_domains = signature
+        slots = [
+            (part_true, part_false) if d == domain else (d,) for d in arg_domains
+        ]
+        for combo in itertools.product(*slots):
+            yield (pred, combo)
+
+    # -- rule: pair decomposition ----------------------------------------------
+
+    def _rule_pair(self, clauses, universe):
+        shapes = []
+        for lits, doms in clauses:
+            if len(doms) != 2:
+                return None
+            (v1, d1), (v2, d2) = doms
+            if not all(
+                v1 in args and v2 in args and args.count(v1) == 1 and args.count(v2) == 1
+                for _s, _p, args in lits
+            ):
+                return None
+            shapes.append(((v1, d1), (v2, d2)))
+        domains = {d for shape in shapes for _v, d in shape}
+        if len(domains) == 1:
+            (domain,) = domains
+            n = self.sizes[domain]
+            # Diagonal instance: both variables name the same element.
+            unit = self._fresh_domain(1)
+            diag = [
+                _clause(lits, tuple((v, unit) for v, _d in doms))
+                for lits, doms in clauses
+            ]
+            diag_count = self.count(frozenset(diag))
+            # Unordered-pair instance: both orientations conjoined.
+            u1 = self._fresh_domain(1)
+            u2 = self._fresh_domain(1)
+            off = []
+            for lits, doms in clauses:
+                (v1, _), (v2, _) = doms
+                off.append(_clause(lits, ((v1, u1), (v2, u2))))
+                off.append(_clause(lits, ((v1, u2), (v2, u1))))
+            off_count = self.count(frozenset(off))
+            return diag_count ** n * off_count ** binomial(n, 2)
+        if len(domains) == 2:
+            d1, d2 = sorted(domains)
+            # Bipartite: each (a, b) pair is independent.
+            u1 = self._fresh_domain(1)
+            u2 = self._fresh_domain(1)
+            instance = []
+            for lits, doms in clauses:
+                mapping = {v: (u1 if d == d1 else u2) for v, d in doms}
+                instance.append(
+                    _clause(lits, tuple((v, mapping[v]) for v, _d in doms))
+                )
+            q = self.count(frozenset(instance))
+            return q ** (self.sizes[d1] * self.sizes[d2])
+        return None
+
+
+def _formula_to_clauses(sentences, root_domain):
+    """Universal sentences -> typed clause set for the engine."""
+    clauses = []
+    for sent in sentences:
+        var_domains = tuple((v.name, root_domain) for v in sent.vars)
+        for cnf_clause in matrix_to_cnf_clauses(sent.matrix):
+            literals = set()
+            for positive, atom in cnf_clause:
+                if isinstance(atom, Eq):
+                    raise UnsupportedFormulaError(
+                        "the lifted rule engine does not handle equality; "
+                        "use repro.wfomc.fo2 or Lemma 3.5"
+                    )
+                args = []
+                for t in atom.args:
+                    if not isinstance(t, Var):
+                        raise UnsupportedFormulaError(
+                            "constants are not supported by the rule engine"
+                        )
+                    args.append(t.name)
+                if len(args) != len(set(args)):
+                    raise UnsupportedFormulaError(
+                        "atom {} repeats a variable; the rule engine requires "
+                        "repeated-variable-free atoms".format(atom)
+                    )
+                literals.add((positive, atom.pred, tuple(args)))
+            clauses.append(_clause(literals, var_domains))
+    return clauses
+
+
+def lifted_wfomc(formula, n, weighted_vocabulary=None):
+    """Symmetric WFOMC by lifted rules alone.
+
+    Pipeline: Scott normalization, Skolemization (Lemma 3.3), CNF, then
+    the rule engine.  Raises :class:`RulesIncompleteError` when the rule
+    set cannot finish — notably on Q_S4 and other genuinely-FO3+
+    theories — which is precisely the phenomenon Theorem 3.7 points at.
+    """
+    check_domain_size(n)
+    wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
+    if n == 0:
+        from ..wfomc.bruteforce import wfomc_lineage
+
+        return wfomc_lineage(formula, 0, wv)
+
+    sentences, wv1 = scott_normalize(formula, wv)
+    universal, wv2 = skolemize_scott(sentences, wv1)
+
+    engine = LiftedRulesEngine(wv2, {"@root": n})
+    clauses = _formula_to_clauses(universal, "@root")
+
+    mentioned = set()
+    for c in clauses:
+        mentioned |= {pred for pred, _doms in _signatures_of(c)}
+    total = engine.count(frozenset(clauses))
+    for pred, pair in wv2.items():
+        if pred.name not in mentioned:
+            total *= pair.total ** (n ** pred.arity)
+    return total

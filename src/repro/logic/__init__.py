@@ -1,0 +1,48 @@
+"""First-order logic kernel: syntax, parsing, transformations, evaluation."""
+
+from .syntax import (
+    Var,
+    Const,
+    Atom,
+    Eq,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Forall,
+    Exists,
+    Top,
+    Bottom,
+    TRUE,
+    FALSE,
+    conj,
+    disj,
+    neg,
+    forall,
+    exists,
+    free_variables,
+    all_variables,
+    num_variables,
+    predicates_of,
+    substitute,
+    is_quantifier_free,
+    is_sentence,
+    atoms_of,
+)
+from .vocabulary import Predicate, Vocabulary, WeightedVocabulary
+from .parser import parse
+from .transform import nnf, prenex, simplify, matrix_to_cnf_clauses
+from .evaluate import evaluate
+from .scott import scott_normalize, UniversalSentence
+
+__all__ = [
+    "Var", "Const", "Atom", "Eq", "Not", "And", "Or", "Implies", "Iff",
+    "Forall", "Exists", "Top", "Bottom", "TRUE", "FALSE",
+    "conj", "disj", "neg", "forall", "exists",
+    "free_variables", "all_variables", "num_variables", "predicates_of",
+    "substitute", "is_quantifier_free", "is_sentence", "atoms_of",
+    "Predicate", "Vocabulary", "WeightedVocabulary",
+    "parse", "nnf", "prenex", "simplify", "matrix_to_cnf_clauses",
+    "evaluate", "scott_normalize", "UniversalSentence",
+]

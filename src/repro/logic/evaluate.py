@@ -1,0 +1,90 @@
+"""Evaluate a first-order formula on a finite structure.
+
+Structures live in :mod:`repro.grounding.structures`; evaluation is the
+textbook recursive definition with quantifiers ranging over ``1..n``.
+This is the semantic ground truth that every counting algorithm in the
+library is validated against.
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+
+__all__ = ["evaluate"]
+
+
+def evaluate(formula, structure, assignment=None):
+    """Truth value of ``formula`` in ``structure`` under ``assignment``.
+
+    ``assignment`` maps :class:`Var` to domain elements (ints); it must
+    cover all free variables of the formula.
+    """
+    env = dict(assignment) if assignment else {}
+    return _eval(formula, structure, env)
+
+
+def _term_value(t, env):
+    if isinstance(t, Const):
+        return t.value
+    if isinstance(t, Var):
+        try:
+            return env[t]
+        except KeyError:
+            raise ValueError("unbound variable {} during evaluation".format(t)) from None
+    raise TypeError("not a term: {!r}".format(t))
+
+
+def _eval(f, structure, env):
+    if isinstance(f, Top):
+        return True
+    if isinstance(f, Bottom):
+        return False
+    if isinstance(f, Atom):
+        args = tuple(_term_value(a, env) for a in f.args)
+        return structure.holds(f.pred, args)
+    if isinstance(f, Eq):
+        return _term_value(f.left, env) == _term_value(f.right, env)
+    if isinstance(f, Not):
+        return not _eval(f.body, structure, env)
+    if isinstance(f, And):
+        return all(_eval(p, structure, env) for p in f.parts)
+    if isinstance(f, Or):
+        return any(_eval(p, structure, env) for p in f.parts)
+    if isinstance(f, Implies):
+        return (not _eval(f.antecedent, structure, env)) or _eval(f.consequent, structure, env)
+    if isinstance(f, Iff):
+        return _eval(f.left, structure, env) == _eval(f.right, structure, env)
+    if isinstance(f, (Forall, Exists)):
+        # Save and restore any outer binding of the same variable name, so
+        # formulas that rebind a variable inside its own scope (e.g. the
+        # FO2 path formulas of Section 4) evaluate correctly.
+        missing = object()
+        saved = env.get(f.var, missing)
+        is_forall = isinstance(f, Forall)
+        result = is_forall
+        for value in structure.domain():
+            env[f.var] = value
+            truth = _eval(f.body, structure, env)
+            if truth != is_forall:
+                result = truth
+                break
+        if saved is missing:
+            env.pop(f.var, None)
+        else:
+            env[f.var] = saved
+        return result
+    raise TypeError("not a formula: {!r}".format(f))

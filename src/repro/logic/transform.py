@@ -1,0 +1,247 @@
+"""Syntactic transformations: NNF, prenex normal form, CNF of a matrix.
+
+These are the workhorse rewrites behind the paper's reductions:
+
+* :func:`nnf` pushes negations to the atoms (eliminating ``->`` and ``<->``),
+* :func:`prenex` pulls all quantifiers to the front, renaming bound
+  variables apart — note that prenexing may *increase* the number of
+  distinct variables (FO2 is not closed under prenexing; that is exactly
+  why Scott's reduction exists, see :mod:`repro.logic.scott`),
+* :func:`matrix_to_cnf_clauses` turns a quantifier-free matrix into a set
+  of clauses by distribution (used to present universally quantified
+  sentences as conjunctions of clauses, Section 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .syntax import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    conj,
+    disj,
+    exists,
+    forall,
+    neg,
+    substitute,
+)
+
+__all__ = ["nnf", "prenex", "split_prenex", "simplify", "matrix_to_cnf_clauses", "fresh_var"]
+
+
+def nnf(f):
+    """Negation normal form: negations only on atoms; no ``->``/``<->``."""
+
+    def pos(g):
+        if isinstance(g, (Atom, Eq, Top, Bottom)):
+            return g
+        if isinstance(g, Not):
+            return negf(g.body)
+        if isinstance(g, And):
+            return conj(*(pos(p) for p in g.parts))
+        if isinstance(g, Or):
+            return disj(*(pos(p) for p in g.parts))
+        if isinstance(g, Implies):
+            return disj(negf(g.antecedent), pos(g.consequent))
+        if isinstance(g, Iff):
+            return disj(
+                conj(pos(g.left), pos(g.right)),
+                conj(negf(g.left), negf(g.right)),
+            )
+        if isinstance(g, Forall):
+            return Forall(g.var, pos(g.body))
+        if isinstance(g, Exists):
+            return Exists(g.var, pos(g.body))
+        raise TypeError("not a formula: {!r}".format(g))
+
+    def negf(g):
+        if isinstance(g, (Atom, Eq)):
+            return Not(g)
+        if isinstance(g, Top):
+            return Bottom()
+        if isinstance(g, Bottom):
+            return Top()
+        if isinstance(g, Not):
+            return pos(g.body)
+        if isinstance(g, And):
+            return disj(*(negf(p) for p in g.parts))
+        if isinstance(g, Or):
+            return conj(*(negf(p) for p in g.parts))
+        if isinstance(g, Implies):
+            return conj(pos(g.antecedent), negf(g.consequent))
+        if isinstance(g, Iff):
+            return disj(
+                conj(pos(g.left), negf(g.right)),
+                conj(negf(g.left), pos(g.right)),
+            )
+        if isinstance(g, Forall):
+            return Exists(g.var, negf(g.body))
+        if isinstance(g, Exists):
+            return Forall(g.var, negf(g.body))
+        raise TypeError("not a formula: {!r}".format(g))
+
+    return pos(f)
+
+
+def fresh_var(used, base="v"):
+    """A variable name not in ``used`` (a set of names); updates nothing."""
+    if base not in used:
+        return Var(base)
+    i = 1
+    while "{}{}".format(base, i) in used:
+        i += 1
+    return Var("{}{}".format(base, i))
+
+
+def prenex(f):
+    """Prenex normal form: ``(prefix, matrix)``.
+
+    ``prefix`` is a list of ``('forall'|'exists', Var)`` pairs and
+    ``matrix`` is quantifier-free.  Bound variables are renamed apart, so
+    the prefix length equals the number of quantifier occurrences in the
+    NNF of ``f``.
+    """
+    g = nnf(f)
+    used = set()
+
+    def collect(h):
+        from .syntax import all_variables
+
+        used.update(all_variables(h))
+
+    collect(g)
+
+    def pull(h):
+        if isinstance(h, (Atom, Eq, Top, Bottom, Not)):
+            return [], h
+        if isinstance(h, (Forall, Exists)):
+            quant = "forall" if isinstance(h, Forall) else "exists"
+            var = h.var
+            body = h.body
+            # Rename the bound variable to a globally fresh one.
+            new = fresh_var(used, var.name)
+            if new != var:
+                body = substitute(body, {var: new})
+            used.add(new.name)
+            prefix, matrix = pull(body)
+            return [(quant, new)] + prefix, matrix
+        if isinstance(h, (And, Or)):
+            prefixes = []
+            matrices = []
+            for p in h.parts:
+                pre, mat = pull(p)
+                prefixes.extend(pre)
+                matrices.append(mat)
+            combined = conj(*matrices) if isinstance(h, And) else disj(*matrices)
+            return prefixes, combined
+        raise TypeError("unexpected node in NNF: {!r}".format(h))
+
+    return pull(g)
+
+
+def split_prenex(prefix, matrix):
+    """Rebuild a formula from a prenex ``(prefix, matrix)`` pair."""
+    result = matrix
+    for quant, var in reversed(prefix):
+        result = Forall(var, result) if quant == "forall" else Exists(var, result)
+    return result
+
+
+def simplify(f):
+    """Light simplification: constant folding via the smart constructors."""
+    if isinstance(f, (Atom, Eq, Top, Bottom)):
+        return f
+    if isinstance(f, Not):
+        return neg(simplify(f.body))
+    if isinstance(f, And):
+        return conj(*(simplify(p) for p in f.parts))
+    if isinstance(f, Or):
+        return disj(*(simplify(p) for p in f.parts))
+    if isinstance(f, Implies):
+        return disj(neg(simplify(f.antecedent)), simplify(f.consequent))
+    if isinstance(f, Iff):
+        left = simplify(f.left)
+        right = simplify(f.right)
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        if isinstance(left, Bottom):
+            return neg(right)
+        if isinstance(right, Bottom):
+            return neg(left)
+        return Iff(left, right)
+    if isinstance(f, Forall):
+        body = simplify(f.body)
+        if isinstance(body, (Top, Bottom)):
+            return body
+        return Forall(f.var, body)
+    if isinstance(f, Exists):
+        body = simplify(f.body)
+        if isinstance(body, (Top, Bottom)):
+            return body
+        return Exists(f.var, body)
+    raise TypeError("not a formula: {!r}".format(f))
+
+
+def matrix_to_cnf_clauses(matrix):
+    """CNF of a quantifier-free matrix, as a list of literal lists.
+
+    A literal is ``(positive: bool, atom)`` where atom is :class:`Atom` or
+    :class:`Eq`.  Distribution is exponential in the worst case, which is
+    acceptable for the fixed sentences this library manipulates.  Tautologous
+    clauses (containing both an atom and its negation) are dropped; the
+    empty clause list means ``true`` and ``[[]]`` means ``false``.
+    """
+    g = nnf(matrix)
+
+    def clauses_of(h):
+        # Returns a list of clauses (each a frozenset of literals).
+        if isinstance(h, Top):
+            return []
+        if isinstance(h, Bottom):
+            return [frozenset()]
+        if isinstance(h, (Atom, Eq)):
+            return [frozenset([(True, h)])]
+        if isinstance(h, Not):
+            return [frozenset([(False, h.body)])]
+        if isinstance(h, And):
+            result = []
+            for p in h.parts:
+                result.extend(clauses_of(p))
+            return result
+        if isinstance(h, Or):
+            factor_lists = [clauses_of(p) for p in h.parts]
+            if any(lst == [] for lst in factor_lists):
+                return []  # a disjunct is 'true'
+            result = []
+            for combo in itertools.product(*factor_lists):
+                merged = frozenset().union(*combo)
+                result.append(merged)
+            return result
+        raise TypeError("unexpected node in NNF matrix: {!r}".format(h))
+
+    raw = clauses_of(g)
+    cleaned = []
+    seen = set()
+    for clause in raw:
+        atoms_pos = {a for sign, a in clause if sign}
+        atoms_neg = {a for sign, a in clause if not sign}
+        if atoms_pos & atoms_neg:
+            continue  # tautology
+        if clause in seen:
+            continue
+        seen.add(clause)
+        cleaned.append(sorted(clause, key=lambda lit: (repr(lit[1]), lit[0])))
+    return cleaned

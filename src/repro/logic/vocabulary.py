@@ -1,0 +1,200 @@
+"""Relational vocabularies and symmetric weighted vocabularies (Section 2).
+
+A :class:`Vocabulary` is an ordered collection of :class:`Predicate`
+symbols.  A :class:`WeightedVocabulary` additionally carries a
+:class:`~repro.weights.WeightPair` per symbol — the "(sigma, w, wbar)"
+triple the paper calls a *weighted vocabulary*.  The symmetric WFOMC
+problem extends these per-relation weights uniformly to all ground tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..errors import WeightError
+from ..weights import WeightPair, ONE_ONE
+from .syntax import Atom, Const, Var, predicates_of
+
+__all__ = ["Predicate", "Vocabulary", "WeightedVocabulary"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A relation symbol with a fixed arity.
+
+    Predicates are callable, so ``R = Predicate("R", 2); R(x, y)`` builds
+    the atom ``R(x, y)``.  Integer arguments are wrapped as constants.
+    """
+
+    name: str
+    arity: int
+
+    def __call__(self, *args):
+        if len(args) != self.arity:
+            raise TypeError(
+                "predicate {} has arity {}, got {} arguments".format(
+                    self.name, self.arity, len(args)
+                )
+            )
+        terms = tuple(Const(a) if isinstance(a, int) else a for a in args)
+        for t in terms:
+            if not isinstance(t, (Var, Const)):
+                raise TypeError("invalid term {!r}".format(t))
+        return Atom(self.name, terms)
+
+    def __repr__(self):
+        return "{}/{}".format(self.name, self.arity)
+
+
+class Vocabulary:
+    """An ordered, immutable collection of predicates, indexed by name."""
+
+    def __init__(self, predicates=()):
+        self._preds = {}
+        for p in predicates:
+            if not isinstance(p, Predicate):
+                raise TypeError("expected Predicate, got {!r}".format(p))
+            existing = self._preds.get(p.name)
+            if existing is not None and existing.arity != p.arity:
+                raise ValueError(
+                    "conflicting arities for {}: {} vs {}".format(
+                        p.name, existing.arity, p.arity
+                    )
+                )
+            self._preds[p.name] = p
+
+    @classmethod
+    def of_formula(cls, formula):
+        """The vocabulary of all relation symbols occurring in ``formula``."""
+        return cls(Predicate(name, arity) for name, arity in sorted(predicates_of(formula).items()))
+
+    def __iter__(self):
+        return iter(self._preds.values())
+
+    def __len__(self):
+        return len(self._preds)
+
+    def __contains__(self, name):
+        return name in self._preds
+
+    def __getitem__(self, name):
+        return self._preds[name]
+
+    def names(self):
+        return list(self._preds)
+
+    def extend(self, predicates):
+        """A new vocabulary with extra predicates appended."""
+        return Vocabulary(list(self) + list(predicates))
+
+    def num_ground_tuples(self, n):
+        """``|Tup(n)| = sum_i n**arity(R_i)`` — number of ground atoms."""
+        return sum(n ** p.arity for p in self)
+
+    def __eq__(self, other):
+        return isinstance(other, Vocabulary) and self._preds == other._preds
+
+    def __repr__(self):
+        return "Vocabulary({})".format(", ".join(repr(p) for p in self))
+
+
+class WeightedVocabulary:
+    """A vocabulary plus a symmetric weight pair for every predicate.
+
+    Construct from a mapping of names to weight pairs (tuples coerce):
+
+    >>> wv = WeightedVocabulary.from_weights({"R": (1, 1), "S": ("1/2", "1/2")},
+    ...                                       arities={"R": 1, "S": 2})
+    """
+
+    def __init__(self, vocabulary, weights):
+        self.vocabulary = vocabulary
+        self._weights = {}
+        for p in vocabulary:
+            if p.name not in weights:
+                raise WeightError("no weights given for predicate {}".format(p.name))
+            pair = weights[p.name]
+            if not isinstance(pair, WeightPair):
+                pair = WeightPair(*pair)
+            self._weights[p.name] = pair
+        extra = set(weights) - set(vocabulary.names())
+        if extra:
+            raise WeightError("weights given for unknown predicates: {}".format(sorted(extra)))
+
+    @classmethod
+    def from_weights(cls, weights, arities):
+        """Build vocabulary and weights together from plain dicts."""
+        vocab = Vocabulary(Predicate(name, arities[name]) for name in weights)
+        return cls(vocab, weights)
+
+    @classmethod
+    def uniform(cls, vocabulary, pair=ONE_ONE):
+        """Give every predicate the same weight pair (default ``(1, 1)``)."""
+        if not isinstance(pair, WeightPair):
+            pair = WeightPair(*pair)
+        return cls(vocabulary, {p.name: pair for p in vocabulary})
+
+    @classmethod
+    def counting(cls, formula):
+        """The unweighted vocabulary of ``formula``: FOMC weights (1, 1)."""
+        return cls.uniform(Vocabulary.of_formula(formula))
+
+    def weight(self, name):
+        """The :class:`WeightPair` of predicate ``name``."""
+        try:
+            return self._weights[name]
+        except KeyError:
+            raise WeightError("predicate {} has no weights".format(name)) from None
+
+    def items(self):
+        return [(p, self._weights[p.name]) for p in self.vocabulary]
+
+    def extend(self, new_weights, new_arities):
+        """A new weighted vocabulary with extra weighted predicates.
+
+        Used by the reductions of Lemmas 3.3-3.5, which repeatedly extend
+        the weighted vocabulary with fresh symbols.
+        """
+        preds = [Predicate(name, new_arities[name]) for name in new_weights]
+        vocab = self.vocabulary.extend(preds)
+        weights = dict(self._weights)
+        for name, pair in new_weights.items():
+            if name in weights:
+                raise WeightError("predicate {} already present".format(name))
+            weights[name] = pair if isinstance(pair, WeightPair) else WeightPair(*pair)
+        return WeightedVocabulary(vocab, weights)
+
+    def with_weight(self, name, pair):
+        """A copy with the weight of one predicate replaced."""
+        if not isinstance(pair, WeightPair):
+            pair = WeightPair(*pair)
+        weights = dict(self._weights)
+        if name not in weights:
+            raise WeightError("predicate {} not in vocabulary".format(name))
+        weights[name] = pair
+        return WeightedVocabulary(self.vocabulary, weights)
+
+    def fresh_name(self, base):
+        """A predicate name starting with ``base`` not already used."""
+        if base not in self.vocabulary:
+            return base
+        i = 1
+        while "{}_{}".format(base, i) in self.vocabulary:
+            i += 1
+        return "{}_{}".format(base, i)
+
+    def total_world_weight(self, n):
+        """``WFOMC(true, n, w, wbar) = prod_t (w(t) + wbar(t))``.
+
+        This is the normalization constant that turns weighted counts into
+        probabilities.
+        """
+        result = 1
+        for p, pair in self.items():
+            result *= pair.total ** (n ** p.arity)
+        return result
+
+    def __repr__(self):
+        pairs = ", ".join(
+            "{}: ({}, {})".format(p.name, w.w, w.wbar) for p, w in self.items()
+        )
+        return "WeightedVocabulary({})".format(pairs)

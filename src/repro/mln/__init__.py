@@ -1,0 +1,16 @@
+"""Markov Logic Networks: exact semantics and the reduction to symmetric WFOMC."""
+
+from .model import HARD, MLN, MLNConstraint
+from .inference import mln_probability_bruteforce, mln_partition_bruteforce
+from .reduction import MLNReduction, reduce_to_wfomc, mln_probability_wfomc
+
+__all__ = [
+    "HARD",
+    "MLN",
+    "MLNConstraint",
+    "mln_probability_bruteforce",
+    "mln_partition_bruteforce",
+    "MLNReduction",
+    "reduce_to_wfomc",
+    "mln_probability_wfomc",
+]

@@ -1,0 +1,42 @@
+"""Exact MLN inference by world enumeration (the semantic baseline).
+
+``Pr_MLN(Phi) = W(Phi) / W(true)`` where ``W(Phi)`` sums the MLN weight
+of every world satisfying ``Phi`` and all hard constraints.  Exponential;
+used to validate the WFOMC reduction on small domains.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..grounding.structures import all_structures
+from ..logic.evaluate import evaluate
+from ..utils import check_domain_size
+
+__all__ = ["mln_partition_bruteforce", "mln_probability_bruteforce"]
+
+
+def mln_partition_bruteforce(mln, n):
+    """``W(true)``: the MLN partition function over domain ``[n]``."""
+    check_domain_size(n)
+    total = Fraction(0)
+    for structure in all_structures(mln.vocabulary, n):
+        total += mln.world_weight(structure)
+    return total
+
+
+def mln_probability_bruteforce(mln, query, n):
+    """``Pr_MLN(query)`` over domain ``[n]`` by enumerating all worlds."""
+    check_domain_size(n)
+    numerator = Fraction(0)
+    denominator = Fraction(0)
+    for structure in all_structures(mln.vocabulary, n):
+        weight = mln.world_weight(structure)
+        if weight == 0:
+            continue
+        denominator += weight
+        if evaluate(query, structure):
+            numerator += weight
+    if denominator == 0:
+        raise ZeroDivisionError("the MLN assigns zero weight to every world")
+    return numerator / denominator

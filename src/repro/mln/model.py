@@ -1,0 +1,120 @@
+"""Markov Logic Networks (Example 1.1).
+
+An MLN is a finite set of constraints ``(w, phi)`` where ``phi`` is a
+formula with free variables ``x`` and ``w`` is a weight in ``[0, inf]``
+(``inf`` marks a hard constraint).  Over a finite domain ``[n]`` it
+defines a weight for every structure ``D``:
+
+``W(D) = prod over soft (w, phi) and tuples a with D |= phi[a/x] of w``
+
+and hard constraints must hold outright.  Probabilities normalize by
+``W(true)``.  Note the paper's convention: weights are the weights
+themselves, not their logarithms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..logic.evaluate import evaluate
+from ..logic.syntax import forall, free_variables, predicates_of
+from ..logic.vocabulary import Predicate, Vocabulary
+from ..utils import as_fraction
+
+__all__ = ["HARD", "MLNConstraint", "MLN"]
+
+
+class _Hard:
+    """Sentinel weight for hard constraints (the paper's ``w = inf``)."""
+
+    def __repr__(self):
+        return "HARD"
+
+
+HARD = _Hard()
+
+
+@dataclass(frozen=True)
+class MLNConstraint:
+    """One constraint ``(weight, formula)``; free variables are implicit.
+
+    ``weight`` is a rational (soft) or :data:`HARD`.
+    """
+
+    weight: object
+    formula: object
+
+    def __post_init__(self):
+        if self.weight is not HARD:
+            object.__setattr__(self, "weight", as_fraction(self.weight))
+
+    def is_hard(self):
+        return self.weight is HARD
+
+    def free_variables(self):
+        """The free variables, in sorted name order (the tuple ``x``)."""
+        return tuple(sorted(free_variables(self.formula), key=lambda v: v.name))
+
+    def universal_closure(self):
+        return forall(list(self.free_variables()), self.formula)
+
+
+class MLN:
+    """A Markov Logic Network: a list of constraints over one vocabulary."""
+
+    def __init__(self, constraints):
+        self.constraints = [
+            c if isinstance(c, MLNConstraint) else MLNConstraint(*c) for c in constraints
+        ]
+        arities = {}
+        for c in self.constraints:
+            for name, arity in predicates_of(c.formula).items():
+                if arities.setdefault(name, arity) != arity:
+                    raise ValueError("conflicting arities for predicate {}".format(name))
+        self._vocabulary = Vocabulary(
+            Predicate(name, arity) for name, arity in sorted(arities.items())
+        )
+
+    @property
+    def vocabulary(self):
+        return self._vocabulary
+
+    def soft_constraints(self):
+        return [c for c in self.constraints if not c.is_hard()]
+
+    def hard_constraints(self):
+        return [c for c in self.constraints if c.is_hard()]
+
+    def world_weight(self, structure):
+        """``W(D)``: zero if a hard constraint fails, else the soft product."""
+        for c in self.hard_constraints():
+            if not self._closure_holds(c, structure):
+                return Fraction(0)
+        weight = Fraction(1)
+        for c in self.soft_constraints():
+            count = self._count_satisfied_groundings(c, structure)
+            weight *= c.weight ** count
+        return weight
+
+    @staticmethod
+    def _closure_holds(constraint, structure):
+        return evaluate(constraint.universal_closure(), structure)
+
+    @staticmethod
+    def _count_satisfied_groundings(constraint, structure):
+        variables = constraint.free_variables()
+        count = 0
+        for values in itertools.product(structure.domain(), repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            if evaluate(constraint.formula, structure, assignment):
+                count += 1
+        return count
+
+    def __repr__(self):
+        return "MLN({})".format(
+            "; ".join(
+                "({}, {})".format(c.weight, c.formula) for c in self.constraints
+            )
+        )

@@ -1,0 +1,44 @@
+"""Brute-force weighted model counting by assignment enumeration.
+
+This is the semantic definition of WMC (Eq. 2-3 of the paper), used as the
+ground truth the DPLL counter is validated against.  Exponential in the
+number of variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from ..weights import WeightPair
+from .formula import peval, prop_vars
+
+__all__ = ["wmc_enumerate", "count_models_enumerate"]
+
+
+def wmc_enumerate(formula, weight_of_label, universe=()):
+    """WMC by enumerating all assignments over the variable universe."""
+    labels = sorted(set(universe) or prop_vars(formula), key=repr)
+    pairs = []
+    for label in labels:
+        pair = weight_of_label(label)
+        if not isinstance(pair, WeightPair):
+            pair = WeightPair(*pair)
+        pairs.append(pair)
+
+    total = Fraction(0)
+    for bits in itertools.product((False, True), repeat=len(labels)):
+        assignment = dict(zip(labels, bits))
+        if peval(formula, assignment):
+            weight = Fraction(1)
+            for bit, pair in zip(bits, pairs):
+                weight *= pair.w if bit else pair.wbar
+            total += weight
+    return total
+
+
+def count_models_enumerate(formula, universe=()):
+    """Number of satisfying assignments by enumeration."""
+    result = wmc_enumerate(formula, lambda _label: WeightPair(1, 1), universe)
+    assert result.denominator == 1
+    return int(result)

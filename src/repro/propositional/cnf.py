@@ -1,0 +1,157 @@
+"""CNF conversion with exact model-count preservation.
+
+Two paths are used:
+
+* a *direct* conversion when the formula is already (close to) clausal —
+  this is the common case for lineages of universally quantified sentences;
+* a *Tseitin* encoding otherwise.  Tseitin auxiliary variables are
+  functionally determined by the original variables (each auxiliary is
+  forced by unit propagation once its definition's inputs are set), so
+  giving them the weight pair ``(1, 1)`` preserves the weighted model count
+  exactly: each model of the original formula extends to exactly one model
+  of the CNF with the same weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .formula import PAnd, PFalse, PNot, POr, PTrue, PVar
+
+__all__ = ["CNF", "to_cnf"]
+
+
+@dataclass
+class CNF:
+    """A CNF over integer variables ``1..num_vars``.
+
+    ``clauses`` holds tuples of nonzero ints (DIMACS-style literals).
+    ``labels`` maps variable index to the original label for the non-
+    auxiliary variables; auxiliary (Tseitin) variables have no label and
+    always carry weight ``(1, 1)``.
+    """
+
+    num_vars: int = 0
+    clauses: List[Tuple[int, ...]] = field(default_factory=list)
+    labels: Dict[int, Any] = field(default_factory=dict)
+    index_of: Dict[Any, int] = field(default_factory=dict)
+    contradictory: bool = False
+
+    def var_for(self, label):
+        """The variable index for ``label``, creating it if needed."""
+        idx = self.index_of.get(label)
+        if idx is None:
+            self.num_vars += 1
+            idx = self.num_vars
+            self.index_of[label] = idx
+            self.labels[idx] = label
+        return idx
+
+    def aux_var(self):
+        """A fresh auxiliary (unlabeled) variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits):
+        clause = tuple(lits)
+        if not clause:
+            self.contradictory = True
+        self.clauses.append(clause)
+
+    def original_vars(self):
+        """Indices of the labeled (non-auxiliary) variables."""
+        return set(self.labels)
+
+
+def _as_clause(f):
+    """If ``f`` is a disjunction of literals, return it as literal list.
+
+    A literal is ``(positive, label)``.  Returns ``None`` if not clausal.
+    """
+    parts = f.parts if isinstance(f, POr) else (f,)
+    lits = []
+    for p in parts:
+        if isinstance(p, PVar):
+            lits.append((True, p.label))
+        elif isinstance(p, PNot) and isinstance(p.body, PVar):
+            lits.append((False, p.body.label))
+        else:
+            return None
+    return lits
+
+
+def to_cnf(formula, extra_labels=()):
+    """Convert a propositional formula to :class:`CNF`.
+
+    ``extra_labels`` forces the given labels to be registered as variables
+    even if they do not occur in the formula (callers use this so that
+    "don't care" ground atoms still contribute their ``w + wbar`` factor
+    to the weighted count).
+    """
+    cnf = CNF()
+    for label in extra_labels:
+        cnf.var_for(label)
+
+    if isinstance(formula, PTrue):
+        return cnf
+    if isinstance(formula, PFalse):
+        cnf.add_clause(())
+        return cnf
+
+    # Fast path: a conjunction of clauses converts without auxiliaries.
+    conjuncts = formula.parts if isinstance(formula, PAnd) else (formula,)
+    direct = []
+    for c in conjuncts:
+        clause = _as_clause(c)
+        if clause is None:
+            direct = None
+            break
+        direct.append(clause)
+    if direct is not None:
+        for clause in direct:
+            cnf.add_clause(
+                (cnf.var_for(lbl) if pos else -cnf.var_for(lbl)) for pos, lbl in clause
+            )
+        return cnf
+
+    # General path: Tseitin encoding. Returns a literal for each node.
+    cache = {}
+
+    def encode(g):
+        if g in cache:
+            return cache[g]
+        if isinstance(g, PVar):
+            lit = cnf.var_for(g.label)
+        elif isinstance(g, PNot):
+            lit = -encode(g.body)
+        elif isinstance(g, PAnd):
+            lits = [encode(p) for p in g.parts]
+            d = cnf.aux_var()
+            for l in lits:
+                cnf.add_clause((-d, l))
+            cnf.add_clause([d] + [-l for l in lits])
+            lit = d
+        elif isinstance(g, POr):
+            lits = [encode(p) for p in g.parts]
+            d = cnf.aux_var()
+            for l in lits:
+                cnf.add_clause((d, -l))
+            cnf.add_clause([-d] + lits)
+            lit = d
+        elif isinstance(g, PTrue):
+            d = cnf.aux_var()
+            cnf.add_clause((d,))
+            lit = d
+        elif isinstance(g, PFalse):
+            d = cnf.aux_var()
+            cnf.add_clause((-d,))
+            lit = d
+        else:
+            raise TypeError("not a propositional formula: {!r}".format(g))
+        cache[g] = lit
+        return lit
+
+    root = encode(formula)
+    cnf.add_clause((root,))
+    return cnf

@@ -1,0 +1,283 @@
+"""Exact weighted model counting by DPLL with component decomposition.
+
+This is the propositional engine behind every grounded computation in the
+library (Section 2 reduces WFOMC to WMC of the lineage).  The counter is a
+classic #DPLL:
+
+* unit propagation with exact weight bookkeeping,
+* connected-component decomposition (components share no variables, so
+  their counts multiply),
+* formula caching keyed on the residual clause set,
+* branching on a most-occurring variable.
+
+Weights may be negative (Skolemization needs ``(1, -1)``), so no
+optimization may assume counts are monotone or positive; in particular the
+pure-literal rule is *not* used for counting (it is used for plain SAT).
+
+The count is defined over the variables that occur in the clauses; callers
+account for never-occurring variables.  Variables that vanish from the
+residual formula without being assigned contribute their full mass
+``w + wbar``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..weights import WeightPair
+from .cnf import to_cnf
+from .formula import prop_vars
+
+__all__ = ["wmc_cnf", "wmc_formula", "model_count", "satisfiable"]
+
+
+def _clause_vars(clauses):
+    result = set()
+    for c in clauses:
+        for lit in c:
+            result.add(abs(lit))
+    return result
+
+
+def _condition(clauses, lit):
+    """Clauses after asserting ``lit``; ``None`` signals a conflict."""
+    new = []
+    for c in clauses:
+        if lit in c:
+            continue
+        if -lit in c:
+            reduced = tuple(l for l in c if l != -lit)
+            if not reduced:
+                return None
+            new.append(reduced)
+        else:
+            new.append(c)
+    return new
+
+
+class _Counter:
+    def __init__(self, weights, totals):
+        # weights[v] = (w, wbar); totals[v] = w + wbar
+        self.weights = weights
+        self.totals = totals
+        self.cache = {}
+
+    def lit_weight(self, lit):
+        w, wbar = self.weights[abs(lit)]
+        return w if lit > 0 else wbar
+
+    def count(self, clauses):
+        """WMC over exactly the variables occurring in ``clauses``."""
+        if not clauses:
+            return Fraction(1)
+        for c in clauses:
+            if not c:
+                return Fraction(0)
+
+        key = frozenset(clauses)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+
+        result = self._count_inner(clauses)
+        self.cache[key] = result
+        return result
+
+    def _count_inner(self, clauses):
+        # Unit propagation.
+        factor = Fraction(1)
+        current = list(clauses)
+        while True:
+            unit = None
+            for c in current:
+                if len(c) == 1:
+                    unit = c[0]
+                    break
+            if unit is None:
+                break
+            before = _clause_vars(current)
+            current = _condition(current, unit)
+            if current is None:
+                return Fraction(0)
+            factor *= self.lit_weight(unit)
+            lost = before - {abs(unit)} - _clause_vars(current)
+            for v in lost:
+                factor *= self.totals[v]
+            if factor == 0:
+                # Still sound: remaining count is finite and multiplied by 0.
+                return Fraction(0)
+            if not current:
+                return factor
+
+        # Component decomposition via union-find over variables.
+        components = self._split_components(current)
+        if len(components) > 1:
+            total = factor
+            for comp in components:
+                total *= self.count(tuple(comp))
+                if total == 0:
+                    return Fraction(0)
+            return total
+
+        # Branch on a most frequent variable.
+        occurrences = {}
+        for c in current:
+            for lit in c:
+                occurrences[abs(lit)] = occurrences.get(abs(lit), 0) + 1
+        var = max(occurrences, key=lambda v: (occurrences[v], -v))
+
+        total = Fraction(0)
+        before = _clause_vars(current)
+        for lit in (var, -var):
+            conditioned = _condition(current, lit)
+            if conditioned is None:
+                continue
+            sub_factor = self.lit_weight(lit)
+            lost = before - {var} - _clause_vars(conditioned)
+            for v in lost:
+                sub_factor *= self.totals[v]
+            total += sub_factor * self.count(tuple(conditioned))
+        return factor * total
+
+    @staticmethod
+    def _split_components(clauses):
+        """Partition clauses into variable-connected components."""
+        parent = {}
+
+        def find(x):
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(a, b):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for c in clauses:
+            first = abs(c[0])
+            if first not in parent:
+                parent[first] = first
+            for lit in c[1:]:
+                v = abs(lit)
+                if v not in parent:
+                    parent[v] = v
+                union(first, v)
+
+        groups = {}
+        for c in clauses:
+            root = find(abs(c[0]))
+            groups.setdefault(root, []).append(c)
+        return list(groups.values())
+
+
+def wmc_cnf(cnf, weight_of_label):
+    """Exact WMC of a :class:`~repro.propositional.cnf.CNF`.
+
+    ``weight_of_label`` maps a variable label to a
+    :class:`~repro.weights.WeightPair` (or a ``(w, wbar)`` tuple).
+    Auxiliary Tseitin variables weigh ``(1, 1)``.  Labeled variables that
+    appear in no clause contribute their full mass ``w + wbar``.
+    """
+    if cnf.contradictory:
+        return Fraction(0)
+
+    weights = {}
+    totals = {}
+    for v in range(1, cnf.num_vars + 1):
+        label = cnf.labels.get(v)
+        if label is None:
+            pair = WeightPair(1, 1)
+        else:
+            pair = weight_of_label(label)
+            if not isinstance(pair, WeightPair):
+                pair = WeightPair(*pair)
+        weights[v] = (pair.w, pair.wbar)
+        totals[v] = pair.w + pair.wbar
+
+    counter = _Counter(weights, totals)
+    clauses = tuple(cnf.clauses)
+    result = counter.count(clauses)
+
+    # Labeled variables never mentioned by any clause are unconstrained.
+    used = _clause_vars(clauses)
+    for v in cnf.original_vars():
+        if v not in used:
+            result *= totals[v]
+    return result
+
+
+def wmc_formula(formula, weight_of_label, universe=()):
+    """Exact WMC of an arbitrary propositional formula.
+
+    ``universe`` optionally lists labels that define the full variable set
+    (labels absent from the formula still contribute ``w + wbar``).
+    """
+    labels = set(universe) or prop_vars(formula)
+    cnf = to_cnf(formula, extra_labels=sorted(labels, key=repr))
+    return wmc_cnf(cnf, weight_of_label)
+
+
+def model_count(formula, universe=()):
+    """Number of satisfying assignments (over ``universe`` if given)."""
+    result = wmc_formula(formula, lambda _label: WeightPair(1, 1), universe)
+    assert result.denominator == 1
+    return int(result)
+
+
+def satisfiable(formula):
+    """DPLL satisfiability with early exit (used for spectrum queries)."""
+    cnf = to_cnf(formula)
+    if cnf.contradictory:
+        return False
+    clauses = [tuple(c) for c in cnf.clauses]
+    return _sat(clauses)
+
+
+def _sat(clauses):
+    while True:
+        if not clauses:
+            return True
+        unit = None
+        for c in clauses:
+            if not c:
+                return False
+            if len(c) == 1:
+                unit = c[0]
+                break
+        if unit is None:
+            break
+        clauses = _condition(clauses, unit)
+        if clauses is None:
+            return False
+
+    if not clauses:
+        return True
+
+    # Pure literal elimination is sound for SAT.
+    polarity = {}
+    for c in clauses:
+        for lit in c:
+            v = abs(lit)
+            polarity[v] = polarity.get(v, 0) | (1 if lit > 0 else 2)
+    for v, pol in polarity.items():
+        if pol != 3:
+            lit = v if pol == 1 else -v
+            reduced = _condition(clauses, lit)
+            if reduced is None:
+                return False
+            return _sat(reduced)
+
+    occurrences = {}
+    for c in clauses:
+        for lit in c:
+            occurrences[abs(lit)] = occurrences.get(abs(lit), 0) + 1
+    var = max(occurrences, key=lambda v: (occurrences[v], -v))
+    for lit in (var, -var):
+        conditioned = _condition(clauses, lit)
+        if conditioned is not None and _sat(conditioned):
+            return True
+    return False

@@ -1,0 +1,171 @@
+"""Propositional formulas over arbitrary hashable variable labels.
+
+The grounding of an FO sentence (its *lineage*, Section 2) is a
+propositional formula whose variables are ground atoms, represented here
+as labels like ``("R", (1, 2))``.  The smart constructors fold constants
+and flatten nesting, which keeps lineages compact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = [
+    "PFormula", "PTrue", "PFalse", "PVar", "PNot", "PAnd", "POr",
+    "pvar", "pnot", "pand", "por", "prop_vars", "peval",
+]
+
+
+class PFormula:
+    """Base class for propositional formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other):
+        return pand(self, other)
+
+    def __or__(self, other):
+        return por(self, other)
+
+    def __invert__(self):
+        return pnot(self)
+
+
+@dataclass(frozen=True, repr=False)
+class PTrue(PFormula):
+    def __repr__(self):
+        return "T"
+
+
+@dataclass(frozen=True, repr=False)
+class PFalse(PFormula):
+    def __repr__(self):
+        return "F"
+
+
+@dataclass(frozen=True, repr=False)
+class PVar(PFormula):
+    """A propositional variable; ``label`` is any hashable value."""
+
+    label: Any
+
+    def __repr__(self):
+        return str(self.label)
+
+
+@dataclass(frozen=True, repr=False)
+class PNot(PFormula):
+    body: PFormula
+
+    def __repr__(self):
+        return "!{}".format(_paren(self.body))
+
+
+@dataclass(frozen=True, repr=False)
+class PAnd(PFormula):
+    parts: Tuple[PFormula, ...]
+
+    def __repr__(self):
+        return " & ".join(_paren(p) for p in self.parts)
+
+
+@dataclass(frozen=True, repr=False)
+class POr(PFormula):
+    parts: Tuple[PFormula, ...]
+
+    def __repr__(self):
+        return " | ".join(_paren(p) for p in self.parts)
+
+
+def _paren(f):
+    if isinstance(f, (PVar, PTrue, PFalse, PNot)):
+        return repr(f)
+    return "({})".format(repr(f))
+
+
+_TRUE = PTrue()
+_FALSE = PFalse()
+
+
+def pvar(label):
+    """A propositional variable with the given label."""
+    return PVar(label)
+
+
+def pnot(f):
+    if isinstance(f, PTrue):
+        return _FALSE
+    if isinstance(f, PFalse):
+        return _TRUE
+    if isinstance(f, PNot):
+        return f.body
+    return PNot(f)
+
+
+def pand(*parts):
+    flat = []
+    for p in parts:
+        if isinstance(p, PTrue):
+            continue
+        if isinstance(p, PFalse):
+            return _FALSE
+        if isinstance(p, PAnd):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return _TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return PAnd(tuple(flat))
+
+
+def por(*parts):
+    flat = []
+    for p in parts:
+        if isinstance(p, PFalse):
+            continue
+        if isinstance(p, PTrue):
+            return _TRUE
+        if isinstance(p, POr):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if not flat:
+        return _FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return POr(tuple(flat))
+
+
+def prop_vars(f):
+    """The set of variable labels occurring in ``f``."""
+    result = set()
+    stack = [f]
+    while stack:
+        g = stack.pop()
+        if isinstance(g, PVar):
+            result.add(g.label)
+        elif isinstance(g, PNot):
+            stack.append(g.body)
+        elif isinstance(g, (PAnd, POr)):
+            stack.extend(g.parts)
+    return result
+
+
+def peval(f, assignment):
+    """Evaluate ``f`` under ``assignment`` (a dict of label -> bool)."""
+    if isinstance(f, PTrue):
+        return True
+    if isinstance(f, PFalse):
+        return False
+    if isinstance(f, PVar):
+        return bool(assignment[f.label])
+    if isinstance(f, PNot):
+        return not peval(f.body, assignment)
+    if isinstance(f, PAnd):
+        return all(peval(p, assignment) for p in f.parts)
+    if isinstance(f, POr):
+        return any(peval(p, assignment) for p in f.parts)
+    raise TypeError("not a propositional formula: {!r}".format(f))

@@ -1,0 +1,7 @@
+"""WFOMC-preserving transformations (Lemmas 3.3, 3.4, 3.5)."""
+
+from .skolemize import skolemize
+from .positivize import positivize
+from .equality import eliminate_equality, wfomc_without_equality
+
+__all__ = ["skolemize", "positivize", "eliminate_equality", "wfomc_without_equality"]

@@ -1,0 +1,103 @@
+"""Lemma 3.4: eliminating negation from universal sentences.
+
+Input: a sentence in prenex form with a purely universal prefix (e.g. the
+output of Lemma 3.3 / :func:`repro.transforms.skolemize`).  Output: a
+*positive* universal sentence over an extended weighted vocabulary with
+the same WFOMC.
+
+For every relation symbol ``R`` that occurs negated in the NNF matrix we
+introduce ``A_R`` ("R is false") and ``B_R`` with weights
+``A: (1, 1)``, ``B: (1, -1)``, replace ``~R(t)`` by ``A_R(t)``, and
+conjoin the guard
+
+``Delta_R = forall xbar [(R | A_R) & (A_R | B_R) & (R | B_R)](xbar)``
+
+Per tuple ``a`` either exactly one of ``R(a), A_R(a)`` holds — then
+``B_R(a)`` is forced true and the two new symbols contribute weight 1 —
+or both hold, in which case ``B_R(a)`` is free and the two worlds cancel.
+Negated equality atoms are handled the same way with a fresh binary
+symbol guarded against ``x = y`` (the equality predicate itself is
+removed later by Lemma 3.5).
+"""
+
+from __future__ import annotations
+
+from ..logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Not,
+    Or,
+    Top,
+    Var,
+    conj,
+    disj,
+    forall,
+)
+from ..logic.transform import nnf, prenex, split_prenex
+from ..weights import WeightPair
+
+__all__ = ["positivize"]
+
+
+def positivize(formula, weighted_vocabulary):
+    """Remove all negations from a universal sentence.
+
+    Returns ``(positive_formula, extended_weighted_vocabulary)`` with
+    identical WFOMC.  Raises ``ValueError`` if the prenex prefix contains
+    an existential (run :func:`repro.transforms.skolemize` first).
+    """
+    prefix, matrix = prenex(formula)
+    if any(q == "exists" for q, _v in prefix):
+        raise ValueError("positivize expects a universally quantified sentence")
+
+    matrix = nnf(matrix)
+    wv = weighted_vocabulary
+    guards = []
+    replacements = {}  # symbol name or "=" -> (A_name, B_name)
+
+    def names_for(key, arity, guard_atom_builder):
+        nonlocal wv
+        if key in replacements:
+            return replacements[key]
+        a_name = wv.fresh_name("NegA")
+        wv = wv.extend({a_name: WeightPair(1, 1)}, {a_name: arity})
+        b_name = wv.fresh_name("NegB")
+        wv = wv.extend({b_name: WeightPair(1, -1)}, {b_name: arity})
+        replacements[key] = (a_name, b_name)
+        fresh_vars = tuple(Var("pv{}".format(i)) for i in range(arity))
+        base = guard_atom_builder(fresh_vars)
+        a_atom = Atom(a_name, fresh_vars)
+        b_atom = Atom(b_name, fresh_vars)
+        guards.append(
+            forall(
+                list(fresh_vars),
+                conj(disj(base, a_atom), disj(a_atom, b_atom), disj(base, b_atom)),
+            )
+        )
+        return replacements[key]
+
+    def rewrite(g):
+        if isinstance(g, (Atom, Eq, Top, Bottom)):
+            return g
+        if isinstance(g, Not):
+            body = g.body
+            if isinstance(body, Atom):
+                a_name, _b = names_for(
+                    body.pred, len(body.args), lambda vs, p=body.pred: Atom(p, vs)
+                )
+                return Atom(a_name, body.args)
+            if isinstance(body, Eq):
+                a_name, _b = names_for("=", 2, lambda vs: Eq(vs[0], vs[1]))
+                return Atom(a_name, (body.left, body.right))
+            raise ValueError("matrix is not in NNF: {!r}".format(g))
+        if isinstance(g, And):
+            return conj(*(rewrite(p) for p in g.parts))
+        if isinstance(g, Or):
+            return disj(*(rewrite(p) for p in g.parts))
+        raise TypeError("unexpected node in NNF matrix: {!r}".format(g))
+
+    positive_matrix = rewrite(matrix)
+    rewritten = split_prenex(prefix, positive_matrix)
+    return conj(rewritten, *guards), wv

@@ -1,0 +1,61 @@
+"""Lemma 3.3: eliminating existential quantifiers ("Skolemization").
+
+Given a weighted vocabulary and a sentence ``Phi``, produce an extended
+weighted vocabulary and a sentence ``Phi'`` in prenex form with a purely
+universal prefix such that ``WFOMC(Phi) == WFOMC(Phi')`` for every domain
+size (over nonempty domains).
+
+One step rewrites the *first* existential of the prenex form,
+
+``Phi = forall xbar exists x_i phi(xbar, x_i)``
+``Phi' = forall xbar forall x_i (~phi(xbar, x_i) | A(xbar))``
+
+with ``A`` fresh of arity ``|xbar|`` and weights ``(1, -1)``: in worlds
+where the witness exists ``A`` is forced true (weight 1); in worlds where
+it does not, the two values of ``A(a)`` cancel.  Note ``~phi`` flips the
+quantifiers nested inside ``phi``, so a step can create new existentials —
+but only at strictly later prefix positions, so the loop terminates after
+at most ``|prefix|`` rounds.
+
+As the paper stresses, the transformation preserves the *weighted* count
+only: the plain model counts of ``Phi`` and ``Phi'`` differ (otherwise
+satisfiability of FO would reduce to the decidable universal fragment).
+"""
+
+from __future__ import annotations
+
+from ..logic.syntax import Atom, disj, forall, neg
+from ..logic.transform import prenex, split_prenex
+from ..weights import SKOLEM
+
+__all__ = ["skolemize"]
+
+
+def skolemize(formula, weighted_vocabulary):
+    """Rewrite ``formula`` to a universally quantified equivalent.
+
+    Returns ``(universal_formula, extended_weighted_vocabulary)``.
+    ``universal_formula`` is ``forall v1 ... vk matrix`` with the matrix
+    quantifier-free.
+    """
+    wv = weighted_vocabulary
+    current = formula
+    while True:
+        prefix, matrix = prenex(current)
+        first_exists = next(
+            (i for i, (q, _v) in enumerate(prefix) if q == "exists"), None
+        )
+        if first_exists is None:
+            return split_prenex(prefix, matrix), wv
+
+        universal_vars = [v for _q, v in prefix[:first_exists]]
+        witness_var = prefix[first_exists][1]
+        inner = split_prenex(prefix[first_exists + 1 :], matrix)
+
+        name = wv.fresh_name("Sk")
+        wv = wv.extend({name: SKOLEM}, {name: len(universal_vars)})
+        witness = Atom(name, tuple(universal_vars))
+
+        current = forall(
+            universal_vars + [witness_var], disj(neg(inner), witness)
+        )

@@ -1,0 +1,156 @@
+"""Small numeric and combinatorial helpers used across the library.
+
+All weighted model counts in this library are exact: weights are
+:class:`fractions.Fraction` values and counts are Python integers or
+Fractions.  The helpers here keep that exactness (no floats anywhere on the
+counting paths).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from math import comb, factorial
+
+from .errors import DomainSizeError
+
+__all__ = [
+    "as_fraction",
+    "binomial",
+    "multinomial",
+    "compositions",
+    "weak_compositions",
+    "prod",
+    "falling_factorial",
+    "polynomial_interpolate",
+    "check_domain_size",
+    "powerset",
+]
+
+
+def as_fraction(value):
+    """Coerce ``value`` to an exact :class:`~fractions.Fraction`.
+
+    Integers and Fractions pass through; strings like ``"1/3"`` are parsed;
+    floats are rejected because they would silently destroy exactness.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not valid weights")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        raise TypeError(
+            "float weights are not allowed; use fractions.Fraction or a "
+            "string like '1/3' to keep all counts exact"
+        )
+    raise TypeError("cannot interpret {!r} as an exact weight".format(value))
+
+
+def binomial(n, k):
+    """Binomial coefficient ``C(n, k)``, zero outside the valid range."""
+    if k < 0 or k > n or n < 0:
+        return 0
+    return comb(n, k)
+
+
+def multinomial(counts):
+    """Multinomial coefficient ``(sum counts)! / prod(count_i!)``."""
+    total = sum(counts)
+    result = factorial(total)
+    for c in counts:
+        result //= factorial(c)
+    return result
+
+
+def weak_compositions(n, k):
+    """Yield all tuples of ``k`` non-negative ints summing to ``n``.
+
+    The number of such tuples is ``C(n + k - 1, k - 1)``; callers should
+    keep ``k`` small.  ``k == 0`` yields the empty tuple only when ``n == 0``.
+    """
+    if k == 0:
+        if n == 0:
+            yield ()
+        return
+    if k == 1:
+        yield (n,)
+        return
+    for first in range(n + 1):
+        for rest in weak_compositions(n - first, k - 1):
+            yield (first,) + rest
+
+
+# Alias used in older call sites; a "composition" here always allows zeros.
+compositions = weak_compositions
+
+
+def prod(values, start=1):
+    """Exact product of an iterable (Fractions and ints mix freely)."""
+    result = start
+    for v in values:
+        result = result * v
+    return result
+
+
+def falling_factorial(n, k):
+    """``n * (n-1) * ... * (n-k+1)``; equals 0 when ``k > n >= 0``."""
+    result = 1
+    for i in range(k):
+        result *= n - i
+    return result
+
+
+def polynomial_interpolate(points):
+    """Exact coefficients of the polynomial through ``points``.
+
+    ``points`` is a sequence of ``(x, y)`` pairs with distinct x values;
+    the result is a list ``[c0, c1, ...]`` of Fractions such that
+    ``sum(c_i x**i) == y`` at every given point.  Uses Lagrange
+    interpolation over the rationals, so the result is exact.
+
+    This powers the equality-removal reduction (Lemma 3.5): the paper reads
+    off one coefficient of a degree-``n**2`` polynomial, which requires
+    evaluating the WFOMC oracle at polynomially many points.
+    """
+    xs = [as_fraction(x) for x, _ in points]
+    ys = [as_fraction(y) for _, y in points]
+    if len(set(xs)) != len(xs):
+        raise ValueError("interpolation points must have distinct x values")
+    degree = len(points) - 1
+    coeffs = [Fraction(0)] * (degree + 1)
+    for i, (xi, yi) in enumerate(zip(xs, ys)):
+        # Build the Lagrange basis polynomial L_i as a coefficient vector.
+        basis = [Fraction(1)]
+        denom = Fraction(1)
+        for j, xj in enumerate(xs):
+            if j == i:
+                continue
+            denom *= xi - xj
+            # Multiply basis by (x - xj).
+            new = [Fraction(0)] * (len(basis) + 1)
+            for k, c in enumerate(basis):
+                new[k + 1] += c
+                new[k] -= c * xj
+            basis = new
+        scale = yi / denom
+        for k, c in enumerate(basis):
+            coeffs[k] += c * scale
+    return coeffs
+
+
+def check_domain_size(n):
+    """Validate that ``n`` is a non-negative integer domain size."""
+    if not isinstance(n, int) or isinstance(n, bool) or n < 0:
+        raise DomainSizeError("domain size must be a non-negative int, got {!r}".format(n))
+    return n
+
+
+def powerset(iterable):
+    """Yield all subsets (as tuples) of the given iterable."""
+    items = list(iterable)
+    for r in range(len(items) + 1):
+        yield from itertools.combinations(items, r)

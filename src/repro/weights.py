@@ -1,0 +1,88 @@
+"""Weight pairs and the weight/probability correspondence (paper Section 2).
+
+A symmetric WFOMC instance assigns every relation symbol ``R`` a pair of
+weights ``(w, wbar)``: each ground tuple of ``R`` contributes a factor ``w``
+to the weight of a world when it is present and ``wbar`` when it is absent.
+The paper (Eq. 4) relates the variants:
+
+* ``WMC(F, w, wbar) = WMC(F, w/wbar, 1) * prod(wbar)``
+* probabilities are the special case ``p = w / (w + wbar)``.
+
+Negative weights are first-class citizens here: the Skolemization reduction
+(Lemma 3.3) requires the weight pair ``(1, -1)``, and the MLN reduction
+(Example 1.2) produces weight ``1/(w-1)`` which is negative for ``w < 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .errors import WeightError
+from .utils import as_fraction
+
+__all__ = ["WeightPair", "ONE_ONE", "SKOLEM", "from_probability", "to_probability"]
+
+
+@dataclass(frozen=True)
+class WeightPair:
+    """Weights ``(w, wbar)`` for a single relation symbol.
+
+    ``w`` multiplies the weight of a world for every tuple present in the
+    relation, ``wbar`` for every tuple absent.  Unweighted model counting is
+    the pair ``(1, 1)``.
+    """
+
+    w: Fraction
+    wbar: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "w", as_fraction(self.w))
+        object.__setattr__(self, "wbar", as_fraction(self.wbar))
+
+    @property
+    def total(self):
+        """Weight mass of one tuple summed over present/absent: ``w + wbar``."""
+        return self.w + self.wbar
+
+    def probability(self):
+        """The probability ``w / (w + wbar)`` this pair corresponds to.
+
+        Raises :class:`WeightError` when ``w + wbar == 0`` (such pairs, e.g.
+        the Skolem pair ``(1, -1)``, have no probabilistic reading).
+        """
+        if self.total == 0:
+            raise WeightError(
+                "weight pair {} has w + wbar == 0 and no probability form".format(self)
+            )
+        return self.w / self.total
+
+    def __iter__(self):
+        yield self.w
+        yield self.wbar
+
+    def __repr__(self):
+        return "WeightPair({}, {})".format(self.w, self.wbar)
+
+
+#: The unweighted pair: plain model counting.
+ONE_ONE = WeightPair(1, 1)
+
+#: The Skolemization pair of Lemma 3.3: cancels worlds in pairs.
+SKOLEM = WeightPair(1, -1)
+
+
+def from_probability(p):
+    """Weight pair ``(p, 1 - p)`` whose probability reading is ``p``.
+
+    Any rational ``p`` is accepted, including values outside ``[0, 1]``
+    (the paper explicitly works with "negative probabilities" produced by
+    the MLN reduction).
+    """
+    p = as_fraction(p)
+    return WeightPair(p, 1 - p)
+
+
+def to_probability(pair):
+    """Inverse of :func:`from_probability` up to scaling; see the paper Eq. 4."""
+    return pair.probability()

@@ -1,0 +1,59 @@
+"""Linear chain queries (Example 3.10): a direct dynamic program.
+
+The chain query
+
+``Q = exists x0 ... xm  R1(x0, x1) & R2(x1, x2) & ... & Rm(x_{m-1}, x_m)``
+
+is gamma-acyclic, so the general algorithm of Theorem 3.6 applies; this
+module provides an independent O(m * n^2) dynamic program used to
+cross-validate it and to benchmark Example 3.10.
+
+The DP tracks the distribution of the number of "alive" elements at each
+level, scanning from ``x_m`` down to ``x_0``: an element ``u`` at level
+``j`` is alive iff some tuple ``R_{j+1}(u, v)`` leads to an alive ``v``.
+Given ``a`` alive elements at level ``j+1``, each level-``j`` element is
+alive independently with probability ``1 - (1 - p_{j+1})**a`` (tuples are
+independent, and aliveness at level ``j+1`` depends only on relations
+further right).  The query is true iff some level-0 element is alive.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from fractions import Fraction
+
+from ..utils import as_fraction, binomial, check_domain_size
+
+__all__ = ["chain_probability"]
+
+
+def chain_probability(probabilities, domain_sizes):
+    """Probability that the chain query is true.
+
+    ``probabilities[j]`` is the tuple probability of relation ``R_{j+1}``
+    linking level ``j`` to level ``j+1``; ``domain_sizes[j]`` is the size
+    of the domain of variable ``x_j`` (so ``len(domain_sizes) ==
+    len(probabilities) + 1``).  Exact rational arithmetic throughout.
+    """
+    probs = [as_fraction(p) for p in probabilities]
+    sizes = [check_domain_size(s) for s in domain_sizes]
+    if len(sizes) != len(probs) + 1:
+        raise ValueError(
+            "need one domain size per variable: {} probabilities require "
+            "{} sizes, got {}".format(len(probs), len(probs) + 1, len(sizes))
+        )
+
+    # Distribution of the number of alive elements, starting at the last
+    # level where every element is trivially alive.
+    dist = {sizes[-1]: Fraction(1)}
+    for j in range(len(probs) - 1, -1, -1):
+        nj = sizes[j]
+        p = probs[j]
+        new = defaultdict(Fraction)
+        for alive, mass in dist.items():
+            q = 1 - (1 - p) ** alive
+            for b in range(nj + 1):
+                new[b] += mass * binomial(nj, b) * q ** b * (1 - q) ** (nj - b)
+        dist = dict(new)
+
+    return 1 - dist.get(0, Fraction(0))

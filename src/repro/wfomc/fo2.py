@@ -1,0 +1,284 @@
+"""The FO2 lifted algorithm: polynomial data complexity (Appendix C, [37]).
+
+Pipeline, following Van den Broeck et al. as reviewed in Appendix C:
+
+1. **Scott-normalize** the sentence: nested quantifiers are flattened into
+   a conjunction of prenex sentences with prefixes ``forall*`` or
+   ``forall* exists`` over fresh defined symbols (weight ``(1, 1)``).
+2. **Skolemize** away the existentials (Lemma 3.3), introducing symbols
+   with the cancellation weights ``(1, -1)``.
+3. The residue is a single universal sentence ``forall x forall y psi``
+   over predicates of arity at most 2 (plus zero-ary symbols).
+4. **Shannon-expand** the zero-ary symbols (as prescribed in Appendix C).
+5. Run the **cell decomposition**: a 1-type (cell) is a truth assignment
+   to all unary atoms ``U(x)`` and reflexive binary atoms ``B(x, x)``;
+   the weighted count is a sum over how the ``n`` domain elements are
+   partitioned among the valid cells:
+
+   ``sum_{n_1+...+n_K = n} multinomial * prod_k u_k**n_k
+   * prod_k r_kk**C(n_k, 2) * prod_{k<l} r_kl**(n_k n_l)``
+
+   where ``u_k`` is the weight of cell ``k`` and ``r_kl`` the summed
+   weight of the binary "2-tables" between a cell-``k`` and a cell-``l``
+   element that satisfy ``psi`` in both directions.
+
+Equality atoms are supported natively: ``x = y`` is false for the two
+distinct elements of a 2-table and true on the diagonal.
+
+The number of terms is ``C(n + K - 1, K - 1)`` for ``K`` valid cells —
+polynomial in ``n`` for a fixed sentence, which is the PTIME
+data-complexity result this module reproduces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from ..errors import NotFO2Error
+from ..logic.scott import scott_normalize, skolemize_scott
+from ..logic.syntax import (
+    Var,
+    free_variables,
+    num_variables,
+    substitute,
+    conj,
+)
+from ..logic.vocabulary import WeightedVocabulary
+from ..grounding.lineage import _ground  # grounding of a quantifier-free matrix
+from ..propositional.formula import peval, prop_vars
+from ..utils import binomial, check_domain_size
+
+__all__ = ["wfomc_fo2", "FO2CellDecomposition"]
+
+_X = Var("fo2_x")
+_Y = Var("fo2_y")
+
+
+def _combine_universal(sentences):
+    """Merge universal sentences into one matrix over canonical vars x, y."""
+    parts = []
+    for sent in sentences:
+        if len(sent.vars) > 2:
+            raise NotFO2Error(
+                "sentence has a {}-variable prefix; not FO2".format(len(sent.vars))
+            )
+        mapping = {}
+        if len(sent.vars) >= 1:
+            mapping[sent.vars[0]] = _X
+        if len(sent.vars) == 2:
+            mapping[sent.vars[1]] = _Y
+        parts.append(substitute(sent.matrix, mapping))
+    return conj(*parts)
+
+
+class FO2CellDecomposition:
+    """The cell decomposition of a universal FO2 matrix.
+
+    Exposes the pieces (cells, cell weights ``u_k``, pair weights
+    ``r_kl``) so tests and benchmarks can inspect them; :func:`wfomc_fo2`
+    is the user-facing wrapper.
+    """
+
+    def __init__(self, matrix, weighted_vocabulary):
+        self.wv = weighted_vocabulary
+        free = free_variables(matrix)
+        if not free <= {_X, _Y}:
+            raise NotFO2Error("matrix has unexpected free variables: {}".format(free))
+
+        # Ground the matrix at the three element patterns we need.
+        # Elements 1 and 2 stand for "an element of cell k / cell l".
+        self.diag_prop = _ground(matrix, 2, {_X: 1, _Y: 1})
+        self.pair_prop_xy = _ground(matrix, 2, {_X: 1, _Y: 2})
+        self.pair_prop_yx = _ground(matrix, 2, {_X: 2, _Y: 1})
+
+        # Only predicates that actually occur in the matrix participate in
+        # the decomposition; unconstrained predicates are handled by the
+        # caller with a (w + wbar)**|tuples| factor.
+        self.matrix_preds = {
+            name
+            for name, _args in (
+                prop_vars(self.diag_prop)
+                | prop_vars(self.pair_prop_xy)
+                | prop_vars(self.pair_prop_yx)
+            )
+        }
+        self.zero_preds = []
+        self.unary_preds = []
+        self.binary_preds = []
+        for pred in weighted_vocabulary.vocabulary:
+            if pred.name not in self.matrix_preds:
+                continue
+            if pred.arity == 0:
+                self.zero_preds.append(pred.name)
+            elif pred.arity == 1:
+                self.unary_preds.append(pred.name)
+            elif pred.arity == 2:
+                self.binary_preds.append(pred.name)
+            else:
+                raise NotFO2Error(
+                    "predicate {} has arity {} > 2; the FO2 lifted solver "
+                    "requires arity at most 2".format(pred.name, pred.arity)
+                )
+
+        # Type slots: unary atoms and reflexive binary atoms of one element.
+        self.type_slots = [(u, "unary") for u in self.unary_preds] + [
+            (b, "refl") for b in self.binary_preds
+        ]
+
+    def _type_assignment(self, cell_bits, element):
+        """Ground-atom assignment for one element's 1-type."""
+        assignment = {}
+        for (name, kind), bit in zip(self.type_slots, cell_bits):
+            if kind == "unary":
+                assignment[(name, (element,))] = bit
+            else:
+                assignment[(name, (element, element))] = bit
+        return assignment
+
+    def _type_weight(self, cell_bits):
+        weight = Fraction(1)
+        for (name, _kind), bit in zip(self.type_slots, cell_bits):
+            pair = self.wv.weight(name)
+            weight *= pair.w if bit else pair.wbar
+        return weight
+
+    def run(self, n, zero_assignment):
+        """The weighted count for one assignment of the zero-ary atoms."""
+        check_domain_size(n)
+        base = {(name, ()): bit for name, bit in zero_assignment.items()}
+
+        # Valid cells: 1-types whose element satisfies psi(x, x).
+        cells = []
+        cell_weights = []
+        for bits in itertools.product((False, True), repeat=len(self.type_slots)):
+            assignment = dict(base)
+            assignment.update(self._type_assignment(bits, 1))
+            if peval(self.diag_prop, assignment):
+                cells.append(bits)
+                cell_weights.append(self._type_weight(bits))
+
+        k_cells = len(cells)
+        if k_cells == 0:
+            return Fraction(0) if n > 0 else Fraction(1)
+
+        # Pair weights r[k][l]: sum over 2-tables (off-diagonal binary
+        # atoms between a cell-k element 1 and a cell-l element 2).
+        off_diag_labels = []
+        for b in self.binary_preds:
+            off_diag_labels.append((b, (1, 2)))
+            off_diag_labels.append((b, (2, 1)))
+
+        r = [[Fraction(0)] * k_cells for _ in range(k_cells)]
+        for k in range(k_cells):
+            for l in range(k_cells):
+                assignment = dict(base)
+                assignment.update(self._type_assignment(cells[k], 1))
+                assignment.update(self._type_assignment(cells[l], 2))
+                total = Fraction(0)
+                for bits in itertools.product((False, True), repeat=len(off_diag_labels)):
+                    for label, bit in zip(off_diag_labels, bits):
+                        assignment[label] = bit
+                    if peval(self.pair_prop_xy, assignment) and peval(
+                        self.pair_prop_yx, assignment
+                    ):
+                        weight = Fraction(1)
+                        for (name, _args), bit in zip(off_diag_labels, bits):
+                            pair = self.wv.weight(name)
+                            weight *= pair.w if bit else pair.wbar
+                        total += weight
+                r[k][l] = total
+
+        # Sum over all ways to distribute n elements among the cells.
+        result = Fraction(0)
+
+        def recurse(k, remaining, acc, pending):
+            nonlocal result
+            if k == k_cells - 1:
+                nk = remaining
+                term = (
+                    acc
+                    * cell_weights[k] ** nk
+                    * r[k][k] ** binomial(nk, 2)
+                    * pending[k] ** nk
+                )
+                result += term
+                return
+            for nk in range(remaining + 1):
+                term = (
+                    acc
+                    * binomial(remaining, nk)
+                    * cell_weights[k] ** nk
+                    * r[k][k] ** binomial(nk, 2)
+                    * pending[k] ** nk
+                )
+                if term == 0 and nk < remaining:
+                    # Zero contribution for this choice only; keep scanning.
+                    continue
+                new_pending = list(pending)
+                if nk:
+                    for l in range(k + 1, k_cells):
+                        new_pending[l] = pending[l] * r[k][l] ** nk
+                recurse(k + 1, remaining - nk, term, new_pending)
+
+        recurse(0, n, Fraction(1), [Fraction(1)] * k_cells)
+        return result
+
+
+def wfomc_fo2(formula, n, weighted_vocabulary=None):
+    """Symmetric WFOMC of an FO2 sentence in time polynomial in ``n``.
+
+    ``formula`` may use nested quantifiers, equality, and any Boolean
+    connectives, but at most two distinct variables and predicates of
+    arity at most two.  Raises :class:`~repro.errors.NotFO2Error`
+    otherwise.
+    """
+    check_domain_size(n)
+    wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
+
+    if n == 0:
+        # Scott/Skolem prenexing assumes a nonempty domain (pulling a
+        # quantifier over a disjunct is unsound over the empty domain), so
+        # evaluate the trivial n = 0 instance directly: the lineage over an
+        # empty domain mentions no ground atoms at all.
+        from .bruteforce import wfomc_lineage
+
+        return wfomc_lineage(formula, 0, wv)
+
+    if num_variables(formula) > 2:
+        raise NotFO2Error(
+            "sentence uses {} distinct variables; FO2 allows at most 2".format(
+                num_variables(formula)
+            )
+        )
+    for pred in wv.vocabulary:
+        if pred.arity > 2:
+            raise NotFO2Error(
+                "predicate {} has arity {}; the FO2 solver requires arity "
+                "at most 2".format(pred.name, pred.arity)
+            )
+
+    sentences, wv1 = scott_normalize(formula, wv)
+    universal, wv2 = skolemize_scott(sentences, wv1)
+    matrix = _combine_universal(universal)
+    decomposition = FO2CellDecomposition(matrix, wv2)
+
+    # Shannon expansion over zero-ary predicates (Appendix C).
+    zero_preds = decomposition.zero_preds
+    total = Fraction(0)
+    for bits in itertools.product((False, True), repeat=len(zero_preds)):
+        zero_assignment = dict(zip(zero_preds, bits))
+        weight = Fraction(1)
+        for name, bit in zip(zero_preds, bits):
+            pair = wv2.weight(name)
+            weight *= pair.w if bit else pair.wbar
+        if weight == 0:
+            continue
+        total += weight * decomposition.run(n, zero_assignment)
+
+    # Predicates never mentioned by the matrix are unconstrained: every
+    # ground atom contributes its full mass w + wbar.
+    for pred, pair in wv2.items():
+        if pred.name not in decomposition.matrix_preds:
+            total *= pair.total ** (n ** pred.arity)
+    return total

@@ -1,0 +1,110 @@
+"""WFOMC as a polynomial in the weights (Section 2).
+
+For a fixed sentence and domain size, ``WFOMC(Phi, n, w, wbar)`` is a
+multivariate polynomial in the relation weights: the coefficient of
+``prod_i w_i**c_i`` counts (with the ``wbar`` mass of the remaining
+atoms folded in) the models with ``c_i`` tuples in each ``R_i``.  The
+paper uses this to argue that *negative* weights are no harder than
+positive ones: polynomially many oracle calls at positive weights
+recover all coefficients, after which the polynomial can be evaluated
+anywhere.
+
+This module implements that argument literally:
+:func:`wfomc_cardinality_polynomial` reconstructs the coefficients
+``a[c_1, ..., c_m]`` of the *cardinality generating polynomial*
+
+``WFOMC(Phi, n, w, 1) = sum_c a[c] * prod_i w_i**c_i``
+
+(where ``a[c]`` is the number of models with ``|R_i| = c_i``) from
+oracle evaluations at positive integer weight vectors, by iterated
+univariate interpolation.  :func:`evaluate_cardinality_polynomial` then
+reproduces WFOMC at arbitrary — including negative — weights via
+``WFOMC(Phi, n, w, wbar) = sum_c a[c] prod_i w_i**c_i wbar_i**(N_i - c_i)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from ..logic.vocabulary import WeightedVocabulary
+from ..utils import polynomial_interpolate
+from ..weights import WeightPair
+
+__all__ = ["wfomc_cardinality_polynomial", "evaluate_cardinality_polynomial"]
+
+
+def wfomc_cardinality_polynomial(formula, n, vocabulary, oracle):
+    """Reconstruct the model-cardinality coefficients from an oracle.
+
+    Parameters
+    ----------
+    formula, n:
+        The sentence and domain size.
+    vocabulary:
+        A :class:`~repro.logic.vocabulary.Vocabulary` listing the
+        relations (fixing the variable order of the polynomial).
+    oracle:
+        ``oracle(formula, n, weighted_vocabulary) -> Fraction`` computing
+        symmetric WFOMC; it is only ever called with *positive* integer
+        weights ``(w_i, 1)``.
+
+    Returns a dict mapping cardinality vectors ``(c_1, ..., c_m)`` to the
+    number of models with exactly those relation sizes.  The number of
+    oracle calls is ``prod_i (N_i + 1)`` with ``N_i = n**arity(R_i)`` —
+    polynomial in ``n`` for a fixed vocabulary, as the paper claims.
+    """
+    preds = list(vocabulary)
+    degrees = [n ** p.arity for p in preds]
+
+    # Evaluate the polynomial on the grid {1..N_i+1}^m, then interpolate
+    # one variable at a time.  Positive points only, per the argument.
+    grid_axes = [range(1, d + 2) for d in degrees]
+
+    values = {}
+    for point in itertools.product(*grid_axes):
+        weights = {
+            p.name: WeightPair(Fraction(w), Fraction(1))
+            for p, w in zip(preds, point)
+        }
+        wv = WeightedVocabulary(vocabulary, weights)
+        values[point] = Fraction(oracle(formula, n, wv))
+
+    # Iteratively interpolate out each axis: after processing axis i the
+    # table is keyed by (c_1..c_i, w_{i+1}..w_m) -> partial coefficient.
+    table = values
+    for axis, degree in enumerate(degrees):
+        new_table = {}
+        # Group keys by everything except this axis's coordinate.
+        groups = {}
+        for key, value in table.items():
+            rest = key[:axis] + key[axis + 1 :]
+            groups.setdefault(rest, []).append((key[axis], value))
+        for rest, points in groups.items():
+            coeffs = polynomial_interpolate(sorted(points))
+            coeffs += [Fraction(0)] * (degree + 1 - len(coeffs))
+            for c, coefficient in enumerate(coeffs[: degree + 1]):
+                new_key = rest[:axis] + (c,) + rest[axis:]
+                new_table[new_key] = coefficient
+        table = new_table
+
+    return {key: value for key, value in table.items() if value != 0}
+
+
+def evaluate_cardinality_polynomial(coefficients, n, weighted_vocabulary):
+    """Evaluate reconstructed coefficients at arbitrary weight pairs.
+
+    ``WFOMC = sum_c a[c] * prod_i w_i**c_i * wbar_i**(N_i - c_i)`` —
+    valid for any weights, negative included, which is the paper's
+    point: an oracle for positive weights suffices.
+    """
+    preds = list(weighted_vocabulary.vocabulary)
+    degrees = [n ** p.arity for p in preds]
+    total = Fraction(0)
+    for cardinalities, count in coefficients.items():
+        term = Fraction(count)
+        for p, c, degree in zip(preds, cardinalities, degrees):
+            pair = weighted_vocabulary.weight(p.name)
+            term *= pair.w ** c * pair.wbar ** (degree - c)
+        total += term
+    return total

@@ -1,0 +1,94 @@
+"""The top-level WFOMC solver: routing between algorithms.
+
+``wfomc(formula, n)`` dispatches to the best applicable algorithm:
+
+1. the FO2 lifted algorithm (polynomial in ``n``) when the sentence uses
+   at most two distinct variables and predicates of arity at most two;
+2. otherwise lineage grounding plus exact DPLL weighted model counting
+   (exponential worst case, the best known general-purpose approach — the
+   paper proves a general polynomial algorithm is impossible unless
+   #P1 is in PTIME).
+
+``method`` can pin a specific algorithm: ``"fo2"``, ``"lineage"``,
+``"enumerate"``.
+"""
+
+from __future__ import annotations
+
+from ..errors import NotFO2Error, UnsupportedFormulaError
+from ..logic.syntax import num_variables
+from ..logic.vocabulary import WeightedVocabulary
+from .bruteforce import wfomc_enumerate, wfomc_lineage
+from .fo2 import wfomc_fo2
+
+__all__ = ["wfomc", "fomc", "probability"]
+
+_METHODS = ("auto", "fo2", "lineage", "enumerate")
+
+
+def wfomc(formula, n, weighted_vocabulary=None, method="auto"):
+    """Symmetric weighted first-order model count of a sentence.
+
+    Parameters
+    ----------
+    formula:
+        An FO sentence (no free variables); build it with the
+        :mod:`repro.logic` constructors or :func:`repro.logic.parse`.
+    n:
+        Domain size; the domain is ``{1, ..., n}``.
+    weighted_vocabulary:
+        A :class:`~repro.logic.vocabulary.WeightedVocabulary`; defaults to
+        the unweighted vocabulary of the formula (plain model counting).
+    method:
+        ``"auto"`` (default), ``"fo2"``, ``"lineage"``, or ``"enumerate"``.
+
+    Returns an exact :class:`~fractions.Fraction` (an ``int``-valued one
+    for integer weights).
+    """
+    if method not in _METHODS:
+        raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
+    wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
+
+    if method == "fo2":
+        return wfomc_fo2(formula, n, wv)
+    if method == "lineage":
+        return wfomc_lineage(formula, n, wv)
+    if method == "enumerate":
+        return wfomc_enumerate(formula, n, wv)
+
+    fo2_applicable = num_variables(formula) <= 2 and all(
+        p.arity <= 2 for p in wv.vocabulary
+    )
+    if fo2_applicable:
+        try:
+            return wfomc_fo2(formula, n, wv)
+        except NotFO2Error:
+            pass
+    return wfomc_lineage(formula, n, wv)
+
+
+def fomc(formula, n, method="auto"):
+    """Unweighted first-order model count (all weights ``(1, 1)``)."""
+    result = wfomc(formula, n, method=method)
+    assert result.denominator == 1
+    return int(result)
+
+
+def probability(formula, n, weighted_vocabulary=None, method="auto"):
+    """Probability of the sentence in the induced distribution.
+
+    ``Pr(Phi) = WFOMC(Phi, n, w, wbar) / WFOMC(true, n, w, wbar)`` — each
+    tuple of relation ``R`` is present independently with probability
+    ``w_R / (w_R + wbar_R)``.
+
+    Raises :class:`~repro.errors.UnsupportedFormulaError` when the
+    normalization constant is zero (e.g. Skolem weights ``(1, -1)``).
+    """
+    wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
+    numerator = wfomc(formula, n, wv, method=method)
+    denominator = wv.total_world_weight(n)
+    if denominator == 0:
+        raise UnsupportedFormulaError(
+            "total world weight is zero; the weights have no probabilistic reading"
+        )
+    return numerator / denominator

@@ -1,0 +1,7 @@
+"""Pytest configuration: register the 'slow' marker."""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running exact-validation tests (grounded Theta_1 etc.)"
+    )

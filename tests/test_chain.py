@@ -1,0 +1,85 @@
+"""Tests for the chain-query DP (Example 3.10)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cq import ConjunctiveQuery, cq_probability_bruteforce, gamma_acyclic_probability
+from repro.wfomc.chain import chain_probability
+
+from .strategies import probabilities
+
+
+def _chain_query(probs, sizes):
+    atoms = [
+        ("R{}".format(j + 1), ("x{}".format(j), "x{}".format(j + 1)))
+        for j in range(len(probs))
+    ]
+    probabilities = {"R{}".format(j + 1): p for j, p in enumerate(probs)}
+    domain_sizes = {"x{}".format(j): s for j, s in enumerate(sizes)}
+    return ConjunctiveQuery(atoms, probabilities, domain_sizes)
+
+
+class TestSingleEdge:
+    def test_one_relation(self):
+        # Pr(exists x0 x1 R(x0, x1)) = 1 - (1-p)^(n0*n1).
+        p = Fraction(1, 3)
+        for n0, n1 in ((1, 1), (2, 3), (3, 2)):
+            expected = 1 - (1 - p) ** (n0 * n1)
+            assert chain_probability([p], [n0, n1]) == expected
+
+    def test_certain_edge(self):
+        assert chain_probability([Fraction(1)], [2, 2]) == 1
+
+    def test_impossible_edge(self):
+        assert chain_probability([Fraction(0)], [2, 2]) == 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_uniform_domains(self, m, n):
+        probs = [Fraction(1, 2), Fraction(1, 3), Fraction(2, 5)][:m]
+        q = _chain_query(probs, [n] * (m + 1))
+        assert chain_probability(probs, [n] * (m + 1)) == cq_probability_bruteforce(q)
+
+    def test_rectangular_domains(self):
+        probs = [Fraction(1, 2), Fraction(1, 3)]
+        sizes = [2, 1, 3]
+        q = _chain_query(probs, sizes)
+        assert chain_probability(probs, sizes) == cq_probability_bruteforce(q)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(probabilities(), min_size=1, max_size=3),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_random(self, probs, n):
+        sizes = [n] * (len(probs) + 1)
+        q = _chain_query(probs, sizes)
+        assert chain_probability(probs, sizes) == cq_probability_bruteforce(q)
+
+
+class TestAgainstGammaEngine:
+    def test_agreement_with_theorem36(self):
+        # Chains are gamma-acyclic; the two PTIME algorithms must agree.
+        probs = [Fraction(1, 2), Fraction(1, 3), Fraction(3, 4)]
+        for n in (1, 2, 3, 4):
+            q = _chain_query(probs, [n] * 4)
+            assert chain_probability(probs, [n] * 4) == gamma_acyclic_probability(q)
+
+    def test_long_chain_scales(self):
+        # m = 12 relations, n = 12: far beyond brute force.
+        probs = [Fraction(1, 2)] * 12
+        value = chain_probability(probs, [12] * 13)
+        assert 0 < value < 1
+
+
+class TestValidation:
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            chain_probability([Fraction(1, 2)], [2])
+
+    def test_empty_domain_kills_query(self):
+        assert chain_probability([Fraction(1, 2)], [2, 0]) == 0

@@ -1,0 +1,97 @@
+"""Tests for the Ck-hardness reduction (Section 3.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cq import ConjunctiveQuery
+from repro.cq.ck_reduction import (
+    cycle_probability_bruteforce,
+    reduce_ck_to_query,
+    typed_cycle,
+)
+from repro.errors import ReproError
+
+HALF = Fraction(1, 2)
+THIRD = Fraction(1, 3)
+
+
+def _triangle_plus(extra_atoms, extra_probs):
+    atoms = [
+        ("R", ("x", "y")),
+        ("S", ("y", "z")),
+        ("T", ("z", "x")),
+    ] + extra_atoms
+    probs = {"R": HALF, "S": HALF, "T": HALF}
+    probs.update(extra_probs)
+    return ConjunctiveQuery(atoms, probs, 2)
+
+
+class TestTypedCycle:
+    def test_c3_shape(self):
+        q = typed_cycle(3, HALF, 2)
+        assert len(q.atoms) == 3
+        assert not q.is_beta_acyclic()
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            typed_cycle(2, HALF, 2)
+
+    def test_c3_probability_small(self):
+        # Pr(C3) over n = 1: a single triangle of three independent
+        # tuples: p^3.
+        assert cycle_probability_bruteforce(3, HALF, 1) == HALF ** 3
+
+
+class TestReduction:
+    def test_beta_acyclic_rejected(self):
+        chain = ConjunctiveQuery(
+            [("R", ("x", "y")), ("S", ("y", "z"))], {"R": HALF, "S": HALF}, 2
+        )
+        with pytest.raises(ReproError):
+            reduce_ck_to_query(chain, HALF, 2)
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_triangle_reduces_to_itself(self, n):
+        q = _triangle_plus([], {})
+        reduction = reduce_ck_to_query(q, THIRD, n)
+        assert reduction.k == 3
+        assert reduction.cycle_probability() == cycle_probability_bruteforce(
+            3, THIRD, n
+        )
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_triangle_with_satellite_atoms(self, n):
+        # Extra relations off the cycle become certain (p = 1) and extra
+        # variables collapse; the cycle probability must be preserved.
+        q = _triangle_plus(
+            [("U", ("x",)), ("V", ("z", "w"))],
+            {"U": Fraction(2, 5), "V": Fraction(3, 7)},
+        )
+        reduction = reduce_ck_to_query(q, HALF, n)
+        assert reduction.k == 3
+        assert set(reduction.cycle_edges) == {"R", "S", "T"}
+        # Non-cycle relations were made certain.
+        assert reduction.query.probabilities["U"] == 1
+        assert reduction.query.probabilities["V"] == 1
+        # Non-cycle variables have singleton domains.
+        assert reduction.query.domain_sizes["w"] == 1
+        assert reduction.cycle_probability() == cycle_probability_bruteforce(
+            3, HALF, n
+        )
+
+    def test_four_cycle(self):
+        atoms = [
+            ("A", ("x1", "x2")),
+            ("B", ("x2", "x3")),
+            ("C", ("x3", "x4")),
+            ("D", ("x4", "x1")),
+        ]
+        q = ConjunctiveQuery(
+            atoms, {k: HALF for k in "ABCD"}, 1
+        )
+        reduction = reduce_ck_to_query(q, THIRD, 1)
+        assert reduction.k == 4
+        assert reduction.cycle_probability() == cycle_probability_bruteforce(
+            4, THIRD, 1
+        )

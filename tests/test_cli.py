@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out.strip()
+
+
+class TestCount:
+    def test_count(self, capsys):
+        out = run(capsys, "count", "forall x. exists y. R(x, y)", "4")
+        assert out == str((2 ** 4 - 1) ** 4)
+
+    def test_method_pinning(self, capsys):
+        out = run(capsys, "count", "exists x. P(x)", "3", "--method", "lineage")
+        assert out == "7"
+
+
+class TestWfomc:
+    def test_default_weights(self, capsys):
+        out = run(capsys, "wfomc", "exists y. S(y)", "3")
+        assert out == "7"
+
+    def test_weight_option(self, capsys):
+        out = run(capsys, "wfomc", "exists y. S(y)", "4", "--weight", "S=1/2,1")
+        assert out == "65/16"  # (3/2)^4 - 1
+
+    def test_unknown_predicate_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["wfomc", "exists y. S(y)", "2", "--weight", "T=1,1"])
+
+    def test_malformed_weight_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["wfomc", "exists y. S(y)", "2", "--weight", "S=oops"])
+
+
+class TestProbability:
+    def test_probability(self, capsys):
+        out = run(capsys, "probability", "exists x. P(x)", "3")
+        assert out.startswith("7/8")
+
+
+class TestSpectrum:
+    def test_spectrum(self, capsys):
+        out = run(capsys, "spectrum", "exists x, y. x != y", "4")
+        assert out == "2 3 4"
+
+    def test_empty_spectrum(self, capsys):
+        out = run(capsys, "spectrum", "(exists x. P(x)) & (forall x. ~P(x))", "3")
+        assert out == "(empty)"
+
+
+class TestMu:
+    def test_mu(self, capsys):
+        out = run(capsys, "mu", "exists x. P(x)", "2")
+        assert out.startswith("3/4")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

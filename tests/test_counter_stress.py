@@ -1,0 +1,117 @@
+"""Stress and regression tests for the DPLL WMC engine on structured CNFs.
+
+These inputs mirror the shapes the grounded pipelines produce (chains of
+biconditionals, grids, cancellation-heavy Skolem weights), where a
+counting bug would silently corrupt every downstream result.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.propositional.cnf import to_cnf
+from repro.propositional.counter import model_count, satisfiable, wmc_cnf, wmc_formula
+from repro.propositional.formula import pand, pnot, por, pvar
+from repro.weights import WeightPair
+
+
+def _chain_iff(length):
+    """x_0 <-> x_1 <-> ... <-> x_len (conjunction of adjacent iffs)."""
+    parts = []
+    for i in range(length):
+        a, b = pvar(i), pvar(i + 1)
+        parts.append(por(pnot(a), b))
+        parts.append(por(a, pnot(b)))
+    return pand(*parts)
+
+
+class TestStructuredCounts:
+    def test_iff_chain_has_two_models(self):
+        for length in (1, 5, 20, 50):
+            assert model_count(_chain_iff(length)) == 2
+
+    def test_grid_of_implications(self):
+        # x_ij -> x_(i+1)j on a 3x3 grid: columns independent; each column
+        # is a monotone chain with 4 models.
+        parts = []
+        for j in range(3):
+            for i in range(2):
+                parts.append(por(pnot(pvar((i, j))), pvar((i + 1, j))))
+        assert model_count(pand(*parts)) == 4 ** 3
+
+    def test_pigeonhole_unsat(self):
+        # 3 pigeons, 2 holes: every pigeon somewhere, no hole twice.
+        def v(p, h):
+            return pvar((p, h))
+
+        parts = [por(v(p, 0), v(p, 1)) for p in range(3)]
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    parts.append(por(pnot(v(p1, h)), pnot(v(p2, h))))
+        formula = pand(*parts)
+        assert not satisfiable(formula)
+        assert model_count(formula) == 0
+
+    def test_exactly_one_constraint(self):
+        # Exactly-one over k variables: k models.
+        k = 6
+        at_least = por(*(pvar(i) for i in range(k)))
+        at_most = pand(
+            *(
+                por(pnot(pvar(i)), pnot(pvar(j)))
+                for i in range(k)
+                for j in range(i + 1, k)
+            )
+        )
+        assert model_count(pand(at_least, at_most)) == k
+
+
+class TestCancellation:
+    def test_skolem_weights_cancel_free_variables(self):
+        # (a | b) with b weighing (1, -1): the b-free worlds cancel, so
+        # the count equals the worlds where... sum over b of
+        # [a=1: w_b contributions cancel except forced] — exact value
+        # checked against direct expansion.
+        f = por(pvar("a"), pvar("b"))
+        weights = {"a": WeightPair(1, 1), "b": WeightPair(1, -1)}
+        # Worlds: (a,b) in {TT, TF, FT}: 1*1 + 1*(-1) + 1*1 = 1.
+        assert wmc_formula(f, weights.__getitem__, ["a", "b"]) == 1
+
+    def test_everything_cancels(self):
+        f = por(pvar("a"), pnot(pvar("a")))
+        weights = {"a": WeightPair(1, -1)}
+        assert wmc_formula(f, weights.__getitem__, ["a"]) == 0
+
+    def test_fractional_weights_compose(self):
+        f = pand(pvar("a"), por(pvar("b"), pvar("c")))
+        weights = {
+            "a": WeightPair(Fraction(1, 2), Fraction(1, 3)),
+            "b": WeightPair(Fraction(2, 5), Fraction(3, 5)),
+            "c": WeightPair(Fraction(1, 7), Fraction(6, 7)),
+        }
+        # a true (1/2) times P(b or c) mass ((1 - 3/5*6/7) = 17/35).
+        assert wmc_formula(f, weights.__getitem__, ["a", "b", "c"]) == (
+            Fraction(1, 2) * Fraction(17, 35)
+        )
+
+
+class TestCNFPaths:
+    def test_large_clausal_direct_path(self):
+        clauses = pand(*(por(pvar((i, 0)), pvar((i, 1))) for i in range(30)))
+        cnf = to_cnf(clauses)
+        assert cnf.num_vars == 60  # no Tseitin auxiliaries
+        assert model_count(clauses) == 3 ** 30
+
+    def test_deep_tseitin_path(self):
+        # Alternating and/or tree of depth 6 over 4 variables.
+        leaves = [pvar(i % 4) for i in range(8)]
+        layer = leaves
+        for depth in range(3):
+            combine = pand if depth % 2 == 0 else por
+            layer = [combine(layer[2 * i], layer[2 * i + 1]) for i in range(len(layer) // 2)]
+        formula = layer[0]
+        from repro.propositional.bruteforce import count_models_enumerate
+
+        universe = [0, 1, 2, 3]
+        assert model_count(formula, universe) == count_models_enumerate(formula, universe)

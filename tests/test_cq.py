@@ -1,0 +1,160 @@
+"""Tests for conjunctive queries and the gamma-acyclic algorithm (Thm 3.6)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.cq import (
+    CQAtom,
+    ConjunctiveQuery,
+    cq_probability_bruteforce,
+    gamma_acyclic_probability,
+)
+from repro.errors import NotGammaAcyclicError, SelfJoinError
+
+from .strategies import probabilities
+
+
+def _query(atoms, probs, sizes):
+    return ConjunctiveQuery(atoms, probs, sizes)
+
+
+HALF = Fraction(1, 2)
+
+
+class TestConjunctiveQuery:
+    def test_variables_ordered_by_first_occurrence(self):
+        q = _query([("R", ("b", "a")), ("S", ("c",))], {"R": HALF, "S": HALF}, 2)
+        assert q.variables == ("b", "a", "c")
+
+    def test_uniform_domain(self):
+        q = _query([("R", ("x", "y"))], {"R": HALF}, 3)
+        assert q.domain_sizes == {"x": 3, "y": 3}
+
+    def test_missing_probability_rejected(self):
+        with pytest.raises(ValueError):
+            _query([("R", ("x",))], {}, 2)
+
+    def test_missing_domain_rejected(self):
+        with pytest.raises(ValueError):
+            _query([("R", ("x",))], {"R": HALF}, {"y": 2})
+
+    def test_self_join_detection(self):
+        q = _query([("R", ("x", "y")), ("R", ("y", "z"))], {"R": HALF}, 2)
+        assert q.has_self_join()
+        with pytest.raises(SelfJoinError):
+            q.require_self_join_free()
+
+    def test_to_formula(self):
+        q = _query([("R", ("x", "y"))], {"R": HALF}, 2)
+        from repro.logic.parser import parse
+
+        assert q.to_formula() == parse("exists x. exists y. R(x, y)")
+
+
+class TestGammaAlgorithmExact:
+    def test_single_binary_atom(self):
+        q = _query([("R", ("x", "y"))], {"R": HALF}, 2)
+        assert gamma_acyclic_probability(q) == 1 - HALF ** 4
+
+    def test_single_unary_atom(self):
+        q = _query([("S", ("x",))], {"S": Fraction(1, 3)}, 3)
+        assert gamma_acyclic_probability(q) == 1 - Fraction(2, 3) ** 3
+
+    def test_zero_probability(self):
+        q = _query([("R", ("x", "y"))], {"R": Fraction(0)}, 2)
+        assert gamma_acyclic_probability(q) == 0
+
+    def test_certain_relation(self):
+        q = _query([("R", ("x", "y"))], {"R": Fraction(1)}, 2)
+        assert gamma_acyclic_probability(q) == 1
+
+    def test_empty_domain(self):
+        q = _query([("R", ("x", "y"))], {"R": HALF}, {"x": 0, "y": 2})
+        assert gamma_acyclic_probability(q) == 0
+
+    @pytest.mark.parametrize(
+        "atoms",
+        [
+            # Chains, stars, and the paper's Example 3.10 shape.
+            [("R", ("x", "y")), ("S", ("y", "z"))],
+            [("R", ("x", "y")), ("S", ("y",)), ("T", ("y", "z"))],
+            [("R", ("x",)), ("S", ("x", "y")), ("T", ("y",))],
+            [("R", ("x", "y")), ("S", ("x", "y"))],       # duplicate edge rule
+            [("R", ("x", "y", "z")), ("S", ("z",))],       # isolated node rule
+        ],
+    )
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_matches_bruteforce(self, atoms, n):
+        rels = {a[0] for a in atoms}
+        probs = {r: Fraction(1, 2 + i) for i, r in enumerate(sorted(rels))}
+        q = _query(atoms, probs, n)
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)
+
+    def test_rectangular_domains(self):
+        q = _query(
+            [("R", ("x", "y")), ("S", ("y", "z"))],
+            {"R": HALF, "S": Fraction(1, 3)},
+            {"x": 2, "y": 1, "z": 3},
+        )
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)
+
+    def test_edge_equivalent_variables_rule(self):
+        # x and y occur in exactly the same atoms: rule (e) merges them.
+        q = _query(
+            [("R", ("x", "y")), ("S", ("x", "y"))],
+            {"R": HALF, "S": Fraction(1, 3)},
+            2,
+        )
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)
+
+
+class TestGammaAlgorithmRejections:
+    def test_triangle_rejected(self):
+        q = _query(
+            [("R", ("x", "y")), ("S", ("y", "z")), ("T", ("z", "x"))],
+            {"R": HALF, "S": HALF, "T": HALF},
+            2,
+        )
+        with pytest.raises(NotGammaAcyclicError):
+            gamma_acyclic_probability(q)
+
+    def test_self_join_rejected(self):
+        q = _query([("R", ("x", "y")), ("R", ("y", "z"))], {"R": HALF}, 2)
+        with pytest.raises(SelfJoinError):
+            gamma_acyclic_probability(q)
+
+    def test_repeated_variable_rejected(self):
+        q = _query([("R", ("x", "x"))], {"R": HALF}, 2)
+        with pytest.raises(SelfJoinError):
+            gamma_acyclic_probability(q)
+
+
+class TestGammaAlgorithmRandom:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y", "z"]),
+                st.sampled_from(["x", "y", "z", "u"]),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        probabilities(),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_random_acyclic_queries(self, var_pairs, p, n):
+        atoms = []
+        probs = {}
+        for i, (a, b) in enumerate(var_pairs):
+            rel = "R{}".format(i)
+            if a == b:
+                atoms.append((rel, (a,)))
+            else:
+                atoms.append((rel, (a, b)))
+            probs[rel] = p
+        q = _query(atoms, probs, n)
+        assume(q.is_gamma_acyclic())
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)

@@ -1,0 +1,104 @@
+"""Tests for formula evaluation on finite structures."""
+
+import pytest
+
+from repro.grounding.structures import Structure
+from repro.logic.evaluate import evaluate
+from repro.logic.parser import parse
+from repro.logic.syntax import Const, Var, exists, conj, Atom
+
+x, y = Var("x"), Var("y")
+
+
+@pytest.fixture
+def chain():
+    """A 3-element structure with R = {(1,2), (2,3)} and P = {1}."""
+    return Structure(3, {"R": {(1, 2), (2, 3)}, "P": {(1,)}})
+
+
+class TestAtoms:
+    def test_atom_true(self, chain):
+        assert evaluate(parse("R(1, 2)"), chain)
+
+    def test_atom_false(self, chain):
+        assert not evaluate(parse("R(2, 1)"), chain)
+
+    def test_unknown_relation_is_empty(self, chain):
+        assert not evaluate(parse("Q(1)"), chain)
+
+    def test_equality(self, chain):
+        assert evaluate(parse("1 = 1"), chain)
+        assert not evaluate(parse("1 = 2"), chain)
+
+    def test_free_variable_from_assignment(self, chain):
+        assert evaluate(parse("P(x)"), chain, {x: 1})
+        assert not evaluate(parse("P(x)"), chain, {x: 2})
+
+    def test_unbound_variable_raises(self, chain):
+        with pytest.raises(ValueError):
+            evaluate(parse("P(x)"), chain)
+
+
+class TestConnectives:
+    def test_and_or_not(self, chain):
+        assert evaluate(parse("R(1, 2) & ~R(2, 1)"), chain)
+        assert evaluate(parse("R(2, 1) | P(1)"), chain)
+
+    def test_implies(self, chain):
+        assert evaluate(parse("R(2, 1) -> false"), chain)
+        assert not evaluate(parse("R(1, 2) -> false"), chain)
+
+    def test_iff(self, chain):
+        assert evaluate(parse("R(1, 2) <-> P(1)"), chain)
+
+
+class TestQuantifiers:
+    def test_exists(self, chain):
+        assert evaluate(parse("exists x. R(1, x)"), chain)
+        assert not evaluate(parse("exists x. R(3, x)"), chain)
+
+    def test_forall(self, chain):
+        assert evaluate(parse("forall x. (P(x) -> exists y. R(x, y))"), chain)
+        assert not evaluate(parse("forall x. exists y. R(x, y)"), chain)
+
+    def test_nested_alternation(self, chain):
+        assert evaluate(parse("exists x. forall y. ~R(y, x) | x = x"), chain)
+
+    def test_variable_shadowing(self, chain):
+        # Inner exists x shadows outer x; after the inner scope closes the
+        # outer binding must be visible again.
+        f = exists(
+            [x],
+            conj(
+                Atom("P", (x,)),
+                exists([x], Atom("R", (x, Const(3)))),
+                Atom("P", (x,)),
+            ),
+        )
+        assert evaluate(f, chain)
+
+    def test_empty_domain(self):
+        empty = Structure(0)
+        assert evaluate(parse("forall x. P(x)"), empty)
+        assert not evaluate(parse("exists x. P(x)"), empty)
+
+
+class TestStructure:
+    def test_holds(self, chain):
+        assert chain.holds("R", (1, 2))
+        assert not chain.holds("R", (2, 1))
+
+    def test_with_tuple(self, chain):
+        bigger = chain.with_tuple("R", (3, 1))
+        assert bigger.holds("R", (3, 1))
+        assert not chain.holds("R", (3, 1))
+
+    def test_equality_ignores_empty_relations(self):
+        a = Structure(2, {"R": set()})
+        b = Structure(2, {})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_size_of(self, chain):
+        assert chain.size_of("R") == 2
+        assert chain.size_of("Missing") == 0

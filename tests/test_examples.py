@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples double as integration tests — each asserts its own exact
+identities internally (they `assert` agreement between methods).
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "mln_smokers",
+    "knowledge_base",
+    "zero_one_laws",
+    "lifted_rules_limits",
+    pytest.param("complexity_tour", marks=pytest.mark.slow),
+]
+
+
+@pytest.fixture()
+def examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, examples_on_path, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), "example {} produced no output".format(name)

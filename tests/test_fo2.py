@@ -1,0 +1,114 @@
+"""Tests for the FO2 lifted algorithm (Appendix C): the PTIME data
+complexity result, validated exhaustively against the lineage engine."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import NotFO2Error
+from repro.logic.parser import parse
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.wfomc.bruteforce import wfomc_lineage
+from repro.wfomc.closed_forms import fomc_forall_exists, table1_fomc
+from repro.wfomc.fo2 import wfomc_fo2
+
+from .strategies import fo2_nested_sentences, weighted_vocabularies
+
+
+class TestClosedFormAgreement:
+    def test_forall_exists(self):
+        f = parse("forall x. exists y. R(x, y)")
+        for n in range(6):
+            assert wfomc_fo2(f, n) == fomc_forall_exists(n)
+
+    def test_table1(self):
+        f = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+        for n in range(5):
+            assert wfomc_fo2(f, n) == table1_fomc(n)
+
+    def test_polynomial_scaling(self):
+        # The lifted solver must comfortably reach domain sizes far beyond
+        # any grounded method (2^(n^2) worlds).
+        f = parse("forall x. exists y. R(x, y)")
+        assert wfomc_fo2(f, 30) == (2 ** 30 - 1) ** 30
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x, y. (R(x, y) -> R(y, x))",          # symmetry
+            "forall x. ~R(x, x)",                          # irreflexivity
+            "forall x. exists y. (R(x, y) & x != y)",      # no self-witness
+            "exists x. forall y. R(x, y)",                 # universal row
+            "forall x. (P(x) <-> exists y. R(x, y))",      # biconditional def
+            "(exists x. P(x)) & (forall x. exists y. S(x, y))",
+            "exists x. exists y. (P(x) & S(x, y) & Q(y))", # the FO2 CQ of Sec 1
+            "forall x, y. (R(x, y) | x = y)",              # equality in matrix
+            "Z | (forall x. P(x))",                        # zero-ary symbol
+        ],
+    )
+    def test_matches_lineage(self, text):
+        f = parse(text)
+        for n in (0, 1, 2, 3):
+            assert wfomc_fo2(f, n) == wfomc_lineage(f, n), (text, n)
+
+    @settings(max_examples=40, deadline=None)
+    @given(fo2_nested_sentences())
+    def test_matches_lineage_random_unweighted(self, f):
+        for n in (1, 2):
+            assert wfomc_fo2(f, n) == wfomc_lineage(f, n)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fo2_nested_sentences(), weighted_vocabularies())
+    def test_matches_lineage_random_weighted(self, f, wv):
+        assert wfomc_fo2(f, 2, wv) == wfomc_lineage(f, 2, wv)
+
+
+class TestWeighted:
+    def test_weighted_forall_exists(self):
+        f = parse("forall x. exists y. R(x, y)")
+        pair = (Fraction(1, 2), Fraction(3))
+        wv = WeightedVocabulary.from_weights({"R": pair}, {"R": 2})
+        for n in range(4):
+            expected = ((Fraction(1, 2) + 3) ** n - Fraction(3) ** n) ** n
+            assert wfomc_fo2(f, n, wv) == expected
+
+    def test_negative_weights_supported(self):
+        f = parse("forall x, y. (R(x, y) | S(x, y))")
+        wv = WeightedVocabulary.from_weights(
+            {"R": (1, -1), "S": (2, 1)}, {"R": 2, "S": 2}
+        )
+        for n in (1, 2):
+            assert wfomc_fo2(f, n, wv) == wfomc_lineage(f, n, wv)
+
+
+class TestRejections:
+    def test_three_variables_rejected(self):
+        f = parse("forall x, y, z. (R(x, y) | R(y, z))")
+        with pytest.raises(NotFO2Error):
+            wfomc_fo2(f, 2)
+
+    def test_ternary_predicate_rejected(self):
+        f = parse("forall x, y. T(x, y, x)")
+        with pytest.raises(NotFO2Error):
+            wfomc_fo2(f, 2)
+
+
+class TestFriendsSmokers:
+    def test_friends_smokers_hard_constraint(self):
+        # The motivating MLN-style sentence: smoking propagates to friends.
+        f = parse("forall x, y. (Smokes(x) & Friends(x, y) -> Smokes(y))")
+        for n in (0, 1, 2):
+            assert wfomc_fo2(f, n) == wfomc_lineage(f, n)
+
+    def test_friends_smokers_larger_domain(self):
+        f = parse("forall x, y. (Smokes(x) & Friends(x, y) -> Smokes(y))")
+        # Known closed form: sum_k C(n,k) 2^(n^2 - k(n-k)) counts worlds by
+        # the set of smokers: edges from a smoker to a non-smoker forbidden.
+        from math import comb
+
+        for n in (1, 2, 3, 4, 5):
+            expected = sum(comb(n, k) * 2 ** (n * n - k * (n - k)) for k in range(n + 1))
+            assert wfomc_fo2(f, n) == expected

@@ -1,0 +1,86 @@
+"""White-box tests for the FO2 cell decomposition (Appendix C internals)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.logic.scott import scott_normalize, skolemize_scott
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.wfomc.fo2 import FO2CellDecomposition, _combine_universal
+from repro.errors import NotFO2Error
+
+
+def _decomposition(text, weights=None):
+    f = parse(text)
+    wv = weights or WeightedVocabulary.counting(f)
+    sentences, wv1 = scott_normalize(f, wv)
+    universal, wv2 = skolemize_scott(sentences, wv1)
+    matrix = _combine_universal(universal)
+    return FO2CellDecomposition(matrix, wv2), wv2
+
+
+class TestCells:
+    def test_pure_binary_has_reflexive_slots(self):
+        decomposition, _ = _decomposition("forall x, y. (R(x, y) | R(y, x))")
+        kinds = [kind for _name, kind in decomposition.type_slots if _name == "R"]
+        assert kinds == ["refl"]
+
+    def test_unary_predicates_become_slots(self):
+        decomposition, _ = _decomposition("forall x. (P(x) | Q(x))")
+        names = {name for name, kind in decomposition.type_slots if kind == "unary"}
+        assert {"P", "Q"} <= names
+
+    def test_unused_predicates_excluded_from_slots(self):
+        # A vocabulary with an extra predicate not in the sentence: the
+        # decomposition must ignore it (the caller masses it separately).
+        f = parse("forall x. P(x)")
+        wv = WeightedVocabulary.from_weights(
+            {"P": (1, 1), "Unused": (1, 1)}, {"P": 1, "Unused": 2}
+        )
+        sentences, wv1 = scott_normalize(f, wv)
+        universal, wv2 = skolemize_scott(sentences, wv1)
+        matrix = _combine_universal(universal)
+        decomposition = FO2CellDecomposition(matrix, wv2)
+        assert "Unused" not in decomposition.matrix_preds
+
+    def test_run_at_zero_elements(self):
+        decomposition, _ = _decomposition("forall x, y. R(x, y)")
+        zero = {name: False for name in decomposition.zero_preds}
+        assert decomposition.run(0, zero) == 1
+
+
+class TestCombineUniversal:
+    def test_three_variable_prefix_rejected(self):
+        from repro.logic.scott import UniversalSentence
+        from repro.logic.syntax import Var, Atom
+
+        sentence = UniversalSentence(
+            (Var("a"), Var("b"), Var("c")),
+            Atom("T", (Var("a"), Var("b"))),
+        )
+        with pytest.raises(NotFO2Error):
+            _combine_universal([sentence])
+
+    def test_variable_renaming(self):
+        from repro.logic.scott import UniversalSentence
+        from repro.logic.syntax import Var, Atom, free_variables
+
+        s1 = UniversalSentence((Var("u"), Var("v")), Atom("R", (Var("u"), Var("v"))))
+        s2 = UniversalSentence((Var("a"),), Atom("P", (Var("a"),)))
+        matrix = _combine_universal([s1, s2])
+        names = {v.name for v in free_variables(matrix)}
+        assert names <= {"fo2_x", "fo2_y"}
+
+
+class TestWeightedCells:
+    def test_cell_weights_multiply_unary_and_reflexive(self):
+        wv = WeightedVocabulary.from_weights(
+            {"P": (2, 3), "R": (5, 7)}, {"P": 1, "R": 2}
+        )
+        decomposition, wv2 = _decomposition("forall x, y. (P(x) | R(x, y))", wv)
+        # A 1-type fixing P(x)=True, R(x,x)=True weighs 2 * 5 (times any
+        # Scott/Skolem slots, which weigh 1).
+        bits_all_true = tuple(True for _ in decomposition.type_slots)
+        weight = decomposition._type_weight(bits_all_true)
+        assert weight == 10

@@ -1,0 +1,62 @@
+"""Tests for the #SAT gadget (Theorem 4.1(1) / Figure 2)."""
+
+import pytest
+
+from repro.complexity.gadget import gadget_model_count_identity, sat_gadget
+from repro.logic.syntax import num_variables, predicates_of
+from repro.propositional.formula import pand, pnot, por, pvar
+from repro.wfomc.bruteforce import fomc_lineage
+
+X1, X2, X3 = pvar("X1"), pvar("X2"), pvar("X3")
+
+
+class TestShape:
+    def test_gadget_is_fo2(self):
+        f = sat_gadget(por(X1, X2), ["X1", "X2"])
+        assert num_variables(f) == 2
+
+    def test_fixed_vocabulary(self):
+        f = sat_gadget(por(X1, X2), ["X1", "X2"])
+        assert predicates_of(f) == {"A": 1, "B": 1, "C": 1, "R": 2, "S": 2}
+
+    def test_single_variable_rejected(self):
+        with pytest.raises(ValueError):
+            sat_gadget(X1, ["X1"])
+
+
+class TestCountingIdentity:
+    @pytest.mark.parametrize(
+        "name,formula,sharp",
+        [
+            ("or", por(X1, X2), 3),
+            ("and", pand(X1, X2), 1),
+            ("xor", por(pand(X1, pnot(X2)), pand(pnot(X1), X2)), 2),
+            ("iff", por(pand(X1, X2), pand(pnot(X1), pnot(X2))), 2),
+            ("contradiction", pand(X1, pnot(X1)), 0),
+            ("tautology", por(X1, pnot(X1)), 4),
+            ("negative_unit", pand(pnot(X1), pnot(X2)), 1),
+        ],
+    )
+    def test_two_variable_formulas(self, name, formula, sharp):
+        lhs, rhs = gadget_model_count_identity(formula, ["X1", "X2"], fomc_lineage)
+        assert lhs == rhs
+        from math import factorial
+
+        assert rhs == factorial(3) * sharp
+
+    def test_unused_listed_variable_doubles_count(self):
+        # F = X1 over variables [X1, X2]: #F = 2 over the larger universe.
+        lhs, rhs = gadget_model_count_identity(X1, ["X1", "X2"], fomc_lineage)
+        assert lhs == rhs == 6 * 2
+
+
+@pytest.mark.slow
+class TestThreeVariables:
+    def test_three_variable_formula(self):
+        # #(X1 & (X2 | X3)) = 3; domain size 4.
+        f = pand(X1, por(X2, X3))
+        lhs, rhs = gadget_model_count_identity(f, ["X1", "X2", "X3"], fomc_lineage)
+        assert lhs == rhs
+        from math import factorial
+
+        assert rhs == factorial(4) * 3

@@ -1,0 +1,78 @@
+"""White-box tests for the gamma-acyclic solver (Theorem 3.6 internals)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cq import ConjunctiveQuery, cq_probability_bruteforce, gamma_acyclic_probability
+from repro.cq.gamma import _GammaSolver
+
+HALF = Fraction(1, 2)
+
+
+class TestMemoization:
+    def test_memo_reuses_residuals(self):
+        # The rule-(b) recursion evaluates the same residual at many k;
+        # the memo must be populated.
+        q = ConjunctiveQuery(
+            [("A", ("x",)), ("R", ("x", "y")), ("B", ("y",))],
+            {"A": HALF, "R": HALF, "B": HALF},
+            4,
+        )
+        solver = _GammaSolver(dict(q.probabilities))
+        atoms = frozenset((a.relation, a.variables) for a in q.atoms)
+        solver.probability(atoms, dict(q.domain_sizes))
+        assert len(solver.memo) > 1
+
+    def test_fresh_relation_probabilities_tracked(self):
+        solver = _GammaSolver({"R": HALF})
+        name = solver._fresh_relation("R", Fraction(3, 4))
+        assert solver.probabilities[name] == Fraction(3, 4)
+        assert name != "R"
+
+
+class TestRuleInteractions:
+    def test_rule_a_then_b_cascade(self):
+        # R(x, y) with both ends hanging: (a) projects y, then (b)
+        # conditions on the unary residue.
+        q = ConjunctiveQuery(
+            [("R", ("x", "y")), ("P", ("x",))], {"R": HALF, "P": HALF}, 3
+        )
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)
+
+    def test_zero_size_mid_recursion(self):
+        # Rule (b) with k down to 1; n_x = 1 forces deep residuals with
+        # singleton domains.
+        q = ConjunctiveQuery(
+            [("P", ("x",)), ("R", ("x", "y")), ("Q", ("y",))],
+            {"P": HALF, "R": Fraction(1, 3), "Q": Fraction(1, 4)},
+            1,
+        )
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)
+
+    def test_four_level_chain_with_units(self):
+        atoms = [
+            ("A", ("w",)),
+            ("R", ("w", "x")),
+            ("S", ("x", "y")),
+            ("T", ("y", "z")),
+            ("B", ("z",)),
+        ]
+        probs = {k: Fraction(1, 2 + i) for i, k in enumerate("ARSTB")}
+        q = ConjunctiveQuery(atoms, probs, 2)
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)
+
+    def test_wide_star_with_shared_center(self):
+        atoms = [("R{}".format(i), ("c", "x{}".format(i))) for i in range(4)]
+        probs = {"R{}".format(i): Fraction(1, i + 2) for i in range(4)}
+        q = ConjunctiveQuery(atoms, probs, 2)
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)
+
+    def test_ternary_atom_projection(self):
+        # Isolated variables in a ternary atom: two applications of (a).
+        q = ConjunctiveQuery(
+            [("R", ("x", "y", "z")), ("P", ("z",))],
+            {"R": HALF, "P": Fraction(1, 3)},
+            2,
+        )
+        assert gamma_acyclic_probability(q) == cq_probability_bruteforce(q)

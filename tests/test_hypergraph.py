@@ -1,0 +1,127 @@
+"""Tests for the acyclicity hierarchy (Section 3.2 / Figure 1).
+
+The paper's named queries pin the classes:
+
+* gamma-acyclic  <  jtdb  <  beta-acyclic  <  alpha-acyclic  <  all CQs
+* ``c_gamma = R(x,z), S(x,y,z), T(y,z)`` is gamma-cyclic yet PTIME;
+* ``c_jtdb = R(x,y,z,u), S(x,y), T(x,z), V(x,u)`` is beta-acyclic;
+* the typed cycles ``C_k`` are beta-cyclic (they contain weak beta-cycles).
+"""
+
+import pytest
+
+from repro.cq.hypergraph import Hypergraph
+
+
+def _cycle(k):
+    """The typed k-cycle C_k: R_i(x_i, x_{i+1})."""
+    edges = {}
+    for i in range(k):
+        edges["R{}".format(i)] = {"x{}".format(i), "x{}".format((i + 1) % k)}
+    return Hypergraph(edges)
+
+
+CHAIN = Hypergraph({"R1": {"x0", "x1"}, "R2": {"x1", "x2"}, "R3": {"x2", "x3"}})
+STAR = Hypergraph({"R": {"x", "y"}, "S": {"y"}, "T": {"y", "z"}})
+C_GAMMA = Hypergraph({"R": {"x", "z"}, "S": {"x", "y", "z"}, "T": {"y", "z"}})
+C_JTDB = Hypergraph(
+    {"R": {"x", "y", "z", "u"}, "S": {"x", "y"}, "T": {"x", "z"}, "V": {"x", "u"}}
+)
+
+
+class TestGammaAcyclicity:
+    def test_chain_is_gamma_acyclic(self):
+        assert CHAIN.is_gamma_acyclic()
+
+    def test_star_is_gamma_acyclic(self):
+        assert STAR.is_gamma_acyclic()
+
+    def test_single_edge(self):
+        assert Hypergraph({"R": {"x", "y", "z"}}).is_gamma_acyclic()
+
+    def test_empty_hypergraph(self):
+        assert Hypergraph({}).is_gamma_acyclic()
+
+    def test_c_gamma_is_gamma_cyclic(self):
+        # The paper: c_gamma has the gamma-cycle R x S y T z R.
+        assert not C_GAMMA.is_gamma_acyclic()
+
+    def test_triangle_is_gamma_cyclic(self):
+        assert not _cycle(3).is_gamma_acyclic()
+
+    def test_duplicate_edges_reduce(self):
+        h = Hypergraph({"R": {"x", "y"}, "S": {"x", "y"}})
+        assert h.is_gamma_acyclic()
+
+    def test_gamma_reduce_residual(self):
+        residual = _cycle(3).gamma_reduce()
+        assert residual  # non-empty residue certifies gamma-cyclicity
+
+
+class TestAlphaAcyclicity:
+    def test_chain(self):
+        assert CHAIN.is_alpha_acyclic()
+
+    def test_c_gamma_is_alpha_acyclic(self):
+        assert C_GAMMA.is_alpha_acyclic()
+
+    def test_c_jtdb_is_alpha_acyclic(self):
+        assert C_JTDB.is_alpha_acyclic()
+
+    def test_cycles_are_alpha_cyclic(self):
+        for k in (3, 4, 5):
+            assert not _cycle(k).is_alpha_acyclic()
+
+    def test_big_edge_makes_alpha_acyclic(self):
+        # The Section 3.2 trick: adding an atom with all variables makes any
+        # query alpha-acyclic.
+        edges = dict(_cycle(3).edges)
+        edges["A"] = {"x0", "x1", "x2"}
+        assert Hypergraph(edges).is_alpha_acyclic()
+
+
+class TestBetaAcyclicity:
+    def test_chain(self):
+        assert CHAIN.is_beta_acyclic()
+
+    def test_c_jtdb_is_beta_acyclic(self):
+        assert C_JTDB.is_beta_acyclic()
+
+    def test_cycles_are_beta_cyclic(self):
+        for k in (3, 4):
+            assert not _cycle(k).is_beta_acyclic()
+
+    def test_alpha_acyclic_but_beta_cyclic(self):
+        # Triangle + covering edge: alpha-acyclic, but the triangle subset
+        # witnesses beta-cyclicity.
+        edges = dict(_cycle(3).edges)
+        edges["A"] = {"x0", "x1", "x2"}
+        h = Hypergraph(edges)
+        assert h.is_alpha_acyclic()
+        assert not h.is_beta_acyclic()
+
+    def test_hierarchy_inclusions(self):
+        # gamma => beta => alpha on a sample of hypergraphs.
+        samples = [CHAIN, STAR, C_GAMMA, C_JTDB, _cycle(3), _cycle(4)]
+        for h in samples:
+            if h.is_gamma_acyclic():
+                assert h.is_beta_acyclic()
+            if h.is_beta_acyclic():
+                assert h.is_alpha_acyclic()
+
+
+class TestWeakBetaCycles:
+    def test_cycle_has_weak_beta_cycle(self):
+        found = _cycle(3).find_weak_beta_cycle()
+        assert found is not None
+        edges, nodes = found
+        assert len(edges) == len(nodes) == 3
+
+    def test_chain_has_none(self):
+        assert CHAIN.find_weak_beta_cycle() is None
+
+    def test_beta_acyclic_iff_no_weak_beta_cycle(self):
+        # Fagin's characterization, on our samples.
+        samples = [CHAIN, STAR, C_JTDB, _cycle(3), _cycle(4), _cycle(5)]
+        for h in samples:
+            assert h.is_beta_acyclic() == (h.find_weak_beta_cycle() is None)

@@ -1,0 +1,124 @@
+"""Tests for the Corollary 3.2 machinery: duality, unions, inclusion-exclusion."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cq import (
+    CQAtom,
+    ConjunctiveQuery,
+    PositiveClause,
+    clause_probability,
+    cnf_probability,
+    conjoin_with_fresh_vocabulary,
+    cq_probability_bruteforce,
+    dual_query,
+    union_clause,
+)
+from repro.logic.parser import parse
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.weights import from_probability
+from repro.wfomc.solver import probability as fo_probability
+
+HALF = Fraction(1, 2)
+THIRD = Fraction(1, 3)
+
+
+def _clause(*atoms):
+    return PositiveClause(tuple(CQAtom(r, tuple(v)) for r, v in atoms))
+
+
+class TestDuality:
+    def test_dual_complements_probabilities(self):
+        clause = _clause(("R", ("x", "y")))
+        dual = dual_query(clause, {"R": THIRD}, 2)
+        assert dual.probabilities["R"] == Fraction(2, 3)
+
+    def test_clause_probability_single_atom(self):
+        # Pr(forall x, y R(x, y)) = p^(n^2).
+        clause = _clause(("R", ("x", "y")))
+        for n in (1, 2, 3):
+            assert clause_probability(clause, {"R": THIRD}, n) == THIRD ** (n * n)
+
+    def test_clause_probability_matches_fo_solver(self):
+        # forall x, y (R(x) | S(x, y) | T(y)) — Table 1's sentence.
+        clause = _clause(("R", ("x",)), ("S", ("x", "y")), ("T", ("y",)))
+        probs = {"R": HALF, "S": THIRD, "T": Fraction(1, 4)}
+        f = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+        wv = WeightedVocabulary.from_weights(
+            {name: from_probability(p) for name, p in probs.items()},
+            {"R": 1, "S": 2, "T": 1},
+        )
+        for n in (1, 2):
+            assert clause_probability(clause, probs, n) == fo_probability(f, n, wv)
+
+
+class TestUnionClause:
+    def test_variables_renamed_apart(self):
+        c1 = _clause(("R", ("x",)))
+        c2 = _clause(("S", ("x",)))
+        merged = union_clause([c1, c2])
+        names = merged.variables()
+        assert len(names) == 2 and len(set(names)) == 2
+
+    def test_union_probability_is_disjunction(self):
+        # Pr(C1 | C2) where C1 = forall x R(x), C2 = forall x S(x):
+        # inclusion-exclusion on the two universal events.
+        c1 = _clause(("R", ("x",)))
+        c2 = _clause(("S", ("x",)))
+        merged = union_clause([c1, c2])
+        probs = {"R": HALF, "S": THIRD}
+        for n in (1, 2, 3):
+            p1 = HALF ** n
+            p2 = THIRD ** n
+            expected = p1 + p2 - p1 * p2
+            assert clause_probability(merged, probs, n) == expected
+
+
+class TestCNFProbability:
+    def test_single_clause(self):
+        c = _clause(("R", ("x", "y")))
+        assert cnf_probability([c], {"R": HALF}, 2) == HALF ** 4
+
+    def test_independent_clauses_multiply(self):
+        c1 = _clause(("R", ("x",)))
+        c2 = _clause(("S", ("x",)))
+        probs = {"R": HALF, "S": THIRD}
+        for n in (1, 2):
+            assert cnf_probability([c1, c2], probs, n) == (HALF ** n) * (THIRD ** n)
+
+    def test_against_fo_solver(self):
+        # (forall x,y R(x)|S(x,y)) & (forall x,y S(x,y)|T(y))
+        c1 = _clause(("R", ("x",)), ("S", ("x", "y")))
+        c2 = _clause(("S", ("x", "y")), ("T", ("y",)))
+        probs = {"R": HALF, "S": THIRD, "T": Fraction(2, 5)}
+        f = parse(
+            "(forall x, y. (R(x) | S(x, y))) & (forall x, y. (S(x, y) | T(y)))"
+        )
+        wv = WeightedVocabulary.from_weights(
+            {name: from_probability(p) for name, p in probs.items()},
+            {"R": 1, "S": 2, "T": 1},
+        )
+        for n in (1, 2):
+            assert cnf_probability([c1, c2], probs, n) == fo_probability(f, n, wv)
+
+    def test_empty_cnf_is_certain(self):
+        assert cnf_probability([], {}, 3) == 1
+
+
+class TestConjoinFreshVocabulary:
+    def test_probability_factorizes(self):
+        q1 = ConjunctiveQuery([("R", ("x", "y"))], {"R": HALF}, 2)
+        q2 = ConjunctiveQuery([("S", ("x",))], {"S": THIRD}, 2)
+        big, factors = conjoin_with_fresh_vocabulary([q1, q2])
+        # Evaluate the packed query by brute force; must equal the product.
+        packed = cq_probability_bruteforce(big)
+        assert packed == factors[0] * factors[1]
+
+    def test_relation_names_disjoint(self):
+        q1 = ConjunctiveQuery([("R", ("x",))], {"R": HALF}, 2)
+        q2 = ConjunctiveQuery([("R", ("x",))], {"R": THIRD}, 2)
+        big, _ = conjoin_with_fresh_vocabulary([q1, q2])
+        names = [a.relation for a in big.atoms]
+        assert len(set(names)) == 2
+        assert not big.has_self_join()

@@ -1,0 +1,164 @@
+"""Ground-truth enumeration tests for the lifted rule engine's internals.
+
+The engine counts over typed clause theories; this module re-counts by
+grounding the typed theory directly (assigning concrete elements to each
+domain) and enumerating assignments — a fully independent semantics that
+caught a real bug during development (vacuous clause copies over empty
+domain parts surviving as live constraints).
+"""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lifted.rules import LiftedRulesEngine, RulesIncompleteError, _clause
+from repro.logic.vocabulary import WeightedVocabulary
+
+
+def ground_truth(engine, clauses):
+    """WMC over mentioned ground atoms, by direct enumeration."""
+    elements = {
+        d: [(d, i) for i in range(size)] for d, size in engine.sizes.items()
+    }
+    ground_clauses = []
+    atoms = set()
+    for lits, doms in clauses:
+        doms = dict(doms)
+        vs = sorted({v for _s, _p, args in lits for v in args})
+        domains = [elements[doms[v]] for v in vs]
+        if any(not dom for dom in domains):
+            continue  # vacuous universal over an empty domain
+        for assign in itertools.product(*domains):
+            mapping = dict(zip(vs, assign))
+            gc = []
+            for s, p, args in lits:
+                atom = (p, tuple(mapping[v] for v in args))
+                atoms.add(atom)
+                gc.append((s, atom))
+            ground_clauses.append(gc)
+    atoms = sorted(atoms)
+    total = Fraction(0)
+    for bits in itertools.product((False, True), repeat=len(atoms)):
+        value = dict(zip(atoms, bits))
+        if all(any(value[a] == s for s, a in gc) for gc in ground_clauses):
+            weight = Fraction(1)
+            for a, b in zip(atoms, bits):
+                pair = engine.wv.weight(a[0])
+                weight *= pair.w if b else pair.wbar
+            total += weight
+    return total
+
+
+WV = WeightedVocabulary.from_weights(
+    {"P": (1, 1), "Q": (2, 1), "R": (1, 1), "Sk": (1, -1)},
+    {"P": 1, "Q": 1, "R": 2, "Sk": 1},
+)
+
+
+def check(clause_specs, sizes):
+    engine = LiftedRulesEngine(WV, dict(sizes))
+    clauses = frozenset(_clause(ls, vd) for ls, vd in clause_specs)
+    got = engine.count(clauses)
+    want = ground_truth(engine, clauses)
+    assert got == want, (got, want, clause_specs)
+
+
+class TestFixedTheories:
+    def test_mixed_unary_clause(self):
+        # The clause that exposed the empty-part bug:
+        # forall x, y (~Q(x) | ~P(y) | Sk(x)).
+        check(
+            [
+                (
+                    {(False, "Q", ("x",)), (False, "P", ("y",)), (True, "Sk", ("x",))},
+                    (("x", "D"), ("y", "D")),
+                )
+            ],
+            {"D": 2},
+        )
+
+    def test_two_clause_theory(self):
+        check(
+            [
+                (
+                    {(False, "Q", ("x",)), (False, "P", ("y",)), (True, "P", ("x",))},
+                    (("x", "D"), ("y", "D")),
+                ),
+                ({(True, "P", ("x",)), (True, "Sk", ("x",))}, (("x", "D"),)),
+            ],
+            {"D": 2},
+        )
+
+    def test_binary_symmetric_clause(self):
+        check(
+            [
+                (
+                    {(True, "R", ("x", "y")), (False, "R", ("y", "x"))},
+                    (("x", "D"), ("y", "D")),
+                )
+            ],
+            {"D": 3},
+        )
+
+    def test_bipartite_clause(self):
+        check(
+            [
+                (
+                    {(True, "R", ("x", "y")), (False, "P", ("x",))},
+                    (("x", "D1"), ("y", "D2")),
+                )
+            ],
+            {"D1": 2, "D2": 3},
+        )
+
+    def test_zero_ary_style_unit_domains(self):
+        check(
+            [
+                ({(True, "P", ("x",)), (True, "Q", ("y",))}, (("x", "U1"), ("y", "U2"))),
+                ({(False, "P", ("x",))}, (("x", "U1"),)),
+            ],
+            {"U1": 1, "U2": 1},
+        )
+
+
+class TestRandomTheories:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.booleans(),
+                    st.sampled_from(["P", "Q", "R"]),
+                    st.sampled_from([("x",), ("y",), ("x", "y"), ("y", "x")]),
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_random_typed_theories(self, raw_clauses, n):
+        specs = []
+        for raw in raw_clauses:
+            lits = set()
+            for sign, pred, args in raw:
+                if pred == "R" and len(args) == 1:
+                    continue  # arity mismatch
+                if pred != "R" and len(args) == 2:
+                    args = (args[0],)
+                lits.add((sign, pred, args))
+            if lits:
+                specs.append((lits, (("x", "D"), ("y", "D"))))
+        if not specs:
+            return
+        engine = LiftedRulesEngine(WV, {"D": n})
+        clauses = frozenset(_clause(ls, vd) for ls, vd in specs)
+        try:
+            got = engine.count(clauses)
+        except RulesIncompleteError:
+            return
+        assert got == ground_truth(engine, clauses)

@@ -1,0 +1,91 @@
+"""Tests for grounding/lineage: truth of the lineage == truth of the sentence."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grounding.lineage import ground_atom_weights, lineage
+from repro.grounding.structures import Structure, all_structures, ground_tuples
+from repro.logic.evaluate import evaluate
+from repro.logic.parser import parse
+from repro.logic.vocabulary import Vocabulary, WeightedVocabulary
+from repro.propositional.formula import PFalse, PTrue, peval, prop_vars
+
+from .strategies import fo2_nested_sentences
+
+
+def _structure_assignment(structure, vocabulary):
+    return {
+        (pred, args): structure.holds(pred, args)
+        for pred, args in ground_tuples(vocabulary, structure.n)
+    }
+
+
+class TestLineageBasics:
+    def test_ground_atom(self):
+        f = parse("R(1, 2)")
+        g = lineage(f, 2)
+        assert prop_vars(g) == {("R", (1, 2))}
+
+    def test_equality_folds(self):
+        assert isinstance(lineage(parse("1 = 1"), 2), PTrue)
+        assert isinstance(lineage(parse("1 = 2"), 2), PFalse)
+
+    def test_forall_expands_to_and(self):
+        g = lineage(parse("forall x. P(x)"), 3)
+        assert len(prop_vars(g)) == 3
+
+    def test_exists_over_empty_domain_is_false(self):
+        assert isinstance(lineage(parse("exists x. P(x)"), 0), PFalse)
+
+    def test_forall_over_empty_domain_is_true(self):
+        assert isinstance(lineage(parse("forall x. P(x)"), 0), PTrue)
+
+    def test_free_variable_rejected(self):
+        with pytest.raises(ValueError):
+            lineage(parse("P(x)"), 2)
+
+    def test_lineage_size_polynomial(self):
+        # forall x exists y R(x,y): lineage has n^2 distinct atoms.
+        g = lineage(parse("forall x. exists y. R(x, y)"), 4)
+        assert len(prop_vars(g)) == 16
+
+
+class TestLineageSemantics:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. exists y. R(x, y)",
+            "forall x, y. (R(x, y) -> R(y, x))",
+            "exists x. (P(x) & forall y. (R(x, y) | x = y))",
+            "forall x. exists y. (R(x, y) & x != y)",
+        ],
+    )
+    def test_lineage_truth_equals_evaluation(self, text):
+        f = parse(text)
+        vocab = Vocabulary.of_formula(f)
+        for n in (1, 2):
+            g = lineage(f, n)
+            for structure in all_structures(vocab, n):
+                assignment = _structure_assignment(structure, vocab)
+                assert peval(g, assignment) == evaluate(f, structure)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fo2_nested_sentences())
+    def test_lineage_truth_random(self, f):
+        vocab = Vocabulary.of_formula(f)
+        n = 2
+        g = lineage(f, n)
+        for structure in all_structures(vocab, n):
+            assignment = _structure_assignment(structure, vocab)
+            assert peval(g, assignment) == evaluate(f, structure)
+
+
+class TestGroundAtomWeights:
+    def test_universe_is_tup_n(self):
+        wv = WeightedVocabulary.from_weights({"P": (1, 1), "R": (2, 3)}, {"P": 1, "R": 2})
+        weight_of, universe = ground_atom_weights(wv, 2)
+        assert len(universe) == 2 + 4
+        assert weight_of(("R", (1, 2))).w == 2
+        assert weight_of(("P", (2,))).wbar == 1

@@ -1,0 +1,137 @@
+"""Tests for MLN semantics (Example 1.1) and the WFOMC reduction (Example 1.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.mln import (
+    HARD,
+    MLN,
+    MLNConstraint,
+    mln_partition_bruteforce,
+    mln_probability_bruteforce,
+    mln_probability_wfomc,
+    reduce_to_wfomc,
+)
+
+
+SPOUSE = MLN([(3, parse("Spouse(x, y) & Female(x) -> Male(y)"))])
+
+
+class TestMLNModel:
+    def test_constraint_weight_coercion(self):
+        c = MLNConstraint("1/2", parse("P(x)"))
+        assert c.weight == Fraction(1, 2)
+
+    def test_hard_constraint(self):
+        c = MLNConstraint(HARD, parse("forall x. P(x)"))
+        assert c.is_hard()
+
+    def test_free_variables_sorted(self):
+        c = MLNConstraint(2, parse("R(y, x)"))
+        assert tuple(v.name for v in c.free_variables()) == ("x", "y")
+
+    def test_vocabulary_collected(self):
+        assert set(SPOUSE.vocabulary.names()) == {"Spouse", "Female", "Male"}
+
+    def test_world_weight_counts_groundings(self):
+        # MLN with (2, P(x)): weight = 2^|P|.
+        mln = MLN([(2, parse("P(x)"))])
+        from repro.grounding.structures import Structure
+
+        assert mln.world_weight(Structure(3, {"P": {(1,), (3,)}})) == 4
+        assert mln.world_weight(Structure(3, {"P": set()})) == 1
+
+    def test_hard_constraint_zeroes_weight(self):
+        mln = MLN([(HARD, parse("forall x. P(x)")), (2, parse("Q(x)"))])
+        from repro.grounding.structures import Structure
+
+        assert mln.world_weight(Structure(2, {"P": {(1,)}, "Q": {(1,)}})) == 0
+        assert mln.world_weight(Structure(2, {"P": {(1,), (2,)}, "Q": {(1,)}})) == 2
+
+
+class TestPartitionFunction:
+    def test_single_unary_soft_constraint(self):
+        # (w, P(x)): partition = sum over P-subsets w^|P| = (1 + w)^n.
+        mln = MLN([(3, parse("P(x)"))])
+        for n in (1, 2, 3):
+            assert mln_partition_bruteforce(mln, n) == 4 ** n
+
+    def test_symmetric_wfomc_special_case(self):
+        # The paper: symmetric WFOMC == MLN with one constraint (w_i, R_i(x_i)).
+        mln = MLN([(2, parse("R(x, y)"))])
+        for n in (1, 2):
+            assert mln_partition_bruteforce(mln, n) == 3 ** (n * n)
+
+
+class TestReduction:
+    def test_reduction_weight_is_one_over_w_minus_one(self):
+        red = reduce_to_wfomc(SPOUSE)
+        aux = [p for p in red.weighted_vocabulary.vocabulary if p.name.startswith("MR")]
+        assert len(aux) == 1
+        pair = red.weighted_vocabulary.weight(aux[0].name)
+        assert pair.w == Fraction(1, 2)  # 1/(3-1)
+        assert pair.wbar == 1
+
+    def test_negative_weight_for_w_below_one(self):
+        mln = MLN([(Fraction(1, 2), parse("P(x)"))])
+        red = reduce_to_wfomc(mln)
+        aux = [p for p in red.weighted_vocabulary.vocabulary if p.name.startswith("MR")]
+        pair = red.weighted_vocabulary.weight(aux[0].name)
+        assert pair.w == -2  # 1/(1/2 - 1)
+
+    def test_weight_one_constraint_dropped(self):
+        mln = MLN([(1, parse("P(x)")), (2, parse("Q(x)"))])
+        red = reduce_to_wfomc(mln)
+        aux = [p for p in red.weighted_vocabulary.vocabulary if p.name.startswith("MR")]
+        assert len(aux) == 1
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_spouse_example(self, n):
+        q = parse("exists x. exists y. Spouse(x, y) & Female(x) & Male(y)")
+        assert mln_probability_bruteforce(SPOUSE, q, n) == mln_probability_wfomc(
+            SPOUSE, q, n
+        )
+
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_friends_smokers(self, n):
+        mln = MLN(
+            [
+                (Fraction(7, 2), parse("Smokes(x) & Friends(x, y) -> Smokes(y)")),
+                (HARD, parse("forall x. ~Friends(x, x)")),
+            ]
+        )
+        q = parse("exists x. Smokes(x)")
+        assert mln_probability_bruteforce(mln, q, n) == mln_probability_wfomc(mln, q, n)
+
+    @pytest.mark.parametrize("w", [Fraction(1, 3), Fraction(1, 2), 2, 5])
+    def test_various_weights(self, w):
+        mln = MLN([(w, parse("P(x) -> Q(x)"))])
+        q = parse("exists x. Q(x)")
+        n = 2
+        assert mln_probability_bruteforce(mln, q, n) == mln_probability_wfomc(mln, q, n)
+
+    def test_weight_zero_soft_constraint(self):
+        # w = 0 forbids satisfied groundings entirely (weight 0 worlds).
+        mln = MLN([(0, parse("P(x) & Q(x)"))])
+        q = parse("exists x. P(x)")
+        n = 2
+        assert mln_probability_bruteforce(mln, q, n) == mln_probability_wfomc(mln, q, n)
+
+    def test_query_with_fresh_predicate(self):
+        # Query mentions a predicate not in the MLN: neutral (1,1) weights.
+        mln = MLN([(2, parse("P(x)"))])
+        q = parse("exists x. New(x)")
+        got = mln_probability_wfomc(mln, q, 2)
+        assert got == Fraction(3, 4)  # Pr(exists x New(x)) = 1 - (1/2)^2
+
+
+class TestReductionUsesLiftedSolver:
+    def test_fo2_mln_scales(self):
+        # The reduction output is FO2, so inference at n = 10 must work
+        # (grounded enumeration would need 2^110 worlds).
+        mln = MLN([(3, parse("Smokes(x) & Friends(x, y) -> Smokes(y)"))])
+        q = parse("exists x. Smokes(x)")
+        p = mln_probability_wfomc(mln, q, 10)
+        assert 0 < p < 1

@@ -1,0 +1,94 @@
+"""Tests for the Lemma 3.8 pairing function and machine enumeration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.complexity.pairing import (
+    budget,
+    ceil_log3,
+    clocked_run_budget,
+    decode_pair,
+    encode_pair,
+    machine_index_of,
+    machine_pair_at,
+)
+
+
+class TestCeilLog3:
+    def test_values(self):
+        assert ceil_log3(1) == 0
+        assert ceil_log3(3) == 1
+        assert ceil_log3(4) == 2
+        assert ceil_log3(9) == 2
+        assert ceil_log3(10) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ceil_log3(0)
+
+
+class TestPairingFunction:
+    def test_example_value(self):
+        # e(1, 1) = 2 * 3^0 * 7 = 14.
+        assert encode_pair(1, 1) == 14
+
+    @given(st.integers(1, 8), st.integers(1, 30))
+    def test_roundtrip(self, i, j):
+        assert decode_pair(encode_pair(i, j)) == (i, j)
+
+    @given(st.integers(1, 6), st.integers(1, 12))
+    def test_property_b_budget_bound(self, i, j):
+        # Lemma 3.8 property (b): e(i, j) >= (i j^i + i)^2.
+        assert encode_pair(i, j) >= budget(i, j)
+
+    @given(st.integers(1, 8), st.integers(1, 30), st.integers(1, 8), st.integers(1, 30))
+    def test_injectivity(self, i1, j1, i2, j2):
+        if (i1, j1) != (i2, j2):
+            assert encode_pair(i1, j1) != encode_pair(i2, j2)
+
+    def test_decode_rejects_non_encodings(self):
+        for bad in (1, 3, 5, 2 * 3, 4):  # wrong residues / i = 0 / j = 0
+            with pytest.raises(ValueError):
+                decode_pair(bad)
+
+
+class TestMachineEnumeration:
+    def test_first_pairs(self):
+        # Diagonal order: (1,1), (2,1), (1,2), (3,1), (2,2), (1,3), ...
+        assert [machine_pair_at(i) for i in range(1, 7)] == [
+            (1, 1),
+            (2, 1),
+            (1, 2),
+            (3, 1),
+            (2, 2),
+            (1, 3),
+        ]
+
+    @given(st.integers(1, 200))
+    def test_roundtrip(self, index):
+        r, s = machine_pair_at(index)
+        assert machine_index_of(r, s) == index
+
+    @given(st.integers(1, 500))
+    def test_index_dominates_clock_parameter(self, index):
+        # The dovetailing invariant the proof needs: i >= s.
+        _r, s = machine_pair_at(index)
+        assert index >= s
+
+    def test_every_pair_enumerated(self):
+        seen = {machine_pair_at(i) for i in range(1, 56)}
+        # The first 10 anti-diagonals are complete.
+        for d in range(1, 10):
+            for s in range(1, d + 1):
+                assert (d + 1 - s, s) in seen
+
+
+class TestClock:
+    def test_clock_budget(self):
+        assert clocked_run_budget(2, 3) == 2 * 9 + 2
+
+    @given(st.integers(1, 5), st.integers(1, 10))
+    def test_clock_dominated_by_encoding(self, s, j):
+        # Machine i >= s runs within (i j^i + i)^2 >= s j^s + s steps.
+        i = max(s, 1)
+        assert budget(i, j) >= clocked_run_budget(s, j)

@@ -1,0 +1,94 @@
+"""Tests for the weights-as-polynomial argument (Section 2).
+
+The paper: WFOMC with negative weights reduces to polynomially many
+oracle calls with positive weights.  We reconstruct the cardinality
+polynomial and check it reproduces WFOMC at arbitrary weight pairs.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.parser import parse
+from repro.logic.vocabulary import Vocabulary, WeightedVocabulary
+from repro.weights import WeightPair
+from repro.wfomc.bruteforce import wfomc_lineage
+from repro.wfomc.polynomial import (
+    evaluate_cardinality_polynomial,
+    wfomc_cardinality_polynomial,
+)
+
+
+def _coefficients(formula, n):
+    vocab = Vocabulary.of_formula(formula)
+    return vocab, wfomc_cardinality_polynomial(formula, n, vocab, wfomc_lineage)
+
+
+class TestReconstruction:
+    def test_exists_unary(self):
+        # exists y S(y): models with |S| = c number C(n, c) for c >= 1.
+        f = parse("exists y. S(y)")
+        n = 3
+        vocab, coeffs = _coefficients(f, n)
+        from math import comb
+
+        assert coeffs == {(c,): comb(n, c) for c in range(1, n + 1)}
+
+    def test_coefficients_are_model_counts(self):
+        # forall x, y (R(x, y) -> R(y, x)) at n = 2: models by |R|.
+        f = parse("forall x, y. (R(x, y) -> R(y, x))")
+        vocab, coeffs = _coefficients(f, 2)
+        # Valid worlds: diagonal free (2 loops), off-diagonal pair tied.
+        # |R| in {0,1,2,3,4}: count subsets: loops L (|L| in 0..2),
+        # pair P in {absent(0), both(2)}.
+        expected = {}
+        from math import comb
+
+        for loops in range(3):
+            for pair in (0, 2):
+                c = loops + pair
+                expected[c] = expected.get(c, 0) + comb(2, loops)
+        expected = {(c,): v for c, v in expected.items() if v}
+        assert coeffs == expected
+
+    def test_total_count_is_coefficient_sum(self):
+        f = parse("forall x. exists y. R(x, y)")
+        n = 2
+        _vocab, coeffs = _coefficients(f, n)
+        assert sum(coeffs.values()) == (2 ** n - 1) ** n
+
+
+class TestNegativeWeightsFromPositiveOracle:
+    @pytest.mark.parametrize(
+        "pairs",
+        [
+            {"R": WeightPair(1, -1)},
+            {"R": WeightPair(-2, 3)},
+            {"R": WeightPair(Fraction(-1, 2), Fraction(1, 3))},
+        ],
+    )
+    def test_single_relation(self, pairs):
+        f = parse("forall x. exists y. R(x, y)")
+        n = 2
+        vocab, coeffs = _coefficients(f, n)
+        wv = WeightedVocabulary(vocab, pairs)
+        reconstructed = evaluate_cardinality_polynomial(coeffs, n, wv)
+        assert reconstructed == wfomc_lineage(f, n, wv)
+
+    def test_two_relations(self):
+        f = parse("forall x. (P(x) | exists y. R(x, y))")
+        n = 2
+        vocab, coeffs = _coefficients(f, n)
+        wv = WeightedVocabulary(
+            vocab, {"P": WeightPair(2, -1), "R": WeightPair(-1, 3)}
+        )
+        assert evaluate_cardinality_polynomial(coeffs, n, wv) == wfomc_lineage(
+            f, n, wv
+        )
+
+    def test_unweighted_special_case(self):
+        f = parse("exists x. P(x)")
+        n = 3
+        vocab, coeffs = _coefficients(f, n)
+        wv = WeightedVocabulary.uniform(vocab)
+        assert evaluate_cardinality_polynomial(coeffs, n, wv) == 2 ** n - 1

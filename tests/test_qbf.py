@@ -1,0 +1,53 @@
+"""Tests for the QBF gadget (Theorem 4.1(2): PSPACE-hardness of spectra)."""
+
+import pytest
+
+from repro.complexity.qbf import QBF, evaluate_qbf, qbf_gadget
+from repro.complexity.spectrum import has_model
+from repro.propositional.formula import pand, pnot, por, pvar
+
+X1, X2 = pvar("X1"), pvar("X2")
+IFF = por(pand(X1, X2), pand(pnot(X1), pnot(X2)))
+
+
+class TestQBFEvaluator:
+    def test_forall_exists_iff(self):
+        q = QBF(("forall", "exists"), ("X1", "X2"), IFF)
+        assert evaluate_qbf(q)
+
+    def test_exists_forall_iff(self):
+        q = QBF(("exists", "forall"), ("X1", "X2"), IFF)
+        assert not evaluate_qbf(q)
+
+    def test_quantifier_order_matters(self):
+        f = por(X1, X2)
+        assert evaluate_qbf(QBF(("exists", "forall"), ("X1", "X2"), f))
+        assert not evaluate_qbf(QBF(("forall", "forall"), ("X1", "X2"), f))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QBF(("forall",), ("X1", "X2"), X1)
+        with pytest.raises(ValueError):
+            QBF(("some",), ("X1",), X1)
+
+
+class TestGadgetSpectrum:
+    @pytest.mark.parametrize(
+        "quants,matrix",
+        [
+            (("forall", "exists"), IFF),
+            (("exists", "forall"), IFF),
+            (("exists", "forall"), por(X1, X2)),
+            (("forall", "forall"), por(X1, X2)),
+            (("exists", "exists"), pand(X1, pnot(X2))),
+            (("forall", "exists"), pand(X1, X2)),
+        ],
+    )
+    def test_model_exists_iff_qbf_true(self, quants, matrix):
+        q = QBF(quants, ("X1", "X2"), matrix)
+        sentence = qbf_gadget(q)
+        assert has_model(sentence, 3) == evaluate_qbf(q)
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(ValueError):
+            qbf_gadget(QBF(("exists",), ("X1",), X1))

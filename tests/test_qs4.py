@@ -1,0 +1,82 @@
+"""Tests for the Q_S4 dynamic program (Theorem 3.7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.weights import WeightPair
+from repro.wfomc.bruteforce import wfomc_lineage
+from repro.wfomc.qs4 import QS4_SENTENCE, wfomc_qs4, wfomc_qs4_rectangular
+
+
+class TestUnweighted:
+    def test_small_counts_match_bruteforce(self):
+        for n in range(4):
+            assert wfomc_qs4(n) == wfomc_lineage(QS4_SENTENCE, n)
+
+    def test_empty_domain(self):
+        assert wfomc_qs4(0) == 1
+
+    def test_monotone_growth(self):
+        values = [wfomc_qs4(n) for n in range(1, 6)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_count_below_total(self):
+        # Q_S4 is not a tautology for n >= 2: strictly fewer than 2^(n^2).
+        for n in (2, 3, 4):
+            assert wfomc_qs4(n) < 2 ** (n * n)
+
+    def test_polynomial_scaling(self):
+        # The DP reaches n far beyond grounding (2^(n^2) worlds at n=50).
+        value = wfomc_qs4(50)
+        assert value > 0
+
+
+class TestWeighted:
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            WeightPair(Fraction(1, 2), 1),
+            WeightPair(2, 3),
+            WeightPair(1, Fraction(1, 4)),
+        ],
+    )
+    def test_weighted_matches_bruteforce(self, pair):
+        wv = WeightedVocabulary.from_weights({"S": pair}, {"S": 2})
+        for n in range(4):
+            assert wfomc_qs4(n, pair) == wfomc_lineage(QS4_SENTENCE, n, wv)
+
+    def test_negative_weights(self):
+        pair = WeightPair(1, -1)
+        wv = WeightedVocabulary.from_weights({"S": pair}, {"S": 2})
+        for n in range(3):
+            assert wfomc_qs4(n, pair) == wfomc_lineage(QS4_SENTENCE, n, wv)
+
+    def test_tuple_pair_accepted(self):
+        assert wfomc_qs4(2, (1, 1)) == wfomc_qs4(2)
+
+
+class TestRectangular:
+    def test_degenerate_dimensions(self):
+        # n1 = 0 or n2 = 0: the constraint is vacuous, count = total mass.
+        pair = WeightPair(1, 1)
+        assert wfomc_qs4_rectangular(0, 5, pair) == 1
+        assert wfomc_qs4_rectangular(5, 0, pair) == 1
+        assert wfomc_qs4_rectangular(0, 0, pair) == 1
+
+    def test_one_by_n(self):
+        # With a single x-row, Q_{1,m} is a tautology: every S satisfies it
+        # (resolution chain needs two distinct rows).  Count = 2^m.
+        pair = WeightPair(1, 1)
+        for m in (1, 2, 3):
+            assert wfomc_qs4_rectangular(1, m, pair) == 2 ** m
+
+    def test_symmetry_of_roles(self):
+        # Swapping (n1, n2) with swapped weights mirrors S -> complement.
+        pair = WeightPair(2, 3)
+        mirrored = WeightPair(3, 2)
+        for n1, n2 in ((1, 2), (2, 3), (3, 2)):
+            assert wfomc_qs4_rectangular(n1, n2, pair) == wfomc_qs4_rectangular(
+                n2, n1, mirrored
+            )

@@ -1,0 +1,123 @@
+"""Tests for Scott's reduction and the Scott-shape Skolemizer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.parser import parse
+from repro.logic.scott import scott_normalize, skolemize_scott
+from repro.logic.syntax import (
+    conj,
+    forall,
+    free_variables,
+    is_quantifier_free,
+)
+from repro.logic.transform import split_prenex
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.wfomc.bruteforce import wfomc_lineage
+
+from .strategies import fo2_nested_sentences, weighted_vocabularies
+
+
+def _rebuild(sentences):
+    """Conjunction of prenex sentences as a single formula."""
+    parts = []
+    for s in sentences:
+        parts.append(split_prenex(list(s.prefix), s.matrix))
+    return conj(*parts)
+
+
+def _rebuild_universal(sentences):
+    parts = []
+    for s in sentences:
+        parts.append(forall(list(s.vars), s.matrix))
+    return conj(*parts)
+
+
+class TestScottNormalize:
+    def test_output_shape(self):
+        f = parse("forall x. exists y. R(x, y)")
+        sentences, wv = scott_normalize(f, WeightedVocabulary.counting(f))
+        for s in sentences:
+            assert is_quantifier_free(s.matrix)
+            kinds = [q for q, _ in s.prefix]
+            assert all(k in ("forall", "exists") for k in kinds)
+            # Scott shape: forall* or forall* exists.
+            if "exists" in kinds:
+                assert kinds.count("exists") == 1 and kinds[-1] == "exists"
+
+    def test_new_symbols_have_neutral_weights(self):
+        f = parse("forall x. exists y. R(x, y)")
+        sentences, wv = scott_normalize(f, WeightedVocabulary.counting(f))
+        for pred in wv.vocabulary:
+            if pred.name.startswith("Sc"):
+                pair = wv.weight(pred.name)
+                assert (pair.w, pair.wbar) == (1, 1)
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            scott_normalize(parse("P(x)"), WeightedVocabulary.counting(parse("P(x)")))
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. exists y. R(x, y)",
+            "exists x. forall y. (R(x, y) | P(x))",
+            "(forall x. P(x)) | (exists x. Q(x))",
+            "forall x. (P(x) <-> exists y. R(x, y))",
+        ],
+    )
+    def test_wfomc_preserved(self, text):
+        f = parse(text)
+        wv = WeightedVocabulary.counting(f)
+        sentences, wv2 = scott_normalize(f, wv)
+        g = _rebuild(sentences)
+        for n in (1, 2):
+            assert wfomc_lineage(f, n, wv) == wfomc_lineage(g, n, wv2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(fo2_nested_sentences(), weighted_vocabularies())
+    def test_wfomc_preserved_random(self, f, wv):
+        sentences, wv2 = scott_normalize(f, wv)
+        g = _rebuild(sentences)
+        assert wfomc_lineage(f, 2, wv) == wfomc_lineage(g, 2, wv2)
+
+
+class TestSkolemizeScott:
+    def test_all_universal_after(self):
+        f = parse("forall x. exists y. R(x, y)")
+        wv = WeightedVocabulary.counting(f)
+        sentences, wv1 = scott_normalize(f, wv)
+        universal, wv2 = skolemize_scott(sentences, wv1)
+        for s in universal:
+            assert is_quantifier_free(s.matrix)
+            assert free_variables(s.matrix) <= set(s.vars)
+
+    def test_skolem_weights(self):
+        f = parse("forall x. exists y. R(x, y)")
+        wv = WeightedVocabulary.counting(f)
+        sentences, wv1 = scott_normalize(f, wv)
+        universal, wv2 = skolemize_scott(sentences, wv1)
+        skolem_preds = [p for p in wv2.vocabulary if p.name.startswith("Sk")]
+        assert skolem_preds
+        for p in skolem_preds:
+            pair = wv2.weight(p.name)
+            assert (pair.w, pair.wbar) == (1, -1)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. exists y. R(x, y)",
+            "exists x. P(x)",
+            "forall x. (P(x) <-> exists y. R(x, y))",
+        ],
+    )
+    def test_wfomc_preserved_end_to_end(self, text):
+        # Over nonempty domains the full Scott+Skolem pipeline preserves
+        # the weighted count.
+        f = parse(text)
+        wv = WeightedVocabulary.counting(f)
+        sentences, wv1 = scott_normalize(f, wv)
+        universal, wv2 = skolemize_scott(sentences, wv1)
+        g = _rebuild_universal(universal)
+        for n in (1, 2):
+            assert wfomc_lineage(f, n, wv) == wfomc_lineage(g, n, wv2)

@@ -1,0 +1,168 @@
+"""Unit tests for the FO syntax kernel."""
+
+import pytest
+
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    all_variables,
+    atoms_of,
+    conj,
+    disj,
+    exists,
+    forall,
+    free_variables,
+    is_quantifier_free,
+    is_sentence,
+    neg,
+    num_variables,
+    predicates_of,
+    substitute,
+    variables,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+R = lambda *args: Atom("R", args)
+P = lambda a: Atom("P", (a,))
+
+
+class TestConstructors:
+    def test_conj_flattens(self):
+        f = conj(P(x), conj(P(y), P(z)))
+        assert isinstance(f, And)
+        assert len(f.parts) == 3
+
+    def test_conj_identity(self):
+        assert conj() == TRUE
+        assert conj(P(x)) == P(x)
+        assert conj(P(x), TRUE) == P(x)
+
+    def test_conj_absorbs_false(self):
+        assert conj(P(x), FALSE) == FALSE
+
+    def test_disj_flattens(self):
+        f = disj(P(x), disj(P(y), P(z)))
+        assert isinstance(f, Or)
+        assert len(f.parts) == 3
+
+    def test_disj_identity(self):
+        assert disj() == FALSE
+        assert disj(P(x), FALSE) == P(x)
+        assert disj(P(x), TRUE) == TRUE
+
+    def test_neg_folds(self):
+        assert neg(TRUE) == FALSE
+        assert neg(FALSE) == TRUE
+        assert neg(neg(P(x))) == P(x)
+
+    def test_quantifier_helpers(self):
+        f = forall([x, y], R(x, y))
+        assert isinstance(f, Forall)
+        assert isinstance(f.body, Forall)
+        g = exists(x, P(x))
+        assert isinstance(g, Exists)
+
+    def test_operator_sugar(self):
+        f = P(x) & P(y)
+        assert isinstance(f, And)
+        g = P(x) | P(y)
+        assert isinstance(g, Or)
+        assert ~P(x) == Not(P(x))
+        assert (P(x) >> P(y)) == Implies(P(x), P(y))
+
+    def test_variables_helper(self):
+        a, b = variables("a b")
+        assert a == Var("a")
+        assert variables("solo") == Var("solo")
+
+
+class TestStructuralQueries:
+    def test_free_variables(self):
+        f = forall([x], R(x, y))
+        assert free_variables(f) == {y}
+
+    def test_free_variables_shadowing(self):
+        f = conj(P(x), exists([x], P(x)))
+        assert free_variables(f) == {x}
+
+    def test_free_variables_eq(self):
+        assert free_variables(Eq(x, Const(1))) == {x}
+
+    def test_all_variables_counts_bound(self):
+        f = forall([x], exists([y], R(x, y)))
+        assert all_variables(f) == {"x", "y"}
+
+    def test_num_variables_fo2_with_reuse(self):
+        # exists x (P(x) & exists y (R(x,y) & exists x R(y,x))) uses 2 names.
+        f = exists([x], conj(P(x), exists([y], conj(R(x, y), exists([x], R(y, x))))))
+        assert num_variables(f) == 2
+
+    def test_predicates_of(self):
+        f = conj(P(x), R(x, y), Eq(x, y))
+        assert predicates_of(f) == {"P": 1, "R": 2}
+
+    def test_predicates_conflicting_arity(self):
+        f = conj(Atom("R", (x,)), R(x, y))
+        with pytest.raises(ValueError):
+            predicates_of(f)
+
+    def test_atoms_of(self):
+        f = forall([x], disj(P(x), neg(R(x, y))))
+        assert atoms_of(f) == {P(x), R(x, y)}
+
+    def test_is_quantifier_free(self):
+        assert is_quantifier_free(conj(P(x), R(x, y)))
+        assert not is_quantifier_free(exists([x], P(x)))
+
+    def test_is_sentence(self):
+        assert is_sentence(forall([x, y], R(x, y)))
+        assert not is_sentence(R(x, y))
+
+
+class TestSubstitute:
+    def test_basic(self):
+        f = R(x, y)
+        assert substitute(f, {x: Const(1)}) == R(Const(1), y)
+
+    def test_shadowing(self):
+        f = exists([x], R(x, y))
+        got = substitute(f, {x: Const(1), y: Const(2)})
+        assert got == exists([x], R(x, Const(2)))
+
+    def test_eq(self):
+        assert substitute(Eq(x, y), {x: z}) == Eq(z, y)
+
+    def test_empty_mapping(self):
+        f = forall([x], P(x))
+        assert substitute(f, {}) is f
+
+    def test_through_connectives(self):
+        f = Implies(P(x), Iff(P(y), R(x, y)))
+        got = substitute(f, {y: z})
+        assert got == Implies(P(x), Iff(P(z), R(x, z)))
+
+
+class TestRepr:
+    def test_atom_repr(self):
+        assert repr(R(x, y)) == "R(x, y)"
+        assert repr(Atom("Z", ())) == "Z"
+
+    def test_quantifier_repr(self):
+        assert "forall x" in repr(forall([x], P(x)))
+
+    def test_constants_repr(self):
+        assert repr(Top()) == "true"
+        assert repr(Bottom()) == "false"

@@ -1,0 +1,131 @@
+"""Tests for the Appendix B encoding: FOMC(Theta_1, n) = n! * #acc(n).
+
+These are the paper's Theorem 3.1 / Lemma 3.9 identities, checked exactly
+by grounding the FO3 sentence and counting models with the DPLL engine.
+Domain sizes are tiny (the grounded instance at n = 3 already has ~80
+ground atoms), but the identity is exact at every size we can afford.
+"""
+
+import pytest
+
+from repro.complexity.encoding import encode_theta1
+from repro.complexity.turing import LEFT, RIGHT, CountingTM, Transition
+from repro.errors import EncodingError
+from repro.logic.syntax import num_variables, predicates_of
+from repro.wfomc.bruteforce import fomc_lineage
+
+
+def _branching_machine():
+    return CountingTM(
+        states=["q0"],
+        initial="q0",
+        accepting=["q0"],
+        num_tapes=1,
+        active_tape={"q0": 0},
+        delta={
+            ("q0", 1): [Transition("q0", 1, RIGHT), Transition("q0", 0, RIGHT)],
+            ("q0", 0): [Transition("q0", 0, RIGHT)],
+        },
+    )
+
+
+def _two_state_machine():
+    """Alternates states; rejects if it ever reads a 0 in state q1."""
+    return CountingTM(
+        states=["q0", "q1"],
+        initial="q0",
+        accepting=["q1"],
+        num_tapes=1,
+        active_tape={"q0": 0, "q1": 0},
+        delta={
+            ("q0", 1): [Transition("q1", 1, RIGHT)],
+            ("q0", 0): [Transition("q0", 0, RIGHT)],
+            ("q1", 1): [Transition("q0", 0, RIGHT), Transition("q1", 1, LEFT)],
+            ("q1", 0): [Transition("q1", 0, RIGHT)],
+        },
+    )
+
+
+class TestEncodingShape:
+    def test_is_fo3(self):
+        enc = encode_theta1(_branching_machine(), epochs=1)
+        assert num_variables(enc.sentence) == 3
+
+    def test_is_fo3_multi_epoch(self):
+        enc = encode_theta1(_branching_machine(), epochs=2)
+        assert num_variables(enc.sentence) == 3
+
+    def test_signature_contains_order_skeleton(self):
+        enc = encode_theta1(_branching_machine(), epochs=1)
+        preds = predicates_of(enc.sentence)
+        for name in ("Lt", "Succ", "Min", "Max"):
+            assert name in preds
+
+    def test_epoch_region_predicates(self):
+        enc = encode_theta1(_branching_machine(), epochs=2)
+        preds = predicates_of(enc.sentence)
+        # Two epochs x two regions of head/tape/movement predicates.
+        assert "H_0_1_1" in preds and "H_0_2_2" in preds
+        assert "T1_0_1_1" in preds and "T0_0_2_2" in preds
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_theta1(_branching_machine(), epochs=0)
+
+    def test_no_accepting_states_rejected(self):
+        tm = CountingTM(
+            ["q0"], "q0", [], 1, {"q0": 0}, {("q0", 1): [Transition("q0", 1, RIGHT)]}
+        )
+        # Acceptance axiom cannot be built without accepting states; the
+        # machine constructor allows it, the encoder must reject.
+        with pytest.raises(EncodingError):
+            encode_theta1(tm, epochs=1)
+
+
+class TestCountingIdentity:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_branching_machine(self, n):
+        enc = encode_theta1(_branching_machine(), epochs=1)
+        assert fomc_lineage(enc.sentence, n) == enc.expected_fomc(n)
+
+    def test_two_state_machine_n1(self):
+        enc = encode_theta1(_two_state_machine(), epochs=1)
+        assert fomc_lineage(enc.sentence, 1) == enc.expected_fomc(1)
+
+    def test_two_state_machine_n2(self):
+        enc = encode_theta1(_two_state_machine(), epochs=1)
+        assert fomc_lineage(enc.sentence, 2) == enc.expected_fomc(2)
+
+    def test_rejecting_machine_counts_zero(self):
+        tm = CountingTM(
+            states=["q0", "qrej"],
+            initial="q0",
+            accepting=["q0"],
+            num_tapes=1,
+            active_tape={"q0": 0, "qrej": 0},
+            delta={
+                ("q0", 1): [Transition("qrej", 1, RIGHT)],
+                ("q0", 0): [Transition("qrej", 0, RIGHT)],
+                ("qrej", 1): [Transition("qrej", 1, RIGHT)],
+                ("qrej", 0): [Transition("qrej", 0, RIGHT)],
+            },
+        )
+        enc = encode_theta1(tm, epochs=1)
+        assert enc.expected_fomc(2) == 0
+        assert fomc_lineage(enc.sentence, 2) == 0
+
+    def test_multi_epoch_n1(self):
+        # epochs = 2, n = 1: two time points, one transition.
+        enc = encode_theta1(_branching_machine(), epochs=2)
+        assert fomc_lineage(enc.sentence, 1) == enc.expected_fomc(1)
+
+
+@pytest.mark.slow
+class TestCountingIdentitySlow:
+    def test_branching_machine_n3(self):
+        enc = encode_theta1(_branching_machine(), epochs=1)
+        assert fomc_lineage(enc.sentence, 3) == enc.expected_fomc(3)
+
+    def test_multi_epoch_n2(self):
+        enc = encode_theta1(_branching_machine(), epochs=2)
+        assert fomc_lineage(enc.sentence, 2) == enc.expected_fomc(2)

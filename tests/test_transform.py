@@ -1,0 +1,191 @@
+"""Tests for NNF, prenex form, and matrix CNF — semantic equivalence checked
+against brute-force evaluation over all small structures."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grounding.structures import all_structures
+from repro.logic.evaluate import evaluate
+from repro.logic.parser import parse
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    free_variables,
+    is_quantifier_free,
+)
+from repro.logic.transform import (
+    matrix_to_cnf_clauses,
+    nnf,
+    prenex,
+    simplify,
+    split_prenex,
+)
+from repro.logic.vocabulary import Vocabulary, WeightedVocabulary
+
+from .strategies import fo2_nested_sentences
+
+x, y = Var("x"), Var("y")
+
+
+def _equivalent_on_small_structures(f, g, max_n=2):
+    """Check semantic equivalence of two sentences by enumeration."""
+    vocab_f = Vocabulary.of_formula(f)
+    vocab_g = Vocabulary.of_formula(g)
+    names = {p.name: p for p in vocab_f}
+    for p in vocab_g:
+        names.setdefault(p.name, p)
+    vocab = Vocabulary(names.values())
+    for n in range(1, max_n + 1):
+        for structure in all_structures(vocab, n):
+            if evaluate(f, structure) != evaluate(g, structure):
+                return False, (n, structure)
+    return True, None
+
+
+class TestNNF:
+    def test_no_implications_left(self):
+        f = parse("forall x. (P(x) -> Q(x))")
+        g = nnf(f)
+
+        def has_impl(h):
+            if isinstance(h, (Implies, Iff)):
+                return True
+            if isinstance(h, Not):
+                return has_impl(h.body)
+            if isinstance(h, (And, Or)):
+                return any(has_impl(p) for p in h.parts)
+            if isinstance(h, (Forall, Exists)):
+                return has_impl(h.body)
+            return False
+
+        assert not has_impl(g)
+
+    def test_negations_pushed_to_atoms(self):
+        f = parse("~(forall x. (P(x) & Q(x)))")
+        g = nnf(f)
+        assert isinstance(g, Exists)
+        assert isinstance(g.body, Or)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. (P(x) -> Q(x))",
+            "~(exists x. (P(x) | ~Q(x)))",
+            "forall x. (P(x) <-> exists y. R(x, y))",
+            "~(P(1) <-> Q(1))",
+        ],
+    )
+    def test_nnf_preserves_semantics(self, text):
+        f = parse(text)
+        ok, witness = _equivalent_on_small_structures(f, nnf(f))
+        assert ok, witness
+
+    @settings(max_examples=30, deadline=None)
+    @given(fo2_nested_sentences())
+    def test_nnf_preserves_semantics_random(self, f):
+        ok, witness = _equivalent_on_small_structures(f, nnf(f), max_n=2)
+        assert ok, witness
+
+
+class TestPrenex:
+    def test_matrix_is_quantifier_free(self):
+        f = parse("forall x. (P(x) -> exists y. R(x, y))")
+        prefix, matrix = prenex(f)
+        assert is_quantifier_free(matrix)
+        assert [q for q, _ in prefix] == ["forall", "exists"]
+
+    def test_variables_renamed_apart(self):
+        f = parse("(exists x. P(x)) & (exists x. Q(x))")
+        prefix, matrix = prenex(f)
+        names = [v.name for _, v in prefix]
+        assert len(names) == len(set(names))
+
+    def test_negation_flips_quantifiers(self):
+        f = parse("~(exists x. P(x))")
+        prefix, _ = prenex(f)
+        assert [q for q, _ in prefix] == ["forall"]
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. (P(x) -> exists y. R(x, y))",
+            "(exists x. P(x)) | (forall x. Q(x))",
+            "~(forall x. exists y. R(x, y))",
+            "(forall x. P(x)) <-> Z",
+        ],
+    )
+    def test_prenex_preserves_semantics(self, text):
+        f = parse(text)
+        g = split_prenex(*prenex(f))
+        ok, witness = _equivalent_on_small_structures(f, g)
+        assert ok, witness
+
+    @settings(max_examples=30, deadline=None)
+    @given(fo2_nested_sentences())
+    def test_prenex_preserves_semantics_random(self, f):
+        g = split_prenex(*prenex(f))
+        ok, witness = _equivalent_on_small_structures(f, g, max_n=2)
+        assert ok, witness
+
+
+class TestSimplify:
+    def test_folds_constants(self):
+        f = parse("P(x) & true")
+        assert simplify(f) == parse("P(x)")
+
+    def test_iff_with_true(self):
+        f = Iff(parse("P(x)"), parse("true"))
+        assert simplify(f) == parse("P(x)")
+
+    def test_quantifier_over_constant(self):
+        f = Forall(x, parse("true"))
+        assert repr(simplify(f)) == "true"
+
+
+class TestMatrixCNF:
+    def test_clause_structure(self):
+        f = parse("(P(x) | Q(x)) & R(x, y)")
+        clauses = matrix_to_cnf_clauses(f)
+        assert len(clauses) == 2
+
+    def test_distribution(self):
+        f = parse("P(x) | (Q(x) & R(x, y))")
+        clauses = matrix_to_cnf_clauses(f)
+        assert len(clauses) == 2
+        assert all(len(c) == 2 for c in clauses)
+
+    def test_tautology_dropped(self):
+        f = parse("P(x) | ~P(x)")
+        assert matrix_to_cnf_clauses(f) == []
+
+    def test_false_matrix(self):
+        f = parse("P(x) & ~P(x)")
+        clauses = matrix_to_cnf_clauses(f)
+        # Two unit clauses that contradict (not folded to the empty clause).
+        assert len(clauses) == 2
+
+    def test_cnf_preserves_semantics(self):
+        f = parse("(P(x) -> Q(x)) & (Q(x) -> P(x))")
+        clauses = matrix_to_cnf_clauses(f)
+        # Rebuild a formula from the clause list and compare semantics.
+        from repro.logic.syntax import conj, disj, neg, forall
+
+        rebuilt = conj(
+            *(
+                disj(*(atom if sign else neg(atom) for sign, atom in clause))
+                for clause in clauses
+            )
+        )
+        ok, witness = _equivalent_on_small_structures(
+            forall([x], f), forall([x], rebuilt)
+        )
+        assert ok, witness

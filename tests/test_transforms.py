@@ -1,0 +1,172 @@
+"""Tests for Lemmas 3.3-3.5: the WFOMC-preserving reductions.
+
+Each transformation is checked exactly against the lineage engine — the
+paper's claims are identities, so any deviation is a bug.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.parser import parse
+from repro.logic.syntax import (
+    Atom,
+    Eq,
+    Not,
+    And,
+    Or,
+    Forall,
+    Exists,
+    is_quantifier_free,
+)
+from repro.logic.transform import nnf, prenex
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.transforms import (
+    positivize,
+    skolemize,
+    wfomc_without_equality,
+)
+from repro.wfomc.bruteforce import wfomc_lineage
+
+from .strategies import fo2_nested_sentences, weighted_vocabularies
+
+
+def _is_positive(f):
+    """No negation anywhere (after constructor folding)."""
+    if isinstance(f, (Atom, Eq)):
+        return True
+    if isinstance(f, Not):
+        return False
+    if isinstance(f, (And, Or)):
+        return all(_is_positive(p) for p in f.parts)
+    if isinstance(f, (Forall, Exists)):
+        return _is_positive(f.body)
+    return True
+
+
+class TestSkolemize(object):
+    """Lemma 3.3: removing existential quantifiers."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. exists y. R(x, y)",
+            "exists x. P(x)",
+            "exists x. forall y. exists z. (R(x, y) | S(y, z))",
+            "forall x. (P(x) -> exists y. (R(x, y) & ~P(y)))",
+            "exists x, y. (R(x, y) & x != y)",
+        ],
+    )
+    def test_wfomc_preserved(self, text):
+        f = parse(text)
+        wv = WeightedVocabulary.counting(f)
+        g, wv2 = skolemize(f, wv)
+        for n in (1, 2):
+            assert wfomc_lineage(f, n, wv) == wfomc_lineage(g, n, wv2), (text, n)
+
+    def test_result_is_universal(self):
+        f = parse("exists x. forall y. exists z. (R(x, y) | S(y, z))")
+        g, _ = skolemize(f, WeightedVocabulary.counting(f))
+        prefix, matrix = prenex(g)
+        assert all(q == "forall" for q, _v in prefix)
+        assert is_quantifier_free(matrix)
+
+    def test_skolem_weights_are_one_minus_one(self):
+        f = parse("forall x. exists y. R(x, y)")
+        _, wv2 = skolemize(f, WeightedVocabulary.counting(f))
+        pairs = [wv2.weight(p.name) for p in wv2.vocabulary if p.name.startswith("Sk")]
+        assert pairs and all((p.w, p.wbar) == (1, -1) for p in pairs)
+
+    def test_plain_model_count_not_preserved(self):
+        # The paper's remark: FOMC(Phi) != FOMC(Phi') in general — only the
+        # weighted count survives, via the negative weights.
+        f = parse("forall x. exists y. R(x, y)")
+        wv = WeightedVocabulary.counting(f)
+        g, wv2 = skolemize(f, wv)
+        unweighted = WeightedVocabulary.uniform(wv2.vocabulary)
+        n = 2
+        assert wfomc_lineage(f, n, wv) != wfomc_lineage(g, n, unweighted)
+
+    @settings(max_examples=15, deadline=None)
+    @given(fo2_nested_sentences(), weighted_vocabularies())
+    def test_wfomc_preserved_random(self, f, wv):
+        g, wv2 = skolemize(f, wv)
+        assert wfomc_lineage(f, 2, wv) == wfomc_lineage(g, 2, wv2)
+
+
+class TestPositivize(object):
+    """Lemma 3.4: removing negation from universal sentences."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x, y. (R(x, y) -> ~S(x, y))",
+            "forall x. ~P(x)",
+            "forall x, y. (~R(x, y) | ~R(y, x) | P(x))",
+            "forall x, y. (R(x, y) | x != y)",
+        ],
+    )
+    def test_wfomc_preserved(self, text):
+        f = parse(text)
+        wv = WeightedVocabulary.counting(f)
+        g, wv2 = positivize(f, wv)
+        for n in (1, 2):
+            assert wfomc_lineage(f, n, wv) == wfomc_lineage(g, n, wv2), (text, n)
+
+    def test_output_is_positive(self):
+        f = parse("forall x, y. (~R(x, y) | ~S(x, y) | x != y)")
+        g, _ = positivize(f, WeightedVocabulary.counting(f))
+        assert _is_positive(g)
+
+    def test_existential_rejected(self):
+        f = parse("exists x. ~P(x)")
+        with pytest.raises(ValueError):
+            positivize(f, WeightedVocabulary.counting(f))
+
+    def test_pipeline_skolemize_then_positivize(self):
+        # The Corollary 3.2 pipeline start: Lemma 3.3 then Lemma 3.4.
+        f = parse("forall x. exists y. (R(x, y) & ~P(y))")
+        wv = WeightedVocabulary.counting(f)
+        g, wv2 = skolemize(f, wv)
+        h, wv3 = positivize(g, wv2)
+        assert _is_positive(h)
+        for n in (1, 2):
+            assert wfomc_lineage(f, n, wv) == wfomc_lineage(h, n, wv3)
+
+
+class TestEqualityRemoval(object):
+    """Lemma 3.5: removing the equality predicate."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x, y. (R(x, y) | x = y)",
+            "exists x, y. (R(x, y) & x != y)",
+            "forall x. exists y. (R(x, y) & x != y)",
+        ],
+    )
+    def test_wfomc_preserved(self, text):
+        f = parse(text)
+        wv = WeightedVocabulary.counting(f)
+        for n in (0, 1, 2):
+            assert wfomc_without_equality(f, n, wv) == wfomc_lineage(f, n, wv)
+
+    def test_weighted(self):
+        f = parse("forall x, y. (R(x, y) | x = y)")
+        wv = WeightedVocabulary.from_weights({"R": (Fraction(1, 3), 2)}, {"R": 2})
+        for n in (1, 2):
+            assert wfomc_without_equality(f, n, wv) == wfomc_lineage(f, n, wv)
+
+    def test_oracle_called_polynomially(self):
+        f = parse("forall x, y. (R(x, y) | x = y)")
+        wv = WeightedVocabulary.counting(f)
+        calls = []
+
+        def counting_oracle(formula, n, weighted_vocab):
+            calls.append(n)
+            return wfomc_lineage(formula, n, weighted_vocab)
+
+        n = 2
+        wfomc_without_equality(f, n, wv, oracle=counting_oracle)
+        assert len(calls) == n * n + 1

@@ -1,0 +1,139 @@
+"""Tests for the counting Turing machine simulator (Lemma 3.8 substrate)."""
+
+import pytest
+
+from repro.complexity.turing import LEFT, RIGHT, Configuration, CountingTM, Transition
+
+
+def _branching_machine():
+    """One state; reading 1 forks into two writes; always moves right."""
+    return CountingTM(
+        states=["q0"],
+        initial="q0",
+        accepting=["q0"],
+        num_tapes=1,
+        active_tape={"q0": 0},
+        delta={
+            ("q0", 1): [Transition("q0", 1, RIGHT), Transition("q0", 0, RIGHT)],
+            ("q0", 0): [Transition("q0", 0, RIGHT)],
+        },
+    )
+
+
+class TestValidation:
+    def test_bad_initial_state(self):
+        with pytest.raises(ValueError):
+            CountingTM(["q0"], "q1", ["q0"], 1, {"q0": 0}, {})
+
+    def test_bad_accepting_state(self):
+        with pytest.raises(ValueError):
+            CountingTM(["q0"], "q0", ["qX"], 1, {"q0": 0}, {})
+
+    def test_missing_active_tape(self):
+        with pytest.raises(ValueError):
+            CountingTM(["q0", "q1"], "q0", ["q0"], 1, {"q0": 0}, {})
+
+    def test_bad_write_symbol(self):
+        with pytest.raises(ValueError):
+            Transition("q0", 2, RIGHT)
+
+    def test_bad_move(self):
+        with pytest.raises(ValueError):
+            Transition("q0", 1, 0)
+
+
+class TestInitialConfiguration:
+    def test_input_tape_layout(self):
+        tm = _branching_machine()
+        config = tm.initial_configuration(3, 2)
+        assert config.tapes[0] == (1, 1, 1, 0, 0, 0)
+        assert config.heads == (0,)
+        assert config.state == "q0"
+
+    def test_multi_tape_blanks(self):
+        tm = CountingTM(
+            ["q0"], "q0", ["q0"], 2, {"q0": 0}, {("q0", 1): [Transition("q0", 1, RIGHT)]}
+        )
+        config = tm.initial_configuration(2, 1)
+        assert config.tapes[1] == (0, 0)
+
+
+class TestCounting:
+    def test_branching_counts(self):
+        # n time points -> n-1 transitions, each reading a fresh 1: 2^(n-1).
+        tm = _branching_machine()
+        for n in (1, 2, 3, 4, 5):
+            assert tm.count_accepting(n, 1) == 2 ** (n - 1)
+
+    def test_rejecting_state_counts_zero(self):
+        tm = CountingTM(
+            states=["q0", "qrej"],
+            initial="q0",
+            accepting=["q0"],
+            num_tapes=1,
+            active_tape={"q0": 0, "qrej": 0},
+            delta={
+                ("q0", 1): [Transition("qrej", 1, RIGHT)],
+                ("q0", 0): [Transition("qrej", 0, RIGHT)],
+                ("qrej", 1): [Transition("qrej", 1, RIGHT)],
+                ("qrej", 0): [Transition("qrej", 0, RIGHT)],
+            },
+        )
+        assert tm.count_accepting(3, 1) == 0
+
+    def test_dead_computation_not_counted(self):
+        # No transition on symbol 1: the machine dies immediately (n >= 2).
+        tm = CountingTM(
+            states=["q0"],
+            initial="q0",
+            accepting=["q0"],
+            num_tapes=1,
+            active_tape={"q0": 0},
+            delta={("q0", 0): [Transition("q0", 0, RIGHT)]},
+        )
+        assert tm.count_accepting(2, 1) == 0
+        # With n = 1 there are no transitions at all; initial state accepts.
+        assert tm.count_accepting(1, 1) == 1
+
+    def test_distinct_configuration_semantics(self):
+        # Two transitions that produce the SAME configuration count once
+        # (left/right clamp to the same cell on a one-cell tape).
+        tm = CountingTM(
+            states=["q0"],
+            initial="q0",
+            accepting=["q0"],
+            num_tapes=1,
+            active_tape={"q0": 0},
+            delta={
+                ("q0", 1): [Transition("q0", 1, LEFT), Transition("q0", 1, RIGHT)],
+                ("q0", 0): [Transition("q0", 0, RIGHT)],
+            },
+        )
+        # n = 2, epochs = 1: tape has 2 cells; head at 0: LEFT clamps to 0,
+        # RIGHT goes to 1 -> two distinct successors.
+        assert tm.count_accepting(2, 1) == 2
+
+    def test_zero_input_rejected(self):
+        with pytest.raises(ValueError):
+            _branching_machine().count_accepting(0, 1)
+
+    def test_epochs_extend_runtime(self):
+        tm = _branching_machine()
+        # With 2 epochs: 2n - 1 transitions, but only the first n cells hold
+        # 1s and each is consumed once; once past them only 0s: no branching.
+        assert tm.count_accepting(2, 2) == 2 ** 2  # reads cells 0,1 (1s), 2 (0)
+
+
+class TestPaths:
+    def test_run_paths_enumerates_count(self):
+        tm = _branching_machine()
+        for n in (1, 2, 3):
+            paths = list(tm.run_paths(n, 1))
+            assert len(paths) == tm.count_accepting(n, 1)
+            # Paths are distinct configuration sequences.
+            assert len(set(paths)) == len(paths)
+
+    def test_path_length(self):
+        tm = _branching_machine()
+        for path in tm.run_paths(3, 1):
+            assert len(path) == 3  # epochs*n time points

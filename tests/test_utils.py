@@ -1,0 +1,160 @@
+"""Unit tests for repro.utils."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DomainSizeError
+from repro.utils import (
+    as_fraction,
+    binomial,
+    check_domain_size,
+    falling_factorial,
+    multinomial,
+    polynomial_interpolate,
+    powerset,
+    prod,
+    weak_compositions,
+)
+
+
+class TestAsFraction:
+    def test_int_passthrough(self):
+        assert as_fraction(7) == Fraction(7)
+
+    def test_fraction_passthrough(self):
+        f = Fraction(2, 3)
+        assert as_fraction(f) is f
+
+    def test_string(self):
+        assert as_fraction("1/3") == Fraction(1, 3)
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(0.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_other_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+
+class TestBinomial:
+    def test_small_values(self):
+        assert binomial(5, 2) == 10
+        assert binomial(4, 0) == 1
+        assert binomial(4, 4) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert binomial(3, 5) == 0
+        assert binomial(3, -1) == 0
+        assert binomial(-2, 0) == 0
+
+    @given(st.integers(0, 20), st.integers(0, 20))
+    def test_pascal_identity(self, n, k):
+        assert binomial(n + 1, k + 1) == binomial(n, k) + binomial(n, k + 1)
+
+
+class TestMultinomial:
+    def test_binomial_special_case(self):
+        assert multinomial([3, 2]) == binomial(5, 3)
+
+    def test_three_parts(self):
+        assert multinomial([1, 1, 1]) == 6
+
+    def test_empty(self):
+        assert multinomial([]) == 1
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=4))
+    def test_matches_iterated_binomials(self, counts):
+        total = sum(counts)
+        expected = 1
+        remaining = total
+        for c in counts:
+            expected *= binomial(remaining, c)
+            remaining -= c
+        assert multinomial(counts) == expected
+
+
+class TestWeakCompositions:
+    def test_count_matches_stars_and_bars(self):
+        for n in range(5):
+            for k in range(1, 4):
+                got = list(weak_compositions(n, k))
+                assert len(got) == binomial(n + k - 1, k - 1)
+                assert all(sum(c) == n and len(c) == k for c in got)
+                assert len(set(got)) == len(got)
+
+    def test_zero_parts(self):
+        assert list(weak_compositions(0, 0)) == [()]
+        assert list(weak_compositions(3, 0)) == []
+
+
+class TestProd:
+    def test_mixed_types(self):
+        assert prod([2, Fraction(1, 2), 3]) == 3
+
+    def test_empty(self):
+        assert prod([]) == 1
+
+
+class TestFallingFactorial:
+    def test_values(self):
+        assert falling_factorial(5, 2) == 20
+        assert falling_factorial(5, 0) == 1
+        assert falling_factorial(3, 5) == 0
+
+
+class TestInterpolation:
+    def test_recovers_quadratic(self):
+        # f(x) = 2x^2 - 3x + 1
+        points = [(x, 2 * x * x - 3 * x + 1) for x in range(3)]
+        coeffs = polynomial_interpolate(points)
+        assert coeffs == [Fraction(1), Fraction(-3), Fraction(2)]
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ValueError):
+            polynomial_interpolate([(1, 1), (1, 2)])
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=5))
+    def test_roundtrip_random_polynomials(self, coeffs):
+        def f(x):
+            return sum(c * x ** i for i, c in enumerate(coeffs))
+
+        points = [(x, f(x)) for x in range(len(coeffs))]
+        got = polynomial_interpolate(points)
+        # Interpolation recovers the polynomial (maybe padded with zeros).
+        for i in range(len(coeffs)):
+            expected = Fraction(coeffs[i])
+            actual = got[i] if i < len(got) else Fraction(0)
+            assert actual == expected
+
+
+class TestCheckDomainSize:
+    def test_valid(self):
+        assert check_domain_size(0) == 0
+        assert check_domain_size(10) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(DomainSizeError):
+            check_domain_size(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(DomainSizeError):
+            check_domain_size(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(DomainSizeError):
+            check_domain_size(2.0)
+
+
+class TestPowerset:
+    def test_size(self):
+        assert len(list(powerset([1, 2, 3]))) == 8
+
+    def test_empty(self):
+        assert list(powerset([])) == [()]

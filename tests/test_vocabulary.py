@@ -1,0 +1,106 @@
+"""Tests for predicates, vocabularies, and weighted vocabularies."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import WeightError
+from repro.logic.parser import parse
+from repro.logic.syntax import Atom, Var, Const
+from repro.logic.vocabulary import Predicate, Vocabulary, WeightedVocabulary
+from repro.weights import WeightPair
+
+x = Var("x")
+
+
+class TestPredicate:
+    def test_callable_builds_atom(self):
+        R = Predicate("R", 2)
+        assert R(x, x) == Atom("R", (x, x))
+
+    def test_int_args_become_constants(self):
+        R = Predicate("R", 2)
+        assert R(1, 2) == Atom("R", (Const(1), Const(2)))
+
+    def test_arity_checked(self):
+        R = Predicate("R", 2)
+        with pytest.raises(TypeError):
+            R(x)
+
+    def test_bad_term_rejected(self):
+        P = Predicate("P", 1)
+        with pytest.raises(TypeError):
+            P("not a term")
+
+
+class TestVocabulary:
+    def test_of_formula(self):
+        vocab = Vocabulary.of_formula(parse("forall x. (P(x) | exists y. R(x, y))"))
+        assert set(vocab.names()) == {"P", "R"}
+        assert vocab["R"].arity == 2
+
+    def test_conflicting_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary([Predicate("R", 1), Predicate("R", 2)])
+
+    def test_num_ground_tuples(self):
+        vocab = Vocabulary([Predicate("P", 1), Predicate("R", 2)])
+        assert vocab.num_ground_tuples(3) == 3 + 9
+        assert vocab.num_ground_tuples(0) == 0
+
+    def test_zero_ary(self):
+        vocab = Vocabulary([Predicate("Z", 0)])
+        assert vocab.num_ground_tuples(5) == 1
+
+    def test_extend(self):
+        vocab = Vocabulary([Predicate("P", 1)])
+        bigger = vocab.extend([Predicate("R", 2)])
+        assert "R" in bigger and "P" in bigger
+        assert "R" not in vocab
+
+
+class TestWeightedVocabulary:
+    def test_from_weights(self):
+        wv = WeightedVocabulary.from_weights(
+            {"R": (1, 2), "P": ("1/2", 1)}, {"R": 2, "P": 1}
+        )
+        assert wv.weight("P").w == Fraction(1, 2)
+
+    def test_missing_weight_rejected(self):
+        vocab = Vocabulary([Predicate("P", 1)])
+        with pytest.raises(WeightError):
+            WeightedVocabulary(vocab, {})
+
+    def test_unknown_weight_rejected(self):
+        vocab = Vocabulary([Predicate("P", 1)])
+        with pytest.raises(WeightError):
+            WeightedVocabulary(vocab, {"P": (1, 1), "Q": (1, 1)})
+
+    def test_counting_defaults(self):
+        wv = WeightedVocabulary.counting(parse("forall x. P(x)"))
+        assert wv.weight("P") == WeightPair(1, 1)
+
+    def test_extend_rejects_duplicates(self):
+        wv = WeightedVocabulary.counting(parse("forall x. P(x)"))
+        with pytest.raises(WeightError):
+            wv.extend({"P": (1, 1)}, {"P": 1})
+
+    def test_with_weight(self):
+        wv = WeightedVocabulary.counting(parse("forall x. P(x)"))
+        wv2 = wv.with_weight("P", (2, 3))
+        assert wv2.weight("P") == WeightPair(2, 3)
+        assert wv.weight("P") == WeightPair(1, 1)
+
+    def test_fresh_name(self):
+        wv = WeightedVocabulary.counting(parse("forall x. P(x)"))
+        assert wv.fresh_name("P") == "P_1"
+        assert wv.fresh_name("Q") == "Q"
+
+    def test_total_world_weight(self):
+        # WFOMC(true, n) = prod (w + wbar)^(n^arity): Section 1.
+        wv = WeightedVocabulary.from_weights({"R": (1, 1)}, {"R": 2})
+        assert wv.total_world_weight(3) == 2 ** 9
+
+    def test_total_world_weight_skolem_is_zero(self):
+        wv = WeightedVocabulary.from_weights({"A": (1, -1)}, {"A": 1})
+        assert wv.total_world_weight(2) == 0

@@ -1,0 +1,64 @@
+"""Unit tests for repro.weights: weight pairs and probability conversion."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.errors import WeightError
+from repro.weights import ONE_ONE, SKOLEM, WeightPair, from_probability
+
+from .strategies import fractions, probabilities
+
+
+class TestWeightPair:
+    def test_coercion(self):
+        pair = WeightPair(1, "1/2")
+        assert pair.w == Fraction(1)
+        assert pair.wbar == Fraction(1, 2)
+
+    def test_total(self):
+        assert WeightPair(2, 3).total == 5
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            WeightPair(0.5, 0.5)
+
+    def test_iteration(self):
+        w, wbar = WeightPair(2, 3)
+        assert (w, wbar) == (2, 3)
+
+    def test_equality_and_hash(self):
+        assert WeightPair(1, 2) == WeightPair(1, 2)
+        assert hash(WeightPair(1, 2)) == hash(WeightPair(1, 2))
+
+    def test_constants(self):
+        assert ONE_ONE == WeightPair(1, 1)
+        assert SKOLEM == WeightPair(1, -1)
+        assert SKOLEM.total == 0
+
+
+class TestProbabilityCorrespondence:
+    def test_probability_of_pair(self):
+        assert WeightPair(1, 3).probability() == Fraction(1, 4)
+
+    def test_skolem_pair_has_no_probability(self):
+        with pytest.raises(WeightError):
+            SKOLEM.probability()
+
+    @given(probabilities())
+    def test_roundtrip(self, p):
+        assert from_probability(p).probability() == p
+
+    @given(fractions(min_num=1, max_num=5))
+    def test_paper_weight_to_probability(self, w):
+        # Section 1: weight w corresponds to probability w / (1 + w).
+        pair = WeightPair(w, 1)
+        assert pair.probability() == w / (1 + w)
+
+    def test_negative_probability_supported(self):
+        # The MLN reduction produces probabilities outside [0, 1].
+        pair = from_probability(Fraction(-1, 2))
+        assert pair.w == Fraction(-1, 2)
+        assert pair.wbar == Fraction(3, 2)
+        assert pair.probability() == Fraction(-1, 2)

@@ -1,0 +1,88 @@
+"""Tests for the baseline WFOMC solvers (definition vs lineage engine)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic.parser import parse
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.wfomc.bruteforce import fomc_lineage, wfomc_enumerate, wfomc_lineage
+
+from .strategies import fo2_nested_sentences, weighted_vocabularies
+
+
+class TestKnownCounts:
+    def test_forall_exists_paper_example(self):
+        # Section 1: FOMC(forall x exists y R(x,y), n) = (2^n - 1)^n.
+        f = parse("forall x. exists y. R(x, y)")
+        for n in range(4):
+            assert fomc_lineage(f, n) == (2 ** n - 1) ** n
+
+    def test_exists_unary(self):
+        # Section 2: WFOMC(exists y S(y)) = (w + wbar)^n - wbar^n.
+        f = parse("exists y. S(y)")
+        wv = WeightedVocabulary.from_weights({"S": (2, 3)}, {"S": 1})
+        for n in range(4):
+            assert wfomc_lineage(f, n, wv) == 5 ** n - 3 ** n
+
+    def test_true_sentence_counts_everything(self):
+        f = parse("forall x. (P(x) | ~P(x))")
+        assert fomc_lineage(f, 3) == 2 ** 3
+
+    def test_unsatisfiable_counts_zero(self):
+        f = parse("exists x. (P(x) & ~P(x))")
+        assert fomc_lineage(f, 3) == 0
+
+    def test_empty_domain(self):
+        assert fomc_lineage(parse("forall x. P(x)"), 0) == 1
+        assert fomc_lineage(parse("exists x. P(x)"), 0) == 0
+
+    def test_free_variables_rejected(self):
+        with pytest.raises(ValueError):
+            wfomc_lineage(parse("P(x)"), 2)
+
+
+class TestEnumerationAgreesWithLineage:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "forall x. exists y. R(x, y)",
+            "forall x, y. (R(x, y) -> R(y, x))",
+            "exists x. (P(x) & forall y. R(x, y))",
+            "forall x, y. (R(x, y) | x = y)",
+        ],
+    )
+    def test_agreement(self, text):
+        f = parse(text)
+        for n in (1, 2):
+            assert wfomc_enumerate(f, n) == wfomc_lineage(f, n)
+
+    @settings(max_examples=15, deadline=None)
+    @given(fo2_nested_sentences(), weighted_vocabularies())
+    def test_agreement_weighted_random(self, f, wv):
+        assert wfomc_enumerate(f, 2, wv) == wfomc_lineage(f, 2, wv)
+
+
+class TestWeightSemantics:
+    def test_weight_of_single_world(self):
+        # forall x P(x) has exactly one model; weight w^n.
+        f = parse("forall x. P(x)")
+        wv = WeightedVocabulary.from_weights({"P": (Fraction(1, 3), 5)}, {"P": 1})
+        assert wfomc_lineage(f, 2, wv) == Fraction(1, 9)
+
+    def test_total_weight_identity(self):
+        # WFOMC(true) = prod (w + wbar)^(n^arity).
+        f = parse("forall x. (P(x) | ~P(x))")
+        wv = WeightedVocabulary.from_weights({"P": (2, 3)}, {"P": 1})
+        for n in (0, 1, 2, 3):
+            assert wfomc_lineage(f, n, wv) == wv.total_world_weight(n)
+
+    def test_negative_weights(self):
+        # With Skolem weights (1, -1), sum over both values of P(a) is 0
+        # unless the sentence pins every atom.
+        f = parse("forall x. (P(x) | ~P(x))")
+        wv = WeightedVocabulary.from_weights({"P": (1, -1)}, {"P": 1})
+        assert wfomc_lineage(f, 2, wv) == 0
+        g = parse("forall x. P(x)")
+        assert wfomc_lineage(g, 2, wv) == 1
