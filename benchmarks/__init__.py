@@ -1,0 +1,1 @@
+"""Benchmark package (enables the shared reporting helpers in conftest)."""

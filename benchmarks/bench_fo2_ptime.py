@@ -8,7 +8,6 @@ the overlap — and closed-form validation out to large n.
 
 import time
 
-import pytest
 
 from repro.logic.parser import parse
 from repro.wfomc.bruteforce import wfomc_lineage

@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.cq import ConjunctiveQuery, cq_probability_bruteforce, gamma_acyclic_probability
 from repro.wfomc.chain import chain_probability

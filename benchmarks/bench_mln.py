@@ -8,7 +8,6 @@ exponential baseline it is validated against.
 import time
 from fractions import Fraction
 
-import pytest
 
 from repro.logic.parser import parse
 from repro.mln import HARD, MLN, mln_probability_bruteforce, mln_probability_wfomc

@@ -8,7 +8,6 @@ out of reach of grounding.
 
 from fractions import Fraction
 
-import pytest
 
 from repro.weights import WeightPair
 from repro.wfomc.bruteforce import wfomc_lineage

@@ -10,7 +10,6 @@ the polynomial closed form.
 
 from fractions import Fraction
 
-import pytest
 
 from repro.logic.parser import parse
 from repro.logic.vocabulary import WeightedVocabulary

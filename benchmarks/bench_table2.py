@@ -10,7 +10,6 @@ Known closed forms used as cross-checks:
 * untyped triangles: complement counts triangle-free digraphs.
 """
 
-import pytest
 
 from repro.asymptotics import simplified_extension_axiom
 from repro.logic.parser import parse

@@ -1,8 +1,6 @@
 """Lemmas 3.3-3.5: cost and exactness of the WFOMC-preserving reductions."""
 
-from fractions import Fraction
 
-import pytest
 
 from repro.logic.parser import parse
 from repro.logic.vocabulary import WeightedVocabulary

@@ -5,7 +5,6 @@ load-bearing design choice of the propositional substrate; this bench
 quantifies it on the lineage workloads the library actually produces.
 """
 
-import pytest
 
 from repro.logic.parser import parse
 from repro.grounding.lineage import ground_atom_weights, lineage

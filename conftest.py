@@ -1,0 +1,12 @@
+"""Repo-root pytest configuration.
+
+Makes ``src`` importable so ``python -m pytest -q`` works from a clean
+checkout without ``pip install -e .`` or a ``PYTHONPATH`` override.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

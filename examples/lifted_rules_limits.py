@@ -15,7 +15,6 @@ decomposition).  This example shows:
 Run:  python examples/lifted_rules_limits.py
 """
 
-from fractions import Fraction
 
 from repro import lifted_wfomc, parse, RulesIncompleteError, WeightedVocabulary
 from repro.logic.vocabulary import Vocabulary

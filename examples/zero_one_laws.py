@@ -13,10 +13,9 @@ to 1.  See EXPERIMENTS.md.
 Run:  python examples/zero_one_laws.py
 """
 
-from fractions import Fraction
 
 from repro import parse
-from repro.asymptotics import mu_n, mu_sequence
+from repro.asymptotics import mu_n
 
 
 def show(title, formula, sizes, method="auto"):

@@ -51,6 +51,8 @@ from .wfomc import (
     fomc,
     probability,
     wfomc,
+    wfomc_batch,
+    wfomc_weight_sweep,
     wfomc_fo2,
     wfomc_qs4,
     chain_probability,
@@ -65,7 +67,7 @@ from .cq import (
 from .mln import HARD, MLN, mln_probability_bruteforce, mln_probability_wfomc
 from .lifted import RulesIncompleteError, lifted_wfomc
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "ReproError",
@@ -89,6 +91,8 @@ __all__ = [
     "fomc",
     "wfomc",
     "probability",
+    "wfomc_batch",
+    "wfomc_weight_sweep",
     "wfomc_fo2",
     "wfomc_qs4",
     "chain_probability",

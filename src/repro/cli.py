@@ -4,14 +4,19 @@ Commands
 --------
 count        FOMC of a sentence over a domain size
 wfomc        weighted count, with ``--weight R=w,wbar`` options
+batch        weighted counts at several domain sizes in one run
 probability  probability of the sentence under the weight semantics
 spectrum     which domain sizes up to a bound admit a model
 mu           the labeled-structure fraction mu_n (0-1 laws)
+
+``--stats`` on the counting commands prints engine/cache statistics to
+stderr after the result.
 
 Examples::
 
     python -m repro count "forall x. exists y. R(x, y)" 5
     python -m repro wfomc "exists y. S(y)" 4 --weight S=1/2,1
+    python -m repro batch "forall x, y. (R(x) | S(x, y))" 1 2 3 4
     python -m repro probability "exists x. P(x)" 3
     python -m repro spectrum "exists x, y. x != y" 4
     python -m repro mu "forall x. exists y. R(x, y)" 8
@@ -25,11 +30,13 @@ from fractions import Fraction
 
 from .complexity.spectrum import spectrum
 from .asymptotics.zero_one import mu_n
+from .grounding.lineage import grounding_cache_stats
 from .logic.parser import parse
 from .logic.syntax import predicates_of
 from .logic.vocabulary import Vocabulary, Predicate, WeightedVocabulary
+from .propositional.counter import engine_stats
 from .weights import WeightPair
-from .wfomc.solver import fomc, probability, wfomc
+from .wfomc.solver import fomc, probability, solver_cache_stats, wfomc, wfomc_batch
 
 __all__ = ["main", "build_parser"]
 
@@ -66,13 +73,21 @@ def build_parser():
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p):
+    def add_common(p, batch=False):
         p.add_argument("formula", help="an FO sentence, e.g. 'forall x. exists y. R(x, y)'")
-        p.add_argument("n", type=int, help="domain size")
+        if batch:
+            p.add_argument("ns", type=int, nargs="+", metavar="n", help="domain sizes")
+        else:
+            p.add_argument("n", type=int, help="domain size")
         p.add_argument(
             "--method",
             choices=("auto", "fo2", "lineage", "enumerate"),
             default="auto",
+        )
+        p.add_argument(
+            "--stats",
+            action="store_true",
+            help="print engine and cache statistics to stderr",
         )
 
     p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
@@ -81,6 +96,16 @@ def build_parser():
     p_wfomc = sub.add_parser("wfomc", help="weighted model count")
     add_common(p_wfomc)
     p_wfomc.add_argument(
+        "--weight",
+        action="append",
+        type=_parse_weight_option,
+        metavar="NAME=w,wbar",
+        help="weights for one predicate (default 1,1); repeatable",
+    )
+
+    p_batch = sub.add_parser("batch", help="weighted counts at several domain sizes")
+    add_common(p_batch, batch=True)
+    p_batch.add_argument(
         "--weight",
         action="append",
         type=_parse_weight_option,
@@ -108,6 +133,15 @@ def build_parser():
     return parser
 
 
+def _print_stats():
+    for name, stats in (
+        ("engine", engine_stats()),
+        ("solver", solver_cache_stats()),
+        ("grounding", grounding_cache_stats()),
+    ):
+        print("{}: {}".format(name, stats), file=sys.stderr)
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     formula = parse(args.formula)
@@ -117,6 +151,10 @@ def main(argv=None):
     elif args.command == "wfomc":
         wv = _weighted_vocabulary(formula, args.weight)
         print(wfomc(formula, args.n, wv, method=args.method))
+    elif args.command == "batch":
+        wv = _weighted_vocabulary(formula, args.weight)
+        for n, value in wfomc_batch(formula, args.ns, wv, method=args.method).items():
+            print("{}\t{}".format(n, value))
     elif args.command == "probability":
         wv = _weighted_vocabulary(formula, args.weight)
         value = probability(formula, args.n, wv, method=args.method)
@@ -127,6 +165,8 @@ def main(argv=None):
     elif args.command == "mu":
         value = mu_n(formula, args.n)
         print("{} (~{:.6f})".format(value, float(value)))
+    if getattr(args, "stats", False):
+        _print_stats()
     return 0
 
 

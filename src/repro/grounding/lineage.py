@@ -25,20 +25,47 @@ from ..logic.syntax import (
     Top,
     Var,
 )
-from ..utils import check_domain_size
+from ..utils import LRUCache, check_domain_size, vocabulary_signature
 from .structures import ground_tuples
 from ..propositional.formula import pand, pnot, por, pvar, PFalse, PTrue
 
-__all__ = ["lineage", "ground_atom_weights"]
+__all__ = ["lineage", "ground_atom_weights", "clear_grounding_caches", "grounding_cache_stats"]
+
+# Ground lineages are pure functions of (formula, n) and formula nodes are
+# immutable, so repeated solver calls — weight sweeps, probability
+# numerators, batch evaluation — reuse the grounding.  Entries can be
+# large, hence the small bound.
+_LINEAGE_CACHE = LRUCache(maxsize=64)
+_UNIVERSE_CACHE = LRUCache(maxsize=256)
+
+
+def clear_grounding_caches():
+    """Drop all cached lineages and ground-atom universes."""
+    _LINEAGE_CACHE.clear()
+    _UNIVERSE_CACHE.clear()
+
+
+def grounding_cache_stats():
+    """Hit/miss statistics for the grounding-level caches."""
+    return {
+        "lineage": _LINEAGE_CACHE.stats(),
+        "universe": _UNIVERSE_CACHE.stats(),
+    }
 
 
 def lineage(formula, n):
     """The lineage of ``formula`` over domain ``[n]`` as a prop formula.
 
     Free variables must have been substituted by constants beforehand.
+    Results are memoized on ``(formula, n)``.
     """
     check_domain_size(n)
-    return _ground(formula, n, {})
+    key = (formula, n)
+    cached = _LINEAGE_CACHE.get(key)
+    if cached is None:
+        cached = _ground(formula, n, {})
+        _LINEAGE_CACHE.put(key, cached)
+    return cached
 
 
 def _term_value(t, env):
@@ -99,9 +126,13 @@ def ground_atom_weights(weighted_vocabulary, n):
 
     Returns ``(weight_of, universe)`` where ``weight_of`` maps a label
     ``(pred, args)`` to its :class:`~repro.weights.WeightPair` and
-    ``universe`` is the list of all ground-atom labels ``Tup(n)``.
+    ``universe`` is the tuple of all ground-atom labels ``Tup(n)``.
     """
-    universe = ground_tuples(weighted_vocabulary.vocabulary, n)
+    key = (vocabulary_signature(weighted_vocabulary.vocabulary), n)
+    universe = _UNIVERSE_CACHE.get(key)
+    if universe is None:
+        universe = tuple(ground_tuples(weighted_vocabulary.vocabulary, n))
+        _UNIVERSE_CACHE.put(key, universe)
 
     def weight_of(label):
         pred, _args = label

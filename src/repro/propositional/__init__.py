@@ -2,13 +2,23 @@
 
 from .formula import PTrue, PFalse, PVar, PNot, PAnd, POr, pvar, pnot, pand, por, prop_vars
 from .cnf import CNF, to_cnf
-from .counter import wmc_cnf, wmc_formula, satisfiable, model_count
+from .counter import (
+    CountingEngine,
+    EngineStats,
+    engine_stats,
+    reset_engine,
+    wmc_cnf,
+    wmc_formula,
+    satisfiable,
+    model_count,
+)
 from .bruteforce import wmc_enumerate, count_models_enumerate
 
 __all__ = [
     "PTrue", "PFalse", "PVar", "PNot", "PAnd", "POr",
     "pvar", "pnot", "pand", "por", "prop_vars",
     "CNF", "to_cnf",
+    "CountingEngine", "EngineStats", "engine_stats", "reset_engine",
     "wmc_cnf", "wmc_formula", "satisfiable", "model_count",
     "wmc_enumerate", "count_models_enumerate",
 ]

@@ -109,10 +109,30 @@ def to_cnf(formula, extra_labels=()):
             break
         direct.append(clause)
     if direct is not None:
+        # Lineages of symmetric sentences routinely ground the same clause
+        # many times and produce tautologies (x | !x).  Both are dropped:
+        # duplicates are idempotent under conjunction, and a tautological
+        # clause constrains nothing (its variables stay registered via
+        # ``var_for`` so they still contribute their ``w + wbar`` mass).
+        seen = set()
         for clause in direct:
-            cnf.add_clause(
-                (cnf.var_for(lbl) if pos else -cnf.var_for(lbl)) for pos, lbl in clause
-            )
+            lits = []
+            lit_set = set()
+            tautology = False
+            for pos, lbl in clause:
+                lit = cnf.var_for(lbl) if pos else -cnf.var_for(lbl)
+                if -lit in lit_set:
+                    tautology = True
+                if lit not in lit_set:
+                    lit_set.add(lit)
+                    lits.append(lit)
+            if tautology:
+                continue
+            key = frozenset(lit_set)
+            if key in seen:
+                continue
+            seen.add(key)
+            cnf.add_clause(lits)
         return cnf
 
     # General path: Tseitin encoding. Returns a literal for each node.

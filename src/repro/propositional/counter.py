@@ -1,18 +1,27 @@
-"""Exact weighted model counting by DPLL with component decomposition.
+"""Exact weighted model counting: a component-caching #DPLL engine.
 
 This is the propositional engine behind every grounded computation in the
 library (Section 2 reduces WFOMC to WMC of the lineage).  The counter is a
-classic #DPLL:
+sharpSAT-style #DPLL:
 
-* unit propagation with exact weight bookkeeping,
+* queue-based unit propagation with exact weight bookkeeping,
 * connected-component decomposition (components share no variables, so
   their counts multiply),
-* formula caching keyed on the residual clause set,
-* branching on a most-occurring variable.
+* *canonical* component caching: each residual component is renamed to a
+  canonical variable numbering before the cache lookup, so isomorphic
+  components produced anywhere in the search — or by symmetric lineages of
+  different domain elements — share one cache entry.  The cache key
+  includes the weight pair of every component variable, which makes the
+  cache safe to share across calls with different weight functions;
+* unit-propagation-aware branching: decisions pick the variable with the
+  most occurrences in minimum-length clauses (a MOMS heuristic), so at
+  least one branch immediately triggers propagation.
 
 Weights may be negative (Skolemization needs ``(1, -1)``), so no
 optimization may assume counts are monotone or positive; in particular the
 pure-literal rule is *not* used for counting (it is used for plain SAT).
+Integer weights are kept as machine integers internally and only converted
+to :class:`~fractions.Fraction` at the API boundary.
 
 The count is defined over the variables that occur in the clauses; callers
 account for never-occurring variables.  Variables that vanish from the
@@ -22,13 +31,350 @@ residual formula without being assigned contribute their full mass
 
 from __future__ import annotations
 
+import sys
 from fractions import Fraction
 
 from ..weights import WeightPair
 from .cnf import to_cnf
 from .formula import prop_vars
 
-__all__ = ["wmc_cnf", "wmc_formula", "model_count", "satisfiable"]
+__all__ = [
+    "CountingEngine",
+    "EngineStats",
+    "engine_stats",
+    "reset_engine",
+    "wmc_cnf",
+    "wmc_formula",
+    "model_count",
+    "satisfiable",
+]
+
+#: Ceiling for the temporary recursion-limit raise in
+#: :meth:`CountingEngine.run`; ~50k Python frames fit comfortably in the
+#: default 8 MB C stack, far past any instance the engine can finish.
+MAX_RECURSION_LIMIT = 50_000
+
+#: Upper bound on shared component-cache entries; the cache is cleared
+#: wholesale when it fills (component values are cheap to recompute
+#: relative to unbounded memory growth on adversarial workloads).
+MAX_CACHE_ENTRIES = 1 << 18
+
+
+class EngineStats:
+    """Counters describing the work done by the engine."""
+
+    __slots__ = ("calls", "decisions", "propagations", "component_splits",
+                 "cache_hits", "cache_misses")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.calls = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.component_splits = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def as_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self):
+        body = ", ".join("{}={}".format(k, v) for k, v in self.as_dict().items())
+        return "EngineStats({})".format(body)
+
+
+#: Cache and stats shared by all engines by default.  Safe because cache
+#: keys embed the weight pair of every variable in the component.
+_SHARED_CACHE = {}
+_SHARED_STATS = EngineStats()
+
+
+def engine_stats():
+    """Shared engine statistics plus the current component-cache size."""
+    stats = _SHARED_STATS.as_dict()
+    stats["cache_entries"] = len(_SHARED_CACHE)
+    return stats
+
+
+def reset_engine():
+    """Clear the shared component cache and zero the shared statistics."""
+    _SHARED_CACHE.clear()
+    _SHARED_STATS.reset()
+
+
+def _exact(value):
+    """Keep integer-valued weights as machine ints for fast arithmetic."""
+    if isinstance(value, int):
+        return value
+    frac = Fraction(value)
+    return frac.numerator if frac.denominator == 1 else frac
+
+
+class CountingEngine:
+    """Exact WMC over integer-variable clauses with component caching.
+
+    ``weights`` maps each variable to its ``(w, wbar)`` pair and ``totals``
+    to ``w + wbar``; values may be ints or Fractions.  ``cache``/``stats``
+    default to module-level shared instances.
+    """
+
+    __slots__ = ("weights", "totals", "cache", "stats")
+
+    def __init__(self, weights, totals, cache=None, stats=None):
+        self.weights = weights
+        self.totals = totals
+        self.cache = _SHARED_CACHE if cache is None else cache
+        self.stats = _SHARED_STATS if stats is None else stats
+
+    # -- public entry ------------------------------------------------------
+
+    def run(self, clauses):
+        """WMC over exactly the variables occurring in ``clauses``."""
+        self.stats.calls += 1
+        clauses = [tuple(c) for c in clauses]
+        for c in clauses:
+            if not c:
+                return Fraction(0)
+        if not clauses:
+            return Fraction(1)
+        # Deep instances recurse one frame set per decision level; raise
+        # the interpreter limit proportionally but keep a hard cap so a
+        # pathological instance raises RecursionError instead of
+        # overflowing the C stack, and restore the limit afterwards.
+        limit = sys.getrecursionlimit()
+        needed = min(12 * len(self.weights) + 1000, MAX_RECURSION_LIMIT)
+        if limit < needed:
+            sys.setrecursionlimit(needed)
+        try:
+            return Fraction(self._count(clauses))
+        finally:
+            if limit < needed:
+                sys.setrecursionlimit(limit)
+
+    # -- core recursion ----------------------------------------------------
+
+    def _count(self, clauses):
+        """Count a residual formula: propagate, split, recurse."""
+        propagated = self._propagate(clauses)
+        if propagated is None:
+            return 0
+        factor, residual = propagated
+        if factor == 0 or not residual:
+            return factor
+        components = self._split_components(residual)
+        if len(components) > 1:
+            self.stats.component_splits += 1
+        total = factor
+        for component in components:
+            value = self._count_component(component)
+            if value == 0:
+                return 0
+            total *= value
+        return total
+
+    def _propagate(self, clauses):
+        """Unit propagation to fixpoint.
+
+        Returns ``(factor, residual)`` — the weight mass of forced and
+        vanished variables times the remaining clause list — or ``None``
+        on conflict.
+        """
+        factor = 1
+        current = clauses
+        assigned = None
+        before = None
+        while True:
+            units = set()
+            for c in current:
+                if len(c) == 1:
+                    lit = c[0]
+                    if -lit in units:
+                        return None
+                    units.add(lit)
+            if not units:
+                break
+            if before is None:
+                before = set()
+                for c in current:
+                    for lit in c:
+                        before.add(abs(lit))
+                assigned = set()
+            self.stats.propagations += len(units)
+            weights = self.weights
+            for lit in units:
+                v = abs(lit)
+                assigned.add(v)
+                w, wbar = weights[v]
+                factor *= w if lit > 0 else wbar
+            new = []
+            for c in current:
+                keep = None
+                satisfied = False
+                for i, lit in enumerate(c):
+                    if lit in units:
+                        satisfied = True
+                        break
+                    if -lit in units:
+                        if keep is None:
+                            keep = list(c[:i])
+                    elif keep is not None:
+                        keep.append(lit)
+                if satisfied:
+                    continue
+                if keep is None:
+                    new.append(c)
+                elif keep:
+                    new.append(tuple(keep))
+                else:
+                    return None
+            current = new
+            if factor == 0:
+                # Sound: the remaining count is finite and multiplied by 0.
+                return 0, ()
+        if before is not None:
+            after = set()
+            for c in current:
+                for lit in c:
+                    after.add(abs(lit))
+            totals = self.totals
+            for v in before - assigned - after:
+                factor *= totals[v]
+        return factor, current
+
+    def _count_component(self, component):
+        """Count one variable-connected component through the cache."""
+        key = self._canonical_key(component)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        result = self._branch(component)
+        if len(self.cache) >= MAX_CACHE_ENTRIES:
+            self.cache.clear()
+        self.cache[key] = result
+        return result
+
+    def _canonical_key(self, component):
+        """Rename variables to first-occurrence order; key on structure
+        plus the weight pair of each renamed variable."""
+        rename = {}
+        weight_row = []
+        weights = self.weights
+        rows = []
+        for c in component:
+            row = []
+            for lit in c:
+                v = abs(lit)
+                idx = rename.get(v)
+                if idx is None:
+                    idx = len(rename) + 1
+                    rename[v] = idx
+                    weight_row.append(weights[v])
+                row.append(idx if lit > 0 else -idx)
+            row.sort(key=_lit_order)
+            rows.append(tuple(row))
+        rows.sort()
+        return tuple(rows), tuple(weight_row)
+
+    def _branch(self, clauses):
+        """Split on a decision variable chosen to maximize propagation."""
+        self.stats.decisions += 1
+        var = self._pick_variable(clauses)
+        before = set()
+        for c in clauses:
+            for lit in c:
+                before.add(abs(lit))
+        before.discard(var)
+        w, wbar = self.weights[var]
+        totals = self.totals
+        total = 0
+        for lit, lit_weight in ((var, w), (-var, wbar)):
+            if lit_weight == 0:
+                continue
+            new = []
+            after = set()
+            conflict = False
+            for c in clauses:
+                if lit in c:
+                    continue
+                if -lit in c:
+                    keep = tuple(l for l in c if l != -lit)
+                    if not keep:
+                        conflict = True
+                        break
+                    new.append(keep)
+                    for l in keep:
+                        after.add(abs(l))
+                else:
+                    new.append(c)
+                    for l in c:
+                        after.add(abs(l))
+            if conflict:
+                continue
+            sub = lit_weight
+            for v in before - after:
+                sub *= totals[v]
+            if new:
+                sub *= self._count(new)
+            total += sub
+        return total
+
+    @staticmethod
+    def _pick_variable(clauses):
+        """MOMS: most occurrences in minimum-size clauses, so the other
+        polarity shortens those clauses toward units."""
+        min_len = min(len(c) for c in clauses)
+        occurrences = {}
+        short_scores = {}
+        for c in clauses:
+            short = len(c) == min_len
+            for lit in c:
+                v = abs(lit)
+                occurrences[v] = occurrences.get(v, 0) + 1
+                if short:
+                    short_scores[v] = short_scores.get(v, 0) + 1
+        return max(
+            short_scores,
+            key=lambda v: (short_scores[v], occurrences[v], -v),
+        )
+
+    @staticmethod
+    def _split_components(clauses):
+        """Partition clauses into variable-connected components."""
+        parent = {}
+
+        def find(x):
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for c in clauses:
+            first = abs(c[0])
+            if first not in parent:
+                parent[first] = first
+            for lit in c[1:]:
+                v = abs(lit)
+                if v not in parent:
+                    parent[v] = v
+                ra, rb = find(first), find(v)
+                if ra != rb:
+                    parent[ra] = rb
+
+        groups = {}
+        for c in clauses:
+            root = find(abs(c[0]))
+            groups.setdefault(root, []).append(c)
+        return list(groups.values())
+
+
+def _lit_order(lit):
+    return (abs(lit), lit)
 
 
 def _clause_vars(clauses):
@@ -55,132 +401,16 @@ def _condition(clauses, lit):
     return new
 
 
-class _Counter:
-    def __init__(self, weights, totals):
-        # weights[v] = (w, wbar); totals[v] = w + wbar
-        self.weights = weights
-        self.totals = totals
-        self.cache = {}
-
-    def lit_weight(self, lit):
-        w, wbar = self.weights[abs(lit)]
-        return w if lit > 0 else wbar
-
-    def count(self, clauses):
-        """WMC over exactly the variables occurring in ``clauses``."""
-        if not clauses:
-            return Fraction(1)
-        for c in clauses:
-            if not c:
-                return Fraction(0)
-
-        key = frozenset(clauses)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
-
-        result = self._count_inner(clauses)
-        self.cache[key] = result
-        return result
-
-    def _count_inner(self, clauses):
-        # Unit propagation.
-        factor = Fraction(1)
-        current = list(clauses)
-        while True:
-            unit = None
-            for c in current:
-                if len(c) == 1:
-                    unit = c[0]
-                    break
-            if unit is None:
-                break
-            before = _clause_vars(current)
-            current = _condition(current, unit)
-            if current is None:
-                return Fraction(0)
-            factor *= self.lit_weight(unit)
-            lost = before - {abs(unit)} - _clause_vars(current)
-            for v in lost:
-                factor *= self.totals[v]
-            if factor == 0:
-                # Still sound: remaining count is finite and multiplied by 0.
-                return Fraction(0)
-            if not current:
-                return factor
-
-        # Component decomposition via union-find over variables.
-        components = self._split_components(current)
-        if len(components) > 1:
-            total = factor
-            for comp in components:
-                total *= self.count(tuple(comp))
-                if total == 0:
-                    return Fraction(0)
-            return total
-
-        # Branch on a most frequent variable.
-        occurrences = {}
-        for c in current:
-            for lit in c:
-                occurrences[abs(lit)] = occurrences.get(abs(lit), 0) + 1
-        var = max(occurrences, key=lambda v: (occurrences[v], -v))
-
-        total = Fraction(0)
-        before = _clause_vars(current)
-        for lit in (var, -var):
-            conditioned = _condition(current, lit)
-            if conditioned is None:
-                continue
-            sub_factor = self.lit_weight(lit)
-            lost = before - {var} - _clause_vars(conditioned)
-            for v in lost:
-                sub_factor *= self.totals[v]
-            total += sub_factor * self.count(tuple(conditioned))
-        return factor * total
-
-    @staticmethod
-    def _split_components(clauses):
-        """Partition clauses into variable-connected components."""
-        parent = {}
-
-        def find(x):
-            root = x
-            while parent[root] != root:
-                root = parent[root]
-            while parent[x] != root:
-                parent[x], x = root, parent[x]
-            return root
-
-        def union(a, b):
-            ra, rb = find(a), find(b)
-            if ra != rb:
-                parent[ra] = rb
-
-        for c in clauses:
-            first = abs(c[0])
-            if first not in parent:
-                parent[first] = first
-            for lit in c[1:]:
-                v = abs(lit)
-                if v not in parent:
-                    parent[v] = v
-                union(first, v)
-
-        groups = {}
-        for c in clauses:
-            root = find(abs(c[0]))
-            groups.setdefault(root, []).append(c)
-        return list(groups.values())
-
-
-def wmc_cnf(cnf, weight_of_label):
+def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None):
     """Exact WMC of a :class:`~repro.propositional.cnf.CNF`.
 
     ``weight_of_label`` maps a variable label to a
     :class:`~repro.weights.WeightPair` (or a ``(w, wbar)`` tuple).
     Auxiliary Tseitin variables weigh ``(1, 1)``.  Labeled variables that
     appear in no clause contribute their full mass ``w + wbar``.
+
+    ``engine_cache``/``stats`` override the shared component cache and
+    statistics (callers wanting isolation pass fresh instances).
     """
     if cnf.contradictory:
         return Fraction(0)
@@ -195,19 +425,20 @@ def wmc_cnf(cnf, weight_of_label):
             pair = weight_of_label(label)
             if not isinstance(pair, WeightPair):
                 pair = WeightPair(*pair)
-        weights[v] = (pair.w, pair.wbar)
-        totals[v] = pair.w + pair.wbar
+        w, wbar = _exact(pair.w), _exact(pair.wbar)
+        weights[v] = (w, wbar)
+        totals[v] = w + wbar
 
-    counter = _Counter(weights, totals)
+    engine = CountingEngine(weights, totals, cache=engine_cache, stats=stats)
     clauses = tuple(cnf.clauses)
-    result = counter.count(clauses)
+    result = engine.run(clauses)
 
     # Labeled variables never mentioned by any clause are unconstrained.
     used = _clause_vars(clauses)
     for v in cnf.original_vars():
         if v not in used:
             result *= totals[v]
-    return result
+    return Fraction(result)
 
 
 def wmc_formula(formula, weight_of_label, universe=()):

@@ -105,15 +105,19 @@ def pnot(f):
 
 def pand(*parts):
     flat = []
+    seen = set()
     for p in parts:
         if isinstance(p, PTrue):
             continue
         if isinstance(p, PFalse):
             return _FALSE
-        if isinstance(p, PAnd):
-            flat.extend(p.parts)
-        else:
-            flat.append(p)
+        children = p.parts if isinstance(p, PAnd) else (p,)
+        for child in children:
+            # Conjunction is idempotent; dropping repeats keeps the
+            # lineages of symmetric sentences compact.
+            if child not in seen:
+                seen.add(child)
+                flat.append(child)
     if not flat:
         return _TRUE
     if len(flat) == 1:
@@ -123,15 +127,17 @@ def pand(*parts):
 
 def por(*parts):
     flat = []
+    seen = set()
     for p in parts:
         if isinstance(p, PFalse):
             continue
         if isinstance(p, PTrue):
             return _TRUE
-        if isinstance(p, POr):
-            flat.extend(p.parts)
-        else:
-            flat.append(p)
+        children = p.parts if isinstance(p, POr) else (p,)
+        for child in children:
+            if child not in seen:
+                seen.add(child)
+                flat.append(child)
     if not flat:
         return _FALSE
     if len(flat) == 1:

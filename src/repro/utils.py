@@ -9,12 +9,15 @@ counting paths).
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from fractions import Fraction
 from math import comb, factorial
 
 from .errors import DomainSizeError
 
 __all__ = [
+    "LRUCache",
+    "vocabulary_signature",
     "as_fraction",
     "binomial",
     "multinomial",
@@ -26,6 +29,71 @@ __all__ = [
     "check_domain_size",
     "powerset",
 ]
+
+
+class LRUCache:
+    """A small bounded mapping with least-recently-used eviction.
+
+    Used for the solver dispatch, lineage, and cardinality-polynomial
+    caches: entries can be large (whole ground lineages), so the bound is
+    on entry *count* and callers pick sizes matching the entry weight.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_data")
+
+    _MISSING = object()
+
+    def __init__(self, maxsize):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data = OrderedDict()
+
+    def get(self, key, default=None):
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value):
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        while len(data) > self.maxsize:
+            data.popitem(last=False)
+
+    def __contains__(self, key):
+        return key in self._data
+
+    def __len__(self):
+        return len(self._data)
+
+    def clear(self):
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self):
+        return {"entries": len(self._data), "hits": self.hits, "misses": self.misses}
+
+
+def vocabulary_signature(vocabulary, ordered=False):
+    """A hashable ``(name, arity)`` signature of a vocabulary.
+
+    ``ordered=False`` (default) sorts the pairs, giving an
+    order-insensitive key for caches whose values do not depend on
+    predicate iteration order (ground-atom universes).  Pass
+    ``ordered=True`` when the cached value *is* ordered by the
+    vocabulary's iteration order — e.g. cardinality-polynomial
+    coefficient vectors — so differently-ordered vocabularies never
+    share an entry.
+    """
+    signature = tuple((p.name, p.arity) for p in vocabulary)
+    return signature if ordered else tuple(sorted(signature))
 
 
 def as_fraction(value):

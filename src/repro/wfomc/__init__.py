@@ -15,7 +15,15 @@ from .polynomial import (
     wfomc_cardinality_polynomial,
     evaluate_cardinality_polynomial,
 )
-from .solver import wfomc, fomc, probability
+from .solver import (
+    wfomc,
+    fomc,
+    probability,
+    wfomc_batch,
+    wfomc_weight_sweep,
+    solver_cache_stats,
+    clear_solver_caches,
+)
 
 __all__ = [
     "wfomc_enumerate",
@@ -30,7 +38,13 @@ __all__ = [
     "wfomc_qs4",
     "QS4_SENTENCE",
     "chain_probability",
+    "wfomc_cardinality_polynomial",
+    "evaluate_cardinality_polynomial",
     "wfomc",
     "fomc",
     "probability",
+    "wfomc_batch",
+    "wfomc_weight_sweep",
+    "solver_cache_stats",
+    "clear_solver_caches",
 ]

@@ -1,4 +1,4 @@
-"""The top-level WFOMC solver: routing between algorithms.
+"""The top-level WFOMC solver: routing, result caching, and batch APIs.
 
 ``wfomc(formula, n)`` dispatches to the best applicable algorithm:
 
@@ -11,6 +11,22 @@
 
 ``method`` can pin a specific algorithm: ``"fo2"``, ``"lineage"``,
 ``"enumerate"``.
+
+On top of dispatch sit three layers of reuse:
+
+* a bounded LRU **result cache** keyed on ``(formula, n, weights, method)``
+  — repeated ``wfomc``/``fomc``/``probability`` calls are free, and the
+  grounding layer memoizes lineages so even cache misses at new weights
+  reuse the ground formula;
+* :func:`wfomc_batch` evaluates one sentence at many domain sizes through
+  the shared caches (dispatch is resolved once per domain size, lineage
+  and component caches carry over between sizes);
+* :func:`wfomc_weight_sweep` evaluates one ``(formula, n)`` instance at
+  many weight assignments; when the cardinality grid is small it
+  reconstructs the cardinality generating polynomial **once** (cached) via
+  :func:`~repro.wfomc.polynomial.wfomc_cardinality_polynomial` and then
+  evaluates every weight set by polynomial evaluation, exactly the
+  paper's positive-oracle argument.
 """
 
 from __future__ import annotations
@@ -18,12 +34,59 @@ from __future__ import annotations
 from ..errors import NotFO2Error, UnsupportedFormulaError
 from ..logic.syntax import num_variables
 from ..logic.vocabulary import WeightedVocabulary
+from ..utils import LRUCache, vocabulary_signature
 from .bruteforce import wfomc_enumerate, wfomc_lineage
 from .fo2 import wfomc_fo2
+from .polynomial import (
+    evaluate_cardinality_polynomial,
+    wfomc_cardinality_polynomial,
+)
 
-__all__ = ["wfomc", "fomc", "probability"]
+__all__ = [
+    "wfomc",
+    "fomc",
+    "probability",
+    "wfomc_batch",
+    "wfomc_weight_sweep",
+    "solver_cache_stats",
+    "clear_solver_caches",
+]
 
 _METHODS = ("auto", "fo2", "lineage", "enumerate")
+
+#: Cached final results are single Fractions, so the cache can be large.
+_RESULT_CACHE = LRUCache(maxsize=4096)
+#: Cardinality-coefficient tables are dicts of size at most the grid.
+_POLYNOMIAL_CACHE = LRUCache(maxsize=64)
+
+#: A weight sweep uses the cardinality polynomial when the interpolation
+#: grid (the number of positive-weight oracle calls needed) is at most
+#: this multiple of the number of requested weight sets.
+_SWEEP_GRID_FACTOR = 4
+
+
+def _weights_signature(weighted_vocabulary):
+    """A hashable, order-independent key for a weighted vocabulary."""
+    return tuple(
+        sorted(
+            (p.name, p.arity) + tuple(weighted_vocabulary.weight(p.name))
+            for p in weighted_vocabulary.vocabulary
+        )
+    )
+
+
+def solver_cache_stats():
+    """Hit/miss statistics for the solver-level caches."""
+    return {
+        "results": _RESULT_CACHE.stats(),
+        "polynomials": _POLYNOMIAL_CACHE.stats(),
+    }
+
+
+def clear_solver_caches():
+    """Drop all cached dispatch results and cardinality polynomials."""
+    _RESULT_CACHE.clear()
+    _POLYNOMIAL_CACHE.clear()
 
 
 def wfomc(formula, n, weighted_vocabulary=None, method="auto"):
@@ -43,12 +106,24 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto"):
         ``"auto"`` (default), ``"fo2"``, ``"lineage"``, or ``"enumerate"``.
 
     Returns an exact :class:`~fractions.Fraction` (an ``int``-valued one
-    for integer weights).
+    for integer weights).  Results are cached on
+    ``(formula, n, weights, method)``.
     """
     if method not in _METHODS:
         raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
 
+    key = (formula, n, _weights_signature(wv), method)
+    cached = _RESULT_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    result = _dispatch(formula, n, wv, method)
+    _RESULT_CACHE.put(key, result)
+    return result
+
+
+def _dispatch(formula, n, wv, method):
     if method == "fo2":
         return wfomc_fo2(formula, n, wv)
     if method == "lineage":
@@ -92,3 +167,93 @@ def probability(formula, n, weighted_vocabulary=None, method="auto"):
             "total world weight is zero; the weights have no probabilistic reading"
         )
     return numerator / denominator
+
+
+def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto"):
+    """WFOMC of one sentence at many domain sizes.
+
+    Returns ``{n: WFOMC(formula, n)}``.  All sizes flow through the shared
+    caches: the dispatch decision and weights signature are computed once,
+    repeated sizes are deduplicated, and the lineage/component caches are
+    shared across sizes, so a batch is substantially cheaper than
+    independent :func:`wfomc` calls on a cold cache.
+    """
+    if method not in _METHODS:
+        raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
+    wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
+    signature = _weights_signature(wv)
+
+    results = {}
+    for n in ns:
+        if n in results:
+            continue
+        key = (formula, n, signature, method)
+        cached = _RESULT_CACHE.get(key)
+        if cached is None:
+            cached = _dispatch(formula, n, wv, method)
+            _RESULT_CACHE.put(key, cached)
+        results[n] = cached
+    return results
+
+
+def _cardinality_grid_size(vocabulary, n):
+    size = 1
+    for p in vocabulary:
+        size *= n ** p.arity + 1
+    return size
+
+
+def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
+                       via_polynomial=None):
+    """WFOMC of one ``(formula, n)`` instance at many weight assignments.
+
+    ``weight_vocabularies`` is an iterable of
+    :class:`~repro.logic.vocabulary.WeightedVocabulary` over the same
+    vocabulary; the result is the list of counts in input order.
+
+    When ``via_polynomial`` is true (or ``None`` and the interpolation
+    grid is small relative to the number of weight sets), the cardinality
+    generating polynomial of the instance is reconstructed once — from
+    positive-weight oracle calls only, per the paper's Section 2 argument
+    — cached, and evaluated at every weight set, negative weights
+    included.  Otherwise each weight set is dispatched individually
+    (still hitting the lineage and component caches).
+    """
+    weight_vocabularies = list(weight_vocabularies)
+    if not weight_vocabularies:
+        return []
+    vocabulary = weight_vocabularies[0].vocabulary
+
+    if via_polynomial is None:
+        grid = _cardinality_grid_size(vocabulary, n)
+        via_polynomial = grid <= _SWEEP_GRID_FACTOR * len(weight_vocabularies)
+
+    if not via_polynomial:
+        return [wfomc(formula, n, wv, method=method) for wv in weight_vocabularies]
+
+    # Coefficient vectors are ordered by this vocabulary's iteration
+    # order, so the key must be order-*sensitive*: the same predicates in
+    # a different order must not share an entry.
+    key = (formula, n, vocabulary_signature(vocabulary, ordered=True), method)
+    coefficients = _POLYNOMIAL_CACHE.get(key)
+    if coefficients is None:
+        coefficients = wfomc_cardinality_polynomial(
+            formula,
+            n,
+            vocabulary,
+            lambda f, size, wv: wfomc(f, size, wv, method=method),
+        )
+        _POLYNOMIAL_CACHE.put(key, coefficients)
+    # Coefficient vectors are ordered by the first vocabulary's predicate
+    # order; rebase every weight set onto that vocabulary object so the
+    # evaluation order always matches.
+    return [
+        evaluate_cardinality_polynomial(
+            coefficients,
+            n,
+            WeightedVocabulary(
+                vocabulary, {p.name: wv.weight(p.name) for p in vocabulary}
+            ),
+        )
+        for wv in weight_vocabularies
+    ]

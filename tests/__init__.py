@@ -1,0 +1,1 @@
+"""Test package for the repro library (enables relative strategy imports)."""

@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.logic.parser import parse
 from repro.logic.vocabulary import WeightedVocabulary

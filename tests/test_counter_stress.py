@@ -7,10 +7,9 @@ counting bug would silently corrupt every downstream result.
 
 from fractions import Fraction
 
-import pytest
 
 from repro.propositional.cnf import to_cnf
-from repro.propositional.counter import model_count, satisfiable, wmc_cnf, wmc_formula
+from repro.propositional.counter import model_count, satisfiable, wmc_formula
 from repro.propositional.formula import pand, pnot, por, pvar
 from repro.weights import WeightPair
 

@@ -6,7 +6,6 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.cq import (
-    CQAtom,
     ConjunctiveQuery,
     cq_probability_bruteforce,
     gamma_acyclic_probability,

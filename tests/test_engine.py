@@ -1,0 +1,251 @@
+"""Tests for the component-caching WMC engine and the solver cache layer.
+
+The engine is validated two ways: property tests assert exact agreement
+with brute-force enumeration on random CNFs and random FO sentences
+(negative weights included), and unit tests pin down the cache behavior
+(canonical component sharing, hit counting, isolation).
+"""
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.grounding.lineage import clear_grounding_caches, grounding_cache_stats
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.propositional.cnf import CNF
+from repro.propositional.counter import (
+    CountingEngine,
+    EngineStats,
+    engine_stats,
+    reset_engine,
+    wmc_cnf,
+)
+from repro.utils import LRUCache
+from repro.weights import WeightPair
+from repro.wfomc.bruteforce import wfomc_enumerate
+from repro.wfomc.solver import (
+    clear_solver_caches,
+    solver_cache_stats,
+    wfomc,
+    wfomc_batch,
+    wfomc_weight_sweep,
+)
+
+from .strategies import (
+    cnf_clause_lists,
+    fo2_nested_sentences,
+    fractions,
+    weighted_vocabularies,
+)
+
+
+def _cnf_from_clauses(clauses, num_vars):
+    """A CNF whose variables 1..num_vars are all labeled by themselves."""
+    cnf = CNF()
+    for v in range(1, num_vars + 1):
+        cnf.var_for(v)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def _wmc_reference(clauses, pairs):
+    """WMC by enumerating all assignments of variables 1..len(pairs)."""
+    total = Fraction(0)
+    num_vars = len(pairs)
+    for bits in itertools.product((False, True), repeat=num_vars):
+        if all(any(bits[abs(lit) - 1] == (lit > 0) for lit in c) for c in clauses):
+            weight = Fraction(1)
+            for bit, pair in zip(bits, pairs):
+                weight *= pair.w if bit else pair.wbar
+            total += weight
+    return total
+
+
+class TestEngineAgainstEnumeration:
+    @settings(max_examples=120, deadline=None)
+    @given(cnf_clause_lists(), fractions(), fractions(), fractions())
+    def test_random_cnfs_match_enumeration(self, clauses, w1, w2, w3):
+        num_vars = 5
+        pairs = [
+            WeightPair(w1, 1),
+            WeightPair(w2, 2),
+            WeightPair(1, w3),
+            WeightPair(w1, w3),
+            WeightPair(1, 1),
+        ]
+        cnf = _cnf_from_clauses(clauses, num_vars)
+        fast = wmc_cnf(cnf, lambda v: pairs[v - 1])
+        assert fast == _wmc_reference(clauses, pairs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(fo2_nested_sentences(), weighted_vocabularies())
+    def test_random_sentences_match_world_enumeration(self, sentence, wv):
+        assert wfomc(sentence, 2, wv, method="lineage") == wfomc_enumerate(
+            sentence, 2, wv
+        )
+
+
+class TestComponentCache:
+    def _engine(self, num_vars, pair=WeightPair(1, 1)):
+        weights = {v: (pair.w, pair.wbar) for v in range(1, num_vars + 1)}
+        totals = {v: pair.w + pair.wbar for v in range(1, num_vars + 1)}
+        return CountingEngine(weights, totals, cache={}, stats=EngineStats())
+
+    def test_isomorphic_components_share_one_entry(self):
+        # Ten variable-disjoint copies of (a | b): canonically identical,
+        # so the engine solves one and reuses it nine times.
+        clauses = [(2 * i + 1, 2 * i + 2) for i in range(10)]
+        engine = self._engine(20)
+        assert engine.run(clauses) == 3 ** 10
+        assert engine.stats.cache_misses == 1
+        assert engine.stats.cache_hits == 9
+
+    def test_weights_distinguish_cache_entries(self):
+        # Same clause shape, different weights: entries must not collide.
+        weights = {1: (2, 1), 2: (2, 1), 3: (5, 1), 4: (5, 1)}
+        totals = {v: w + wbar for v, (w, wbar) in weights.items()}
+        engine = CountingEngine(weights, totals, cache={}, stats=EngineStats())
+        # (1 | 2) weighs 2*2 + 2*1 + 1*2 = 8; (3 | 4) weighs 25 + 5 + 5 = 35.
+        assert engine.run([(1, 2), (3, 4)]) == 8 * 35
+        assert engine.stats.cache_misses == 2
+
+    def test_repeated_run_hits_cache(self):
+        clauses = [(1, 2), (-1, 3)]
+        engine = self._engine(3)
+        first = engine.run(clauses)
+        misses = engine.stats.cache_misses
+        assert engine.run(clauses) == first
+        assert engine.stats.cache_misses == misses
+
+    def test_shared_stats_observable(self):
+        reset_engine()
+        cnf = _cnf_from_clauses([(1, 2), (3, 4)], 4)
+        assert wmc_cnf(cnf, lambda _v: WeightPair(1, 1)) == 9
+        stats = engine_stats()
+        assert stats["calls"] == 1
+        assert stats["cache_misses"] >= 1
+        reset_engine()
+        assert engine_stats()["cache_entries"] == 0
+
+    def test_negative_weight_components(self):
+        # Skolem-style (1, -1) weights flow through the component cache.
+        engine = CountingEngine(
+            {1: (1, -1), 2: (1, -1)},
+            {1: 0, 2: 0},
+            cache={},
+            stats=EngineStats(),
+        )
+        # (1 | 2): worlds TT, TF, FT weigh 1, -1, -1: total -1.
+        assert engine.run([(1, 2)]) == -1
+
+
+class TestSolverCaches:
+    def setup_method(self):
+        clear_solver_caches()
+        clear_grounding_caches()
+
+    def test_repeated_wfomc_hits_result_cache(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+        first = wfomc(f, 2, method="lineage")
+        assert first == 161
+        before = solver_cache_stats()["results"]["hits"]
+        assert wfomc(f, 2, method="lineage") == 161
+        assert solver_cache_stats()["results"]["hits"] == before + 1
+
+    def test_lineage_reused_across_weight_changes(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+        wv1 = WeightedVocabulary.from_weights(
+            {"R": (2, 1), "S": (1, 1), "T": (1, 1)}, {"R": 1, "S": 2, "T": 1}
+        )
+        wv2 = WeightedVocabulary.from_weights(
+            {"R": (3, 1), "S": (1, 1), "T": (1, 1)}, {"R": 1, "S": 2, "T": 1}
+        )
+        a = wfomc(f, 2, wv1, method="lineage")
+        b = wfomc(f, 2, wv2, method="lineage")
+        assert a != b  # weights actually matter
+        assert grounding_cache_stats()["lineage"]["hits"] >= 1
+
+    def test_batch_matches_individual_calls(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+        batch = wfomc_batch(f, [1, 2, 2, 3], method="lineage")
+        assert set(batch) == {1, 2, 3}
+        for n, value in batch.items():
+            assert value == wfomc(f, n, method="lineage")
+        assert batch[2] == 161 and batch[3] == 13009
+
+    def test_weight_sweep_both_paths_agree(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x. (P(x) | Q(x))")
+        sweeps = [
+            WeightedVocabulary.from_weights(
+                {"P": (w, 1), "Q": (1, wq)}, {"P": 1, "Q": 1}
+            )
+            for w, wq in [(1, 1), (2, 1), (3, 2), (1, -1), (-2, 3)]
+        ]
+        direct = [wfomc(f, 2, wv, method="lineage") for wv in sweeps]
+        assert wfomc_weight_sweep(f, 2, sweeps, via_polynomial=True) == direct
+        assert wfomc_weight_sweep(f, 2, sweeps, via_polynomial=False) == direct
+
+    def test_weight_sweep_vocabulary_order_does_not_corrupt_cache(self):
+        # Regression: coefficient vectors are ordered by the vocabulary's
+        # predicate iteration order, so two sweeps whose vocabularies list
+        # the same predicates in different orders must not share a cache
+        # entry (an order-insensitive key silently misaligned weights).
+        from repro.logic.parser import parse
+        from repro.logic.vocabulary import Predicate, Vocabulary
+
+        f = parse("forall x. (R(x) | S(x, x))")
+        weights = {"R": WeightPair(2, 1), "S": WeightPair(3, 1)}
+        rs = Vocabulary([Predicate("R", 1), Predicate("S", 2)])
+        sr = Vocabulary([Predicate("S", 2), Predicate("R", 1)])
+        expected = wfomc(f, 2, WeightedVocabulary(rs, weights), method="lineage")
+        for vocab in (rs, sr):
+            wv = WeightedVocabulary(vocab, weights)
+            assert wfomc_weight_sweep(f, 2, [wv], via_polynomial=True) == [expected]
+
+    def test_weight_sweep_polynomial_is_cached(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x. (P(x) | Q(x))")
+        sweeps = [
+            WeightedVocabulary.from_weights(
+                {"P": (w, 1), "Q": (1, 1)}, {"P": 1, "Q": 1}
+            )
+            for w in (1, 2)
+        ]
+        wfomc_weight_sweep(f, 2, sweeps, via_polynomial=True)
+        misses = solver_cache_stats()["polynomials"]["misses"]
+        wfomc_weight_sweep(f, 2, sweeps, via_polynomial=True)
+        assert solver_cache_stats()["polynomials"]["misses"] == misses
+        assert solver_cache_stats()["polynomials"]["hits"] >= 1
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_stats_and_clear(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("missing")
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        cache.clear()
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}

@@ -1,6 +1,5 @@
 """White-box tests for the FO2 cell decomposition (Appendix C internals)."""
 
-from fractions import Fraction
 
 import pytest
 

@@ -8,7 +8,6 @@ The paper's named queries pin the classes:
 * the typed cycles ``C_k`` are beta-cyclic (they contain weak beta-cycles).
 """
 
-import pytest
 
 from repro.cq.hypergraph import Hypergraph
 

@@ -7,7 +7,6 @@ independent computation paths agree exactly.
 
 from fractions import Fraction
 
-import pytest
 
 from repro import (
     ConjunctiveQuery,

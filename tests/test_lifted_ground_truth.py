@@ -10,7 +10,6 @@ domain parts surviving as live constraints).
 import itertools
 from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lifted.rules import LiftedRulesEngine, RulesIncompleteError, _clause

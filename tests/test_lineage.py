@@ -1,12 +1,11 @@
 """Tests for grounding/lineage: truth of the lineage == truth of the sentence."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings
 
 from repro.grounding.lineage import ground_atom_weights, lineage
-from repro.grounding.structures import Structure, all_structures, ground_tuples
+from repro.grounding.structures import all_structures, ground_tuples
 from repro.logic.evaluate import evaluate
 from repro.logic.parser import parse
 from repro.logic.vocabulary import Vocabulary, WeightedVocabulary

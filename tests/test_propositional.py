@@ -5,9 +5,7 @@ computation, so it gets property tests against assignment enumeration,
 including with negative weights.
 """
 
-from fractions import Fraction
 
-import pytest
 from hypothesis import given, settings
 
 from repro.propositional.bruteforce import count_models_enumerate, wmc_enumerate
@@ -15,7 +13,6 @@ from repro.propositional.cnf import to_cnf
 from repro.propositional.counter import (
     model_count,
     satisfiable,
-    wmc_cnf,
     wmc_formula,
 )
 from repro.propositional.formula import (

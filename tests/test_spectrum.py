@@ -1,6 +1,5 @@
 """Tests for spectrum membership (the associated decision problem)."""
 
-import pytest
 
 from repro.complexity.spectrum import has_model, in_spectrum, spectrum
 from repro.logic.parser import parse

@@ -1,7 +1,6 @@
 """Tests for NNF, prenex form, and matrix CNF — semantic equivalence checked
 against brute-force evaluation over all small structures."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings
@@ -11,7 +10,6 @@ from repro.logic.evaluate import evaluate
 from repro.logic.parser import parse
 from repro.logic.syntax import (
     And,
-    Atom,
     Exists,
     Forall,
     Iff,
@@ -19,7 +17,6 @@ from repro.logic.syntax import (
     Not,
     Or,
     Var,
-    free_variables,
     is_quantifier_free,
 )
 from repro.logic.transform import (
@@ -29,7 +26,7 @@ from repro.logic.transform import (
     simplify,
     split_prenex,
 )
-from repro.logic.vocabulary import Vocabulary, WeightedVocabulary
+from repro.logic.vocabulary import Vocabulary
 
 from .strategies import fo2_nested_sentences
 

@@ -20,7 +20,7 @@ from repro.logic.syntax import (
     Exists,
     is_quantifier_free,
 )
-from repro.logic.transform import nnf, prenex
+from repro.logic.transform import prenex
 from repro.logic.vocabulary import WeightedVocabulary
 from repro.transforms import (
     positivize,

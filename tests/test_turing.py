@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.complexity.turing import LEFT, RIGHT, Configuration, CountingTM, Transition
+from repro.complexity.turing import LEFT, RIGHT, CountingTM, Transition
 
 
 def _branching_machine():
