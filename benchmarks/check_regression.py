@@ -1,0 +1,106 @@
+"""Benchmark-regression gate for CI: fail on >25% engine slowdowns.
+
+Re-measures the hard ``bench_wmc_ablation`` instances (the ablation
+subset) and compares them against the committed ``BENCH_engine_v2.json``
+baseline.  Raw wall clock is machine-dependent, so every mean is first
+normalized by the brute-force enumeration baseline measured *in the same
+process on the same machine*: the ratio ``engine_mean /
+enumeration_mean`` cancels machine speed and isolates how the engine
+performs relative to straight-line Python.  A normalized ratio more than
+``--tolerance`` (default 25%) above the committed ratio fails the run.
+
+Usage::
+
+    python benchmarks/check_regression.py --baseline BENCH_engine_v2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: The gated instances: cold-engine runs of the ablation workloads (a
+#: fresh component/key cache per call, so the gate times the real search
+#: core — the warm figures collapse to cache lookups and would hide a
+#: slowdown in propagation/branching/extraction).
+GATED = ("cold_engine_n2", "cold_engine_n3")
+NORMALIZER = "test_enumeration_baseline"
+
+
+def measure():
+    """Current means via the same harness that produced the baseline."""
+    from bench_parallel import _measure_ablation_serial
+
+    return _measure_ablation_serial()
+
+
+def check(baseline_path, tolerance):
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)["serial"]
+    for required in GATED + (NORMALIZER,):
+        if required not in baseline:
+            raise SystemExit(
+                "baseline {} lacks entry {!r}; regenerate it with "
+                "`python benchmarks/bench_parallel.py --emit`".format(
+                    baseline_path, required
+                )
+            )
+
+    base_norm = baseline[NORMALIZER]["v2_mean_s"]
+
+    def evaluate(current):
+        curr_norm = current[NORMALIZER]
+        failures = []
+        for name in GATED:
+            committed_ratio = baseline[name]["v2_mean_s"] / base_norm
+            current_ratio = current[name] / curr_norm
+            regression = current_ratio / committed_ratio - 1.0
+            status = "FAIL" if regression > tolerance else "ok"
+            print(
+                "{:32s} committed {:.5f}  current {:.5f}  drift {:+.1%}  [{}]".format(
+                    name, committed_ratio, current_ratio, regression, status
+                )
+            )
+            if regression > tolerance:
+                failures.append(name)
+        return failures
+
+    failures = evaluate(measure())
+    if failures:
+        # A single noisy window on a shared runner can spike one ratio;
+        # only fail when an independent re-measurement confirms it.
+        print("over tolerance on {}; re-measuring to confirm...".format(
+            ", ".join(failures)))
+        failures = evaluate(measure())
+
+    if failures:
+        raise SystemExit(
+            "benchmark regression >{:.0%} (confirmed twice) on: {}".format(
+                tolerance, ", ".join(failures)
+            )
+        )
+    print("benchmark regression check passed (tolerance {:.0%})".format(tolerance))
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    sys.path.insert(0, here)  # for bench_parallel
+    sys.path.insert(0, os.path.join(here, os.pardir, "src"))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(here, os.pardir, "BENCH_engine_v2.json"),
+        help="committed baseline JSON (default: repo-root BENCH_engine_v2.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args()
+    check(args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

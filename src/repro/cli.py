@@ -10,13 +10,15 @@ spectrum     which domain sizes up to a bound admit a model
 mu           the labeled-structure fraction mu_n (0-1 laws)
 
 ``--stats`` on the counting commands prints engine/cache statistics to
-stderr after the result.
+stderr after the result; ``--workers N`` counts independent lineage
+components on a process pool (bit-identical to a serial run).
 
 Examples::
 
     python -m repro count "forall x. exists y. R(x, y)" 5
     python -m repro wfomc "exists y. S(y)" 4 --weight S=1/2,1
     python -m repro batch "forall x, y. (R(x) | S(x, y))" 1 2 3 4
+    python -m repro count "forall x, y, z. (R(x, y) | S(y, z))" 4 --workers 4
     python -m repro probability "exists x. P(x)" 3
     python -m repro spectrum "exists x, y. x != y" 4
     python -m repro mu "forall x. exists y. R(x, y)" 8
@@ -30,7 +32,6 @@ from fractions import Fraction
 
 from .complexity.spectrum import spectrum
 from .asymptotics.zero_one import mu_n
-from .grounding.lineage import grounding_cache_stats
 from .logic.parser import parse
 from .logic.syntax import predicates_of
 from .logic.vocabulary import Vocabulary, Predicate, WeightedVocabulary
@@ -89,6 +90,14 @@ def build_parser():
             action="store_true",
             help="print engine and cache statistics to stderr",
         )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="count independent lineage components on N worker "
+                 "processes (results are bit-identical to a serial run)",
+        )
 
     p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
     add_common(p_count)
@@ -134,30 +143,32 @@ def build_parser():
 
 
 def _print_stats():
-    for name, stats in (
-        ("engine", engine_stats()),
-        ("solver", solver_cache_stats()),
-        ("grounding", grounding_cache_stats()),
-    ):
-        print("{}: {}".format(name, stats), file=sys.stderr)
+    """One line per cache layer; solver stats cover grounding and FO2."""
+    print("engine: {}".format(engine_stats()), file=sys.stderr)
+    for name, stats in solver_cache_stats().items():
+        print("solver.{}: {}".format(name, stats), file=sys.stderr)
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
     formula = parse(args.formula)
 
+    workers = getattr(args, "workers", None)
     if args.command == "count":
-        print(fomc(formula, args.n, method=args.method))
+        print(fomc(formula, args.n, method=args.method, workers=workers))
     elif args.command == "wfomc":
         wv = _weighted_vocabulary(formula, args.weight)
-        print(wfomc(formula, args.n, wv, method=args.method))
+        print(wfomc(formula, args.n, wv, method=args.method, workers=workers))
     elif args.command == "batch":
         wv = _weighted_vocabulary(formula, args.weight)
-        for n, value in wfomc_batch(formula, args.ns, wv, method=args.method).items():
+        results = wfomc_batch(formula, args.ns, wv, method=args.method,
+                              workers=workers)
+        for n, value in results.items():
             print("{}\t{}".format(n, value))
     elif args.command == "probability":
         wv = _weighted_vocabulary(formula, args.weight)
-        value = probability(formula, args.n, wv, method=args.method)
+        value = probability(formula, args.n, wv, method=args.method,
+                            workers=workers)
         print("{} (~{:.6f})".format(value, float(value)))
     elif args.command == "spectrum":
         members = spectrum(formula, args.max_n)

@@ -7,6 +7,7 @@ from .counter import (
     EngineStats,
     engine_stats,
     reset_engine,
+    shutdown_worker_pool,
     wmc_cnf,
     wmc_formula,
     satisfiable,
@@ -19,6 +20,7 @@ __all__ = [
     "pvar", "pnot", "pand", "por", "prop_vars",
     "CNF", "to_cnf",
     "CountingEngine", "EngineStats", "engine_stats", "reset_engine",
+    "shutdown_worker_pool",
     "wmc_cnf", "wmc_formula", "satisfiable", "model_count",
     "wmc_enumerate", "count_models_enumerate",
 ]

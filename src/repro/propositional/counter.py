@@ -1,21 +1,39 @@
-"""Exact weighted model counting: a component-caching #DPLL engine.
+"""Exact weighted model counting: a watched-literal, component-caching #DPLL.
 
 This is the propositional engine behind every grounded computation in the
 library (Section 2 reduces WFOMC to WMC of the lineage).  The counter is a
 sharpSAT-style #DPLL:
 
-* queue-based unit propagation with exact weight bookkeeping,
-* connected-component decomposition (components share no variables, so
-  their counts multiply),
+* **watched-literal unit propagation**: every clause watches two of its
+  literals through per-literal watch lists, so asserting a literal only
+  visits the clauses watching its negation — never the whole clause list.
+  Clause state is lazy: satisfied clauses are discovered at residual
+  extraction time, not eagerly during propagation;
+* one **fused residual pass** per branch: extracting the residual formula,
+  splitting it into variable-connected components (union-find), and
+  collecting the surviving variables all happen in a single scan;
 * *canonical* component caching: each residual component is renamed to a
-  canonical variable numbering before the cache lookup, so isomorphic
-  components produced anywhere in the search — or by symmetric lineages of
-  different domain elements — share one cache entry.  The cache key
+  first-occurrence canonical variable numbering before the cache lookup,
+  so components that are structurally identical up to that renaming —
+  which symmetric lineages of different domain elements produce in
+  abundance — share one cache entry.  (This is renaming, not graph
+  canonization: isomorphic components whose clauses or literals arrive
+  in incompatible orders hash to different entries.)  The cache key
   includes the weight pair of every component variable, which makes the
   cache safe to share across calls with different weight functions;
+* **incremental cache keys**: the canonical renaming of a component is
+  memoized on the frozen component itself (a weight-independent
+  structure), so repeated lookups of the same residual skip the
+  re-normalization entirely and only assemble the weight row;
 * unit-propagation-aware branching: decisions pick the variable with the
   most occurrences in minimum-length clauses (a MOMS heuristic), so at
-  least one branch immediately triggers propagation.
+  least one branch immediately triggers propagation;
+* an opt-in **parallel mode** (``workers=N``): top-level components are
+  independent by construction, so they are farmed to a persistent process
+  pool.  The parent cache acts as a read-through front (components already
+  cached are never dispatched; worker results are merged back under their
+  canonical keys), and exact arithmetic makes the merged result
+  bit-identical to a serial run.
 
 Weights may be negative (Skolemization needs ``(1, -1)``), so no
 optimization may assume counts are monotone or positive; in particular the
@@ -34,6 +52,7 @@ from __future__ import annotations
 import sys
 from fractions import Fraction
 
+from ..utils import LRUCache
 from ..weights import WeightPair
 from .cnf import to_cnf
 from .formula import prop_vars
@@ -43,6 +62,7 @@ __all__ = [
     "EngineStats",
     "engine_stats",
     "reset_engine",
+    "shutdown_worker_pool",
     "wmc_cnf",
     "wmc_formula",
     "model_count",
@@ -59,12 +79,24 @@ MAX_RECURSION_LIMIT = 50_000
 #: relative to unbounded memory growth on adversarial workloads).
 MAX_CACHE_ENTRIES = 1 << 18
 
+#: Upper bound on memoized canonical-key entries.  Keys are
+#: weight-independent renamings, small relative to the values cache.
+MAX_KEY_CACHE_ENTRIES = 1 << 16
+
 
 class EngineStats:
-    """Counters describing the work done by the engine."""
+    """Counters describing the work done by the engine.
 
-    __slots__ = ("calls", "decisions", "propagations", "component_splits",
-                 "cache_hits", "cache_misses")
+    ``propagations`` counts assigned literals, ``watch_moves`` counts
+    watch-list relocations during propagation, ``key_hits``/``key_misses``
+    describe the canonical-key memo, ``cache_hits``/``cache_misses`` the
+    component value cache, and ``parallel_tasks`` the number of top-level
+    components dispatched to worker processes.
+    """
+
+    __slots__ = ("calls", "decisions", "propagations", "watch_moves",
+                 "component_splits", "cache_hits", "cache_misses",
+                 "key_hits", "key_misses", "parallel_tasks")
 
     def __init__(self):
         self.reset()
@@ -73,34 +105,72 @@ class EngineStats:
         self.calls = 0
         self.decisions = 0
         self.propagations = 0
+        self.watch_moves = 0
         self.component_splits = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.key_hits = 0
+        self.key_misses = 0
+        self.parallel_tasks = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
+
+    def hit_rates(self):
+        """Per-cache hit rates (``None`` when a cache saw no lookups)."""
+        return {
+            "cache_hit_rate": _hit_rate(self.cache_hits, self.cache_misses),
+            "key_hit_rate": _hit_rate(self.key_hits, self.key_misses),
+        }
+
+    def merge_worker(self, counters):
+        """Fold a worker task's counter dict into these statistics, so
+        parallel runs report the work actually done (``calls`` excluded:
+        a worker task is not a separate engine call)."""
+        for name, value in counters.items():
+            if name != "calls":
+                setattr(self, name, getattr(self, name) + value)
 
     def __repr__(self):
         body = ", ".join("{}={}".format(k, v) for k, v in self.as_dict().items())
         return "EngineStats({})".format(body)
 
 
-#: Cache and stats shared by all engines by default.  Safe because cache
-#: keys embed the weight pair of every variable in the component.
+def _hit_rate(hits, misses):
+    lookups = hits + misses
+    return round(hits / lookups, 4) if lookups else None
+
+
+#: Caches and stats shared by all engines by default.  The value cache is
+#: safe to share because its keys embed the weight pair of every variable
+#: in the component; the key cache stores weight-*independent* canonical
+#: renamings, so it is safe to share unconditionally.
 _SHARED_CACHE = {}
+_SHARED_KEY_CACHE = {}
 _SHARED_STATS = EngineStats()
+
+#: Memoized CNF conversions for :func:`wmc_formula`.  Lineages are
+#: interned by the grounding cache, so repeated counts of the same ground
+#: formula (weight sweeps, probability numerators, benchmarks) skip
+#: ``to_cnf`` entirely.
+_CNF_CACHE = LRUCache(maxsize=64)
 
 
 def engine_stats():
-    """Shared engine statistics plus the current component-cache size."""
+    """Shared engine statistics plus cache sizes and per-cache hit rates."""
     stats = _SHARED_STATS.as_dict()
     stats["cache_entries"] = len(_SHARED_CACHE)
+    stats["key_entries"] = len(_SHARED_KEY_CACHE)
+    stats["cnf_cache"] = _CNF_CACHE.stats()
+    stats.update(_SHARED_STATS.hit_rates())
     return stats
 
 
 def reset_engine():
-    """Clear the shared component cache and zero the shared statistics."""
+    """Clear the shared caches and zero the shared statistics."""
     _SHARED_CACHE.clear()
+    _SHARED_KEY_CACHE.clear()
+    _CNF_CACHE.clear()
     _SHARED_STATS.reset()
 
 
@@ -108,36 +178,253 @@ def _exact(value):
     """Keep integer-valued weights as machine ints for fast arithmetic."""
     if isinstance(value, int):
         return value
+    if isinstance(value, Fraction):
+        return value.numerator if value.denominator == 1 else value
     frac = Fraction(value)
     return frac.numerator if frac.denominator == 1 else frac
+
+
+# -- watched-literal propagation core ---------------------------------------
+#
+# The propagation state of one search node is four plain containers kept in
+# locals for speed:
+#
+#   clause_lits  list of clause tuples (>= 2 distinct literals each)
+#   watches      dict literal -> list of clause indices watching it
+#   watch_pair   list of 2-element lists: the literals clause ci watches
+#   assign       dict var -> bool (the trail records insertion order)
+#
+# Watch lists tolerate stale entries (a clause that moved a watch away is
+# lazily dropped the next time the old list is scanned), which lets the two
+# branch polarities share one watch structure without undo bookkeeping: the
+# watched-literal invariant only requires watched literals to be non-false,
+# and between polarities the assignment is reset to empty.
+
+
+def _propagate(clause_lits, watches, watch_pair, assign, trail, queue, stats):
+    """Propagate ``queue`` to fixpoint.  Returns ``False`` on conflict.
+
+    Every assignment visits only the watchers of the falsified literal;
+    no clause list is ever rescanned.
+    """
+    propagations = 0
+    moves = 0
+    qi = 0
+    while qi < len(queue):
+        lit = queue[qi]
+        qi += 1
+        if lit > 0:
+            var, want = lit, True
+        else:
+            var, want = -lit, False
+        current = assign.get(var)
+        if current is not None:
+            if current is not want:
+                stats.propagations += propagations
+                stats.watch_moves += moves
+                return False
+            continue
+        assign[var] = want
+        trail.append(var)
+        propagations += 1
+        false_lit = -lit
+        watchlist = watches.get(false_lit)
+        if not watchlist:
+            continue
+        keep = []
+        conflict = False
+        for idx, ci in enumerate(watchlist):
+            pair = watch_pair[ci]
+            first, second = pair
+            if first == false_lit:
+                other = second
+            elif second == false_lit:
+                other = first
+            else:
+                continue  # stale entry: the clause moved this watch away
+            if other > 0:
+                other_var, other_want = other, True
+            else:
+                other_var, other_want = -other, False
+            other_value = assign.get(other_var)
+            if other_value is other_want:
+                keep.append(ci)  # clause satisfied; leave the watch put
+                continue
+            moved = False
+            for l in clause_lits[ci]:
+                if l == other or l == false_lit:
+                    continue
+                v = l if l > 0 else -l
+                value = assign.get(v)
+                if value is None or value is (l > 0):
+                    pair[0] = other
+                    pair[1] = l
+                    target = watches.get(l)
+                    if target is None:
+                        watches[l] = [ci]
+                    else:
+                        target.append(ci)
+                    moved = True
+                    moves += 1
+                    break
+            if moved:
+                continue
+            keep.append(ci)
+            if other_value is None:
+                queue.append(other)  # unit: the other watch is forced
+            else:
+                conflict = True  # other watch false, no replacement
+                break
+        if conflict:
+            # Preserve the unprocessed tail so the watch lists stay
+            # consistent for the sibling polarity (ci itself is in keep).
+            watches[false_lit] = keep + watchlist[idx + 1:]
+            stats.propagations += propagations
+            stats.watch_moves += moves
+            return False
+        watches[false_lit] = keep
+    stats.propagations += propagations
+    stats.watch_moves += moves
+    return True
+
+
+def _find(parent, x):
+    root = x
+    while parent[root] != root:
+        root = parent[root]
+    while parent[x] != root:
+        parent[x], x = root, parent[x]
+    return root
+
+
+def _residual_components(clause_lits, assign):
+    """One fused pass: extract the residual, split it into components.
+
+    Returns ``(components, residual_vars)`` where ``components`` is a list
+    of tuples of residual clause tuples and ``residual_vars`` is a set-like
+    view of the unassigned variables still mentioned (the union-find parent
+    map, whose keys are exactly those variables).
+
+    After a conflict-free propagation every unsatisfied clause has at
+    least two unassigned literals, so no residual clause is empty or unit.
+    """
+    parent = {}
+    residual = []
+    assign_get = assign.get
+    for c in clause_lits:
+        keep = None
+        satisfied = False
+        for i, l in enumerate(c):
+            value = assign_get(l if l > 0 else -l)
+            if value is None:
+                if keep is not None:
+                    keep.append(l)
+            elif value is (l > 0):
+                satisfied = True
+                break
+            elif keep is None:
+                keep = list(c[:i])
+        if satisfied:
+            continue
+        clause = c if keep is None else tuple(keep)
+        l0 = clause[0]
+        first = l0 if l0 > 0 else -l0
+        if first not in parent:
+            parent[first] = first
+        for l in clause[1:]:
+            v = l if l > 0 else -l
+            if v not in parent:
+                parent[v] = v
+                parent[_find(parent, first)] = v
+                continue
+            ra, rb = _find(parent, first), _find(parent, v)
+            if ra != rb:
+                parent[ra] = rb
+        residual.append(clause)
+
+    if not residual:
+        return [], parent
+    groups = {}
+    for clause in residual:
+        l0 = clause[0]
+        root = _find(parent, l0 if l0 > 0 else -l0)
+        group = groups.get(root)
+        if group is None:
+            groups[root] = [clause]
+        else:
+            group.append(clause)
+    return [tuple(g) for g in groups.values()], parent
+
+
+def _canonical_structure(component):
+    """Weight-independent canonical form of a component.
+
+    Variables are renamed to first-occurrence order; returns the sorted
+    renamed clause rows plus the original variables in renaming order (so
+    a weight row can be assembled per engine without re-normalizing).
+    """
+    rename = {}
+    rename_get = rename.get
+    var_order = []
+    rows = []
+    for c in component:
+        row = []
+        for lit in c:
+            v = lit if lit > 0 else -lit
+            idx = rename_get(v)
+            if idx is None:
+                idx = len(var_order) + 1
+                rename[v] = idx
+                var_order.append(v)
+            row.append(idx if lit > 0 else -idx)
+        row.sort()
+        rows.append(tuple(row))
+    rows.sort()
+    return tuple(rows), tuple(var_order)
 
 
 class CountingEngine:
     """Exact WMC over integer-variable clauses with component caching.
 
     ``weights`` maps each variable to its ``(w, wbar)`` pair and ``totals``
-    to ``w + wbar``; values may be ints or Fractions.  ``cache``/``stats``
-    default to module-level shared instances.
+    to ``w + wbar``; values may be ints or Fractions.  ``cache``/``stats``/
+    ``key_cache`` default to module-level shared instances.  ``workers``
+    (``None`` or an int > 1) enables process-pool counting of top-level
+    components.
     """
 
-    __slots__ = ("weights", "totals", "cache", "stats")
+    __slots__ = ("weights", "totals", "cache", "stats", "key_cache", "workers")
 
-    def __init__(self, weights, totals, cache=None, stats=None):
+    def __init__(self, weights, totals, cache=None, stats=None,
+                 key_cache=None, workers=None):
         self.weights = weights
         self.totals = totals
         self.cache = _SHARED_CACHE if cache is None else cache
         self.stats = _SHARED_STATS if stats is None else stats
+        self.key_cache = _SHARED_KEY_CACHE if key_cache is None else key_cache
+        self.workers = workers
 
     # -- public entry ------------------------------------------------------
 
-    def run(self, clauses):
-        """WMC over exactly the variables occurring in ``clauses``."""
+    def run(self, clauses, trusted=False):
+        """WMC over exactly the variables occurring in ``clauses``.
+
+        ``trusted`` skips per-clause literal deduplication for callers
+        (like :func:`wmc_cnf`) whose clauses are already duplicate-free
+        tuples with at least one literal each.
+        """
         self.stats.calls += 1
-        clauses = [tuple(c) for c in clauses]
-        for c in clauses:
-            if not c:
-                return Fraction(0)
-        if not clauses:
+        if trusted:
+            normalized = clauses if isinstance(clauses, tuple) else tuple(clauses)
+        else:
+            normalized = []
+            for c in clauses:
+                c = tuple(dict.fromkeys(c))  # drop duplicate literals
+                if not c:
+                    return Fraction(0)
+                normalized.append(c)
+            normalized = tuple(normalized)
+        if not normalized:
             return Fraction(1)
         # Deep instances recurse one frame set per decision level; raise
         # the interpreter limit proportionally but keep a hard cap so a
@@ -148,233 +435,265 @@ class CountingEngine:
         if limit < needed:
             sys.setrecursionlimit(needed)
         try:
-            return Fraction(self._count(clauses))
+            return Fraction(self._reduce(normalized))
         finally:
             if limit < needed:
                 sys.setrecursionlimit(limit)
 
-    # -- core recursion ----------------------------------------------------
+    # -- node evaluation ---------------------------------------------------
 
-    def _count(self, clauses):
-        """Count a residual formula: propagate, split, recurse."""
-        propagated = self._propagate(clauses)
-        if propagated is None:
-            return 0
-        factor, residual = propagated
-        if factor == 0 or not residual:
-            return factor
-        components = self._split_components(residual)
+    def _reduce(self, clauses):
+        """Evaluate the top-level node: propagate units, split, recurse."""
+        factor = 1
+        if any(len(c) == 1 for c in clauses):
+            propagated = self._reduce_units(clauses)
+            if propagated is None:
+                return 0
+            factor, components = propagated
+            if factor == 0:
+                return 0
+        else:
+            # Unit-free: nothing propagates and no variable vanishes, so
+            # the node is exactly its component split — memoized on the
+            # frozen clause tuple (tagged so it shares the key cache),
+            # which makes a repeated run a handful of dict hits.
+            key_cache = self.key_cache
+            memo_key = ("split", clauses)
+            components = key_cache.get(memo_key)
+            if components is None:
+                components, _residual_vars = _residual_components(clauses, {})
+                if len(key_cache) >= MAX_KEY_CACHE_ENTRIES:
+                    key_cache.clear()
+                key_cache[memo_key] = components
         if len(components) > 1:
             self.stats.component_splits += 1
-        total = factor
+            if self.workers and self.workers > 1:
+                return factor * self._count_components_parallel(components)
         for component in components:
             value = self._count_component(component)
             if value == 0:
                 return 0
-            total *= value
-        return total
+            factor *= value
+        return factor
 
-    def _propagate(self, clauses):
-        """Unit propagation to fixpoint.
+    def _reduce_units(self, clauses):
+        """Top-level build + unit propagation; ``None`` on conflict,
+        otherwise ``(weight factor, residual components)``."""
+        watches = {}
+        watch_pair = []
+        watched = []
+        queue = []
+        all_vars = set()
+        for c in clauses:
+            for lit in c:
+                all_vars.add(lit if lit > 0 else -lit)
+            if len(c) == 1:
+                queue.append(c[0])
+            else:
+                ci = len(watched)
+                watched.append(c)
+                watch_pair.append([c[0], c[1]])
+                watches.setdefault(c[0], []).append(ci)
+                watches.setdefault(c[1], []).append(ci)
 
-        Returns ``(factor, residual)`` — the weight mass of forced and
-        vanished variables times the remaining clause list — or ``None``
-        on conflict.
-        """
+        assign = {}
+        trail = []
+        if not _propagate(watched, watches, watch_pair, assign, trail,
+                          queue, self.stats):
+            return None
+        weights = self.weights
         factor = 1
-        current = clauses
-        assigned = None
-        before = None
-        while True:
-            units = set()
-            for c in current:
-                if len(c) == 1:
-                    lit = c[0]
-                    if -lit in units:
-                        return None
-                    units.add(lit)
-            if not units:
-                break
-            if before is None:
-                before = set()
-                for c in current:
-                    for lit in c:
-                        before.add(abs(lit))
-                assigned = set()
-            self.stats.propagations += len(units)
-            weights = self.weights
-            for lit in units:
-                v = abs(lit)
-                assigned.add(v)
-                w, wbar = weights[v]
-                factor *= w if lit > 0 else wbar
-            new = []
-            for c in current:
-                keep = None
-                satisfied = False
-                for i, lit in enumerate(c):
-                    if lit in units:
-                        satisfied = True
-                        break
-                    if -lit in units:
-                        if keep is None:
-                            keep = list(c[:i])
-                    elif keep is not None:
-                        keep.append(lit)
-                if satisfied:
-                    continue
-                if keep is None:
-                    new.append(c)
-                elif keep:
-                    new.append(tuple(keep))
-                else:
-                    return None
-            current = new
-            if factor == 0:
-                # Sound: the remaining count is finite and multiplied by 0.
-                return 0, ()
-        if before is not None:
-            after = set()
-            for c in current:
-                for lit in c:
-                    after.add(abs(lit))
-            totals = self.totals
-            for v in before - assigned - after:
+        for v in trail:
+            pair = weights[v]
+            factor *= pair[0] if assign[v] else pair[1]
+        if factor == 0:
+            # Sound: the remaining count is finite and multiplied by 0.
+            return 0, []
+        components, residual_vars = _residual_components(watched, assign)
+        totals = self.totals
+        for v in all_vars:
+            if v not in assign and v not in residual_vars:
                 factor *= totals[v]
-        return factor, current
+        return factor, components
+
+    # -- component cache ---------------------------------------------------
+
+    def _component_key(self, component):
+        """Cache key for a component: memoized canonical structure plus
+        the weight row assembled for this engine's weight function.
+
+        Returns ``(key, var_order)`` — the component's variables in
+        first-occurrence order ride along so callers never re-derive the
+        variable set.
+        """
+        key_cache = self.key_cache
+        entry = key_cache.get(component)
+        if entry is None:
+            self.stats.key_misses += 1
+            entry = _canonical_structure(component)
+            if len(key_cache) >= MAX_KEY_CACHE_ENTRIES:
+                key_cache.clear()
+            key_cache[component] = entry
+        else:
+            self.stats.key_hits += 1
+        rows, var_order = entry
+        weights = self.weights
+        return (rows, tuple(weights[v] for v in var_order)), var_order
 
     def _count_component(self, component):
         """Count one variable-connected component through the cache."""
-        key = self._canonical_key(component)
+        key, var_order = self._component_key(component)
         cached = self.cache.get(key)
         if cached is not None:
             self.stats.cache_hits += 1
             return cached
         self.stats.cache_misses += 1
-        result = self._branch(component)
+        result = self._branch(component, var_order)
         if len(self.cache) >= MAX_CACHE_ENTRIES:
             self.cache.clear()
         self.cache[key] = result
         return result
 
-    def _canonical_key(self, component):
-        """Rename variables to first-occurrence order; key on structure
-        plus the weight pair of each renamed variable."""
-        rename = {}
-        weight_row = []
-        weights = self.weights
-        rows = []
-        for c in component:
-            row = []
-            for lit in c:
-                v = abs(lit)
-                idx = rename.get(v)
-                if idx is None:
-                    idx = len(rename) + 1
-                    rename[v] = idx
-                    weight_row.append(weights[v])
-                row.append(idx if lit > 0 else -idx)
-            row.sort(key=_lit_order)
-            rows.append(tuple(row))
-        rows.sort()
-        return tuple(rows), tuple(weight_row)
+    # -- branching ---------------------------------------------------------
 
-    def _branch(self, clauses):
-        """Split on a decision variable chosen to maximize propagation."""
-        self.stats.decisions += 1
-        var = self._pick_variable(clauses)
-        before = set()
-        for c in clauses:
-            for lit in c:
-                before.add(abs(lit))
-        before.discard(var)
-        w, wbar = self.weights[var]
-        totals = self.totals
-        total = 0
-        for lit, lit_weight in ((var, w), (-var, wbar)):
-            if lit_weight == 0:
-                continue
-            new = []
-            after = set()
-            conflict = False
-            for c in clauses:
-                if lit in c:
-                    continue
-                if -lit in c:
-                    keep = tuple(l for l in c if l != -lit)
-                    if not keep:
-                        conflict = True
-                        break
-                    new.append(keep)
-                    for l in keep:
-                        after.add(abs(l))
-                else:
-                    new.append(c)
-                    for l in c:
-                        after.add(abs(l))
-            if conflict:
-                continue
-            sub = lit_weight
-            for v in before - after:
-                sub *= totals[v]
-            if new:
-                sub *= self._count(new)
-            total += sub
-        return total
+    def _branch(self, component, var_order):
+        """Split on a decision variable chosen to maximize propagation.
 
-    @staticmethod
-    def _pick_variable(clauses):
-        """MOMS: most occurrences in minimum-size clauses, so the other
-        polarity shortens those clauses toward units."""
-        min_len = min(len(c) for c in clauses)
+        ``component`` clauses all have at least two distinct literals (the
+        residual extraction guarantees it), so every clause starts with two
+        valid watches.  ``var_order`` is the component's variable set (in
+        canonical first-occurrence order, from the key memo).
+        """
+        stats = self.stats
+        stats.decisions += 1
+        clause_lits = list(component)
+
+        # Build pass: watch lists plus MOMS scores in one scan.
+        watches = {}
+        watch_pair = []
         occurrences = {}
+        occurrences_get = occurrences.get
         short_scores = {}
-        for c in clauses:
+        short_scores_get = short_scores.get
+        watches_setdefault = watches.setdefault
+        min_len = min(len(c) for c in clause_lits)
+        for ci, c in enumerate(clause_lits):
             short = len(c) == min_len
             for lit in c:
-                v = abs(lit)
-                occurrences[v] = occurrences.get(v, 0) + 1
+                v = lit if lit > 0 else -lit
+                occurrences[v] = occurrences_get(v, 0) + 1
                 if short:
-                    short_scores[v] = short_scores.get(v, 0) + 1
-        return max(
+                    short_scores[v] = short_scores_get(v, 0) + 1
+            watch_pair.append([c[0], c[1]])
+            watches_setdefault(c[0], []).append(ci)
+            watches_setdefault(c[1], []).append(ci)
+
+        # MOMS: most occurrences in minimum-size clauses, so the other
+        # polarity shortens those clauses toward units.
+        var = max(
             short_scores,
             key=lambda v: (short_scores[v], occurrences[v], -v),
         )
 
-    @staticmethod
-    def _split_components(clauses):
-        """Partition clauses into variable-connected components."""
-        parent = {}
+        weights = self.weights
+        totals = self.totals
+        w, wbar = weights[var]
+        total = 0
+        for lit, lit_weight in ((var, w), (-var, wbar)):
+            if lit_weight == 0:
+                continue
+            assign = {}
+            trail = []
+            if not _propagate(clause_lits, watches, watch_pair, assign,
+                              trail, [lit], stats):
+                continue
+            factor = 1
+            for v in trail:
+                pair = weights[v]
+                factor *= pair[0] if assign[v] else pair[1]
+            if factor == 0:
+                continue
+            components, residual_vars = _residual_components(clause_lits, assign)
+            for v in var_order:
+                if v not in assign and v not in residual_vars:
+                    factor *= totals[v]
+            if len(components) > 1:
+                stats.component_splits += 1
+            for child in components:
+                value = self._count_component(child)
+                if value == 0:
+                    factor = 0
+                    break
+                factor *= value
+            total += factor
+        return total
 
-        def find(x):
-            root = x
-            while parent[root] != root:
-                root = parent[root]
-            while parent[x] != root:
-                parent[x], x = root, parent[x]
-            return root
+    # -- parallel counting -------------------------------------------------
 
-        for c in clauses:
-            first = abs(c[0])
-            if first not in parent:
-                parent[first] = first
-            for lit in c[1:]:
-                v = abs(lit)
-                if v not in parent:
-                    parent[v] = v
-                ra, rb = find(first), find(v)
-                if ra != rb:
-                    parent[ra] = rb
+    def _count_components_parallel(self, components):
+        """Count top-level components on a process pool.
 
-        groups = {}
-        for c in clauses:
-            root = find(abs(c[0]))
-            groups.setdefault(root, []).append(c)
-        return list(groups.values())
-
-
-def _lit_order(lit):
-    return (abs(lit), lit)
+        The parent cache is a read-through front: already-cached components
+        are never dispatched, and worker results are merged back under
+        their canonical keys.  Each worker process keeps its own persistent
+        shared cache across tasks.  Multiplication of exact values is
+        order-independent, so the result is bit-identical to a serial run.
+        """
+        stats = self.stats
+        weights = self.weights
+        totals = self.totals
+        results = [None] * len(components)
+        pending = []  # one entry per distinct canonical key
+        key_indices = {}
+        for i, component in enumerate(components):
+            key, var_order = self._component_key(component)
+            cached = self.cache.get(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                results[i] = cached
+                continue
+            indices = key_indices.get(key)
+            if indices is None:
+                # First sight of this key: dispatch one task for it.
+                stats.cache_misses += 1
+                key_indices[key] = [i]
+                pending.append((key, component, var_order))
+            else:
+                # Isomorphic sibling: reuse the dispatched task's result.
+                stats.cache_hits += 1
+                indices.append(i)
+        if pending:
+            pool = _worker_pool(self.workers)
+            futures = []
+            try:
+                for key, component, var_order in pending:
+                    payload = (
+                        component,
+                        {v: weights[v] for v in var_order},
+                        {v: totals[v] for v in var_order},
+                    )
+                    futures.append((key, pool.submit(_count_component_task, payload)))
+                    stats.parallel_tasks += 1
+                for key, future in futures:
+                    value, worker_stats = future.result()
+                    stats.merge_worker(worker_stats)
+                    if len(self.cache) >= MAX_CACHE_ENTRIES:
+                        self.cache.clear()
+                    self.cache[key] = value
+                    for i in key_indices[key]:
+                        results[i] = value
+            except BaseException:
+                # A dead worker (OOM kill, crash) leaves the executor
+                # permanently broken; drop it so the next parallel call
+                # starts a fresh pool instead of failing forever.
+                _discard_pool()
+                raise
+        total = 1
+        for value in results:
+            if value == 0:
+                return 0
+            total *= value
+        return total
 
 
 def _clause_vars(clauses):
@@ -385,23 +704,76 @@ def _clause_vars(clauses):
     return result
 
 
-def _condition(clauses, lit):
-    """Clauses after asserting ``lit``; ``None`` signals a conflict."""
-    new = []
-    for c in clauses:
-        if lit in c:
-            continue
-        if -lit in c:
-            reduced = tuple(l for l in c if l != -lit)
-            if not reduced:
-                return None
-            new.append(reduced)
+# -- worker pool -------------------------------------------------------------
+
+_POOL = None
+_POOL_SIZE = 0
+
+
+def _worker_pool(workers):
+    """A persistent process pool, rebuilt only when the size changes."""
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE != workers:
+        import atexit
+        from concurrent.futures import ProcessPoolExecutor
+
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
         else:
-            new.append(c)
-    return new
+            # Join workers before interpreter teardown starts; repeated
+            # registration is avoided by only registering on first use.
+            atexit.register(shutdown_worker_pool)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_SIZE = workers
+    return _POOL
 
 
-def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None):
+def shutdown_worker_pool():
+    """Shut down the parallel-counting process pool, if one is running."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+def _discard_pool():
+    """Abandon the pool without waiting (used on failure paths, where the
+    executor may be broken or the caller is unwinding an interrupt)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=False, cancel_futures=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+def _count_component_task(payload):
+    """Worker-side entry: count one component with worker-local caches.
+
+    Returns ``(value, stats counters)`` — the worker's per-task counters
+    travel back so the parent can report the work done in parallel mode.
+    The worker's *caches* stay module-shared across its tasks; only the
+    statistics object is task-local.
+    """
+    component, weights, totals = payload
+    limit = sys.getrecursionlimit()
+    needed = min(12 * len(weights) + 1000, MAX_RECURSION_LIMIT)
+    if limit < needed:
+        sys.setrecursionlimit(needed)
+    try:
+        stats = EngineStats()
+        engine = CountingEngine(weights, totals, stats=stats)
+        value = engine._count_component(component)
+        return value, stats.as_dict()
+    finally:
+        if limit < needed:
+            sys.setrecursionlimit(limit)
+
+
+# -- public wrappers ---------------------------------------------------------
+
+
+def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None):
     """Exact WMC of a :class:`~repro.propositional.cnf.CNF`.
 
     ``weight_of_label`` maps a variable label to a
@@ -411,6 +783,8 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None):
 
     ``engine_cache``/``stats`` override the shared component cache and
     statistics (callers wanting isolation pass fresh instances).
+    ``workers`` enables process-pool counting of top-level components;
+    the result is bit-identical to a serial run.
     """
     if cnf.contradictory:
         return Fraction(0)
@@ -429,9 +803,11 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None):
         weights[v] = (w, wbar)
         totals[v] = w + wbar
 
-    engine = CountingEngine(weights, totals, cache=engine_cache, stats=stats)
+    engine = CountingEngine(weights, totals, cache=engine_cache, stats=stats,
+                            workers=workers)
     clauses = tuple(cnf.clauses)
-    result = engine.run(clauses)
+    # ``to_cnf`` guarantees duplicate-free, non-empty clauses.
+    result = engine.run(clauses, trusted=True)
 
     # Labeled variables never mentioned by any clause are unconstrained.
     used = _clause_vars(clauses)
@@ -441,15 +817,24 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None):
     return Fraction(result)
 
 
-def wmc_formula(formula, weight_of_label, universe=()):
+def wmc_formula(formula, weight_of_label, universe=(), workers=None):
     """Exact WMC of an arbitrary propositional formula.
 
     ``universe`` optionally lists labels that define the full variable set
     (labels absent from the formula still contribute ``w + wbar``).
+
+    CNF conversions are memoized on ``(formula, universe)`` — formula
+    nodes are immutable and lineages are interned by the grounding layer,
+    so repeated counts of one ground formula at different weights skip
+    the conversion.  The cached CNF is treated as read-only.
     """
-    labels = set(universe) or prop_vars(formula)
-    cnf = to_cnf(formula, extra_labels=sorted(labels, key=repr))
-    return wmc_cnf(cnf, weight_of_label)
+    key = (formula, tuple(universe) if universe else None)
+    cnf = _CNF_CACHE.get(key)
+    if cnf is None:
+        labels = set(universe) or prop_vars(formula)
+        cnf = to_cnf(formula, extra_labels=sorted(labels, key=repr))
+        _CNF_CACHE.put(key, cnf)
+    return wmc_cnf(cnf, weight_of_label, workers=workers)
 
 
 def model_count(formula, universe=()):
@@ -464,51 +849,85 @@ def satisfiable(formula):
     cnf = to_cnf(formula)
     if cnf.contradictory:
         return False
-    clauses = [tuple(c) for c in cnf.clauses]
-    return _sat(clauses)
+    clauses = []
+    for c in cnf.clauses:
+        c = tuple(dict.fromkeys(c))
+        if not c:
+            return False
+        clauses.append(c)
+    return _sat(tuple(clauses))
+
+
+def _sat_residual(clauses):
+    """Watched-literal BCP plus residual extraction for the SAT path.
+
+    Returns the residual clause tuple, or ``None`` on conflict.  Shares
+    the counting engine's propagation core, so conditioning never rescans
+    the clause list either: a decision is just an extra unit clause.
+    """
+    watches = {}
+    watch_pair = []
+    watched = []
+    queue = []
+    for c in clauses:
+        if len(c) == 1:
+            queue.append(c[0])
+        else:
+            ci = len(watched)
+            watched.append(c)
+            watch_pair.append([c[0], c[1]])
+            watches.setdefault(c[0], []).append(ci)
+            watches.setdefault(c[1], []).append(ci)
+    assign = {}
+    if queue and not _propagate(watched, watches, watch_pair, assign, [],
+                                queue, _SAT_STATS):
+        return None
+    residual = []
+    for c in watched:
+        keep = None
+        satisfied = False
+        for i, l in enumerate(c):
+            v = l if l > 0 else -l
+            value = assign.get(v)
+            if value is None:
+                if keep is not None:
+                    keep.append(l)
+            elif value is (l > 0):
+                satisfied = True
+                break
+            elif keep is None:
+                keep = list(c[:i])
+        if satisfied:
+            continue
+        residual.append(c if keep is None else tuple(keep))
+    return tuple(residual)
+
+
+#: SAT queries do not contribute to the shared counting statistics.
+_SAT_STATS = EngineStats()
 
 
 def _sat(clauses):
-    while True:
-        if not clauses:
-            return True
-        unit = None
-        for c in clauses:
-            if not c:
-                return False
-            if len(c) == 1:
-                unit = c[0]
-                break
-        if unit is None:
-            break
-        clauses = _condition(clauses, unit)
-        if clauses is None:
-            return False
-
-    if not clauses:
+    reduced = _sat_residual(clauses)
+    if reduced is None:
+        return False
+    if not reduced:
         return True
 
-    # Pure literal elimination is sound for SAT.
+    # Pure literal elimination is sound for SAT (not for counting).
     polarity = {}
-    for c in clauses:
+    for c in reduced:
         for lit in c:
-            v = abs(lit)
+            v = lit if lit > 0 else -lit
             polarity[v] = polarity.get(v, 0) | (1 if lit > 0 else 2)
     for v, pol in polarity.items():
         if pol != 3:
-            lit = v if pol == 1 else -v
-            reduced = _condition(clauses, lit)
-            if reduced is None:
-                return False
-            return _sat(reduced)
+            return _sat(reduced + (((v if pol == 1 else -v),),))
 
     occurrences = {}
-    for c in clauses:
+    for c in reduced:
         for lit in c:
-            occurrences[abs(lit)] = occurrences.get(abs(lit), 0) + 1
+            v = lit if lit > 0 else -lit
+            occurrences[v] = occurrences.get(v, 0) + 1
     var = max(occurrences, key=lambda v: (occurrences[v], -v))
-    for lit in (var, -var):
-        conditioned = _condition(clauses, lit)
-        if conditioned is not None and _sat(conditioned):
-            return True
-    return False
+    return _sat(reduced + ((var,),)) or _sat(reduced + ((-var,),))

@@ -18,6 +18,7 @@ from .errors import DomainSizeError
 __all__ = [
     "LRUCache",
     "vocabulary_signature",
+    "weights_signature",
     "as_fraction",
     "binomial",
     "multinomial",
@@ -78,7 +79,13 @@ class LRUCache:
         self.misses = 0
 
     def stats(self):
-        return {"entries": len(self._data), "hits": self.hits, "misses": self.misses}
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / lookups, 4) if lookups else None,
+        }
 
 
 def vocabulary_signature(vocabulary, ordered=False):
@@ -94,6 +101,20 @@ def vocabulary_signature(vocabulary, ordered=False):
     """
     signature = tuple((p.name, p.arity) for p in vocabulary)
     return signature if ordered else tuple(sorted(signature))
+
+
+def weights_signature(weighted_vocabulary):
+    """A hashable, order-independent key for a weighted vocabulary.
+
+    Embeds each predicate's weight pair, so two vocabularies share a key
+    exactly when they weigh the same predicates identically.
+    """
+    return tuple(
+        sorted(
+            (p.name, p.arity) + tuple(weighted_vocabulary.weight(p.name))
+            for p in weighted_vocabulary.vocabulary
+        )
+    )
 
 
 def as_fraction(value):

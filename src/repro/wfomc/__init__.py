@@ -8,7 +8,7 @@ from .closed_forms import (
     table1_fomc,
     table1_wfomc,
 )
-from .fo2 import wfomc_fo2
+from .fo2 import wfomc_fo2, fo2_cache_stats, clear_fo2_caches
 from .qs4 import wfomc_qs4, QS4_SENTENCE
 from .chain import chain_probability
 from .polynomial import (
@@ -35,6 +35,8 @@ __all__ = [
     "table1_fomc",
     "table1_wfomc",
     "wfomc_fo2",
+    "fo2_cache_stats",
+    "clear_fo2_caches",
     "wfomc_qs4",
     "QS4_SENTENCE",
     "chain_probability",

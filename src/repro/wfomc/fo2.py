@@ -47,9 +47,37 @@ from ..logic.syntax import (
 from ..logic.vocabulary import WeightedVocabulary
 from ..grounding.lineage import _ground  # grounding of a quantifier-free matrix
 from ..propositional.formula import peval, prop_vars
-from ..utils import binomial, check_domain_size
+from ..utils import LRUCache, binomial, check_domain_size, weights_signature
 
-__all__ = ["wfomc_fo2", "FO2CellDecomposition"]
+__all__ = [
+    "wfomc_fo2",
+    "FO2CellDecomposition",
+    "fo2_cache_stats",
+    "clear_fo2_caches",
+]
+
+#: Constructed cell decompositions keyed on ``(formula, weights)``.
+#: Scott normalization, Skolemization, matrix grounding, and the cell/
+#: 2-table enumeration all happen once per sentence+weights; every domain
+#: size (``wfomc_batch``) and repeated call reuses the same instance —
+#: including its memoized recursion table.
+_DECOMPOSITION_CACHE = LRUCache(maxsize=128)
+
+#: Bound on memoized recursion entries per decomposition instance; the
+#: table is cleared wholesale when it fills.
+_MAX_RECURSE_MEMO = 1 << 16
+
+_MISSING = object()
+
+
+def fo2_cache_stats():
+    """Hit/miss statistics for the FO2-level caches."""
+    return {"decompositions": _DECOMPOSITION_CACHE.stats()}
+
+
+def clear_fo2_caches():
+    """Drop all cached FO2 cell decompositions."""
+    _DECOMPOSITION_CACHE.clear()
 
 _X = Var("fo2_x")
 _Y = Var("fo2_y")
@@ -126,6 +154,12 @@ class FO2CellDecomposition:
             (b, "refl") for b in self.binary_preds
         ]
 
+        # Per-zero-assignment cell/pair-weight tables and the memo table of
+        # the distribution recursion; both survive across calls (and across
+        # domain sizes) for the lifetime of the decomposition instance.
+        self._tables = {}
+        self._recurse_memo = {}
+
     def _type_assignment(self, cell_bits, element):
         """Ground-atom assignment for one element's 1-type."""
         assignment = {}
@@ -143,9 +177,13 @@ class FO2CellDecomposition:
             weight *= pair.w if bit else pair.wbar
         return weight
 
-    def run(self, n, zero_assignment):
-        """The weighted count for one assignment of the zero-ary atoms."""
-        check_domain_size(n)
+    def _cell_tables(self, zero_key, zero_assignment):
+        """Cells, cell weights, and 2-table pair weights for one assignment
+        of the zero-ary atoms.  Independent of the domain size, so cached
+        on the instance and shared by every ``run`` call."""
+        cached = self._tables.get(zero_key)
+        if cached is not None:
+            return cached
         base = {(name, ()): bit for name, bit in zero_assignment.items()}
 
         # Valid cells: 1-types whose element satisfies psi(x, x).
@@ -159,8 +197,6 @@ class FO2CellDecomposition:
                 cell_weights.append(self._type_weight(bits))
 
         k_cells = len(cells)
-        if k_cells == 0:
-            return Fraction(0) if n > 0 else Fraction(1)
 
         # Pair weights r[k][l]: sum over 2-tables (off-diagonal binary
         # atoms between a cell-k element 1 and a cell-l element 2).
@@ -189,40 +225,69 @@ class FO2CellDecomposition:
                         total += weight
                 r[k][l] = total
 
+        tables = (cells, cell_weights, r)
+        self._tables[zero_key] = tables
+        return tables
+
+    def run(self, n, zero_assignment):
+        """The weighted count for one assignment of the zero-ary atoms."""
+        check_domain_size(n)
+        zero_key = tuple(sorted(zero_assignment.items()))
+        cells, cell_weights, r = self._cell_tables(zero_key, zero_assignment)
+
+        k_cells = len(cells)
+        if k_cells == 0:
+            return Fraction(0) if n > 0 else Fraction(1)
+
         # Sum over all ways to distribute n elements among the cells.
-        result = Fraction(0)
+        # ``suffix(k, remaining, pending)`` is the summed weight of
+        # distributing ``remaining`` elements among cells ``k..K-1``, where
+        # ``pending[l - k]`` carries the cross-cell factor
+        # ``prod_{j<k} r[j][l]**n_j`` accumulated from earlier cells.  It
+        # depends only on its arguments, so it is memoized — distinct
+        # prefixes routinely converge on the same ``pending`` (whenever the
+        # ``r`` values collapse to 0/1, as in unweighted counting), and the
+        # memo also persists across calls and domain sizes.
+        memo = self._recurse_memo
+        last = k_cells - 1
 
-        def recurse(k, remaining, acc, pending):
-            nonlocal result
-            if k == k_cells - 1:
-                nk = remaining
-                term = (
-                    acc
-                    * cell_weights[k] ** nk
-                    * r[k][k] ** binomial(nk, 2)
-                    * pending[k] ** nk
+        def suffix(k, remaining, pending):
+            key = (zero_key, k, remaining, pending)
+            value = memo.get(key, _MISSING)
+            if value is not _MISSING:
+                return value
+            rk = r[k]
+            if k == last:
+                value = (
+                    cell_weights[k] ** remaining
+                    * rk[k] ** binomial(remaining, 2)
+                    * pending[0] ** remaining
                 )
-                result += term
-                return
-            for nk in range(remaining + 1):
-                term = (
-                    acc
-                    * binomial(remaining, nk)
-                    * cell_weights[k] ** nk
-                    * r[k][k] ** binomial(nk, 2)
-                    * pending[k] ** nk
-                )
-                if term == 0 and nk < remaining:
-                    # Zero contribution for this choice only; keep scanning.
-                    continue
-                new_pending = list(pending)
-                if nk:
-                    for l in range(k + 1, k_cells):
-                        new_pending[l] = pending[l] * r[k][l] ** nk
-                recurse(k + 1, remaining - nk, term, new_pending)
+            else:
+                value = Fraction(0)
+                for nk in range(remaining + 1):
+                    term = (
+                        binomial(remaining, nk)
+                        * cell_weights[k] ** nk
+                        * rk[k] ** binomial(nk, 2)
+                        * pending[0] ** nk
+                    )
+                    if term == 0:
+                        continue
+                    if nk:
+                        new_pending = tuple(
+                            pending[l - k] * rk[l] ** nk
+                            for l in range(k + 1, k_cells)
+                        )
+                    else:
+                        new_pending = pending[1:]
+                    value += term * suffix(k + 1, remaining - nk, new_pending)
+            if len(memo) >= _MAX_RECURSE_MEMO:
+                memo.clear()
+            memo[key] = value
+            return value
 
-        recurse(0, n, Fraction(1), [Fraction(1)] * k_cells)
-        return result
+        return suffix(0, n, (Fraction(1),) * k_cells)
 
 
 def wfomc_fo2(formula, n, weighted_vocabulary=None):
@@ -258,10 +323,16 @@ def wfomc_fo2(formula, n, weighted_vocabulary=None):
                 "at most 2".format(pred.name, pred.arity)
             )
 
-    sentences, wv1 = scott_normalize(formula, wv)
-    universal, wv2 = skolemize_scott(sentences, wv1)
-    matrix = _combine_universal(universal)
-    decomposition = FO2CellDecomposition(matrix, wv2)
+    cache_key = (formula, weights_signature(wv))
+    cached = _DECOMPOSITION_CACHE.get(cache_key)
+    if cached is None:
+        sentences, wv1 = scott_normalize(formula, wv)
+        universal, wv2 = skolemize_scott(sentences, wv1)
+        matrix = _combine_universal(universal)
+        decomposition = FO2CellDecomposition(matrix, wv2)
+        _DECOMPOSITION_CACHE.put(cache_key, (decomposition, wv2))
+    else:
+        decomposition, wv2 = cached
 
     # Shannon expansion over zero-ary predicates (Appendix C).
     zero_preds = decomposition.zero_preds

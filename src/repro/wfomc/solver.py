@@ -32,11 +32,12 @@ On top of dispatch sit three layers of reuse:
 from __future__ import annotations
 
 from ..errors import NotFO2Error, UnsupportedFormulaError
+from ..grounding.lineage import clear_grounding_caches, grounding_cache_stats
 from ..logic.syntax import num_variables
 from ..logic.vocabulary import WeightedVocabulary
-from ..utils import LRUCache, vocabulary_signature
+from ..utils import LRUCache, vocabulary_signature, weights_signature
 from .bruteforce import wfomc_enumerate, wfomc_lineage
-from .fo2 import wfomc_fo2
+from .fo2 import clear_fo2_caches, fo2_cache_stats, wfomc_fo2
 from .polynomial import (
     evaluate_cardinality_polynomial,
     wfomc_cardinality_polynomial,
@@ -65,31 +66,34 @@ _POLYNOMIAL_CACHE = LRUCache(maxsize=64)
 _SWEEP_GRID_FACTOR = 4
 
 
-def _weights_signature(weighted_vocabulary):
-    """A hashable, order-independent key for a weighted vocabulary."""
-    return tuple(
-        sorted(
-            (p.name, p.arity) + tuple(weighted_vocabulary.weight(p.name))
-            for p in weighted_vocabulary.vocabulary
-        )
-    )
-
-
 def solver_cache_stats():
-    """Hit/miss statistics for the solver-level caches."""
+    """Hit/miss statistics for every cache a solver call can touch.
+
+    One consistent view: the solver-level result and cardinality-polynomial
+    caches, the FO2 cell-decomposition cache, and the grounding-layer
+    lineage/universe caches, each as ``{entries, hits, misses, hit_rate}``.
+    """
+    grounding = grounding_cache_stats()
     return {
         "results": _RESULT_CACHE.stats(),
         "polynomials": _POLYNOMIAL_CACHE.stats(),
+        "fo2_decompositions": fo2_cache_stats()["decompositions"],
+        "lineages": grounding["lineage"],
+        "universes": grounding["universe"],
     }
 
 
 def clear_solver_caches():
-    """Drop all cached dispatch results and cardinality polynomials."""
+    """Drop every cache :func:`solver_cache_stats` reports: dispatch
+    results, cardinality polynomials, FO2 decompositions, and the
+    grounding-layer lineage/universe caches."""
     _RESULT_CACHE.clear()
     _POLYNOMIAL_CACHE.clear()
+    clear_fo2_caches()
+    clear_grounding_caches()
 
 
-def wfomc(formula, n, weighted_vocabulary=None, method="auto"):
+def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None):
     """Symmetric weighted first-order model count of a sentence.
 
     Parameters
@@ -104,6 +108,10 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto"):
         the unweighted vocabulary of the formula (plain model counting).
     method:
         ``"auto"`` (default), ``"fo2"``, ``"lineage"``, or ``"enumerate"``.
+    workers:
+        When > 1, grounded counting farms independent top-level lineage
+        components to that many worker processes.  The result is
+        bit-identical to a serial run, so it shares the result cache.
 
     Returns an exact :class:`~fractions.Fraction` (an ``int``-valued one
     for integer weights).  Results are cached on
@@ -113,21 +121,21 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto"):
         raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
 
-    key = (formula, n, _weights_signature(wv), method)
+    key = (formula, n, weights_signature(wv), method)
     cached = _RESULT_CACHE.get(key)
     if cached is not None:
         return cached
 
-    result = _dispatch(formula, n, wv, method)
+    result = _dispatch(formula, n, wv, method, workers)
     _RESULT_CACHE.put(key, result)
     return result
 
 
-def _dispatch(formula, n, wv, method):
+def _dispatch(formula, n, wv, method, workers=None):
     if method == "fo2":
         return wfomc_fo2(formula, n, wv)
     if method == "lineage":
-        return wfomc_lineage(formula, n, wv)
+        return wfomc_lineage(formula, n, wv, workers=workers)
     if method == "enumerate":
         return wfomc_enumerate(formula, n, wv)
 
@@ -139,17 +147,18 @@ def _dispatch(formula, n, wv, method):
             return wfomc_fo2(formula, n, wv)
         except NotFO2Error:
             pass
-    return wfomc_lineage(formula, n, wv)
+    return wfomc_lineage(formula, n, wv, workers=workers)
 
 
-def fomc(formula, n, method="auto"):
+def fomc(formula, n, method="auto", workers=None):
     """Unweighted first-order model count (all weights ``(1, 1)``)."""
-    result = wfomc(formula, n, method=method)
+    result = wfomc(formula, n, method=method, workers=workers)
     assert result.denominator == 1
     return int(result)
 
 
-def probability(formula, n, weighted_vocabulary=None, method="auto"):
+def probability(formula, n, weighted_vocabulary=None, method="auto",
+                workers=None):
     """Probability of the sentence in the induced distribution.
 
     ``Pr(Phi) = WFOMC(Phi, n, w, wbar) / WFOMC(true, n, w, wbar)`` — each
@@ -160,7 +169,7 @@ def probability(formula, n, weighted_vocabulary=None, method="auto"):
     normalization constant is zero (e.g. Skolem weights ``(1, -1)``).
     """
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
-    numerator = wfomc(formula, n, wv, method=method)
+    numerator = wfomc(formula, n, wv, method=method, workers=workers)
     denominator = wv.total_world_weight(n)
     if denominator == 0:
         raise UnsupportedFormulaError(
@@ -169,19 +178,21 @@ def probability(formula, n, weighted_vocabulary=None, method="auto"):
     return numerator / denominator
 
 
-def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto"):
+def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
+                workers=None):
     """WFOMC of one sentence at many domain sizes.
 
     Returns ``{n: WFOMC(formula, n)}``.  All sizes flow through the shared
     caches: the dispatch decision and weights signature are computed once,
-    repeated sizes are deduplicated, and the lineage/component caches are
-    shared across sizes, so a batch is substantially cheaper than
-    independent :func:`wfomc` calls on a cold cache.
+    repeated sizes are deduplicated, and the lineage, ground-atom-universe,
+    component, and FO2 cell-decomposition caches are shared across sizes,
+    so a batch is substantially cheaper than independent :func:`wfomc`
+    calls on a cold cache.
     """
     if method not in _METHODS:
         raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
-    signature = _weights_signature(wv)
+    signature = weights_signature(wv)
 
     results = {}
     for n in ns:
@@ -190,7 +201,7 @@ def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto"):
         key = (formula, n, signature, method)
         cached = _RESULT_CACHE.get(key)
         if cached is None:
-            cached = _dispatch(formula, n, wv, method)
+            cached = _dispatch(formula, n, wv, method, workers)
             _RESULT_CACHE.put(key, cached)
         results[n] = cached
     return results
@@ -204,7 +215,7 @@ def _cardinality_grid_size(vocabulary, n):
 
 
 def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
-                       via_polynomial=None):
+                       via_polynomial=None, workers=None):
     """WFOMC of one ``(formula, n)`` instance at many weight assignments.
 
     ``weight_vocabularies`` is an iterable of
@@ -216,8 +227,12 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
     generating polynomial of the instance is reconstructed once — from
     positive-weight oracle calls only, per the paper's Section 2 argument
     — cached, and evaluated at every weight set, negative weights
-    included.  Otherwise each weight set is dispatched individually
-    (still hitting the lineage and component caches).
+    included.  Otherwise each weight set is dispatched individually.
+
+    Either way every evaluation flows through the shared caches — the
+    memoized lineage and ground-atom universe of ``(formula, n)`` are
+    built once and reused by all weight sets (and all oracle calls), and
+    :func:`solver_cache_stats` reports the reuse.
     """
     weight_vocabularies = list(weight_vocabularies)
     if not weight_vocabularies:
@@ -229,7 +244,10 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
         via_polynomial = grid <= _SWEEP_GRID_FACTOR * len(weight_vocabularies)
 
     if not via_polynomial:
-        return [wfomc(formula, n, wv, method=method) for wv in weight_vocabularies]
+        return [
+            wfomc(formula, n, wv, method=method, workers=workers)
+            for wv in weight_vocabularies
+        ]
 
     # Coefficient vectors are ordered by this vocabulary's iteration
     # order, so the key must be order-*sensitive*: the same predicates in
@@ -241,7 +259,7 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
             formula,
             n,
             vocabulary,
-            lambda f, size, wv: wfomc(f, size, wv, method=method),
+            lambda f, size, wv: wfomc(f, size, wv, method=method, workers=workers),
         )
         _POLYNOMIAL_CACHE.put(key, coefficients)
     # Coefficient vectors are ordered by the first vocabulary's predicate

@@ -1,9 +1,11 @@
-"""Tests for the component-caching WMC engine and the solver cache layer.
+"""Tests for the watched-literal WMC engine and the solver cache layer.
 
 The engine is validated two ways: property tests assert exact agreement
 with brute-force enumeration on random CNFs and random FO sentences
-(negative weights included), and unit tests pin down the cache behavior
-(canonical component sharing, hit counting, isolation).
+(negative weights included) — for the serial watched-literal path and
+the process-pool parallel path alike — and unit tests pin down the
+cache behavior (canonical component sharing, incremental key memoization,
+hit counting, isolation, parallel determinism).
 """
 
 import itertools
@@ -85,6 +87,152 @@ class TestEngineAgainstEnumeration:
         assert wfomc(sentence, 2, wv, method="lineage") == wfomc_enumerate(
             sentence, 2, wv
         )
+
+    @settings(max_examples=30, deadline=None)
+    @given(cnf_clause_lists(), cnf_clause_lists(), fractions(), fractions())
+    def test_parallel_counts_match_serial_and_enumeration(
+        self, clauses_a, clauses_b, w1, w2
+    ):
+        # Two variable-disjoint blocks of 5 variables each, so the
+        # top-level split routinely produces several components for the
+        # process pool; the parallel count must equal both the serial
+        # watched-literal count and brute-force enumeration bit for bit.
+        shifted = [tuple(l + 5 if l > 0 else l - 5 for l in c) for c in clauses_b]
+        clauses = list(clauses_a) + shifted
+        pairs = [
+            WeightPair(w1, 1),
+            WeightPair(1, w2),
+            WeightPair(w2, w1),
+            WeightPair(1, 1),
+            WeightPair(w1, w2),
+        ] * 2
+        cnf = _cnf_from_clauses(clauses, 10)
+        serial = wmc_cnf(cnf, lambda v: pairs[v - 1],
+                         engine_cache={}, stats=EngineStats())
+        parallel = wmc_cnf(cnf, lambda v: pairs[v - 1],
+                           engine_cache={}, stats=EngineStats(), workers=2)
+        assert serial == parallel == _wmc_reference(clauses, pairs)
+
+
+class TestParallelDeterminism:
+    def _multi_component_cnf(self):
+        # Four disjoint, structurally different components with
+        # fractional weights: any nondeterminism in scheduling or merge
+        # order would show up as a different Fraction.
+        clauses = []
+        for k in range(4):
+            base = 5 * k
+            clauses.append((base + 1, base + 2, -(base + 3)))
+            clauses.append((-(base + 1), base + 4))
+            clauses.append((base + 2 + k % 2, -(base + 5), base + 1))
+            clauses.append((base + 3, base + 5))
+        cnf = _cnf_from_clauses(clauses, 20)
+        pairs = {
+            v: WeightPair(Fraction(v, 7), Fraction(3, v + 1)) for v in range(1, 21)
+        }
+        return cnf, pairs
+
+    def test_repeated_parallel_runs_bit_identical(self):
+        cnf, pairs = self._multi_component_cnf()
+        serial = wmc_cnf(cnf, pairs.__getitem__,
+                         engine_cache={}, stats=EngineStats())
+        runs = [
+            wmc_cnf(cnf, pairs.__getitem__,
+                    engine_cache={}, stats=EngineStats(), workers=3)
+            for _ in range(3)
+        ]
+        for value in runs:
+            assert value == serial
+            assert (value.numerator, value.denominator) == (
+                serial.numerator, serial.denominator,
+            )
+
+    def test_parallel_tasks_counted_and_merged_into_cache(self):
+        cnf, pairs = self._multi_component_cnf()
+        cache = {}
+        stats = EngineStats()
+        first = wmc_cnf(cnf, pairs.__getitem__,
+                        engine_cache=cache, stats=stats, workers=2)
+        assert stats.parallel_tasks >= 2
+        assert len(cache) >= stats.parallel_tasks  # results merged back
+        # Second run reads everything through the merged parent cache.
+        again = EngineStats()
+        assert wmc_cnf(cnf, pairs.__getitem__,
+                       engine_cache=cache, stats=again, workers=2) == first
+        assert again.parallel_tasks == 0
+        assert again.cache_hits >= 4
+
+
+class TestWatchedLiterals:
+    def test_propagation_chain_forces_all_variables(self):
+        # A long implication chain forced from one end: propagation must
+        # assign every variable without a single decision.
+        length = 40
+        clauses = [(1,)] + [(-v, v + 1) for v in range(1, length)]
+        weights = {v: (1, 1) for v in range(1, length + 1)}
+        totals = {v: 2 for v in range(1, length + 1)}
+        stats = EngineStats()
+        engine = CountingEngine(weights, totals, cache={}, stats=stats)
+        assert engine.run(clauses) == 1
+        assert stats.propagations == length
+        assert stats.decisions == 0
+
+    def test_falsified_watch_moves_to_unwatched_literal(self):
+        # Asserting 1 falsifies the watched -1 in (-1 | -2 | 3); the
+        # watch must relocate to the third literal instead of forcing -2.
+        clauses = [(1,), (-1, -2, 3)]
+        weights = {v: (1, 1) for v in (1, 2, 3)}
+        totals = {v: 2 for v in (1, 2, 3)}
+        stats = EngineStats()
+        engine = CountingEngine(weights, totals, cache={}, stats=stats)
+        assert engine.run(clauses) == 3  # 1 is forced; (-2 | 3) has 3 models
+        assert stats.watch_moves >= 1
+
+    def test_duplicate_literals_and_tautologies(self):
+        weights = {1: (1, 1), 2: (1, 1)}
+        totals = {1: 2, 2: 2}
+        engine = CountingEngine(weights, totals, cache={}, stats=EngineStats())
+        # (1 | 1) collapses to the unit (1); (2 | -2) is a tautology.
+        assert engine.run([(1, 1), (2, -2)]) == 2
+
+    def test_key_memo_skips_renormalization_on_repeat(self):
+        clauses = [(1, 2, 3), (-1, 2), (-2, -3)]
+        weights = {v: (1, 1) for v in (1, 2, 3)}
+        totals = {v: 2 for v in (1, 2, 3)}
+        stats = EngineStats()
+        engine = CountingEngine(weights, totals, cache={}, stats=stats,
+                                key_cache={})
+        first = engine.run(clauses)
+        key_misses = stats.key_misses
+        assert engine.run(clauses) == first
+        # The repeated run reuses every memoized canonical key.
+        assert stats.key_misses == key_misses
+        assert stats.key_hits >= 1
+
+    def test_key_memo_is_weight_independent(self):
+        # Two engines with different weights share one key cache; the
+        # value cache keys must still embed the weights, so the counts
+        # must not collide.
+        clauses = [(1, 2)]
+        key_cache = {}
+        a = CountingEngine({1: (2, 1), 2: (2, 1)}, {1: 3, 2: 3},
+                           cache={}, stats=EngineStats(), key_cache=key_cache)
+        b = CountingEngine({1: (5, 1), 2: (5, 1)}, {1: 6, 2: 6},
+                           cache={}, stats=EngineStats(), key_cache=key_cache)
+        assert a.run(clauses) == 8
+        assert b.run(clauses) == 35
+
+    def test_engine_stats_include_hit_rates(self):
+        reset_engine()
+        stats = engine_stats()
+        assert stats["cache_hit_rate"] is None
+        assert stats["key_hit_rate"] is None
+        cnf = _cnf_from_clauses([(2 * i + 1, 2 * i + 2) for i in range(4)], 8)
+        wmc_cnf(cnf, lambda _v: WeightPair(1, 1))
+        stats = engine_stats()
+        assert 0 < stats["cache_hit_rate"] <= 1
+        assert stats["key_entries"] >= 1
+        reset_engine()
 
 
 class TestComponentCache:
@@ -212,6 +360,26 @@ class TestSolverCaches:
             wv = WeightedVocabulary(vocab, weights)
             assert wfomc_weight_sweep(f, 2, [wv], via_polynomial=True) == [expected]
 
+    def test_fo2_decomposition_reused_across_batch_sizes(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x. exists y. (R(x, y) | P(x))")
+        before = solver_cache_stats()["fo2_decompositions"]
+        batch = wfomc_batch(f, [1, 2, 3, 4, 5], method="fo2")
+        after = solver_cache_stats()["fo2_decompositions"]
+        # One Scott/Skolem/cell construction serves every domain size.
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] >= before["hits"] + 4
+        for n, value in batch.items():
+            assert value == wfomc(f, n, method="lineage")
+
+    def test_fo2_memoized_recursion_matches_lineage_at_larger_n(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x, y. (R(x, y) | S(x, y) | P(x) | Q(y))")
+        for n in (3, 4):
+            assert wfomc(f, n, method="fo2") == wfomc(f, n, method="lineage")
+
     def test_weight_sweep_polynomial_is_cached(self):
         from repro.logic.parser import parse
 
@@ -246,6 +414,10 @@ class TestLRUCache:
         cache.put("x", 1)
         cache.get("x")
         cache.get("missing")
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5,
+        }
         cache.clear()
-        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "hit_rate": None,
+        }
