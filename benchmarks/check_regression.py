@@ -1,7 +1,8 @@
 """Benchmark-regression gate for CI: fail on >25% engine slowdowns.
 
-Re-measures the hard ``bench_wmc_ablation`` instances (the ablation
-subset) and compares them against the committed ``BENCH_engine_v2.json``
+Re-measures the hard ``bench_wmc_ablation`` instances plus the
+branching-bound Theta_1 grounding (cold, under both decision heuristics)
+and compares them against the committed ``BENCH_engine_v3.json``
 baseline.  Raw wall clock is machine-dependent, so every mean is first
 normalized by the brute-force enumeration baseline measured *in the same
 process on the same machine*: the ratio ``engine_mean /
@@ -9,9 +10,14 @@ enumeration_mean`` cancels machine speed and isolates how the engine
 performs relative to straight-line Python.  A normalized ratio more than
 ``--tolerance`` (default 25%) above the committed ratio fails the run.
 
+The Theta_1 instance also gates the *heuristic ablation*: the default
+CDCL+EVSIDS engine must stay faster than the learning-free MOMS engine
+by at least ``--ablation-floor`` (default 2x), so a regression in the
+learned-clause or branching machinery cannot hide behind a fast runner.
+
 Usage::
 
-    python benchmarks/check_regression.py --baseline BENCH_engine_v2.json
+    python benchmarks/check_regression.py --baseline BENCH_engine_v3.json
 """
 
 from __future__ import annotations
@@ -21,25 +27,30 @@ import json
 import os
 import sys
 
-#: The gated instances: cold-engine runs of the ablation workloads (a
-#: fresh component/key cache per call, so the gate times the real search
-#: core — the warm figures collapse to cache lookups and would hide a
-#: slowdown in propagation/branching/extraction).
-GATED = ("cold_engine_n2", "cold_engine_n3")
+#: The gated instances: cold-engine runs of the ablation workloads and the
+#: cold Theta_1 grounding (a fresh component/key cache per call, so the
+#: gate times the real search core — warm figures collapse to cache
+#: lookups and would hide a slowdown in propagation/learning/branching).
+GATED = ("cold_engine_n2", "cold_engine_n3", "test_theta1_identity_n3")
 NORMALIZER = "test_enumeration_baseline"
+#: The default engine must beat the MOMS ablation by at least this factor
+#: on the branching-bound Theta_1 instance.
+ABLATION = ("test_theta1_identity_n3", "theta1_identity_n3_moms")
 
 
 def measure():
     """Current means via the same harness that produced the baseline."""
-    from bench_parallel import _measure_ablation_serial
+    from bench_parallel import _measure_ablation_serial, _measure_theta1_ablation
 
-    return _measure_ablation_serial()
+    means = _measure_ablation_serial()
+    means.update(_measure_theta1_ablation())
+    return means
 
 
-def check(baseline_path, tolerance):
+def check(baseline_path, tolerance, ablation_floor):
     with open(baseline_path) as fh:
         baseline = json.load(fh)["serial"]
-    for required in GATED + (NORMALIZER,):
+    for required in GATED + (NORMALIZER,) + ABLATION:
         if required not in baseline:
             raise SystemExit(
                 "baseline {} lacks entry {!r}; regenerate it with "
@@ -48,13 +59,13 @@ def check(baseline_path, tolerance):
                 )
             )
 
-    base_norm = baseline[NORMALIZER]["v2_mean_s"]
+    base_norm = baseline[NORMALIZER]["v3_mean_s"]
 
     def evaluate(current):
         curr_norm = current[NORMALIZER]
         failures = []
         for name in GATED:
-            committed_ratio = baseline[name]["v2_mean_s"] / base_norm
+            committed_ratio = baseline[name]["v3_mean_s"] / base_norm
             current_ratio = current[name] / curr_norm
             regression = current_ratio / committed_ratio - 1.0
             status = "FAIL" if regression > tolerance else "ok"
@@ -65,6 +76,16 @@ def check(baseline_path, tolerance):
             )
             if regression > tolerance:
                 failures.append(name)
+        cdcl_name, moms_name = ABLATION
+        speedup = current[moms_name] / current[cdcl_name]
+        status = "FAIL" if speedup < ablation_floor else "ok"
+        print(
+            "{:32s} cdcl/evsids vs moms speedup {:.2f}x  (floor {:.1f}x)  [{}]".format(
+                "theta1_cdcl_vs_moms", speedup, ablation_floor, status
+            )
+        )
+        if speedup < ablation_floor:
+            failures.append("theta1_cdcl_vs_moms")
         return failures
 
     failures = evaluate(measure())
@@ -91,15 +112,20 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--baseline",
-        default=os.path.join(here, os.pardir, "BENCH_engine_v2.json"),
-        help="committed baseline JSON (default: repo-root BENCH_engine_v2.json)",
+        default=os.path.join(here, os.pardir, "BENCH_engine_v3.json"),
+        help="committed baseline JSON (default: repo-root BENCH_engine_v3.json)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.25,
         help="allowed relative slowdown before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--ablation-floor", type=float, default=2.0,
+        help="minimum theta1 speedup of the default engine over the MOMS "
+             "ablation (default 2.0)",
+    )
     args = parser.parse_args()
-    check(args.baseline, args.tolerance)
+    check(args.baseline, args.tolerance, args.ablation_floor)
 
 
 if __name__ == "__main__":

@@ -6,12 +6,19 @@ count        FOMC of a sentence over a domain size
 wfomc        weighted count, with ``--weight R=w,wbar`` options
 batch        weighted counts at several domain sizes in one run
 probability  probability of the sentence under the weight semantics
+stats        run a weighted count and pretty-print every engine/cache
+             statistic the run touched
 spectrum     which domain sizes up to a bound admit a model
 mu           the labeled-structure fraction mu_n (0-1 laws)
 
 ``--stats`` on the counting commands prints engine/cache statistics to
 stderr after the result; ``--workers N`` counts independent lineage
-components on a process pool (bit-identical to a serial run).
+components on a process pool (bit-identical to a serial run).  The
+grounded counting engine's conflict-driven search is configurable:
+``--branching {evsids,moms}`` picks the decision heuristic,
+``--no-learn`` disables clause learning (the pre-CDCL engine), and
+``--max-learned N`` bounds the learned-clause database.  None of these
+change the counted value.
 
 Examples::
 
@@ -19,6 +26,8 @@ Examples::
     python -m repro wfomc "exists y. S(y)" 4 --weight S=1/2,1
     python -m repro batch "forall x, y. (R(x) | S(x, y))" 1 2 3 4
     python -m repro count "forall x, y, z. (R(x, y) | S(y, z))" 4 --workers 4
+    python -m repro count "forall x, y. (R(x) | S(x, y))" 3 --no-learn
+    python -m repro stats "forall x, y. (R(x) | S(x, y) | T(y))" 3
     python -m repro probability "exists x. P(x)" 3
     python -m repro spectrum "exists x, y. x != y" 4
     python -m repro mu "forall x. exists y. R(x, y)" 8
@@ -98,6 +107,28 @@ def build_parser():
             help="count independent lineage components on N worker "
                  "processes (results are bit-identical to a serial run)",
         )
+        p.add_argument(
+            "--branching",
+            choices=("evsids", "moms"),
+            default=None,
+            help="decision heuristic of the grounded counting engine "
+                 "(default: evsids; moms is the pre-CDCL heuristic, kept "
+                 "for ablation)",
+        )
+        p.add_argument(
+            "--no-learn",
+            action="store_true",
+            help="disable conflict-driven clause learning (use the "
+                 "learning-free MOMS engine; the count is identical)",
+        )
+        p.add_argument(
+            "--max-learned",
+            type=int,
+            default=None,
+            metavar="N",
+            help="bound on the learned-clause database of one component "
+                 "search before an LBD-based reduction (default 4096)",
+        )
 
     p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
     add_common(p_count)
@@ -131,6 +162,20 @@ def build_parser():
         metavar="NAME=w,wbar",
     )
 
+    p_stats = sub.add_parser(
+        "stats",
+        help="run a weighted count and pretty-print the full engine and "
+             "solver-cache statistics",
+    )
+    add_common(p_stats)
+    p_stats.add_argument(
+        "--weight",
+        action="append",
+        type=_parse_weight_option,
+        metavar="NAME=w,wbar",
+        help="weights for one predicate (default 1,1); repeatable",
+    )
+
     p_spec = sub.add_parser("spectrum", help="domain sizes with a model")
     p_spec.add_argument("formula")
     p_spec.add_argument("max_n", type=int)
@@ -149,34 +194,69 @@ def _print_stats():
         print("solver.{}: {}".format(name, stats), file=sys.stderr)
 
 
+def _print_stats_pretty(stream=None):
+    """Aligned breakdown of the engine counters and every solver cache."""
+    stream = stream or sys.stdout
+    engine = engine_stats()
+    cnf_cache = engine.pop("cnf_cache", None)
+    print("engine", file=stream)
+    width = max(len(name) for name in engine)
+    for name, value in engine.items():
+        print("  {:<{}}  {}".format(name, width, value), file=stream)
+    caches = dict(solver_cache_stats())
+    if cnf_cache is not None:
+        caches["cnf_conversions"] = cnf_cache
+    print("solver caches", file=stream)
+    width = max(len(name) for name in caches)
+    for name, stats in caches.items():
+        row = "  ".join(
+            "{}={}".format(k, v) for k, v in stats.items()
+        ) if isinstance(stats, dict) else str(stats)
+        print("  {:<{}}  {}".format(name, width, row), file=stream)
+
+
+def _engine_options(args):
+    return {
+        "workers": getattr(args, "workers", None),
+        "branching": getattr(args, "branching", None),
+        "learn": False if getattr(args, "no_learn", False) else None,
+        "max_learned": getattr(args, "max_learned", None),
+    }
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     formula = parse(args.formula)
 
-    workers = getattr(args, "workers", None)
+    options = _engine_options(args)
     if args.command == "count":
-        print(fomc(formula, args.n, method=args.method, workers=workers))
+        print(fomc(formula, args.n, method=args.method, **options))
     elif args.command == "wfomc":
         wv = _weighted_vocabulary(formula, args.weight)
-        print(wfomc(formula, args.n, wv, method=args.method, workers=workers))
+        print(wfomc(formula, args.n, wv, method=args.method, **options))
     elif args.command == "batch":
         wv = _weighted_vocabulary(formula, args.weight)
         results = wfomc_batch(formula, args.ns, wv, method=args.method,
-                              workers=workers)
+                              **options)
         for n, value in results.items():
             print("{}\t{}".format(n, value))
     elif args.command == "probability":
         wv = _weighted_vocabulary(formula, args.weight)
         value = probability(formula, args.n, wv, method=args.method,
-                            workers=workers)
+                            **options)
         print("{} (~{:.6f})".format(value, float(value)))
+    elif args.command == "stats":
+        wv = _weighted_vocabulary(formula, args.weight)
+        value = wfomc(formula, args.n, wv, method=args.method, **options)
+        print("result  {}".format(value))
+        _print_stats_pretty()
     elif args.command == "spectrum":
         members = spectrum(formula, args.max_n)
         print(" ".join(str(n) for n in sorted(members)) or "(empty)")
     elif args.command == "mu":
         value = mu_n(formula, args.n)
         print("{} (~{:.6f})".format(value, float(value)))
-    if getattr(args, "stats", False):
+    if getattr(args, "stats", False) and args.command != "stats":
         _print_stats()
     return 0
 

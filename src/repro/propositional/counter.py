@@ -1,17 +1,38 @@
-"""Exact weighted model counting: a watched-literal, component-caching #DPLL.
+"""Exact weighted model counting: a conflict-driven, component-caching #DPLL.
 
 This is the propositional engine behind every grounded computation in the
 library (Section 2 reduces WFOMC to WMC of the lineage).  The counter is a
-sharpSAT-style #DPLL:
+sharpSAT/Cachet-style conflict-driven counting search:
 
 * **watched-literal unit propagation**: every clause watches two of its
   literals through per-literal watch lists, so asserting a literal only
   visits the clauses watching its negation — never the whole clause list.
   Clause state is lazy: satisfied clauses are discovered at residual
   extraction time, not eagerly during propagation;
-* one **fused residual pass** per branch: extracting the residual formula,
-  splitting it into variable-connected components (union-find), and
-  collecting the surviving variables all happen in a single scan;
+* **conflict-driven clause learning** (the default, ``learn=True``): each
+  component is counted by an iterative search over one persistent trail
+  (decision levels, antecedent clause per implied literal).  On conflict
+  the engine derives a 1-UIP learned clause from the implication graph,
+  adds it to a *side* database consulted during propagation only — learned
+  clauses never enter residual extraction, component splitting, or cache
+  keys, the standard sound scheme for #SAT — and backjumps to the
+  asserting level, re-propagating the asserting literal there and
+  recomputing the abandoned levels through the component cache.  The
+  database is bounded: when it exceeds ``max_learned`` clauses, the
+  highest-LBD half is dropped (glue and reason-locked clauses are kept);
+* **EVSIDS branching** (``branching="evsids"``, the default): decision
+  variables maximize an exponentially-decayed activity score bumped on
+  every variable resolved during conflict analysis, warm-started with
+  occurrence counts.  ``branching="moms"`` keeps the classic
+  most-occurrences-in-minimum-size-clauses heuristic for ablation, and
+  ``learn=False`` restores the learning-free engine;
+* one **fused residual pass** per search node: extracting the residual
+  formula, splitting it into variable-connected components (union-find),
+  and collecting the surviving variables all happen in a single scan.
+  When a search keeps producing residuals that neither split nor hit the
+  cache, it adaptively switches to a cheaper split-free extraction
+  (probing the full pass periodically), so branching-bound instances do
+  not pay for canonicalization that never pays off;
 * *canonical* component caching: each residual component is renamed to a
   first-occurrence canonical variable numbering before the cache lookup,
   so components that are structurally identical up to that renaming —
@@ -25,15 +46,23 @@ sharpSAT-style #DPLL:
   memoized on the frozen component itself (a weight-independent
   structure), so repeated lookups of the same residual skip the
   re-normalization entirely and only assemble the weight row;
-* unit-propagation-aware branching: decisions pick the variable with the
-  most occurrences in minimum-length clauses (a MOMS heuristic), so at
-  least one branch immediately triggers propagation;
 * an opt-in **parallel mode** (``workers=N``): top-level components are
   independent by construction, so they are farmed to a persistent process
   pool.  The parent cache acts as a read-through front (components already
   cached are never dispatched; worker results are merged back under their
-  canonical keys), and exact arithmetic makes the merged result
-  bit-identical to a serial run.
+  canonical keys), each worker learns clauses locally, and exact
+  arithmetic makes the merged result bit-identical to a serial run.
+
+Soundness of learning under component caching deserves a note.  A learned
+clause is entailed by the component a search was started on, so using it
+for propagation *within that search* is sound as long as every multiplied
+context factor is nonzero: the engine never descends under a zero weight
+or a zero child count, which guarantees that every sibling component in
+the context is satisfiable, and therefore that an implication derived
+from a learned clause restricts the current component alone.  Learned
+implications of variables outside the current component are blocked
+(cross-component implications are the classic unsoundness of naive
+learning in #SAT), and learned clauses never leak into child searches.
 
 Weights may be negative (Skolemization needs ``(1, -1)``), so no
 optimization may assume counts are monotone or positive; in particular the
@@ -83,6 +112,28 @@ MAX_CACHE_ENTRIES = 1 << 18
 #: weight-independent renamings, small relative to the values cache.
 MAX_KEY_CACHE_ENTRIES = 1 << 16
 
+#: Default bound on the learned-clause database of one component search;
+#: exceeding it triggers an LBD-based reduction that drops the worst half.
+DEFAULT_MAX_LEARNED = 4096
+
+#: Learned clauses with an LBD this small ("glue" clauses) survive every
+#: database reduction.
+GLUE_LBD = 2
+
+#: EVSIDS: activity increments grow by 1/0.95 per conflict; activities are
+#: rescaled when the increment overflows this bound.
+_VSIDS_INV_DECAY = 1.0 / 0.95
+_VSIDS_RESCALE = 1e100
+
+#: Adaptive residual extraction: after this many consecutive search nodes
+#: whose full extraction neither split the residual nor hit the component
+#: cache, the search switches to the cheaper split-free extraction ...
+_SPLIT_PATIENCE = 8
+#: ... probing the full pass again every this many node evaluations.
+_SPLIT_PROBE = 32
+
+_BRANCHING_CHOICES = ("evsids", "moms")
+
 
 class EngineStats:
     """Counters describing the work done by the engine.
@@ -91,12 +142,19 @@ class EngineStats:
     watch-list relocations during propagation, ``key_hits``/``key_misses``
     describe the canonical-key memo, ``cache_hits``/``cache_misses`` the
     component value cache, and ``parallel_tasks`` the number of top-level
-    components dispatched to worker processes.
+    components dispatched to worker processes.  The conflict-driven search
+    adds ``conflicts`` (falsified clauses found during propagation),
+    ``learned_clauses`` (1-UIP clauses derived from them),
+    ``backjumps``/``backjump_levels`` (non-chronological returns and the
+    total number of decision levels they unwound), and ``db_reductions``
+    (LBD-based learned-database halvings).
     """
 
     __slots__ = ("calls", "decisions", "propagations", "watch_moves",
                  "component_splits", "cache_hits", "cache_misses",
-                 "key_hits", "key_misses", "parallel_tasks")
+                 "key_hits", "key_misses", "parallel_tasks",
+                 "conflicts", "learned_clauses", "backjumps",
+                 "backjump_levels", "db_reductions")
 
     def __init__(self):
         self.reset()
@@ -112,6 +170,11 @@ class EngineStats:
         self.key_hits = 0
         self.key_misses = 0
         self.parallel_tasks = 0
+        self.conflicts = 0
+        self.learned_clauses = 0
+        self.backjumps = 0
+        self.backjump_levels = 0
+        self.db_reductions = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -356,6 +419,267 @@ def _residual_components(clause_lits, assign):
     return [tuple(g) for g in groups.values()], parent
 
 
+def _residual_light(clause_lits, assign):
+    """Split-free residual extraction for the adaptive fast path.
+
+    Like :func:`_residual_components` but skips the union-find and the
+    per-component grouping: returns ``(residual clause tuple, mentioned
+    variable set)``.  Used when a search has stopped producing splits or
+    cache hits, where the component machinery is pure overhead.
+    """
+    residual = []
+    mentioned = set()
+    mentioned_add = mentioned.add
+    assign_get = assign.get
+    for c in clause_lits:
+        keep = None
+        satisfied = False
+        for i, l in enumerate(c):
+            value = assign_get(l if l > 0 else -l)
+            if value is None:
+                if keep is not None:
+                    keep.append(l)
+            elif value is (l > 0):
+                satisfied = True
+                break
+            elif keep is None:
+                keep = list(c[:i])
+        if satisfied:
+            continue
+        clause = c if keep is None else tuple(keep)
+        residual.append(clause)
+        for l in clause:
+            mentioned_add(l if l > 0 else -l)
+    return tuple(residual), mentioned
+
+
+def _clause_scores(component):
+    """Per-variable occurrence counts: overall and in minimum-size clauses
+    (the two MOMS signals, also the dynamic term of the VSADS scorer)."""
+    occurrences = {}
+    occurrences_get = occurrences.get
+    short_scores = {}
+    short_scores_get = short_scores.get
+    min_len = min(len(c) for c in component)
+    for c in component:
+        short = len(c) == min_len
+        for lit in c:
+            v = lit if lit > 0 else -lit
+            occurrences[v] = occurrences_get(v, 0) + 1
+            if short:
+                short_scores[v] = short_scores_get(v, 0) + 1
+    return occurrences, short_scores
+
+
+def _moms_var(component):
+    """The MOMS decision variable of a component: most occurrences in
+    minimum-size clauses, occurrences overall as the tie-break."""
+    occurrences, short_scores = _clause_scores(component)
+    return max(short_scores,
+               key=lambda v: (short_scores[v], occurrences[v], -v))
+
+
+# -- conflict-driven search core ---------------------------------------------
+#
+# The CDCL search keeps one persistent trail per component search:
+#
+#   assign   var -> bool            vlevel  var -> decision level
+#   reason   var -> clause index (None for decisions and level-0 units)
+#   trail    assignment order (vars)
+#
+# ``clauses`` holds the component's clauses followed by learned clauses
+# (indices >= n_orig).  Learned clauses participate in propagation only;
+# implications of variables outside ``allowed`` (the current component of
+# the counting recursion) are blocked, which is what keeps learning sound
+# under component caching.
+
+
+def _propagate_trail(clauses, watches, watch_pair, assign, vlevel, reason,
+                     trail, queue, level, allowed, n_orig, stats):
+    """Propagate ``queue`` (literal, antecedent) pairs to fixpoint.
+
+    Records the decision level and antecedent clause of every assignment,
+    so a conflict can be analyzed.  Returns the index of a falsified
+    clause, or ``-1`` when propagation completes without conflict.
+    """
+    propagations = 0
+    moves = 0
+    qi = 0
+    while qi < len(queue):
+        lit, why = queue[qi]
+        qi += 1
+        if lit > 0:
+            var, want = lit, True
+        else:
+            var, want = -lit, False
+        current = assign.get(var)
+        if current is not None:
+            if current is not want:
+                # ``why`` forced ``lit`` while ``var`` holds the opposite
+                # value, so ``why`` is falsified (decisions and asserting
+                # literals always target unassigned variables).
+                stats.propagations += propagations
+                stats.watch_moves += moves
+                return why
+            continue
+        assign[var] = want
+        vlevel[var] = level
+        reason[var] = why
+        trail.append(var)
+        propagations += 1
+        false_lit = -lit
+        watchlist = watches.get(false_lit)
+        if not watchlist:
+            continue
+        keep = []
+        conflict = -1
+        for idx, ci in enumerate(watchlist):
+            pair = watch_pair[ci]
+            first, second = pair
+            if first == false_lit:
+                other = second
+            elif second == false_lit:
+                other = first
+            else:
+                continue  # stale entry: the clause moved this watch away
+            if other > 0:
+                other_var, other_want = other, True
+            else:
+                other_var, other_want = -other, False
+            other_value = assign.get(other_var)
+            if other_value is other_want:
+                keep.append(ci)  # clause satisfied; leave the watch put
+                continue
+            moved = False
+            for l in clauses[ci]:
+                if l == other or l == false_lit:
+                    continue
+                v = l if l > 0 else -l
+                value = assign.get(v)
+                if value is None or value is (l > 0):
+                    pair[0] = other
+                    pair[1] = l
+                    target = watches.get(l)
+                    if target is None:
+                        watches[l] = [ci]
+                    else:
+                        target.append(ci)
+                    moved = True
+                    moves += 1
+                    break
+            if moved:
+                continue
+            keep.append(ci)
+            if other_value is None:
+                if ci >= n_orig and other_var not in allowed:
+                    # A learned clause implying a variable outside the
+                    # current component: blocked (see module docstring).
+                    continue
+                queue.append((other, ci))
+            else:
+                conflict = ci  # other watch false, no replacement
+                break
+        if conflict >= 0:
+            watches[false_lit] = keep + watchlist[idx + 1:]
+            stats.propagations += propagations
+            stats.watch_moves += moves
+            return conflict
+        watches[false_lit] = keep
+    stats.propagations += propagations
+    stats.watch_moves += moves
+    return -1
+
+
+def _analyze_conflict(clauses, conflict, assign, vlevel, reason, trail, level):
+    """Derive the 1-UIP learned clause from a falsified clause.
+
+    Resolves the conflict clause against the antecedents of its
+    current-level literals, walking the trail backwards, until exactly one
+    literal of decision level ``level`` remains — the first unique
+    implication point.  Level-0 literals (units entailed by the component)
+    are dropped.
+
+    Returns ``(learned, assert_level, lbd, seen)``: the learned clause as
+    a literal tuple whose *first* literal is the asserting (negated UIP)
+    literal, the backjump level (the deepest level among the remaining
+    literals, 0 for a unit), the literal block distance (number of
+    distinct decision levels in the clause), and the set of variables
+    resolved along the way (for activity bumping).
+    """
+    seen = set()
+    seen_add = seen.add
+    lower = []  # literals assigned below the conflict level
+    counter = 0
+    for l in clauses[conflict]:
+        v = l if l > 0 else -l
+        lv = vlevel[v]
+        if lv == 0 or v in seen:
+            continue
+        seen_add(v)
+        if lv == level:
+            counter += 1
+        else:
+            lower.append(l)
+    i = len(trail) - 1
+    while True:
+        v = trail[i]
+        i -= 1
+        if v not in seen:
+            continue
+        counter -= 1
+        if counter == 0:
+            uip = v
+            break
+        for l in clauses[reason[v]]:
+            u = l if l > 0 else -l
+            if u == v:
+                continue
+            lv = vlevel[u]
+            if lv == 0 or u in seen:
+                continue
+            seen_add(u)
+            if lv == level:
+                counter += 1
+            else:
+                lower.append(l)
+    uip_lit = -uip if assign[uip] else uip
+    learned = (uip_lit,) + tuple(lower)
+    if lower:
+        levels = {vlevel[l if l > 0 else -l] for l in lower}
+        assert_level = max(levels)
+        lbd = len(levels) + 1
+    else:
+        assert_level = 0
+        lbd = 1
+    return learned, assert_level, lbd, seen
+
+
+class _SearchNode:
+    """One level of the conflict-driven counting search.
+
+    A node counts one residual component: ``acc`` accumulates the value of
+    completed decision branches, ``prefix`` carries the current branch's
+    weight factor (level literals, vanished variables, cache-hit children),
+    and ``start``/``prop_end`` delimit the node's trail segment.  ``key``
+    is the component's cache key (``None`` in split-free fast mode, where
+    the residual was never canonicalized).
+    """
+
+    __slots__ = ("component", "comp_vars", "key", "branches", "branch_idx",
+                 "acc", "prefix", "start", "prop_end")
+
+    def __init__(self, component, comp_vars, key, branches, start):
+        self.component = component
+        self.comp_vars = comp_vars
+        self.key = key
+        self.branches = branches
+        self.branch_idx = -1
+        self.acc = 0
+        self.prefix = 1
+        self.start = start
+        self.prop_end = start
+
+
 def _canonical_structure(component):
     """Weight-independent canonical form of a component.
 
@@ -391,18 +715,41 @@ class CountingEngine:
     ``key_cache`` default to module-level shared instances.  ``workers``
     (``None`` or an int > 1) enables process-pool counting of top-level
     components.
+
+    ``learn`` (default ``True``) selects the conflict-driven search with
+    1-UIP clause learning; ``False`` restores the learning-free MOMS
+    engine.  ``branching`` picks the decision heuristic of the learning
+    search: ``"evsids"`` (default) or ``"moms"`` for ablation.
+    ``max_learned`` bounds the learned-clause database of one component
+    search before an LBD-based reduction drops the worst half.  All knobs
+    leave the counted value bit-identical — they only steer the search.
     """
 
-    __slots__ = ("weights", "totals", "cache", "stats", "key_cache", "workers")
+    __slots__ = ("weights", "totals", "cache", "stats", "key_cache",
+                 "workers", "branching", "learn", "max_learned",
+                 "activity", "var_inc")
 
     def __init__(self, weights, totals, cache=None, stats=None,
-                 key_cache=None, workers=None):
+                 key_cache=None, workers=None, branching=None, learn=None,
+                 max_learned=None):
         self.weights = weights
         self.totals = totals
         self.cache = _SHARED_CACHE if cache is None else cache
         self.stats = _SHARED_STATS if stats is None else stats
         self.key_cache = _SHARED_KEY_CACHE if key_cache is None else key_cache
         self.workers = workers
+        branching = "evsids" if branching is None else branching
+        if branching not in _BRANCHING_CHOICES:
+            raise ValueError("unknown branching {!r}; expected one of {}"
+                             .format(branching, _BRANCHING_CHOICES))
+        self.branching = branching
+        self.learn = True if learn is None else bool(learn)
+        self.max_learned = DEFAULT_MAX_LEARNED if max_learned is None else max_learned
+        #: EVSIDS activities are engine-local and shared across the
+        #: component searches of one run, so structure discovered in one
+        #: search region steers decisions in the next.
+        self.activity = {}
+        self.var_inc = 1.0
 
     # -- public entry ------------------------------------------------------
 
@@ -548,11 +895,372 @@ class CountingEngine:
             self.stats.cache_hits += 1
             return cached
         self.stats.cache_misses += 1
-        result = self._branch(component, var_order)
-        if len(self.cache) >= MAX_CACHE_ENTRIES:
-            self.cache.clear()
-        self.cache[key] = result
+        return self._count_component_miss(component, key, var_order)
+
+    def _count_component_miss(self, component, key, var_order):
+        """Search a component that missed the cache, then store its value."""
+        if self.learn:
+            result = self._cdcl_count(component, var_order)
+        else:
+            result = self._branch(component, var_order)
+        cache = self.cache
+        if len(cache) >= MAX_CACHE_ENTRIES:
+            cache.clear()
+        cache[key] = result
         return result
+
+    # -- conflict-driven counting search -----------------------------------
+
+    def _make_node(self, component, comp_vars, key, start):
+        """Create a search node: pick its decision variable and branches.
+
+        The default heuristic is VSADS-style: EVSIDS conflict activity
+        plus ``var_inc`` per occurrence in a minimum-size clause of the
+        *current* component.  The two terms are self-scaling — on
+        conflict-free (model-dense) searches the dynamic MOMS term
+        dominates and the engine branches like the legacy counter, while
+        accumulating conflicts grow ``var_inc`` exponentially and hand
+        control to the learned activities.  Zero-weight polarities are
+        skipped exactly like the legacy engine (a node with no branches
+        completes with value 0).
+        """
+        self.stats.decisions += 1
+        if self.branching == "moms":
+            var = _moms_var(component)
+        else:
+            activity_get = self.activity.get
+            inc = self.var_inc
+            occurrences, short = _clause_scores(component)
+            occurrences_get = occurrences.get
+            short_get = short.get
+            # With no conflict activity yet this is exactly the MOMS
+            # order; activity breaks in smoothly as conflicts accumulate.
+            var = max(
+                comp_vars,
+                key=lambda v: (activity_get(v, 0.0) + inc * short_get(v, 0),
+                               occurrences_get(v, 0), -v),
+            )
+        w, wbar = self.weights[var]
+        branches = []
+        if w != 0:
+            branches.append(var)
+        if wbar != 0:
+            branches.append(-var)
+        return _SearchNode(component, comp_vars, key, branches, start)
+
+    def _cdcl_count(self, component, var_order):
+        """Count one component with the conflict-driven iterative search.
+
+        The search keeps a single persistent trail: each stack node counts
+        one residual component by summing its decision branches, children
+        that split off go through the component cache (a lone cache-missed
+        child is descended into on the same trail; two or more are truly
+        independent and recurse into fresh searches).  Conflicts learn a
+        1-UIP clause and backjump to the asserting level; the abandoned
+        levels are recomputed through the cache, which is the sound way to
+        combine far backtracking with exact counting (no unexplored branch
+        is ever skipped).
+        """
+        stats = self.stats
+        weights = self.weights
+        totals = self.totals
+        cache = self.cache
+        activity = self.activity
+        evsids = self.branching == "evsids"
+        max_learned = self.max_learned
+
+        n_orig = len(component)
+        clauses = list(component)
+        lbds = []
+        watches = {}
+        watch_pair = []
+        watches_setdefault = watches.setdefault
+        for ci, c in enumerate(clauses):
+            watch_pair.append([c[0], c[1]])
+            watches_setdefault(c[0], []).append(ci)
+            watches_setdefault(c[1], []).append(ci)
+
+        assign = {}
+        vlevel = {}
+        reason = {}
+        trail = []
+
+        def handle_conflicts(conflict):
+            """Analyze/learn/backjump until propagation settles.
+
+            Returns ``True`` when the search is refuted at level 0 (the
+            component, under its level-0 lemmas, is unsatisfiable).
+            """
+            while conflict >= 0:
+                level = len(stack) - 1
+                if level == 0:
+                    return True
+                stats.conflicts += 1
+                learned, a_level, lbd, seen = _analyze_conflict(
+                    clauses, conflict, assign, vlevel, reason, trail, level)
+                if evsids:
+                    inc = self.var_inc
+                    bump_get = activity.get
+                    for v in seen:
+                        activity[v] = bump_get(v, 0.0) + inc
+                    inc *= _VSIDS_INV_DECAY
+                    if inc > _VSIDS_RESCALE:
+                        for v in activity:
+                            activity[v] *= 1e-100
+                        inc *= 1e-100
+                    self.var_inc = inc
+                stats.backjumps += 1
+                stats.backjump_levels += level - a_level
+                del stack[a_level + 1:]
+                node = stack[-1]
+                for v in trail[node.prop_end:]:
+                    del assign[v]
+                    del vlevel[v]
+                    del reason[v]
+                del trail[node.prop_end:]
+                uip_lit = learned[0]
+                stats.learned_clauses += 1
+                if len(learned) > 1:
+                    ci = len(clauses)
+                    clauses.append(learned)
+                    lbds.append(lbd)
+                    # Watch the asserting literal plus one literal of the
+                    # backjump level, the deepest of the rest, so undoing
+                    # deeper levels keeps both watches non-false.
+                    second = None
+                    for l in learned[1:]:
+                        if vlevel[l if l > 0 else -l] == a_level:
+                            second = l
+                            break
+                    watch_pair.append([uip_lit, second])
+                    watches_setdefault(uip_lit, []).append(ci)
+                    watches_setdefault(second, []).append(ci)
+                    why = ci
+                else:
+                    # Unit lemma: entailed by the component outright, so it
+                    # holds at level 0 for the rest of the search (level-0
+                    # literals are never resolved by conflict analysis).
+                    why = None
+                conflict = _propagate_trail(
+                    clauses, watches, watch_pair, assign, vlevel, reason,
+                    trail, [(uip_lit, why)], a_level, node.comp_vars,
+                    n_orig, stats)
+            node = stack[-1]
+            node.prop_end = len(trail)
+            if len(clauses) - n_orig > max_learned:
+                self._reduce_learned_db(clauses, lbds, watches, watch_pair,
+                                        reason, n_orig)
+            return False
+
+        root = _SearchNode(component, set(var_order), None, (None,), 0)
+        stack = [root]
+        evals = 0
+        unproductive = 0
+
+        ADVANCE, EVAL, BRANCH_DONE = 0, 1, 2
+        state = ADVANCE
+        value = 0  # the branch value consumed by BRANCH_DONE
+
+        while True:
+            node = stack[-1]
+            if state == BRANCH_DONE:
+                node.acc += value
+                state = ADVANCE
+                continue
+
+            if state == ADVANCE:
+                node.branch_idx += 1
+                for v in trail[node.start:]:
+                    del assign[v]
+                    del vlevel[v]
+                    del reason[v]
+                del trail[node.start:]
+                if node.branch_idx >= len(node.branches):
+                    # Node complete: its accumulator is the standalone
+                    # count of its component.
+                    result = node.acc
+                    stack.pop()
+                    if node.key is not None:
+                        if len(cache) >= MAX_CACHE_ENTRIES:
+                            cache.clear()
+                        cache[node.key] = result
+                    if not stack:
+                        return result
+                    value = 0 if result == 0 else stack[-1].prefix * result
+                    state = BRANCH_DONE
+                    continue
+                lit = node.branches[node.branch_idx]
+                if lit is None:  # the root's single pseudo-branch
+                    node.prop_end = len(trail)
+                    state = EVAL
+                    continue
+                conflict = _propagate_trail(
+                    clauses, watches, watch_pair, assign, vlevel, reason,
+                    trail, [(lit, None)], len(stack) - 1, node.comp_vars,
+                    n_orig, stats)
+                if conflict >= 0:
+                    if handle_conflicts(conflict):
+                        return 0
+                else:
+                    node.prop_end = len(trail)
+                state = EVAL
+                continue
+
+            # state == EVAL: the top node's current branch has a settled
+            # trail segment; weigh it, extract the residual, and route the
+            # children through the cache.
+            factor = 1
+            for v in trail[node.start:]:
+                pair = weights[v]
+                factor *= pair[0] if assign[v] else pair[1]
+            if factor == 0:
+                value = 0
+                state = BRANCH_DONE
+                continue
+            comp_vars = node.comp_vars
+            if len(stack) == 1 and not trail:
+                # First evaluation of the root: nothing is assigned, so
+                # the residual is the component itself (whose cache entry
+                # the calling wrapper owns) — descend straight into it.
+                stack.append(self._make_node(node.component, comp_vars,
+                                             None, 0))
+                state = ADVANCE
+                continue
+            evals += 1
+            if unproductive < _SPLIT_PATIENCE or evals % _SPLIT_PROBE == 0:
+                components, residual_vars = _residual_components(
+                    node.component, assign)
+                for v in comp_vars:
+                    if v not in assign and v not in residual_vars:
+                        factor *= totals[v]
+                if not components:
+                    value = factor
+                    state = BRANCH_DONE
+                    continue
+                productive = len(components) > 1
+                if productive:
+                    stats.component_splits += 1
+                missed = None
+                zero = False
+                for comp in components:
+                    key, vorder = self._component_key(comp)
+                    cached = cache.get(key)
+                    if cached is not None:
+                        stats.cache_hits += 1
+                        productive = True
+                        if cached == 0:
+                            zero = True
+                            break
+                        factor *= cached
+                    elif missed is None:
+                        missed = [(comp, key, vorder)]
+                    else:
+                        missed.append((comp, key, vorder))
+                if productive:
+                    unproductive = 0
+                else:
+                    unproductive += 1
+                if zero:
+                    value = 0
+                    state = BRANCH_DONE
+                    continue
+                if missed is None:
+                    value = factor
+                    state = BRANCH_DONE
+                    continue
+                if len(missed) > 1:
+                    # A true decomposition: the children are independent,
+                    # so each gets its own fresh search (learned clauses
+                    # never cross the boundary).
+                    for comp, key, vorder in missed:
+                        stats.cache_misses += 1
+                        child_value = self._count_component_miss(
+                            comp, key, vorder)
+                        if child_value == 0:
+                            factor = 0
+                            break
+                        factor *= child_value
+                    value = factor
+                    state = BRANCH_DONE
+                    continue
+                comp, key, vorder = missed[0]
+                stats.cache_misses += 1
+                node.prefix = factor
+                stack.append(self._make_node(comp, set(vorder), key,
+                                             len(trail)))
+                state = ADVANCE
+                continue
+            # Fast path: the search has stopped producing splits or cache
+            # hits, so skip the union-find and canonicalization (value
+            # flows up through the trail instead of the cache).
+            residual, mentioned = _residual_light(node.component, assign)
+            for v in comp_vars:
+                if v not in assign and v not in mentioned:
+                    factor *= totals[v]
+            if not residual:
+                value = factor
+                state = BRANCH_DONE
+                continue
+            node.prefix = factor
+            stack.append(self._make_node(residual, mentioned, None,
+                                         len(trail)))
+            state = ADVANCE
+            continue
+
+    def _reduce_learned_db(self, clauses, lbds, watches, watch_pair, reason,
+                           n_orig):
+        """Halve the learned-clause database.
+
+        Glue clauses (LBD <= 2) and reason-locked clauses (antecedents of
+        literals still on the trail) always survive; the rest are ranked
+        by LBD (newer wins ties) and the worse half is dropped.  Watch
+        lists and antecedent indices are remapped in place.
+        """
+        locked = set()
+        for ci in reason.values():
+            if ci is not None and ci >= n_orig:
+                locked.add(ci)
+        keep = []
+        candidates = []
+        for ci in range(n_orig, len(clauses)):
+            if ci in locked or lbds[ci - n_orig] <= GLUE_LBD:
+                keep.append(ci)
+            else:
+                candidates.append(ci)
+        candidates.sort(key=lambda ci: (lbds[ci - n_orig], -ci))
+        keep.extend(candidates[:len(candidates) // 2])
+        keep.sort()
+        remap = {}
+        kept_clauses = []
+        kept_lbds = []
+        kept_pairs = []
+        for ci in keep:
+            remap[ci] = n_orig + len(kept_clauses)
+            kept_clauses.append(clauses[ci])
+            kept_lbds.append(lbds[ci - n_orig])
+            kept_pairs.append(watch_pair[ci])
+        del clauses[n_orig:]
+        clauses.extend(kept_clauses)
+        lbds[:] = kept_lbds
+        del watch_pair[n_orig:]
+        watch_pair.extend(kept_pairs)
+        for lit in list(watches):
+            filtered = []
+            for ci in watches[lit]:
+                if ci < n_orig:
+                    filtered.append(ci)
+                else:
+                    nci = remap.get(ci)
+                    if nci is not None:
+                        filtered.append(nci)
+            if filtered:
+                watches[lit] = filtered
+            else:
+                del watches[lit]
+        for var, ci in reason.items():
+            if ci is not None and ci >= n_orig:
+                reason[var] = remap[ci]
+        self.stats.db_reductions += 1
 
     # -- branching ---------------------------------------------------------
 
@@ -671,6 +1379,7 @@ class CountingEngine:
                         component,
                         {v: weights[v] for v in var_order},
                         {v: totals[v] for v in var_order},
+                        (self.branching, self.learn, self.max_learned),
                     )
                     futures.append((key, pool.submit(_count_component_task, payload)))
                     stats.parallel_tasks += 1
@@ -755,14 +1464,17 @@ def _count_component_task(payload):
     The worker's *caches* stay module-shared across its tasks; only the
     statistics object is task-local.
     """
-    component, weights, totals = payload
+    component, weights, totals, knobs = payload
+    branching, learn, max_learned = knobs
     limit = sys.getrecursionlimit()
     needed = min(12 * len(weights) + 1000, MAX_RECURSION_LIMIT)
     if limit < needed:
         sys.setrecursionlimit(needed)
     try:
         stats = EngineStats()
-        engine = CountingEngine(weights, totals, stats=stats)
+        engine = CountingEngine(weights, totals, stats=stats,
+                                branching=branching, learn=learn,
+                                max_learned=max_learned)
         value = engine._count_component(component)
         return value, stats.as_dict()
     finally:
@@ -773,7 +1485,8 @@ def _count_component_task(payload):
 # -- public wrappers ---------------------------------------------------------
 
 
-def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None):
+def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
+            branching=None, learn=None, max_learned=None):
     """Exact WMC of a :class:`~repro.propositional.cnf.CNF`.
 
     ``weight_of_label`` maps a variable label to a
@@ -784,7 +1497,9 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None):
     ``engine_cache``/``stats`` override the shared component cache and
     statistics (callers wanting isolation pass fresh instances).
     ``workers`` enables process-pool counting of top-level components;
-    the result is bit-identical to a serial run.
+    the result is bit-identical to a serial run.  ``branching``, ``learn``
+    and ``max_learned`` configure the conflict-driven search (see
+    :class:`CountingEngine`); they never change the counted value.
     """
     if cnf.contradictory:
         return Fraction(0)
@@ -804,7 +1519,8 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None):
         totals[v] = w + wbar
 
     engine = CountingEngine(weights, totals, cache=engine_cache, stats=stats,
-                            workers=workers)
+                            workers=workers, branching=branching, learn=learn,
+                            max_learned=max_learned)
     clauses = tuple(cnf.clauses)
     # ``to_cnf`` guarantees duplicate-free, non-empty clauses.
     result = engine.run(clauses, trusted=True)
@@ -817,7 +1533,8 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None):
     return Fraction(result)
 
 
-def wmc_formula(formula, weight_of_label, universe=(), workers=None):
+def wmc_formula(formula, weight_of_label, universe=(), workers=None,
+                branching=None, learn=None, max_learned=None):
     """Exact WMC of an arbitrary propositional formula.
 
     ``universe`` optionally lists labels that define the full variable set
@@ -827,6 +1544,9 @@ def wmc_formula(formula, weight_of_label, universe=(), workers=None):
     nodes are immutable and lineages are interned by the grounding layer,
     so repeated counts of one ground formula at different weights skip
     the conversion.  The cached CNF is treated as read-only.
+
+    ``branching``/``learn``/``max_learned`` configure the conflict-driven
+    search (see :class:`CountingEngine`); the value is knob-independent.
     """
     key = (formula, tuple(universe) if universe else None)
     cnf = _CNF_CACHE.get(key)
@@ -834,7 +1554,8 @@ def wmc_formula(formula, weight_of_label, universe=(), workers=None):
         labels = set(universe) or prop_vars(formula)
         cnf = to_cnf(formula, extra_labels=sorted(labels, key=repr))
         _CNF_CACHE.put(key, cnf)
-    return wmc_cnf(cnf, weight_of_label, workers=workers)
+    return wmc_cnf(cnf, weight_of_label, workers=workers, branching=branching,
+                   learn=learn, max_learned=max_learned)
 
 
 def model_count(formula, universe=()):

@@ -47,22 +47,31 @@ def wfomc_enumerate(formula, n, weighted_vocabulary=None):
     return total
 
 
-def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None):
-    """WFOMC via lineage grounding and exact DPLL model counting.
+def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None,
+                  branching=None, learn=None, max_learned=None):
+    """WFOMC via lineage grounding and exact CDCL model counting.
 
     ``workers`` > 1 counts independent top-level lineage components on a
     process pool; the result is bit-identical to a serial run.
+    ``branching``/``learn``/``max_learned`` configure the counting
+    engine's conflict-driven search (see
+    :class:`~repro.propositional.counter.CountingEngine`); the result is
+    knob-independent.
     """
     _check_sentence(formula)
     check_domain_size(n)
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
     prop = lineage(formula, n)
     weight_of, universe = ground_atom_weights(wv, n)
-    return wmc_formula(prop, weight_of, universe, workers=workers)
+    return wmc_formula(prop, weight_of, universe, workers=workers,
+                       branching=branching, learn=learn,
+                       max_learned=max_learned)
 
 
-def fomc_lineage(formula, n, workers=None):
+def fomc_lineage(formula, n, workers=None, branching=None, learn=None,
+                 max_learned=None):
     """Unweighted first-order model count via the lineage path."""
-    result = wfomc_lineage(formula, n, workers=workers)
+    result = wfomc_lineage(formula, n, workers=workers, branching=branching,
+                           learn=learn, max_learned=max_learned)
     assert result.denominator == 1
     return int(result)

@@ -51,16 +51,27 @@ from ..utils import LRUCache, binomial, check_domain_size, weights_signature
 
 __all__ = [
     "wfomc_fo2",
+    "FO2CellStructure",
     "FO2CellDecomposition",
     "fo2_cache_stats",
     "clear_fo2_caches",
 ]
 
-#: Constructed cell decompositions keyed on ``(formula, weights)``.
-#: Scott normalization, Skolemization, matrix grounding, and the cell/
-#: 2-table enumeration all happen once per sentence+weights; every domain
-#: size (``wfomc_batch``) and repeated call reuses the same instance —
-#: including its memoized recursion table.
+#: Weight-*independent* cell structures keyed on the *skolemized matrix*:
+#: the matrix grounding, the valid-cell enumeration, and the satisfying
+#: 2-table patterns — the exponential part of the construction — are a
+#: pure function of the matrix, so weight sweeps over one sentence share
+#: a single structure.  (The matrix, not the formula, is the key because
+#: the fresh Scott/Skolem symbol names depend on the caller's vocabulary:
+#: a vocabulary that already uses a Skolem-like name shifts the fresh
+#: names, and a structure cached under the formula alone would mix them
+#: up across vocabularies.)
+_STRUCTURE_CACHE = LRUCache(maxsize=128)
+
+#: Weighted cell decompositions keyed on ``(formula, weights)``.  A
+#: decomposition layers cell weights, 2-table weights, and the memoized
+#: distribution recursion on top of a shared structure; every domain size
+#: (``wfomc_batch``) and repeated call reuses the same instance.
 _DECOMPOSITION_CACHE = LRUCache(maxsize=128)
 
 #: Bound on memoized recursion entries per decomposition instance; the
@@ -71,12 +82,16 @@ _MISSING = object()
 
 
 def fo2_cache_stats():
-    """Hit/miss statistics for the FO2-level caches."""
-    return {"decompositions": _DECOMPOSITION_CACHE.stats()}
+    """Hit/miss statistics for both FO2 cache layers."""
+    return {
+        "structures": _STRUCTURE_CACHE.stats(),
+        "decompositions": _DECOMPOSITION_CACHE.stats(),
+    }
 
 
 def clear_fo2_caches():
-    """Drop all cached FO2 cell decompositions."""
+    """Drop all cached FO2 cell structures and decompositions."""
+    _STRUCTURE_CACHE.clear()
     _DECOMPOSITION_CACHE.clear()
 
 _X = Var("fo2_x")
@@ -100,16 +115,18 @@ def _combine_universal(sentences):
     return conj(*parts)
 
 
-class FO2CellDecomposition:
-    """The cell decomposition of a universal FO2 matrix.
+class FO2CellStructure:
+    """The weight-independent half of a cell decomposition.
 
-    Exposes the pieces (cells, cell weights ``u_k``, pair weights
-    ``r_kl``) so tests and benchmarks can inspect them; :func:`wfomc_fo2`
-    is the user-facing wrapper.
+    Holds everything that depends only on the sentence: the grounded
+    matrix, the predicate classification, the valid cells per zero-ary
+    assignment, and — the exponential part of the construction — the
+    satisfying 2-table bit patterns of every cell pair.  One structure is
+    shared by every :class:`FO2CellDecomposition` built over it, so a
+    weight sweep enumerates cells and 2-tables exactly once.
     """
 
-    def __init__(self, matrix, weighted_vocabulary):
-        self.wv = weighted_vocabulary
+    def __init__(self, matrix, vocabulary):
         free = free_variables(matrix)
         if not free <= {_X, _Y}:
             raise NotFO2Error("matrix has unexpected free variables: {}".format(free))
@@ -134,7 +151,7 @@ class FO2CellDecomposition:
         self.zero_preds = []
         self.unary_preds = []
         self.binary_preds = []
-        for pred in weighted_vocabulary.vocabulary:
+        for pred in vocabulary:
             if pred.name not in self.matrix_preds:
                 continue
             if pred.arity == 0:
@@ -154,11 +171,16 @@ class FO2CellDecomposition:
             (b, "refl") for b in self.binary_preds
         ]
 
-        # Per-zero-assignment cell/pair-weight tables and the memo table of
-        # the distribution recursion; both survive across calls (and across
-        # domain sizes) for the lifetime of the decomposition instance.
-        self._tables = {}
-        self._recurse_memo = {}
+        # Off-diagonal binary atoms between elements 1 and 2: the 2-table
+        # variables of a cell pair.
+        self.off_diag_labels = []
+        for b in self.binary_preds:
+            self.off_diag_labels.append((b, (1, 2)))
+            self.off_diag_labels.append((b, (2, 1)))
+
+        #: zero_key -> (cells, satisfying 2-table patterns per cell pair);
+        #: filled lazily and shared by every weighted decomposition.
+        self._zero_tables = {}
 
     def _type_assignment(self, cell_bits, element):
         """Ground-atom assignment for one element's 1-type."""
@@ -170,59 +192,130 @@ class FO2CellDecomposition:
                 assignment[(name, (element, element))] = bit
         return assignment
 
-    def _type_weight(self, cell_bits):
-        weight = Fraction(1)
-        for (name, _kind), bit in zip(self.type_slots, cell_bits):
-            pair = self.wv.weight(name)
-            weight *= pair.w if bit else pair.wbar
-        return weight
+    def tables(self, zero_key, zero_assignment):
+        """``(cells, satisfying)`` for one zero-ary assignment.
 
-    def _cell_tables(self, zero_key, zero_assignment):
-        """Cells, cell weights, and 2-table pair weights for one assignment
-        of the zero-ary atoms.  Independent of the domain size, so cached
-        on the instance and shared by every ``run`` call."""
-        cached = self._tables.get(zero_key)
+        ``cells`` lists the valid 1-types (bit tuples over
+        ``type_slots``); ``satisfying[k][l]`` lists the 2-table bit
+        tuples (over ``off_diag_labels``) that satisfy the matrix in both
+        directions between a cell-``k`` and a cell-``l`` element.  This
+        is the exponential enumeration, done once per sentence and reused
+        by every weight function and domain size.
+        """
+        cached = self._zero_tables.get(zero_key)
         if cached is not None:
             return cached
         base = {(name, ()): bit for name, bit in zero_assignment.items()}
 
         # Valid cells: 1-types whose element satisfies psi(x, x).
         cells = []
-        cell_weights = []
         for bits in itertools.product((False, True), repeat=len(self.type_slots)):
             assignment = dict(base)
             assignment.update(self._type_assignment(bits, 1))
             if peval(self.diag_prop, assignment):
                 cells.append(bits)
-                cell_weights.append(self._type_weight(bits))
 
         k_cells = len(cells)
-
-        # Pair weights r[k][l]: sum over 2-tables (off-diagonal binary
-        # atoms between a cell-k element 1 and a cell-l element 2).
-        off_diag_labels = []
-        for b in self.binary_preds:
-            off_diag_labels.append((b, (1, 2)))
-            off_diag_labels.append((b, (2, 1)))
-
-        r = [[Fraction(0)] * k_cells for _ in range(k_cells)]
+        off_diag_labels = self.off_diag_labels
+        satisfying = [[None] * k_cells for _ in range(k_cells)]
         for k in range(k_cells):
             for l in range(k_cells):
                 assignment = dict(base)
                 assignment.update(self._type_assignment(cells[k], 1))
                 assignment.update(self._type_assignment(cells[l], 2))
-                total = Fraction(0)
+                good = []
                 for bits in itertools.product((False, True), repeat=len(off_diag_labels)):
                     for label, bit in zip(off_diag_labels, bits):
                         assignment[label] = bit
                     if peval(self.pair_prop_xy, assignment) and peval(
                         self.pair_prop_yx, assignment
                     ):
-                        weight = Fraction(1)
-                        for (name, _args), bit in zip(off_diag_labels, bits):
-                            pair = self.wv.weight(name)
-                            weight *= pair.w if bit else pair.wbar
-                        total += weight
+                        good.append(bits)
+                satisfying[k][l] = good
+
+        tables = (cells, satisfying)
+        self._zero_tables[zero_key] = tables
+        return tables
+
+
+class FO2CellDecomposition:
+    """The cell decomposition of a universal FO2 matrix.
+
+    Layers one weight function over a (possibly shared)
+    :class:`FO2CellStructure`: cell weights ``u_k``, 2-table pair weights
+    ``r_kl``, and the memoized distribution recursion.  Exposes the
+    pieces so tests and benchmarks can inspect them; :func:`wfomc_fo2` is
+    the user-facing wrapper.  ``structure`` may be a prebuilt
+    :class:`FO2CellStructure` or a matrix formula (one is built).
+    """
+
+    def __init__(self, structure, weighted_vocabulary):
+        if not isinstance(structure, FO2CellStructure):
+            structure = FO2CellStructure(
+                structure, weighted_vocabulary.vocabulary
+            )
+        self.structure = structure
+        self.wv = weighted_vocabulary
+
+        # Per-zero-assignment cell/pair-weight tables and the memo table of
+        # the distribution recursion; both survive across calls (and across
+        # domain sizes) for the lifetime of the decomposition instance.
+        self._tables = {}
+        self._recurse_memo = {}
+
+    # The structural pieces read like attributes of the decomposition.
+
+    @property
+    def matrix_preds(self):
+        return self.structure.matrix_preds
+
+    @property
+    def zero_preds(self):
+        return self.structure.zero_preds
+
+    @property
+    def unary_preds(self):
+        return self.structure.unary_preds
+
+    @property
+    def binary_preds(self):
+        return self.structure.binary_preds
+
+    @property
+    def type_slots(self):
+        return self.structure.type_slots
+
+    def _type_weight(self, cell_bits):
+        weight = Fraction(1)
+        for (name, _kind), bit in zip(self.structure.type_slots, cell_bits):
+            pair = self.wv.weight(name)
+            weight *= pair.w if bit else pair.wbar
+        return weight
+
+    def _cell_tables(self, zero_key, zero_assignment):
+        """Cells, cell weights, and 2-table pair weights for one assignment
+        of the zero-ary atoms.  The expensive enumeration lives in the
+        shared structure; this layer only sums weights over the stored
+        satisfying patterns, so it is polynomial in their number."""
+        cached = self._tables.get(zero_key)
+        if cached is not None:
+            return cached
+        cells, satisfying = self.structure.tables(zero_key, zero_assignment)
+
+        cell_weights = [self._type_weight(bits) for bits in cells]
+
+        k_cells = len(cells)
+        off_diag_labels = self.structure.off_diag_labels
+        pair_weights = [self.wv.weight(name) for name, _args in off_diag_labels]
+        r = [[Fraction(0)] * k_cells for _ in range(k_cells)]
+        for k in range(k_cells):
+            for l in range(k_cells):
+                total = Fraction(0)
+                for bits in satisfying[k][l]:
+                    weight = Fraction(1)
+                    for pair, bit in zip(pair_weights, bits):
+                        weight *= pair.w if bit else pair.wbar
+                    total += weight
                 r[k][l] = total
 
         tables = (cells, cell_weights, r)
@@ -326,10 +419,18 @@ def wfomc_fo2(formula, n, weighted_vocabulary=None):
     cache_key = (formula, weights_signature(wv))
     cached = _DECOMPOSITION_CACHE.get(cache_key)
     if cached is None:
+        # Scott/Skolem are cheap syntactic transforms (re-run per weight
+        # function because the fresh symbols carry weights); the expensive
+        # cell/2-table enumeration lives in the weight-independent
+        # structure, keyed on the resulting matrix.
         sentences, wv1 = scott_normalize(formula, wv)
         universal, wv2 = skolemize_scott(sentences, wv1)
         matrix = _combine_universal(universal)
-        decomposition = FO2CellDecomposition(matrix, wv2)
+        structure = _STRUCTURE_CACHE.get(matrix)
+        if structure is None:
+            structure = FO2CellStructure(matrix, wv2.vocabulary)
+            _STRUCTURE_CACHE.put(matrix, structure)
+        decomposition = FO2CellDecomposition(structure, wv2)
         _DECOMPOSITION_CACHE.put(cache_key, (decomposition, wv2))
     else:
         decomposition, wv2 = cached

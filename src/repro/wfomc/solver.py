@@ -70,14 +70,17 @@ def solver_cache_stats():
     """Hit/miss statistics for every cache a solver call can touch.
 
     One consistent view: the solver-level result and cardinality-polynomial
-    caches, the FO2 cell-decomposition cache, and the grounding-layer
-    lineage/universe caches, each as ``{entries, hits, misses, hit_rate}``.
+    caches, both FO2 layers (weight-independent cell structures and
+    weighted decompositions), and the grounding-layer lineage/universe
+    caches, each as ``{entries, hits, misses, hit_rate}``.
     """
     grounding = grounding_cache_stats()
+    fo2 = fo2_cache_stats()
     return {
         "results": _RESULT_CACHE.stats(),
         "polynomials": _POLYNOMIAL_CACHE.stats(),
-        "fo2_decompositions": fo2_cache_stats()["decompositions"],
+        "fo2_structures": fo2["structures"],
+        "fo2_decompositions": fo2["decompositions"],
         "lineages": grounding["lineage"],
         "universes": grounding["universe"],
     }
@@ -93,7 +96,8 @@ def clear_solver_caches():
     clear_grounding_caches()
 
 
-def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None):
+def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
+          branching=None, learn=None, max_learned=None):
     """Symmetric weighted first-order model count of a sentence.
 
     Parameters
@@ -112,6 +116,12 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None):
         When > 1, grounded counting farms independent top-level lineage
         components to that many worker processes.  The result is
         bit-identical to a serial run, so it shares the result cache.
+    branching / learn / max_learned:
+        Conflict-driven-search knobs of the grounded counting engine
+        (``"evsids"``/``"moms"``, clause learning on/off, learned-database
+        bound); see :class:`~repro.propositional.counter.CountingEngine`.
+        They steer the search only — the counted value is knob-independent,
+        so all configurations share the result cache.
 
     Returns an exact :class:`~fractions.Fraction` (an ``int``-valued one
     for integer weights).  Results are cached on
@@ -126,16 +136,21 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None):
     if cached is not None:
         return cached
 
-    result = _dispatch(formula, n, wv, method, workers)
+    result = _dispatch(formula, n, wv, method, workers,
+                       branching=branching, learn=learn,
+                       max_learned=max_learned)
     _RESULT_CACHE.put(key, result)
     return result
 
 
-def _dispatch(formula, n, wv, method, workers=None):
+def _dispatch(formula, n, wv, method, workers=None, branching=None,
+              learn=None, max_learned=None):
+    engine_knobs = {"branching": branching, "learn": learn,
+                    "max_learned": max_learned}
     if method == "fo2":
         return wfomc_fo2(formula, n, wv)
     if method == "lineage":
-        return wfomc_lineage(formula, n, wv, workers=workers)
+        return wfomc_lineage(formula, n, wv, workers=workers, **engine_knobs)
     if method == "enumerate":
         return wfomc_enumerate(formula, n, wv)
 
@@ -147,18 +162,20 @@ def _dispatch(formula, n, wv, method, workers=None):
             return wfomc_fo2(formula, n, wv)
         except NotFO2Error:
             pass
-    return wfomc_lineage(formula, n, wv, workers=workers)
+    return wfomc_lineage(formula, n, wv, workers=workers, **engine_knobs)
 
 
-def fomc(formula, n, method="auto", workers=None):
+def fomc(formula, n, method="auto", workers=None, branching=None,
+         learn=None, max_learned=None):
     """Unweighted first-order model count (all weights ``(1, 1)``)."""
-    result = wfomc(formula, n, method=method, workers=workers)
+    result = wfomc(formula, n, method=method, workers=workers,
+                   branching=branching, learn=learn, max_learned=max_learned)
     assert result.denominator == 1
     return int(result)
 
 
 def probability(formula, n, weighted_vocabulary=None, method="auto",
-                workers=None):
+                workers=None, branching=None, learn=None, max_learned=None):
     """Probability of the sentence in the induced distribution.
 
     ``Pr(Phi) = WFOMC(Phi, n, w, wbar) / WFOMC(true, n, w, wbar)`` — each
@@ -169,7 +186,9 @@ def probability(formula, n, weighted_vocabulary=None, method="auto",
     normalization constant is zero (e.g. Skolem weights ``(1, -1)``).
     """
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
-    numerator = wfomc(formula, n, wv, method=method, workers=workers)
+    numerator = wfomc(formula, n, wv, method=method, workers=workers,
+                      branching=branching, learn=learn,
+                      max_learned=max_learned)
     denominator = wv.total_world_weight(n)
     if denominator == 0:
         raise UnsupportedFormulaError(
@@ -179,7 +198,7 @@ def probability(formula, n, weighted_vocabulary=None, method="auto",
 
 
 def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
-                workers=None):
+                workers=None, branching=None, learn=None, max_learned=None):
     """WFOMC of one sentence at many domain sizes.
 
     Returns ``{n: WFOMC(formula, n)}``.  All sizes flow through the shared
@@ -201,7 +220,9 @@ def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
         key = (formula, n, signature, method)
         cached = _RESULT_CACHE.get(key)
         if cached is None:
-            cached = _dispatch(formula, n, wv, method, workers)
+            cached = _dispatch(formula, n, wv, method, workers,
+                               branching=branching, learn=learn,
+                               max_learned=max_learned)
             _RESULT_CACHE.put(key, cached)
         results[n] = cached
     return results
@@ -215,7 +236,8 @@ def _cardinality_grid_size(vocabulary, n):
 
 
 def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
-                       via_polynomial=None, workers=None):
+                       via_polynomial=None, workers=None, branching=None,
+                       learn=None, max_learned=None):
     """WFOMC of one ``(formula, n)`` instance at many weight assignments.
 
     ``weight_vocabularies`` is an iterable of
@@ -245,7 +267,8 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
 
     if not via_polynomial:
         return [
-            wfomc(formula, n, wv, method=method, workers=workers)
+            wfomc(formula, n, wv, method=method, workers=workers,
+                  branching=branching, learn=learn, max_learned=max_learned)
             for wv in weight_vocabularies
         ]
 
@@ -259,7 +282,9 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
             formula,
             n,
             vocabulary,
-            lambda f, size, wv: wfomc(f, size, wv, method=method, workers=workers),
+            lambda f, size, wv: wfomc(f, size, wv, method=method,
+                                      workers=workers, branching=branching,
+                                      learn=learn, max_learned=max_learned),
         )
         _POLYNOMIAL_CACHE.put(key, coefficients)
     # Coefficient vectors are ordered by the first vocabulary's predicate

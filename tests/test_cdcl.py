@@ -1,0 +1,308 @@
+"""Tests for the conflict-driven (CDCL) counting search.
+
+Three layers of validation: Hypothesis property tests assert exact
+agreement between the CDCL engine, the learning-free engine, and
+brute-force enumeration on random weighted CNFs; determinism tests pin
+down bit-identical results for ``learn=True, workers>1``; and white-box
+unit tests check 1-UIP derivation, asserting levels, and LBD on
+hand-built implication graphs, plus learned-database reduction and the
+engine-knob plumbing through the solver layer.
+"""
+
+import itertools
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.propositional.cnf import CNF
+from repro.propositional.counter import (
+    CountingEngine,
+    EngineStats,
+    _analyze_conflict,
+    wmc_cnf,
+)
+from repro.weights import WeightPair
+from repro.wfomc.solver import wfomc
+
+from .strategies import cnf_clause_lists, fractions
+
+
+def _cnf_from_clauses(clauses, num_vars):
+    cnf = CNF()
+    for v in range(1, num_vars + 1):
+        cnf.var_for(v)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def _wmc_reference(clauses, pairs):
+    """WMC by enumerating all assignments of variables 1..len(pairs)."""
+    total = Fraction(0)
+    num_vars = len(pairs)
+    for bits in itertools.product((False, True), repeat=num_vars):
+        if all(any(bits[abs(lit) - 1] == (lit > 0) for lit in c) for c in clauses):
+            weight = Fraction(1)
+            for bit, pair in zip(bits, pairs):
+                weight *= pair.w if bit else pair.wbar
+            total += weight
+    return total
+
+
+def _engine(weights_pairs, **knobs):
+    weights = {v: (p.w, p.wbar) for v, p in weights_pairs.items()}
+    totals = {v: p.w + p.wbar for v, p in weights_pairs.items()}
+    return CountingEngine(weights, totals, cache={}, stats=EngineStats(),
+                          key_cache={}, **knobs)
+
+
+def _hard_random_clauses(num_vars=24, ratio=4.2, seed=5):
+    """A conflict-rich random 3-CNF (near the UNSAT threshold)."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(int(num_vars * ratio)):
+        vs = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vs))
+    return clauses
+
+
+class TestCDCLAgainstEnumeration:
+    @settings(max_examples=120, deadline=None)
+    @given(cnf_clause_lists(), fractions(), fractions(), fractions())
+    def test_cdcl_matches_enumeration_and_no_learning(self, clauses, w1, w2, w3):
+        num_vars = 5
+        pairs = [
+            WeightPair(w1, 1),
+            WeightPair(w2, 2),
+            WeightPair(1, w3),
+            WeightPair(w1, w3),
+            WeightPair(1, 1),
+        ]
+        cnf = _cnf_from_clauses(clauses, num_vars)
+        reference = _wmc_reference(clauses, pairs)
+        for knobs in ({"learn": True}, {"learn": True, "branching": "moms"},
+                      {"learn": False}):
+            got = wmc_cnf(cnf, lambda v: pairs[v - 1], engine_cache={},
+                          stats=EngineStats(), **knobs)
+            assert got == reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(cnf_clause_lists(num_vars=8, max_clauses=20), fractions())
+    def test_deeper_instances_exercise_the_trail(self, clauses, w):
+        # Eight variables and up to 20 clauses: multi-level trails,
+        # conflicts, and backjumps actually occur here.
+        pairs = [WeightPair(w, 1) if v % 3 == 0 else WeightPair(1, 1)
+                 for v in range(1, 9)]
+        cnf = _cnf_from_clauses(clauses, 8)
+        reference = _wmc_reference(clauses, pairs)
+        assert wmc_cnf(cnf, lambda v: pairs[v - 1], engine_cache={},
+                       stats=EngineStats()) == reference
+
+    def test_hard_instance_agrees_across_all_knobs(self):
+        clauses = _hard_random_clauses()
+        pairs = {v: WeightPair(1, 1) for v in range(1, 25)}
+        results = []
+        conflict_stats = None
+        for knobs in ({"learn": False}, {"learn": True},
+                      {"learn": True, "branching": "moms"},
+                      {"learn": True, "max_learned": 16}):
+            engine = _engine(pairs, **knobs)
+            results.append(engine.run(clauses))
+            if knobs == {"learn": True}:
+                conflict_stats = engine.stats
+        assert len(set(results)) == 1
+        # The default engine actually learned on this instance.
+        assert conflict_stats.conflicts > 0
+        assert conflict_stats.learned_clauses > 0
+        assert conflict_stats.backjumps > 0
+        assert conflict_stats.backjump_levels >= conflict_stats.backjumps
+
+
+class TestParallelLearningDeterminism:
+    def _multi_component_cnf(self):
+        # Conflict-prone disjoint components with fractional weights: any
+        # scheduling or merge nondeterminism would change the Fraction.
+        clauses = []
+        rng = random.Random(17)
+        for k in range(4):
+            base = 8 * k
+            for _ in range(22):
+                vs = rng.sample(range(base + 1, base + 9), 3)
+                clauses.append(tuple(v if rng.random() < 0.5 else -v
+                                     for v in vs))
+        cnf = _cnf_from_clauses(clauses, 32)
+        pairs = {v: WeightPair(Fraction(v, 5), Fraction(2, v)) for v in range(1, 33)}
+        return cnf, pairs
+
+    def test_learning_with_workers_is_bit_identical(self):
+        cnf, pairs = self._multi_component_cnf()
+        serial = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                         stats=EngineStats(), learn=True)
+        no_learn = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                           stats=EngineStats(), learn=False)
+        assert serial == no_learn
+        for _ in range(3):
+            stats = EngineStats()
+            parallel = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                               stats=stats, workers=2, learn=True)
+            assert parallel == serial
+            assert (parallel.numerator, parallel.denominator) == (
+                serial.numerator, serial.denominator,
+            )
+
+    def test_worker_knobs_travel_with_the_payload(self):
+        from repro.propositional.counter import shutdown_worker_pool
+
+        # Fresh worker processes: their module-level caches may already
+        # hold these components from a previous test's tasks.
+        shutdown_worker_pool()
+        cnf, pairs = self._multi_component_cnf()
+        stats = EngineStats()
+        value = wmc_cnf(cnf, pairs.__getitem__, engine_cache={}, stats=stats,
+                        workers=2, learn=True, max_learned=16)
+        assert stats.parallel_tasks >= 2
+        # Workers learned locally and reported it through the stats merge.
+        assert stats.conflicts > 0
+        assert value == wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                                stats=EngineStats())
+
+
+class TestOneUIPAnalysis:
+    """1-UIP derivation on hand-built implication graphs.
+
+    The graphs assign every variable True, so an antecedent clause for
+    variable ``v`` reads ``(-u1, ..., -uk, v)``.
+    """
+
+    def test_mid_level_uip_is_found(self):
+        # Level 2: decision x2 implies x3; x3 implies x4 and x5; x4, x5
+        # and the level-1 decision x1 falsify the conflict clause.  Both
+        # implication paths funnel through x3: the 1-UIP.
+        clauses = [
+            (-2, 3),        # reason for x3
+            (-3, 4),        # reason for x4
+            (-3, 5),        # reason for x5
+            (-4, -5, -1),   # conflict
+        ]
+        assign = {v: True for v in (1, 2, 3, 4, 5)}
+        vlevel = {1: 1, 2: 2, 3: 2, 4: 2, 5: 2}
+        reason = {1: None, 2: None, 3: 0, 4: 1, 5: 2}
+        trail = [1, 2, 3, 4, 5]
+        learned, assert_level, lbd, seen = _analyze_conflict(
+            clauses, 3, assign, vlevel, reason, trail, level=2)
+        assert learned == (-3, -1)
+        assert assert_level == 1
+        assert lbd == 2
+        assert {1, 3, 4, 5} <= seen
+
+    def test_uip_spanning_three_levels(self):
+        # The classic funnel across three levels: the learned clause
+        # mentions one variable per level and backjumps to level 2.
+        clauses = [
+            (-3, 4),         # reason for x4
+            (-3, -4, 5),     # reason for x5
+            (-1, -5, 6),     # reason for x6
+            (-2, -6, -4),    # conflict
+        ]
+        assign = {v: True for v in range(1, 7)}
+        vlevel = {1: 1, 2: 2, 3: 3, 4: 3, 5: 3, 6: 3}
+        reason = {1: None, 2: None, 3: None, 4: 0, 5: 1, 6: 2}
+        trail = [1, 2, 3, 4, 5, 6]
+        learned, assert_level, lbd, _seen = _analyze_conflict(
+            clauses, 3, assign, vlevel, reason, trail, level=3)
+        assert learned[0] == -3  # asserting literal first
+        assert set(learned) == {-3, -2, -1}
+        assert assert_level == 2
+        assert lbd == 3
+
+    def test_decision_uip_when_no_dominator_exists(self):
+        # Conflict directly between the decision and its implication:
+        # the decision itself is the UIP and the lemma is a unit.
+        clauses = [
+            (-1, 2),   # reason for x2
+            (-1, -2),  # conflict
+        ]
+        assign = {1: True, 2: True}
+        vlevel = {1: 1, 2: 1}
+        reason = {1: None, 2: 0}
+        trail = [1, 2]
+        learned, assert_level, lbd, _seen = _analyze_conflict(
+            clauses, 1, assign, vlevel, reason, trail, level=1)
+        assert learned == (-1,)
+        assert assert_level == 0
+        assert lbd == 1
+
+    def test_level_zero_literals_are_dropped(self):
+        # x9 is a level-0 unit (a lemma of the component): it must not
+        # appear in the learned clause.
+        clauses = [
+            (-9, -1, 2),   # reason for x2 (mentions the level-0 literal)
+            (-2, -1),      # conflict
+        ]
+        assign = {9: True, 1: True, 2: True}
+        vlevel = {9: 0, 1: 1, 2: 1}
+        reason = {9: None, 1: None, 2: 0}
+        trail = [9, 1, 2]
+        learned, assert_level, _lbd, _seen = _analyze_conflict(
+            clauses, 1, assign, vlevel, reason, trail, level=1)
+        assert learned == (-1,)
+        assert assert_level == 0
+
+
+class TestLearnedDatabase:
+    def test_reduction_triggers_and_preserves_the_count(self):
+        clauses = _hard_random_clauses(num_vars=28, ratio=4.3, seed=11)
+        pairs = {v: WeightPair(1, 1) for v in range(1, 29)}
+        reference = _engine(pairs, learn=False).run(clauses)
+        engine = _engine(pairs, learn=True, max_learned=4)
+        assert engine.run(clauses) == reference
+        assert engine.stats.db_reductions >= 1
+
+    def test_learned_clauses_never_pollute_cache_keys(self):
+        # A learning run and a learning-free run share one component
+        # cache: the second run must resolve the top-level component by
+        # pure cache hit, which only works when learned clauses stayed
+        # out of the canonical keys.
+        clauses = _hard_random_clauses(num_vars=18, ratio=3.5, seed=3)
+        pairs = {v: WeightPair(1, 1) for v in range(1, 19)}
+        weights = {v: (1, 1) for v in range(1, 19)}
+        totals = {v: 2 for v in range(1, 19)}
+        cache = {}
+        key_cache = {}
+        first = CountingEngine(weights, totals, cache=cache,
+                               stats=EngineStats(), key_cache=key_cache,
+                               learn=True).run(clauses)
+        replay_stats = EngineStats()
+        replay = CountingEngine(weights, totals, cache=cache,
+                                stats=replay_stats, key_cache=key_cache,
+                                learn=False).run(clauses)
+        assert replay == first
+        assert replay_stats.decisions == 0  # resolved by cache alone
+        assert replay_stats.cache_hits >= 1
+
+
+class TestKnobPlumbing:
+    def test_solver_results_are_knob_independent(self):
+        from repro.logic.parser import parse
+
+        f = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+        default = wfomc(f, 3, method="lineage")
+        assert default == 13009
+        assert wfomc(f, 3, method="lineage", learn=False) == default
+        assert wfomc(f, 3, method="lineage", branching="moms") == default
+        assert wfomc(f, 3, method="lineage", max_learned=8) == default
+
+    def test_unknown_branching_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CountingEngine({1: (1, 1)}, {1: 2}, cache={}, stats=EngineStats(),
+                           branching="vsads")
+
+    def test_engine_stats_expose_cdcl_counters(self):
+        stats = EngineStats()
+        as_dict = stats.as_dict()
+        for field in ("conflicts", "learned_clauses", "backjumps",
+                      "backjump_levels", "db_reductions"):
+            assert field in as_dict

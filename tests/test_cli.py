@@ -46,6 +46,36 @@ class TestProbability:
         assert out.startswith("7/8")
 
 
+class TestEngineKnobs:
+    FORMULA = "forall x, y. (R(x) | S(x, y) | T(y))"
+
+    def test_no_learn_and_branching_leave_the_count_unchanged(self, capsys):
+        default = run(capsys, "count", self.FORMULA, "2", "--method", "lineage")
+        assert default == "161"
+        for flags in (["--no-learn"], ["--branching", "moms"],
+                      ["--max-learned", "8"]):
+            out = run(capsys, "count", self.FORMULA, "2", "--method",
+                      "lineage", *flags)
+            assert out == default
+
+    def test_stats_subcommand_prints_breakdown(self, capsys):
+        code = main(["stats", self.FORMULA, "2", "--method", "lineage"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("result  161")
+        for section in ("engine", "solver caches"):
+            assert "\n{}\n".format(section) in "\n" + captured.out
+        for counter in ("conflicts", "learned_clauses", "backjumps",
+                        "db_reductions", "fo2_structures", "lineages"):
+            assert counter in captured.out
+
+    def test_stats_subcommand_accepts_weights(self, capsys):
+        code = main(["stats", "exists y. S(y)", "4", "--weight", "S=1/2,1"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("result  65/16")
+
+
 class TestSpectrum:
     def test_spectrum(self, capsys):
         out = run(capsys, "spectrum", "exists x, y. x != y", "4")

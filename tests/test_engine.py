@@ -373,6 +373,51 @@ class TestSolverCaches:
         for n, value in batch.items():
             assert value == wfomc(f, n, method="lineage")
 
+    def test_fo2_structure_shared_across_weight_functions(self):
+        # The weight-independent cell structure (the exponential cell /
+        # 2-table enumeration) is keyed on the formula alone, so a weight
+        # sweep builds it once; only the cheap weighted layer multiplies.
+        from repro.logic.parser import parse
+
+        f = parse("forall x. exists y. (R(x, y) | (P(x) & Q(y)))")
+        sweeps = [
+            WeightedVocabulary.from_weights(
+                {"R": (w, 1), "P": (1, 1), "Q": (1, q)},
+                {"R": 2, "P": 1, "Q": 1},
+            )
+            for w, q in [(1, 1), (2, 1), (3, 2), (1, 3)]
+        ]
+        for wv in sweeps:
+            assert wfomc(f, 2, wv, method="fo2") == wfomc(
+                f, 2, wv, method="lineage"
+            )
+        stats = solver_cache_stats()
+        assert stats["fo2_structures"]["misses"] == 1
+        assert stats["fo2_structures"]["hits"] == len(sweeps) - 1
+        assert stats["fo2_decompositions"]["misses"] == len(sweeps)
+
+    def test_fo2_structure_not_shared_across_skolem_name_clashes(self):
+        # Regression: the structure cache keys on the skolemized matrix,
+        # not the formula — a vocabulary that already uses a Skolem-like
+        # name shifts the fresh symbol names, and a structure cached
+        # under the formula alone would assign the user's weights to the
+        # cancellation symbol (silently wrong counts).
+        from repro.logic.parser import parse
+        from repro.logic.vocabulary import Predicate, Vocabulary
+
+        f = parse("forall x. exists y. R(x, y)")
+        plain = WeightedVocabulary.counting(f)
+        clash_vocab = Vocabulary([Predicate("R", 2), Predicate("Sk", 1)])
+        clash = WeightedVocabulary(
+            clash_vocab, {"R": WeightPair(1, 1), "Sk": WeightPair(1, 1)}
+        )
+        for first, second in ((plain, clash), (clash, plain)):
+            clear_solver_caches()
+            for wv in (first, second):
+                assert wfomc(f, 3, wv, method="fo2") == wfomc(
+                    f, 3, wv, method="lineage"
+                )
+
     def test_fo2_memoized_recursion_matches_lineage_at_larger_n(self):
         from repro.logic.parser import parse
 
