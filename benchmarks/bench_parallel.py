@@ -101,6 +101,35 @@ def test_cdcl_and_moms_engines_agree(benchmark):
     assert result == moms
 
 
+def test_activity_gate_keeps_exact_moms_order_when_conflict_light(benchmark):
+    # Regression guard for the EVSIDS activity gate: on model-dense
+    # (conflict-light) instances the default engine must make *exactly*
+    # the MOMS decisions — same decision count as ``branching="moms"``
+    # on the same trail machinery — because its per-search conflict rate
+    # never crosses the activity threshold.  Before the gate, stale
+    # activity from earlier searches could perturb the order here.
+    CountingEngine, EngineStats, wmc_cnf, CNF = _engine_imports()
+    clauses, total_vars = random_components(4, 18, 2.0, seed=11)
+    cnf = CNF()
+    for v in range(1, total_vars + 1):
+        cnf.var_for(v)
+    for c in clauses:
+        cnf.add_clause(c)
+
+    def count(branching):
+        stats = EngineStats()
+        result = wmc_cnf(cnf, lambda _v: (1, 1), engine_cache={},
+                         stats=stats, branching=branching)
+        return result, stats
+
+    (moms_result, moms_stats) = count("moms")
+    (default_result, default_stats) = benchmark(count, "evsids")
+    assert default_result == moms_result
+    # Conflict-light: a handful of conflicts over hundreds of decisions.
+    assert default_stats.conflicts * 16 < default_stats.decisions
+    assert default_stats.decisions == moms_stats.decisions
+
+
 def test_fo2_batch_reuses_decomposition(benchmark):
     from repro.logic.parser import parse
     from repro.wfomc.solver import clear_solver_caches, wfomc_batch

@@ -15,6 +15,13 @@ CDCL+EVSIDS engine must stay faster than the learning-free MOMS engine
 by at least ``--ablation-floor`` (default 2x), so a regression in the
 learned-clause or branching machinery cannot hide behind a fast runner.
 
+The *persistent-cache* gate runs the Theta_1 weight sweep twice in
+separate subprocesses sharing one on-disk store (serial and
+``workers=2``): the warm process must be at least ``--persist-floor``
+(default 2x) faster than the cold one with bit-identical counts — the
+warm-start-serving property the cache subsystem exists for.  Disable
+with ``--skip-persist``.
+
 Usage::
 
     python benchmarks/check_regression.py --baseline BENCH_engine_v3.json
@@ -105,6 +112,47 @@ def check(baseline_path, tolerance, ablation_floor):
     print("benchmark regression check passed (tolerance {:.0%})".format(tolerance))
 
 
+def check_persist(persist_floor):
+    """Warm-vs-cold cross-process sweep gate (serial and workers=2).
+
+    One retry per configuration: subprocess wall clocks on shared
+    runners are noisy, and the floor is meant to catch the cache layer
+    breaking (warm ~= cold), not a scheduler hiccup.
+    """
+    from bench_persist import measure_warm_vs_cold
+
+    failures = []
+    for workers in (0, 2):
+        label = "persist_warm_vs_cold_{}".format(
+            "serial" if not workers else "workers{}".format(workers))
+        result = measure_warm_vs_cold(workers=workers)
+        if not result["bit_identical"]:
+            raise SystemExit(
+                "{}: warm counts differ from cold counts — the persistent "
+                "cache returned a wrong value".format(label))
+        speedup = result["speedup"]
+        if speedup < persist_floor:
+            result = measure_warm_vs_cold(workers=workers)
+            if not result["bit_identical"]:
+                raise SystemExit(
+                    "{}: warm counts differ from cold counts".format(label))
+            speedup = result["speedup"]
+        status = "FAIL" if speedup < persist_floor else "ok"
+        print(
+            "{:32s} cold {:.3f}s  warm {:.3f}s  speedup {:.2f}x  "
+            "(floor {:.1f}x)  [{}]".format(
+                label, result["cold_s"], result["warm_s"], speedup,
+                persist_floor, status))
+        if speedup < persist_floor:
+            failures.append(label)
+    if failures:
+        raise SystemExit(
+            "persistent-cache warm start below {:.1f}x (confirmed twice) "
+            "on: {}".format(persist_floor, ", ".join(failures)))
+    print("persistent-cache warm-start check passed (floor {:.1f}x)".format(
+        persist_floor))
+
+
 def main():
     here = os.path.dirname(os.path.abspath(__file__))
     sys.path.insert(0, here)  # for bench_parallel
@@ -124,8 +172,19 @@ def main():
         help="minimum theta1 speedup of the default engine over the MOMS "
              "ablation (default 2.0)",
     )
+    parser.add_argument(
+        "--persist-floor", type=float, default=2.0,
+        help="minimum warm-vs-cold speedup of the persisted Theta_1 "
+             "weight sweep across processes (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-persist", action="store_true",
+        help="skip the cross-process persistent-cache gate",
+    )
     args = parser.parse_args()
     check(args.baseline, args.tolerance, args.ablation_floor)
+    if not args.skip_persist:
+        check_persist(args.persist_floor)
 
 
 if __name__ == "__main__":

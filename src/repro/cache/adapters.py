@@ -1,0 +1,89 @@
+"""Read-through/write-behind adapters between in-memory caches and a store.
+
+Three cache layers persist (each in its own namespace):
+
+* ``components`` — counting-engine component values keyed on canonical
+  component keys (renamed clause rows + the weight row, exactly the
+  in-memory key, so entries are safe to share across weight functions);
+* ``polynomials`` — cardinality-polynomial coefficient tables keyed on
+  ``(formula, n, ordered vocabulary signature, method)``;
+* ``fo2_tables`` — FO2 cell/2-table enumerations keyed on the
+  skolemized matrix and the zero-ary assignment.
+
+:class:`StoreBackedComponentCache` speaks the engine's cache protocol
+(``get``/``[]=``/``len``/``clear``), layering an in-memory dict in front
+of the store so repeated lookups within a process stay dict-speed; the
+module-level helpers serve the two table-shaped layers.
+"""
+
+from __future__ import annotations
+
+from .store import open_store
+
+__all__ = [
+    "COMPONENTS_NS",
+    "POLYNOMIALS_NS",
+    "FO2_TABLES_NS",
+    "StoreBackedComponentCache",
+    "persistent_component_cache",
+]
+
+COMPONENTS_NS = "components"
+POLYNOMIALS_NS = "polynomials"
+FO2_TABLES_NS = "fo2_tables"
+
+
+class StoreBackedComponentCache:
+    """The engine's component cache backed by a persistent store.
+
+    In-memory entries (``mem``, typically the engine's shared cache, so
+    persisted and non-persisted runs warm each other within a process)
+    are consulted first; misses read through to the store and populate
+    memory, writes go to memory immediately and to the store write-behind.
+    ``clear`` drops the *memory* layer only — the engine clears its cache
+    as an overflow valve, which must not erase the disk investment; use
+    :meth:`repro.cache.store.PersistentStore.clear` (or ``repro cache
+    clear``) to wipe the disk.
+    """
+
+    __slots__ = ("store", "mem")
+
+    def __init__(self, store, mem=None):
+        self.store = store
+        self.mem = {} if mem is None else mem
+
+    def get(self, key, default=None):
+        value = self.mem.get(key)
+        if value is not None:
+            return value
+        value = self.store.get(COMPONENTS_NS, key)
+        if value is None:
+            return default
+        self.mem[key] = value
+        return value
+
+    def __setitem__(self, key, value):
+        self.mem[key] = value
+        self.store.put(COMPONENTS_NS, key, value)
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def __len__(self):
+        return len(self.mem)
+
+    def clear(self):
+        self.mem.clear()
+
+
+def persistent_component_cache(cache_dir=None, mem=None):
+    """A :class:`StoreBackedComponentCache` over the directory's store.
+
+    Returns ``None`` when the store cannot be opened at all (disabled on
+    arrival) — callers then simply keep their in-memory cache, the
+    graceful-fallback contract.
+    """
+    store = open_store(cache_dir)
+    if store.disabled:
+        return None
+    return StoreBackedComponentCache(store, mem=mem)

@@ -1,0 +1,452 @@
+"""The on-disk persistent store: one SQLite file per cache directory.
+
+Layout and guarantees
+---------------------
+
+* **Location**: ``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``;
+  every caller can override it per call with ``cache_dir=``.  One
+  directory holds one ``store.sqlite`` file (plus SQLite's WAL
+  side-files) shared by all namespaces.
+* **Content addressing**: entries are keyed by the SHA-256 digest of
+  ``(format version, engine tag, namespace, canonical key repr)``.  The
+  engine tag (:data:`ENGINE_TAG`) names the canonical-key format of the
+  counting engine generation that wrote the entry, so a future engine
+  whose component keys change simply stops seeing the stale rows —
+  stale formats self-invalidate without a migration step.
+* **Concurrency**: the database runs in WAL mode with a generous busy
+  timeout, so concurrent readers (parallel counting workers, a second
+  sweep process) never block each other and concurrent writers
+  serialize per transaction.  All values are exact and deterministic
+  functions of their keys, so ``INSERT OR REPLACE`` races are benign:
+  both writers store the same bytes.
+* **Write-behind**: :meth:`PersistentStore.put` buffers rows in memory
+  and flushes them in one transaction when the buffer fills, on
+  :meth:`flush`, and at interpreter exit — a counting run never blocks
+  on per-entry disk latency.
+* **Corruption**: a truncated or garbage store file is detected on the
+  first statement; the store deletes it and starts fresh once, and if
+  that also fails it disables itself (every lookup misses, every write
+  is dropped).  Counting callers therefore *always* fall back to
+  recomputation — a broken cache can never produce a wrong count or an
+  exception on the counting path.
+
+Cumulative ``hits``/``misses``/``writes`` counters are persisted in the
+store itself (table ``counters``), so ``repro cache stats`` reports
+cross-process totals — the way a warm second process proves it was
+served from disk.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import json
+import os
+import sqlite3
+from fractions import Fraction
+
+__all__ = [
+    "ENGINE_TAG",
+    "STORE_FILENAME",
+    "PersistentStore",
+    "default_cache_dir",
+    "open_store",
+    "close_all_stores",
+    "encode_value",
+    "decode_value",
+    "key_digest",
+]
+
+#: Name of the SQLite file inside a cache directory.
+STORE_FILENAME = "store.sqlite"
+
+#: On-disk format version; bumping it orphans every existing row (the
+#: digest embeds it) and the schema check below recreates the tables.
+STORE_FORMAT = 1
+
+#: Canonical-key format tag of the engine generation writing the
+#: entries.  Bump together with any change to component canonicalization
+#: (:func:`repro.propositional.counter._canonical_structure`), the
+#: cardinality-polynomial layout, or the FO2 table layout: old rows
+#: become unreachable (self-invalidation) instead of wrong.
+ENGINE_TAG = "engine-v3"
+
+#: Write-behind buffer flush threshold (rows).
+_FLUSH_THRESHOLD = 256
+
+#: Seconds SQLite waits on a locked database before failing.
+_BUSY_TIMEOUT_S = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS kv (
+    ns    TEXT NOT NULL,
+    key   BLOB NOT NULL,
+    value BLOB NOT NULL,
+    PRIMARY KEY (ns, key)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    k TEXT PRIMARY KEY,
+    v TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS counters (
+    name  TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+def default_cache_dir():
+    """``$REPRO_CACHE_DIR`` when set and non-empty, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+# -- exact-value codec -------------------------------------------------------
+#
+# Values are nested structures of ints, bools, strings, Fractions, tuples,
+# lists, and dicts (component counts, cardinality-polynomial coefficient
+# tables, FO2 cell/2-table enumerations).  They are stored as tagged JSON:
+# scalars pass through natively (Python's json round-trips arbitrary-
+# precision ints exactly), containers and Fractions become tagged arrays,
+# so decoding is unambiguous and never executes anything.
+
+
+def _enc(value):
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Fraction):
+        return ["f", value.numerator, value.denominator]
+    if isinstance(value, tuple):
+        return ["t"] + [_enc(v) for v in value]
+    if isinstance(value, list):
+        return ["l"] + [_enc(v) for v in value]
+    if isinstance(value, dict):
+        return ["d"] + [[_enc(k), _enc(v)] for k, v in value.items()]
+    raise TypeError("cannot persist value of type {}".format(type(value).__name__))
+
+
+def _dec(value):
+    if isinstance(value, list):
+        tag = value[0]
+        if tag == "f":
+            return Fraction(value[1], value[2])
+        if tag == "t":
+            return tuple(_dec(v) for v in value[1:])
+        if tag == "l":
+            return [_dec(v) for v in value[1:]]
+        if tag == "d":
+            return {_dec(k): _dec(v) for k, v in value[1:]}
+        raise ValueError("unknown payload tag {!r}".format(tag))
+    return value
+
+
+def encode_value(value):
+    """Serialize an exact value (ints/Fractions/containers) to bytes."""
+    return json.dumps(_enc(value), separators=(",", ":")).encode("utf-8")
+
+
+def decode_value(payload):
+    """Inverse of :func:`encode_value`."""
+    return _dec(json.loads(payload.decode("utf-8")))
+
+
+def key_digest(namespace, key):
+    """Content address of one entry.
+
+    The digest covers the store format, the engine tag, the namespace,
+    and the canonical ``repr`` of the key.  Cache keys are built from
+    deterministic-repr values only (ints, Fractions, tuples, interned
+    formula nodes), so the digest is stable across processes.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-cache\x00")
+    h.update(str(STORE_FORMAT).encode("ascii"))
+    h.update(b"\x00")
+    h.update(ENGINE_TAG.encode("ascii"))
+    h.update(b"\x00")
+    h.update(namespace.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(repr(key).encode("utf-8"))
+    return h.digest()
+
+
+class PersistentStore:
+    """One on-disk cache directory: namespaced key/value rows + counters.
+
+    Never raises on the counting path: any SQLite-level failure records
+    an error, disables the store, and surfaces as cache misses.
+    """
+
+    def __init__(self, directory):
+        self.directory = os.path.abspath(directory)
+        self.path = os.path.join(self.directory, STORE_FILENAME)
+        self.pid = os.getpid()
+        self.disabled = False
+        self.hits = 0
+        self.misses = 0
+        self.errors = 0
+        self.recreated = False
+        self._conn = None
+        self._pending = {}
+        self._unflushed = {"hits": 0, "misses": 0, "writes": 0}
+        self._open(allow_recreate=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _open(self, allow_recreate):
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_S,
+                                   check_same_thread=False)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.executescript(_SCHEMA)
+            row = conn.execute(
+                "SELECT v FROM meta WHERE k='format'").fetchone()
+            if row is None:
+                with conn:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO meta(k, v) VALUES('format', ?)",
+                        (str(STORE_FORMAT),))
+            elif row[0] != str(STORE_FORMAT):
+                # Older on-disk format: recreate rather than migrate (the
+                # digests would not match its rows anyway).
+                with conn:
+                    conn.execute("DELETE FROM kv")
+                    conn.execute("DELETE FROM counters")
+                    conn.execute(
+                        "INSERT OR REPLACE INTO meta(k, v) VALUES('format', ?)",
+                        (str(STORE_FORMAT),))
+            self._conn = conn
+        except (sqlite3.Error, OSError):
+            self.errors += 1
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+            if allow_recreate:
+                # A corrupted or truncated store file is cheap to rebuild:
+                # delete it (and SQLite's side files) and try once more.
+                self.recreated = True
+                for suffix in ("", "-wal", "-shm", "-journal"):
+                    try:
+                        os.unlink(self.path + suffix)
+                    except OSError:
+                        pass
+                self._open(allow_recreate=False)
+            else:
+                self.disabled = True
+
+    def close(self):
+        """Flush the write-behind buffer and close the connection."""
+        self.flush()
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        self.disabled = True
+
+    def _fail(self):
+        """A runtime SQLite error: disable the store (graceful fallback)."""
+        self.errors += 1
+        self.disabled = True
+        self._pending.clear()
+
+    # -- key/value ---------------------------------------------------------
+
+    def get(self, namespace, key):
+        """The decoded value stored for ``key``, or ``None``.
+
+        A payload that fails to decode (foreign writer, partial row) is
+        treated as a miss — never an exception.
+        """
+        if self.disabled:
+            self.misses += 1
+            self._unflushed["misses"] += 1
+            return None
+        digest = key_digest(namespace, key)
+        payload = self._pending.get((namespace, digest))
+        if payload is None:
+            try:
+                row = self._conn.execute(
+                    "SELECT value FROM kv WHERE ns=? AND key=?",
+                    (namespace, digest)).fetchone()
+            except sqlite3.Error:
+                self._fail()
+                row = None
+            payload = row[0] if row is not None else None
+        if payload is None:
+            self.misses += 1
+            self._unflushed["misses"] += 1
+            return None
+        try:
+            value = decode_value(payload)
+        except (ValueError, KeyError, IndexError, TypeError,
+                UnicodeDecodeError):
+            self.misses += 1
+            self._unflushed["misses"] += 1
+            return None
+        self.hits += 1
+        self._unflushed["hits"] += 1
+        return value
+
+    def put(self, namespace, key, value):
+        """Buffer one row for the next flush (write-behind)."""
+        if self.disabled:
+            return
+        try:
+            payload = encode_value(value)
+        except TypeError:
+            self.errors += 1
+            return
+        self._pending[(namespace, key_digest(namespace, key))] = payload
+        self._unflushed["writes"] += 1
+        if len(self._pending) >= _FLUSH_THRESHOLD:
+            self.flush()
+
+    def flush(self):
+        """Write buffered rows and counter deltas in one transaction."""
+        if self.disabled or self._conn is None:
+            return
+        deltas = {k: v for k, v in self._unflushed.items() if v}
+        if not self._pending and not deltas:
+            return
+        rows = [(ns, digest, payload)
+                for (ns, digest), payload in self._pending.items()]
+        try:
+            with self._conn:
+                if rows:
+                    self._conn.executemany(
+                        "INSERT OR REPLACE INTO kv(ns, key, value) "
+                        "VALUES (?, ?, ?)", rows)
+                for name, delta in deltas.items():
+                    self._conn.execute(
+                        "INSERT INTO counters(name, value) VALUES (?, ?) "
+                        "ON CONFLICT(name) DO UPDATE SET "
+                        "value = value + excluded.value", (name, delta))
+        except sqlite3.Error:
+            self._fail()
+            return
+        self._pending.clear()
+        for name in self._unflushed:
+            self._unflushed[name] = 0
+
+    # -- inspection / maintenance -----------------------------------------
+
+    def entry_counts(self):
+        """``{namespace: row count}`` for the rows on disk."""
+        if self.disabled or self._conn is None:
+            return {}
+        try:
+            rows = self._conn.execute(
+                "SELECT ns, COUNT(*) FROM kv GROUP BY ns ORDER BY ns"
+            ).fetchall()
+        except sqlite3.Error:
+            self._fail()
+            return {}
+        return dict(rows)
+
+    def cumulative_counters(self):
+        """Cross-process ``hits``/``misses``/``writes`` totals (flushed)."""
+        totals = {"hits": 0, "misses": 0, "writes": 0}
+        if self.disabled or self._conn is None:
+            return totals
+        try:
+            rows = self._conn.execute(
+                "SELECT name, value FROM counters").fetchall()
+        except sqlite3.Error:
+            self._fail()
+            return totals
+        for name, value in rows:
+            totals[name] = value
+        return totals
+
+    def stats(self):
+        """One dict for ``repro cache stats``: path, sizes, counters."""
+        counts = self.entry_counts()
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {
+            "path": self.path,
+            "size_bytes": size,
+            "disabled": self.disabled,
+            "recreated": self.recreated,
+            "entries": sum(counts.values()),
+            "namespaces": counts,
+            "session": {"hits": self.hits, "misses": self.misses,
+                        "pending_writes": len(self._pending),
+                        "errors": self.errors},
+            "cumulative": self.cumulative_counters(),
+        }
+
+    def clear(self):
+        """Delete every row and counter; returns the rows removed."""
+        self._pending.clear()
+        for name in self._unflushed:
+            self._unflushed[name] = 0
+        if self.disabled or self._conn is None:
+            return 0
+        try:
+            with self._conn:
+                removed = self._conn.execute(
+                    "SELECT COUNT(*) FROM kv").fetchone()[0]
+                self._conn.execute("DELETE FROM kv")
+                self._conn.execute("DELETE FROM counters")
+        except sqlite3.Error:
+            self._fail()
+            return 0
+        return removed
+
+
+# -- per-process store registry ----------------------------------------------
+
+_STORES = {}
+
+
+def open_store(cache_dir=None):
+    """The process-wide :class:`PersistentStore` for a cache directory.
+
+    One store instance per resolved directory, so the write-behind buffer
+    and session counters are shared by every adapter over it.  Never
+    raises: a directory that cannot be created or opened yields a
+    disabled store whose lookups miss.
+    """
+    path = os.path.abspath(cache_dir or default_cache_dir())
+    store = _STORES.get(path)
+    if store is not None and store.pid != os.getpid():
+        # Forked child (e.g. a parallel counting worker): SQLite
+        # connections must never be used across fork().  Abandon the
+        # inherited instance without closing it — its connection and
+        # write-behind buffer still belong to the parent — and open a
+        # fresh one for this process.
+        store = None
+    if store is None:
+        store = PersistentStore(path)
+        _STORES[path] = store
+    return store
+
+
+def close_all_stores():
+    """Flush and close every open store (registered at interpreter exit).
+
+    Stores created by another process (inherited over ``fork()``) are
+    skipped: their connections and buffers belong to the parent.
+    """
+    pid = os.getpid()
+    for store in list(_STORES.values()):
+        if store.pid == pid:
+            store.close()
+    _STORES.clear()
+
+
+atexit.register(close_all_stores)

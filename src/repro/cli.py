@@ -8,17 +8,22 @@ batch        weighted counts at several domain sizes in one run
 probability  probability of the sentence under the weight semantics
 stats        run a weighted count and pretty-print every engine/cache
              statistic the run touched
+cache        inspect the persistent on-disk cache: ``stats`` / ``clear``
+             / ``path``
 spectrum     which domain sizes up to a bound admit a model
 mu           the labeled-structure fraction mu_n (0-1 laws)
 
 ``--stats`` on the counting commands prints engine/cache statistics to
 stderr after the result; ``--workers N`` counts independent lineage
-components on a process pool (bit-identical to a serial run).  The
-grounded counting engine's conflict-driven search is configurable:
-``--branching {evsids,moms}`` picks the decision heuristic,
-``--no-learn`` disables clause learning (the pre-CDCL engine), and
-``--max-learned N`` bounds the learned-clause database.  None of these
-change the counted value.
+components on a process pool (bit-identical to a serial run).
+``--persist`` backs the component/polynomial/FO2 caches with the
+disk store under ``--cache-dir`` (default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro``), so a repeated run — even in a new process — is
+served from disk.  The grounded counting engine's conflict-driven
+search is configurable: ``--branching {evsids,moms}`` picks the
+decision heuristic, ``--no-learn`` disables clause learning (the
+pre-CDCL engine), and ``--max-learned N`` bounds the learned-clause
+database.  None of these change the counted value.
 
 Examples::
 
@@ -27,7 +32,9 @@ Examples::
     python -m repro batch "forall x, y. (R(x) | S(x, y))" 1 2 3 4
     python -m repro count "forall x, y, z. (R(x, y) | S(y, z))" 4 --workers 4
     python -m repro count "forall x, y. (R(x) | S(x, y))" 3 --no-learn
+    python -m repro count "forall x, y. (R(x) | S(x, y))" 4 --persist
     python -m repro stats "forall x, y. (R(x) | S(x, y) | T(y))" 3
+    python -m repro cache stats
     python -m repro probability "exists x. P(x)" 3
     python -m repro spectrum "exists x, y. x != y" 4
     python -m repro mu "forall x. exists y. R(x, y)" 8
@@ -129,6 +136,20 @@ def build_parser():
             help="bound on the learned-clause database of one component "
                  "search before an LBD-based reduction (default 4096)",
         )
+        p.add_argument(
+            "--persist",
+            action="store_true",
+            help="back the component/polynomial/FO2 caches with the "
+                 "on-disk store, shared across runs and processes "
+                 "(results are bit-identical with or without it)",
+        )
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent cache location (default: $REPRO_CACHE_DIR "
+                 "or ~/.cache/repro)",
+        )
 
     p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
     add_common(p_count)
@@ -176,6 +197,26 @@ def build_parser():
         help="weights for one predicate (default 1,1); repeatable",
     )
 
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent on-disk cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry counts per cache layer plus cumulative hit/"
+                  "miss/write counters (cross-process)"),
+        ("clear", "delete every persisted entry and counter"),
+        ("path", "print the resolved cache directory"),
+    ):
+        p = cache_sub.add_parser(name, help=help_text)
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persistent cache location (default: $REPRO_CACHE_DIR "
+                 "or ~/.cache/repro)",
+        )
+
     p_spec = sub.add_parser("spectrum", help="domain sizes with a model")
     p_spec.add_argument("formula")
     p_spec.add_argument("max_n", type=int)
@@ -221,11 +262,57 @@ def _engine_options(args):
         "branching": getattr(args, "branching", None),
         "learn": False if getattr(args, "no_learn", False) else None,
         "max_learned": getattr(args, "max_learned", None),
+        "persist": True if getattr(args, "persist", False) else None,
+        "cache_dir": getattr(args, "cache_dir", None),
     }
+
+
+def _cache_main(args):
+    """The ``repro cache`` subcommand: stats / clear / path."""
+    import os
+
+    from .cache import STORE_FILENAME, default_cache_dir, open_store
+
+    directory = os.path.abspath(args.cache_dir or default_cache_dir())
+    if args.cache_command == "path":
+        print(directory)
+        return 0
+    store_file = os.path.join(directory, STORE_FILENAME)
+    if not os.path.exists(store_file):
+        # Don't create a store just to look at it.
+        if args.cache_command == "stats":
+            print("path     {}".format(store_file))
+            print("entries  0  (no store file)")
+        else:
+            print("cleared 0 entries (no store file at {})".format(store_file))
+        return 0
+    store = open_store(directory)
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print("cleared {} entries from {}".format(removed, store.path))
+        return 0
+    stats = store.stats()
+    print("path     {}".format(stats["path"]))
+    print("size     {} bytes".format(stats["size_bytes"]))
+    if stats["disabled"]:
+        print("status   disabled (store unusable; runs fall back to "
+              "recomputation)")
+    elif stats["recreated"]:
+        print("status   recreated (previous store file was corrupt)")
+    print("entries  {}".format(stats["entries"]))
+    for namespace, count in stats["namespaces"].items():
+        print("  {:<14} {}".format(namespace, count))
+    cumulative = stats["cumulative"]
+    print("cumulative (all processes)")
+    for name in ("hits", "misses", "writes"):
+        print("  {:<14} {}".format(name, cumulative[name]))
+    return 0
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.command == "cache":
+        return _cache_main(args)
     formula = parse(args.formula)
 
     options = _engine_options(args)
@@ -258,6 +345,12 @@ def main(argv=None):
         print("{} (~{:.6f})".format(value, float(value)))
     if getattr(args, "stats", False) and args.command != "stats":
         _print_stats()
+    if getattr(args, "persist", False):
+        # Make this run's results visible to other processes now rather
+        # than at interpreter exit (callers may invoke main() in-process).
+        from .cache import open_store
+
+        open_store(getattr(args, "cache_dir", None)).flush()
     return 0
 
 

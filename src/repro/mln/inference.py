@@ -1,8 +1,18 @@
-"""Exact MLN inference by world enumeration (the semantic baseline).
+"""Exact MLN inference: the serving path and the enumeration baseline.
 
+:func:`mln_probability` is the production entry point: it routes a query
+through the Example 1.2 WFOMC reduction (lifted FO2 algorithm or
+grounded CDCL counting, both exact) and accepts the full solver knob set
+— ``workers`` for parallel component counting and ``persist``/
+``cache_dir`` for the disk-backed cache of :mod:`repro.cache`, so
+repeated queries and MLN weight sweeps re-run in fresh processes
+warm-start from disk.  :func:`mln_query_sweep` evaluates one query under
+many MLN weightings through the shared caches.
+
+The ``*_bruteforce`` functions enumerate all worlds —
 ``Pr_MLN(Phi) = W(Phi) / W(true)`` where ``W(Phi)`` sums the MLN weight
 of every world satisfying ``Phi`` and all hard constraints.  Exponential;
-used to validate the WFOMC reduction on small domains.
+they validate the reduction on small domains.
 """
 
 from __future__ import annotations
@@ -13,7 +23,46 @@ from ..grounding.structures import all_structures
 from ..logic.evaluate import evaluate
 from ..utils import check_domain_size
 
-__all__ = ["mln_partition_bruteforce", "mln_probability_bruteforce"]
+__all__ = [
+    "mln_probability",
+    "mln_query_sweep",
+    "mln_partition_bruteforce",
+    "mln_probability_bruteforce",
+]
+
+
+def mln_probability(mln, query, n, method="auto", workers=None, persist=None,
+                    cache_dir=None):
+    """Exact ``Pr_MLN(query)`` over domain ``[n]`` via the WFOMC reduction.
+
+    The scalable inference path: polynomial in ``n`` whenever the reduced
+    sentence is FO2, exact CDCL counting otherwise.  ``workers`` counts
+    independent lineage components on a process pool; ``persist``/
+    ``cache_dir`` serve repeated queries from the persistent on-disk
+    cache (results are bit-identical either way).
+    """
+    from .reduction import mln_probability_wfomc
+
+    return mln_probability_wfomc(mln, query, n, method=method,
+                                 workers=workers, persist=persist,
+                                 cache_dir=cache_dir)
+
+
+def mln_query_sweep(mlns, query, n, method="auto", workers=None,
+                    persist=None, cache_dir=None):
+    """``Pr_MLN(query)`` for each MLN in ``mlns`` (a weight sweep).
+
+    The MLNs typically share their structure and differ only in soft
+    weights — the shape of tuning a model.  Every evaluation flows
+    through the shared lineage/component caches, and with ``persist``
+    the component values survive the process, so re-running a sweep
+    (or extending it with new weights) warm-starts from disk.
+    """
+    return [
+        mln_probability(mln, query, n, method=method, workers=workers,
+                        persist=persist, cache_dir=cache_dir)
+        for mln in mlns
+    ]
 
 
 def mln_partition_bruteforce(mln, n):

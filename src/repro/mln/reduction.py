@@ -50,17 +50,24 @@ class MLNReduction:
     gamma: object
     weighted_vocabulary: WeightedVocabulary
 
-    def probability(self, query, n, method="auto"):
+    def probability(self, query, n, method="auto", workers=None,
+                    persist=None, cache_dir=None):
         """``Pr_MLN(query) = WFOMC(query & gamma) / WFOMC(gamma)``.
 
         Numerator and denominator are computed over the *same* weighted
         vocabulary (covering any query-only predicates with neutral
         weights), so unconstrained atoms normalize away correctly.
+        ``workers``/``persist``/``cache_dir`` are forwarded to
+        :func:`~repro.wfomc.solver.wfomc` — with ``persist``, repeated
+        queries over one MLN (or a weight sweep re-run in a fresh
+        process) are served from the on-disk component cache.
         """
         conditioned = conj(query, self.gamma)
         wv = self._wv_for(conditioned)
-        numerator = wfomc(conditioned, n, wv, method)
-        denominator = wfomc(self.gamma, n, wv, method)
+        numerator = wfomc(conditioned, n, wv, method, workers=workers,
+                          persist=persist, cache_dir=cache_dir)
+        denominator = wfomc(self.gamma, n, wv, method, workers=workers,
+                            persist=persist, cache_dir=cache_dir)
         if denominator == 0:
             raise ZeroDivisionError("the MLN assigns zero weight to every world")
         return numerator / denominator
@@ -106,7 +113,9 @@ def reduce_to_wfomc(mln):
     return MLNReduction(gamma=gamma, weighted_vocabulary=extended)
 
 
-def mln_probability_wfomc(mln, query, n, method="auto"):
+def mln_probability_wfomc(mln, query, n, method="auto", workers=None,
+                          persist=None, cache_dir=None):
     """``Pr_MLN(query)`` computed through the WFOMC reduction."""
     reduction = reduce_to_wfomc(mln)
-    return reduction.probability(query, n, method=method)
+    return reduction.probability(query, n, method=method, workers=workers,
+                                 persist=persist, cache_dir=cache_dir)

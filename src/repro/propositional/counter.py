@@ -51,7 +51,12 @@ sharpSAT/Cachet-style conflict-driven counting search:
   pool.  The parent cache acts as a read-through front (components already
   cached are never dispatched; worker results are merged back under their
   canonical keys), each worker learns clauses locally, and exact
-  arithmetic makes the merged result bit-identical to a serial run.
+  arithmetic makes the merged result bit-identical to a serial run;
+* an opt-in **persistent cache** (``persist=True`` on the wrappers): the
+  component cache reads through to the content-addressed on-disk store
+  of :mod:`repro.cache`, shared across processes (and by the parallel
+  workers), so repeated sweeps warm-start from disk.  Stored values are
+  exact, keeping persisted runs bit-identical to cold ones.
 
 Soundness of learning under component caching deserves a note.  A learned
 clause is entailed by the component a search was started on, so using it
@@ -131,6 +136,19 @@ _VSIDS_RESCALE = 1e100
 _SPLIT_PATIENCE = 8
 #: ... probing the full pass again every this many node evaluations.
 _SPLIT_PROBE = 32
+
+#: The EVSIDS activity term joins the branching score only once the
+#: *current* component search has seen at least ``_ACTIVITY_MIN_CONFLICTS``
+#: conflicts *and* more than one conflict per ``_ACTIVITY_RATE_GATE``
+#: decisions (a latch: once crossed, activity branching stays on for the
+#: rest of that search).  Below the threshold the order is exactly MOMS:
+#: on conflict-light (model-dense) searches, activity — whether carried
+#: over from earlier searches of the same engine or accrued from a few
+#: stray conflicts — is pure noise that used to cost the random-3-CNF
+#: suite its v2 parity, while conflict-rich searches (the refutation-heavy
+#: Theta_1 groundings) cross the threshold within a handful of decisions.
+_ACTIVITY_RATE_GATE = 16
+_ACTIVITY_MIN_CONFLICTS = 8
 
 _BRANCHING_CHOICES = ("evsids", "moms")
 
@@ -727,11 +745,12 @@ class CountingEngine:
 
     __slots__ = ("weights", "totals", "cache", "stats", "key_cache",
                  "workers", "branching", "learn", "max_learned",
-                 "activity", "var_inc")
+                 "activity", "var_inc", "persist_dir",
+                 "search_conflicts", "search_decisions", "search_activity_on")
 
     def __init__(self, weights, totals, cache=None, stats=None,
                  key_cache=None, workers=None, branching=None, learn=None,
-                 max_learned=None):
+                 max_learned=None, persist_dir=None):
         self.weights = weights
         self.totals = totals
         self.cache = _SHARED_CACHE if cache is None else cache
@@ -745,11 +764,20 @@ class CountingEngine:
         self.branching = branching
         self.learn = True if learn is None else bool(learn)
         self.max_learned = DEFAULT_MAX_LEARNED if max_learned is None else max_learned
+        #: When set, top-level components dispatched to worker processes
+        #: carry this cache directory so the workers read and write the
+        #: same persistent store as the parent.
+        self.persist_dir = persist_dir
         #: EVSIDS activities are engine-local and shared across the
         #: component searches of one run, so structure discovered in one
-        #: search region steers decisions in the next.
+        #: search region steers decisions in the next.  Whether a given
+        #: *search* consults them is gated on its own conflict rate (see
+        #: ``_ACTIVITY_RATE_GATE``), tracked by the two counters below.
         self.activity = {}
         self.var_inc = 1.0
+        self.search_conflicts = 0
+        self.search_decisions = 0
+        self.search_activity_on = False
 
     # -- public entry ------------------------------------------------------
 
@@ -900,7 +928,20 @@ class CountingEngine:
     def _count_component_miss(self, component, key, var_order):
         """Search a component that missed the cache, then store its value."""
         if self.learn:
-            result = self._cdcl_count(component, var_order)
+            # Each component search earns activity branching with its own
+            # conflict rate; the counters are engine attributes (so
+            # ``_make_node`` sees them) saved and restored here because
+            # searches nest through split-off children.
+            saved = (self.search_conflicts, self.search_decisions,
+                     self.search_activity_on)
+            self.search_conflicts = 0
+            self.search_decisions = 0
+            self.search_activity_on = False
+            try:
+                result = self._cdcl_count(component, var_order)
+            finally:
+                (self.search_conflicts, self.search_decisions,
+                 self.search_activity_on) = saved
         else:
             result = self._branch(component, var_order)
         cache = self.cache
@@ -920,12 +961,17 @@ class CountingEngine:
         conflict-free (model-dense) searches the dynamic MOMS term
         dominates and the engine branches like the legacy counter, while
         accumulating conflicts grow ``var_inc`` exponentially and hand
-        control to the learned activities.  Zero-weight polarities are
+        control to the learned activities.  The activity term is
+        additionally gated on the current search's conflict rate
+        (``_ACTIVITY_RATE_GATE``): until this search itself proves
+        conflict-rich, stale activity from earlier searches is ignored
+        and the order is exactly MOMS.  Zero-weight polarities are
         skipped exactly like the legacy engine (a node with no branches
         completes with value 0).
         """
         self.stats.decisions += 1
-        if self.branching == "moms":
+        self.search_decisions += 1
+        if self.branching == "moms" or not self.search_activity_on:
             var = _moms_var(component)
         else:
             activity_get = self.activity.get
@@ -996,6 +1042,12 @@ class CountingEngine:
                 if level == 0:
                     return True
                 stats.conflicts += 1
+                self.search_conflicts += 1
+                if (not self.search_activity_on
+                        and self.search_conflicts >= _ACTIVITY_MIN_CONFLICTS
+                        and self.search_conflicts * _ACTIVITY_RATE_GATE
+                        > self.search_decisions):
+                    self.search_activity_on = True
                 learned, a_level, lbd, seen = _analyze_conflict(
                     clauses, conflict, assign, vlevel, reason, trail, level)
                 if evsids:
@@ -1379,7 +1431,8 @@ class CountingEngine:
                         component,
                         {v: weights[v] for v in var_order},
                         {v: totals[v] for v in var_order},
-                        (self.branching, self.learn, self.max_learned),
+                        (self.branching, self.learn, self.max_learned,
+                         self.persist_dir),
                     )
                     futures.append((key, pool.submit(_count_component_task, payload)))
                     stats.parallel_tasks += 1
@@ -1462,17 +1515,24 @@ def _count_component_task(payload):
     Returns ``(value, stats counters)`` — the worker's per-task counters
     travel back so the parent can report the work done in parallel mode.
     The worker's *caches* stay module-shared across its tasks; only the
-    statistics object is task-local.
+    statistics object is task-local.  When the parent persists, the
+    payload carries the cache directory and the worker reads/writes the
+    same on-disk store through its own store-backed cache front.
     """
     component, weights, totals, knobs = payload
-    branching, learn, max_learned = knobs
+    branching, learn, max_learned, persist_dir = knobs
+    cache = None
+    if persist_dir is not None:
+        from ..cache import persistent_component_cache
+
+        cache = persistent_component_cache(persist_dir, mem=_SHARED_CACHE)
     limit = sys.getrecursionlimit()
     needed = min(12 * len(weights) + 1000, MAX_RECURSION_LIMIT)
     if limit < needed:
         sys.setrecursionlimit(needed)
     try:
         stats = EngineStats()
-        engine = CountingEngine(weights, totals, stats=stats,
+        engine = CountingEngine(weights, totals, cache=cache, stats=stats,
                                 branching=branching, learn=learn,
                                 max_learned=max_learned)
         value = engine._count_component(component)
@@ -1486,7 +1546,8 @@ def _count_component_task(payload):
 
 
 def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
-            branching=None, learn=None, max_learned=None):
+            branching=None, learn=None, max_learned=None, persist=None,
+            cache_dir=None):
     """Exact WMC of a :class:`~repro.propositional.cnf.CNF`.
 
     ``weight_of_label`` maps a variable label to a
@@ -1500,6 +1561,13 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
     the result is bit-identical to a serial run.  ``branching``, ``learn``
     and ``max_learned`` configure the conflict-driven search (see
     :class:`CountingEngine`); they never change the counted value.
+
+    ``persist`` layers the on-disk component store of
+    :mod:`repro.cache` under the in-memory cache (``cache_dir``
+    overrides the store location): component values computed by any
+    process using the same store are reused, and worker processes share
+    it.  Persisted values are exact, so the count stays bit-identical;
+    an unusable store silently degrades to in-memory caching.
     """
     if cnf.contradictory:
         return Fraction(0)
@@ -1518,9 +1586,19 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
         weights[v] = (w, wbar)
         totals[v] = w + wbar
 
+    persist_dir = None
+    if persist:
+        from ..cache import persistent_component_cache
+
+        mem = _SHARED_CACHE if engine_cache is None else engine_cache
+        backed = persistent_component_cache(cache_dir, mem=mem)
+        if backed is not None:
+            engine_cache = backed
+            persist_dir = backed.store.directory
+
     engine = CountingEngine(weights, totals, cache=engine_cache, stats=stats,
                             workers=workers, branching=branching, learn=learn,
-                            max_learned=max_learned)
+                            max_learned=max_learned, persist_dir=persist_dir)
     clauses = tuple(cnf.clauses)
     # ``to_cnf`` guarantees duplicate-free, non-empty clauses.
     result = engine.run(clauses, trusted=True)
@@ -1534,7 +1612,8 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
 
 
 def wmc_formula(formula, weight_of_label, universe=(), workers=None,
-                branching=None, learn=None, max_learned=None):
+                branching=None, learn=None, max_learned=None, persist=None,
+                cache_dir=None):
     """Exact WMC of an arbitrary propositional formula.
 
     ``universe`` optionally lists labels that define the full variable set
@@ -1547,6 +1626,8 @@ def wmc_formula(formula, weight_of_label, universe=(), workers=None,
 
     ``branching``/``learn``/``max_learned`` configure the conflict-driven
     search (see :class:`CountingEngine`); the value is knob-independent.
+    ``persist``/``cache_dir`` back the component cache with the on-disk
+    store (see :func:`wmc_cnf`).
     """
     key = (formula, tuple(universe) if universe else None)
     cnf = _CNF_CACHE.get(key)
@@ -1555,7 +1636,8 @@ def wmc_formula(formula, weight_of_label, universe=(), workers=None,
         cnf = to_cnf(formula, extra_labels=sorted(labels, key=repr))
         _CNF_CACHE.put(key, cnf)
     return wmc_cnf(cnf, weight_of_label, workers=workers, branching=branching,
-                   learn=learn, max_learned=max_learned)
+                   learn=learn, max_learned=max_learned, persist=persist,
+                   cache_dir=cache_dir)
 
 
 def model_count(formula, universe=()):

@@ -48,7 +48,8 @@ def wfomc_enumerate(formula, n, weighted_vocabulary=None):
 
 
 def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None,
-                  branching=None, learn=None, max_learned=None):
+                  branching=None, learn=None, max_learned=None, persist=None,
+                  cache_dir=None):
     """WFOMC via lineage grounding and exact CDCL model counting.
 
     ``workers`` > 1 counts independent top-level lineage components on a
@@ -56,7 +57,9 @@ def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None,
     ``branching``/``learn``/``max_learned`` configure the counting
     engine's conflict-driven search (see
     :class:`~repro.propositional.counter.CountingEngine`); the result is
-    knob-independent.
+    knob-independent.  ``persist``/``cache_dir`` back the engine's
+    component cache with the on-disk store of :mod:`repro.cache`, so
+    repeated runs (including separate processes) warm-start from disk.
     """
     _check_sentence(formula)
     check_domain_size(n)
@@ -65,13 +68,15 @@ def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None,
     weight_of, universe = ground_atom_weights(wv, n)
     return wmc_formula(prop, weight_of, universe, workers=workers,
                        branching=branching, learn=learn,
-                       max_learned=max_learned)
+                       max_learned=max_learned, persist=persist,
+                       cache_dir=cache_dir)
 
 
 def fomc_lineage(formula, n, workers=None, branching=None, learn=None,
-                 max_learned=None):
+                 max_learned=None, persist=None, cache_dir=None):
     """Unweighted first-order model count via the lineage path."""
     result = wfomc_lineage(formula, n, workers=workers, branching=branching,
-                           learn=learn, max_learned=max_learned)
+                           learn=learn, max_learned=max_learned,
+                           persist=persist, cache_dir=cache_dir)
     assert result.denominator == 1
     return int(result)

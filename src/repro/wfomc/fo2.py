@@ -131,6 +131,14 @@ class FO2CellStructure:
         if not free <= {_X, _Y}:
             raise NotFO2Error("matrix has unexpected free variables: {}".format(free))
 
+        #: Stable cross-process identity of this structure (formula reprs
+        #: are deterministic), used as the persistent-store key prefix.
+        self.matrix_key = repr(matrix)
+        #: Optional :class:`repro.cache.PersistentStore` consulted by
+        #: :meth:`tables` (attached by :func:`wfomc_fo2` under
+        #: ``persist=True``).
+        self.store = None
+
         # Ground the matrix at the three element patterns we need.
         # Elements 1 and 2 stand for "an element of cell k / cell l".
         self.diag_prop = _ground(matrix, 2, {_X: 1, _Y: 1})
@@ -200,11 +208,21 @@ class FO2CellStructure:
         tuples (over ``off_diag_labels``) that satisfy the matrix in both
         directions between a cell-``k`` and a cell-``l`` element.  This
         is the exponential enumeration, done once per sentence and reused
-        by every weight function and domain size.
+        by every weight function and domain size — and, when a persistent
+        store is attached, once per sentence *ever*: the enumeration is
+        read through the ``fo2_tables`` namespace keyed on the skolemized
+        matrix and the zero-ary assignment, so a second process skips it.
         """
         cached = self._zero_tables.get(zero_key)
         if cached is not None:
             return cached
+        store = self.store
+        if store is not None:
+            persisted = store.get("fo2_tables", (self.matrix_key, zero_key))
+            if persisted is not None:
+                tables = (persisted[0], persisted[1])
+                self._zero_tables[zero_key] = tables
+                return tables
         base = {(name, ()): bit for name, bit in zero_assignment.items()}
 
         # Valid cells: 1-types whose element satisfies psi(x, x).
@@ -235,6 +253,8 @@ class FO2CellStructure:
 
         tables = (cells, satisfying)
         self._zero_tables[zero_key] = tables
+        if store is not None:
+            store.put("fo2_tables", (self.matrix_key, zero_key), tables)
         return tables
 
 
@@ -383,13 +403,15 @@ class FO2CellDecomposition:
         return suffix(0, n, (Fraction(1),) * k_cells)
 
 
-def wfomc_fo2(formula, n, weighted_vocabulary=None):
+def wfomc_fo2(formula, n, weighted_vocabulary=None, persist=None,
+              cache_dir=None):
     """Symmetric WFOMC of an FO2 sentence in time polynomial in ``n``.
 
     ``formula`` may use nested quantifiers, equality, and any Boolean
     connectives, but at most two distinct variables and predicates of
     arity at most two.  Raises :class:`~repro.errors.NotFO2Error`
-    otherwise.
+    otherwise.  ``persist``/``cache_dir`` read the exponential cell and
+    2-table enumeration through the on-disk store of :mod:`repro.cache`.
     """
     check_domain_size(n)
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
@@ -401,7 +423,8 @@ def wfomc_fo2(formula, n, weighted_vocabulary=None):
         # empty domain mentions no ground atoms at all.
         from .bruteforce import wfomc_lineage
 
-        return wfomc_lineage(formula, 0, wv)
+        return wfomc_lineage(formula, 0, wv, persist=persist,
+                             cache_dir=cache_dir)
 
     if num_variables(formula) > 2:
         raise NotFO2Error(
@@ -434,6 +457,16 @@ def wfomc_fo2(formula, n, weighted_vocabulary=None):
         _DECOMPOSITION_CACHE.put(cache_key, (decomposition, wv2))
     else:
         decomposition, wv2 = cached
+    if persist:
+        from ..cache import open_store
+
+        store = open_store(cache_dir)
+        decomposition.structure.store = store if not store.disabled else None
+    else:
+        # Persistence is per-call opt-in, but structures live in the
+        # module cache: a store attached by an earlier persisted call
+        # must not leak into this one.
+        decomposition.structure.store = None
 
     # Shannon expansion over zero-ary predicates (Appendix C).
     zero_preds = decomposition.zero_preds

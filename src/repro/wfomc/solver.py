@@ -27,6 +27,12 @@ On top of dispatch sit three layers of reuse:
   :func:`~repro.wfomc.polynomial.wfomc_cardinality_polynomial` and then
   evaluates every weight set by polynomial evaluation, exactly the
   paper's positive-oracle argument.
+
+All of it is per-process; ``persist=True`` (with an optional
+``cache_dir=``) additionally reads the component, cardinality-polynomial,
+and FO2 cell-table layers through the on-disk store of
+:mod:`repro.cache`, so a second process over the same workload
+warm-starts from disk with bit-identical results.
 """
 
 from __future__ import annotations
@@ -97,7 +103,8 @@ def clear_solver_caches():
 
 
 def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
-          branching=None, learn=None, max_learned=None):
+          branching=None, learn=None, max_learned=None, persist=None,
+          cache_dir=None):
     """Symmetric weighted first-order model count of a sentence.
 
     Parameters
@@ -122,6 +129,13 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
         bound); see :class:`~repro.propositional.counter.CountingEngine`.
         They steer the search only — the counted value is knob-independent,
         so all configurations share the result cache.
+    persist / cache_dir:
+        When ``persist`` is true, the component, cardinality-polynomial,
+        and FO2 cell-table caches read through to the on-disk store of
+        :mod:`repro.cache` (at ``cache_dir``, ``$REPRO_CACHE_DIR``, or
+        ``~/.cache/repro``), shared across processes and by parallel
+        workers.  All persisted values are exact, so results are
+        bit-identical with the cache cold, warm, or absent.
 
     Returns an exact :class:`~fractions.Fraction` (an ``int``-valued one
     for integer weights).  Results are cached on
@@ -138,17 +152,19 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
 
     result = _dispatch(formula, n, wv, method, workers,
                        branching=branching, learn=learn,
-                       max_learned=max_learned)
+                       max_learned=max_learned, persist=persist,
+                       cache_dir=cache_dir)
     _RESULT_CACHE.put(key, result)
     return result
 
 
 def _dispatch(formula, n, wv, method, workers=None, branching=None,
-              learn=None, max_learned=None):
+              learn=None, max_learned=None, persist=None, cache_dir=None):
     engine_knobs = {"branching": branching, "learn": learn,
-                    "max_learned": max_learned}
+                    "max_learned": max_learned, "persist": persist,
+                    "cache_dir": cache_dir}
     if method == "fo2":
-        return wfomc_fo2(formula, n, wv)
+        return wfomc_fo2(formula, n, wv, persist=persist, cache_dir=cache_dir)
     if method == "lineage":
         return wfomc_lineage(formula, n, wv, workers=workers, **engine_knobs)
     if method == "enumerate":
@@ -159,23 +175,26 @@ def _dispatch(formula, n, wv, method, workers=None, branching=None,
     )
     if fo2_applicable:
         try:
-            return wfomc_fo2(formula, n, wv)
+            return wfomc_fo2(formula, n, wv, persist=persist,
+                             cache_dir=cache_dir)
         except NotFO2Error:
             pass
     return wfomc_lineage(formula, n, wv, workers=workers, **engine_knobs)
 
 
 def fomc(formula, n, method="auto", workers=None, branching=None,
-         learn=None, max_learned=None):
+         learn=None, max_learned=None, persist=None, cache_dir=None):
     """Unweighted first-order model count (all weights ``(1, 1)``)."""
     result = wfomc(formula, n, method=method, workers=workers,
-                   branching=branching, learn=learn, max_learned=max_learned)
+                   branching=branching, learn=learn, max_learned=max_learned,
+                   persist=persist, cache_dir=cache_dir)
     assert result.denominator == 1
     return int(result)
 
 
 def probability(formula, n, weighted_vocabulary=None, method="auto",
-                workers=None, branching=None, learn=None, max_learned=None):
+                workers=None, branching=None, learn=None, max_learned=None,
+                persist=None, cache_dir=None):
     """Probability of the sentence in the induced distribution.
 
     ``Pr(Phi) = WFOMC(Phi, n, w, wbar) / WFOMC(true, n, w, wbar)`` — each
@@ -188,7 +207,8 @@ def probability(formula, n, weighted_vocabulary=None, method="auto",
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
     numerator = wfomc(formula, n, wv, method=method, workers=workers,
                       branching=branching, learn=learn,
-                      max_learned=max_learned)
+                      max_learned=max_learned, persist=persist,
+                      cache_dir=cache_dir)
     denominator = wv.total_world_weight(n)
     if denominator == 0:
         raise UnsupportedFormulaError(
@@ -198,7 +218,8 @@ def probability(formula, n, weighted_vocabulary=None, method="auto",
 
 
 def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
-                workers=None, branching=None, learn=None, max_learned=None):
+                workers=None, branching=None, learn=None, max_learned=None,
+                persist=None, cache_dir=None):
     """WFOMC of one sentence at many domain sizes.
 
     Returns ``{n: WFOMC(formula, n)}``.  All sizes flow through the shared
@@ -222,7 +243,8 @@ def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
         if cached is None:
             cached = _dispatch(formula, n, wv, method, workers,
                                branching=branching, learn=learn,
-                               max_learned=max_learned)
+                               max_learned=max_learned, persist=persist,
+                               cache_dir=cache_dir)
             _RESULT_CACHE.put(key, cached)
         results[n] = cached
     return results
@@ -237,7 +259,8 @@ def _cardinality_grid_size(vocabulary, n):
 
 def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
                        via_polynomial=None, workers=None, branching=None,
-                       learn=None, max_learned=None):
+                       learn=None, max_learned=None, persist=None,
+                       cache_dir=None):
     """WFOMC of one ``(formula, n)`` instance at many weight assignments.
 
     ``weight_vocabularies`` is an iterable of
@@ -254,7 +277,10 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
     Either way every evaluation flows through the shared caches — the
     memoized lineage and ground-atom universe of ``(formula, n)`` are
     built once and reused by all weight sets (and all oracle calls), and
-    :func:`solver_cache_stats` reports the reuse.
+    :func:`solver_cache_stats` reports the reuse.  With ``persist``, the
+    reconstructed coefficient table and every component count read
+    through to the on-disk store, which is what turns a repeated sweep in
+    a fresh process from recompute-everything into warm-start serving.
     """
     weight_vocabularies = list(weight_vocabularies)
     if not weight_vocabularies:
@@ -268,7 +294,8 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
     if not via_polynomial:
         return [
             wfomc(formula, n, wv, method=method, workers=workers,
-                  branching=branching, learn=learn, max_learned=max_learned)
+                  branching=branching, learn=learn, max_learned=max_learned,
+                  persist=persist, cache_dir=cache_dir)
             for wv in weight_vocabularies
         ]
 
@@ -277,6 +304,14 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
     # a different order must not share an entry.
     key = (formula, n, vocabulary_signature(vocabulary, ordered=True), method)
     coefficients = _POLYNOMIAL_CACHE.get(key)
+    store = None
+    if coefficients is None and persist:
+        from ..cache import open_store
+
+        store = open_store(cache_dir)
+        coefficients = store.get("polynomials", key)
+        if coefficients is not None:
+            _POLYNOMIAL_CACHE.put(key, coefficients)
     if coefficients is None:
         coefficients = wfomc_cardinality_polynomial(
             formula,
@@ -284,9 +319,12 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
             vocabulary,
             lambda f, size, wv: wfomc(f, size, wv, method=method,
                                       workers=workers, branching=branching,
-                                      learn=learn, max_learned=max_learned),
+                                      learn=learn, max_learned=max_learned,
+                                      persist=persist, cache_dir=cache_dir),
         )
         _POLYNOMIAL_CACHE.put(key, coefficients)
+        if store is not None and not store.disabled:
+            store.put("polynomials", key, coefficients)
     # Coefficient vectors are ordered by the first vocabulary's predicate
     # order; rebase every weight set onto that vocabulary object so the
     # evaluation order always matches.

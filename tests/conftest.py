@@ -1,4 +1,25 @@
-"""Pytest configuration: register the 'slow' marker."""
+"""Pytest configuration: markers and hypothesis profiles.
+
+Two hypothesis profiles: ``dev`` (the default — random seeds, so local
+runs keep exploring new inputs) and ``ci`` (derandomized with a fixed
+example budget, so the differential fuzz suite is reproducible across
+CI runs and a red build always points at a deterministic input).
+Select with ``HYPOTHESIS_PROFILE=ci``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def pytest_configure(config):

@@ -1,0 +1,349 @@
+"""Tests for the persistent on-disk cache subsystem (``repro.cache``).
+
+Unit coverage of the store (codec, versioned content addressing,
+write-behind, corruption recovery, disabled-store fallback) plus the
+integration properties the subsystem exists for: a *second process*
+running the same sweep is served from disk with bit-identical counts
+(asserted through ``repro cache stats``), and a corrupted or unwritable
+store degrades to plain recomputation instead of failing the count.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from fractions import Fraction
+
+import pytest
+
+from repro.cache import (
+    PersistentStore,
+    StoreBackedComponentCache,
+    decode_value,
+    default_cache_dir,
+    encode_value,
+    key_digest,
+    open_store,
+)
+from repro.cache import store as store_module
+from repro.propositional.counter import EngineStats, wmc_cnf
+from repro.propositional.cnf import CNF
+from repro.weights import WeightPair
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Driver executed in a *separate process*: one weight sweep with
+#: ``persist=True`` over the given cache directory, counts printed to
+#: stdout.  Two runs of it must produce identical bytes, the second one
+#: served from the first one's disk entries.
+_SWEEP_DRIVER = """
+import sys
+from fractions import Fraction
+from repro.logic.parser import parse
+from repro.logic.syntax import predicates_of
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.wfomc.solver import wfomc_weight_sweep
+
+formula = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+arities = predicates_of(formula)
+vocabularies = [
+    WeightedVocabulary.from_weights(
+        {name: (Fraction(k, 3), 1) for name in arities}, arities)
+    for k in range(1, 5)
+]
+results = wfomc_weight_sweep(formula, 2, vocabularies, method="lineage",
+                             persist=True, cache_dir=sys.argv[1])
+print(";".join(str(r) for r in results))
+"""
+
+
+def _run_driver(cache_dir, *extra_args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, "-c", _SWEEP_DRIVER, str(cache_dir), *extra_args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+def _cache_cli(cache_dir, command):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "cache", command,
+         "--cache-dir", str(cache_dir)],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+    return result
+
+
+def _stats_number(output, name):
+    match = re.search(r"^\s*{}\s+(\d+)".format(name), output, re.MULTILINE)
+    assert match, "no {!r} line in:\n{}".format(name, output)
+    return int(match.group(1))
+
+
+class TestCodec:
+    @pytest.mark.parametrize("value", [
+        0,
+        -17,
+        12345678901234567890123456789,
+        Fraction(-3, 7),
+        True,
+        "label",
+        (1, -2, (3, Fraction(1, 2))),
+        [True, False, (1,)],
+        {(1, 2): Fraction(5, 3), "k": [1, 2]},
+        ((), [], {}),
+    ])
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_int_values_stay_ints(self):
+        # The engine keeps integer-valued counts as machine ints; the
+        # codec must not promote them to Fractions.
+        assert isinstance(decode_value(encode_value(42)), int)
+
+    def test_floats_are_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(0.5)
+
+
+class TestStore:
+    def test_roundtrip_and_cross_instance_visibility(self, tmp_path):
+        store = PersistentStore(str(tmp_path))
+        key = ((1, -2), ((1, 1), (Fraction(1, 2), 1)))
+        store.put("components", key, Fraction(7, 3))
+        # Pending (write-behind) entries are visible before the flush.
+        assert store.get("components", key) == Fraction(7, 3)
+        store.flush()
+        second = PersistentStore(str(tmp_path))
+        assert second.get("components", key) == Fraction(7, 3)
+        assert second.get("components", "missing") is None
+        second.close()
+        store.close()
+
+    def test_version_tag_invalidates_stale_entries(self, tmp_path, monkeypatch):
+        store = PersistentStore(str(tmp_path))
+        store.put("components", "key", 1)
+        store.flush()
+        assert store.get("components", "key") == 1
+        # A new engine generation changes the tag: the old row becomes
+        # unreachable (self-invalidation), not wrong.
+        monkeypatch.setattr(store_module, "ENGINE_TAG", "engine-v99")
+        assert store.get("components", "key") is None
+        store.close()
+
+    def test_digest_separates_namespaces_and_keys(self):
+        assert key_digest("components", "k") != key_digest("polynomials", "k")
+        assert key_digest("components", "k") != key_digest("components", "l")
+        assert key_digest("components", "k") == key_digest("components", "k")
+
+    def test_corrupted_file_is_recreated(self, tmp_path):
+        store = PersistentStore(str(tmp_path))
+        store.put("components", "key", 123)
+        store.flush()
+        store.close()
+        with open(tmp_path / "store.sqlite", "wb") as fh:
+            fh.write(b"this is not a sqlite database" * 64)
+        for suffix in ("-wal", "-shm"):
+            path = str(tmp_path / "store.sqlite") + suffix
+            if os.path.exists(path):
+                os.unlink(path)
+        reopened = PersistentStore(str(tmp_path))
+        assert reopened.recreated
+        assert not reopened.disabled
+        assert reopened.get("components", "key") is None  # data is gone...
+        reopened.put("components", "key", 456)  # ...but the store works
+        reopened.flush()
+        assert reopened.get("components", "key") == 456
+        reopened.close()
+
+    def test_unopenable_location_disables_gracefully(self, tmp_path):
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("")
+        store = PersistentStore(str(blocker / "sub"))
+        assert store.disabled
+        store.put("components", "key", 1)  # dropped, no exception
+        assert store.get("components", "key") is None
+        assert store.stats()["disabled"]
+        assert store.clear() == 0
+
+    def test_clear_removes_rows_and_counters(self, tmp_path):
+        store = PersistentStore(str(tmp_path))
+        store.put("components", "a", 1)
+        store.put("polynomials", "b", 2)
+        store.flush()
+        assert store.clear() == 2
+        assert store.get("components", "a") is None
+        assert store.cumulative_counters()["writes"] == 0
+        store.close()
+
+    def test_forked_child_gets_a_fresh_connection(self, tmp_path):
+        # A SQLite connection must never cross fork(): a registry entry
+        # created by another process (simulated by faking its pid) is
+        # abandoned, not reused or closed.
+        parent = open_store(str(tmp_path))
+        parent.put("components", "key", 5)
+        parent.flush()
+        parent.pid -= 1  # pretend this instance belongs to the parent
+        child = open_store(str(tmp_path))
+        assert child is not parent
+        assert child.get("components", "key") == 5  # same file, fresh conn
+        child.close()
+
+    def test_default_cache_dir_honors_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/custom/location")
+        assert default_cache_dir() == "/custom/location"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir().endswith(os.path.join(".cache", "repro"))
+
+
+class TestStoreBackedComponentCache:
+    def test_reads_through_and_populates_memory(self, tmp_path):
+        store = PersistentStore(str(tmp_path))
+        cache = StoreBackedComponentCache(store, mem={})
+        cache["key"] = 99
+        fresh = StoreBackedComponentCache(store, mem={})
+        assert len(fresh) == 0
+        assert fresh.get("key") == 99  # from the store...
+        assert len(fresh) == 1  # ...and now cached in memory
+        assert "key" in fresh
+        fresh.clear()  # clears memory only
+        assert fresh.get("key") == 99
+        store.close()
+
+    def test_engine_counts_correctly_through_disk(self, tmp_path):
+        clauses = [(1, 2), (-1, 3), (-2, -3), (2, 3)]
+        cnf = CNF()
+        for v in range(1, 4):
+            cnf.var_for(v)
+        for c in clauses:
+            cnf.add_clause(c)
+        pairs = {1: WeightPair(1, 2), 2: WeightPair(Fraction(1, 2), 1),
+                 3: WeightPair(1, -1)}
+        plain = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                        stats=EngineStats())
+        cold = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                       stats=EngineStats(), persist=True,
+                       cache_dir=str(tmp_path))
+        store = open_store(str(tmp_path))
+        store.flush()
+        hits_before = store.hits
+        warm = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                       stats=EngineStats(), persist=True,
+                       cache_dir=str(tmp_path))
+        assert plain == cold == warm
+        assert store.hits > hits_before  # the warm run read from disk
+
+    def test_bad_cache_dir_falls_back_to_recomputation(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        cnf = CNF()
+        for v in range(1, 4):
+            cnf.var_for(v)
+        cnf.add_clause((1, 2))
+        cnf.add_clause((-2, 3))
+        pairs = {v: WeightPair(1, 1) for v in range(1, 4)}
+        got = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                      stats=EngineStats(), persist=True,
+                      cache_dir=str(blocker / "nested"))
+        assert got == wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                              stats=EngineStats())
+
+
+class TestCrossProcess:
+    def test_second_process_is_served_from_disk(self, tmp_path):
+        cache_dir = tmp_path / "store"
+        cold = _run_driver(cache_dir)
+
+        stats = _cache_cli(cache_dir, "stats")
+        assert stats.returncode == 0
+        assert _stats_number(stats.stdout, "entries") > 0
+        assert _stats_number(stats.stdout, "writes") > 0
+        hits_after_cold = _stats_number(stats.stdout, "hits")
+
+        warm = _run_driver(cache_dir)
+        assert warm == cold  # bit-identical counts, fresh process
+
+        stats = _cache_cli(cache_dir, "stats")
+        hits_after_warm = _stats_number(stats.stdout, "hits")
+        assert hits_after_warm > hits_after_cold  # served from the disk cache
+
+    def test_corrupted_store_falls_back_to_recompute(self, tmp_path):
+        cache_dir = tmp_path / "store"
+        cold = _run_driver(cache_dir)
+        store_file = cache_dir / "store.sqlite"
+        assert store_file.exists()
+        # Truncate mid-file: the classic partial-write corruption.
+        payload = store_file.read_bytes()
+        store_file.write_bytes(payload[: max(1, len(payload) // 3)])
+        for suffix in ("-wal", "-shm"):
+            path = str(store_file) + suffix
+            if os.path.exists(path):
+                os.unlink(path)
+        recovered = _run_driver(cache_dir)
+        assert recovered == cold  # graceful fallback: recomputed, identical
+
+    def test_garbage_store_falls_back_to_recompute(self, tmp_path):
+        cache_dir = tmp_path / "store"
+        cache_dir.mkdir()
+        (cache_dir / "store.sqlite").write_bytes(b"\x00garbage" * 512)
+        got = _run_driver(cache_dir)
+        fresh = _run_driver(tmp_path / "clean")
+        assert got == fresh
+
+
+class TestFO2PersistScope:
+    def test_store_detaches_on_non_persist_calls(self, tmp_path):
+        # Persistence is per-call opt-in; the FO2 structure cache is
+        # module-global, so a store attached by a persisted call must be
+        # detached again by a later non-persisted one.
+        from repro.logic.parser import parse
+        from repro.wfomc import fo2
+
+        fo2.clear_fo2_caches()
+        sentence = parse("forall x. exists y. (R(x, y) | P(x))")
+        persisted = fo2.wfomc_fo2(sentence, 3, persist=True,
+                                  cache_dir=str(tmp_path))
+        plain = fo2.wfomc_fo2(sentence, 3)
+        assert persisted == plain
+        structures = list(fo2._STRUCTURE_CACHE._data.values())
+        assert structures
+        assert all(s.store is None for s in structures)
+
+
+class TestWorkersShareTheStore:
+    def test_parallel_persist_is_bit_identical(self, tmp_path):
+        import random
+
+        from repro.propositional.counter import shutdown_worker_pool
+
+        clauses = []
+        rng = random.Random(3)
+        for k in range(2):
+            base = 7 * k
+            for _ in range(16):
+                vs = rng.sample(range(base + 1, base + 8), 3)
+                clauses.append(tuple(v if rng.random() < 0.5 else -v
+                                     for v in vs))
+        cnf = CNF()
+        for v in range(1, 15):
+            cnf.var_for(v)
+        for c in clauses:
+            cnf.add_clause(c)
+        pairs = {v: WeightPair(Fraction(v, 3), 1) for v in range(1, 15)}
+        try:
+            serial = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                             stats=EngineStats())
+            parallel = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                               stats=EngineStats(), workers=2, persist=True,
+                               cache_dir=str(tmp_path))
+            assert parallel == serial
+            store = open_store(str(tmp_path))
+            store.flush()
+            assert store.stats()["entries"] > 0
+        finally:
+            shutdown_worker_pool()

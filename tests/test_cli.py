@@ -92,6 +92,94 @@ class TestMu:
         assert out.startswith("3/4")
 
 
+class TestStatsSubcommand:
+    def test_exit_code_and_result_line(self, capsys):
+        code = main(["stats", "exists x. P(x)", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.startswith("result  3")
+
+    def test_includes_cnf_conversion_cache(self, capsys):
+        out = run(capsys, "stats", "forall x, y. (R(x) | S(x, y))", "2",
+                  "--method", "lineage")
+        assert "cnf_conversions" in out
+        assert "polynomials" in out
+
+    def test_rejects_missing_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+
+class TestCacheSubcommand:
+    def test_path_prints_resolved_directory(self, capsys, tmp_path):
+        out = run(capsys, "cache", "path", "--cache-dir", str(tmp_path))
+        assert out == str(tmp_path)
+
+    def test_path_honors_environment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "from-env"))
+        out = run(capsys, "cache", "path")
+        assert out == str(tmp_path / "from-env")
+
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        out = run(capsys, "cache", "stats", "--cache-dir", str(tmp_path))
+        assert "entries  0" in out
+        assert "no store file" in out
+
+    def test_clear_on_empty_cache(self, capsys, tmp_path):
+        out = run(capsys, "cache", "clear", "--cache-dir", str(tmp_path))
+        assert out.startswith("cleared 0 entries")
+
+    def test_persisted_run_then_stats_then_clear(self, capsys, tmp_path):
+        # Cold in-memory caches: a result-cache hit from an earlier test
+        # would short-circuit the run before anything reaches the disk.
+        from repro.grounding.lineage import clear_grounding_caches
+        from repro.propositional.counter import reset_engine
+        from repro.wfomc.solver import clear_solver_caches
+
+        reset_engine()
+        clear_grounding_caches()
+        clear_solver_caches()
+        cache_dir = str(tmp_path / "cli-store")
+        out = run(capsys, "count", "forall x, y. (R(x) | S(x, y) | T(y))",
+                  "2", "--method", "lineage", "--persist",
+                  "--cache-dir", cache_dir)
+        assert out == "161"
+
+        out = run(capsys, "cache", "stats", "--cache-dir", cache_dir)
+        assert "path     " in out
+        assert "components" in out
+        assert "cumulative (all processes)" in out
+        for counter in ("hits", "misses", "writes"):
+            assert counter in out
+        entries = [line for line in out.splitlines()
+                   if line.startswith("entries  ")]
+        assert entries and int(entries[0].split()[1]) > 0
+
+        out = run(capsys, "cache", "clear", "--cache-dir", cache_dir)
+        assert out.startswith("cleared ")
+        assert not out.startswith("cleared 0 ")
+
+        out = run(capsys, "cache", "stats", "--cache-dir", cache_dir)
+        assert "entries  0" in out
+
+    def test_persist_does_not_change_the_count(self, capsys, tmp_path):
+        formula = "forall x, y. (R(x) | S(x, y) | T(y))"
+        plain = run(capsys, "count", formula, "2", "--method", "lineage")
+        persisted = run(capsys, "count", formula, "2", "--method", "lineage",
+                        "--persist", "--cache-dir", str(tmp_path / "p"))
+        warm = run(capsys, "count", formula, "2", "--method", "lineage",
+                   "--persist", "--cache-dir", str(tmp_path / "p"))
+        assert plain == persisted == warm == "161"
+
+    def test_requires_cache_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_rejects_unknown_cache_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "bogus"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,205 @@
+"""Differential fuzzing across every counting configuration.
+
+After three engine rewrites (component caching, watched literals, CDCL)
+the correctness surface is wide: any of the search knobs, the parallel
+mode, or the persistent cache could in principle drift from the others.
+This suite pins them together: for hypothesis-generated propositional
+CNFs and small FO2 sentences, the CDCL engine, the learning-free engine,
+brute-force enumeration, and persist-on (cold *and* disk-warm) /
+persist-off runs must produce bit-identical exact counts.
+
+A seeded deterministic corpus of random 3-CNFs and FO2 sentences rides
+along as a regression net: it reruns the same instances every time (no
+hypothesis shrinking involved), so a failure here bisects cleanly.
+"""
+
+import itertools
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.grounding.lineage import clear_grounding_caches
+from repro.propositional.cnf import CNF
+from repro.propositional.counter import EngineStats, reset_engine, wmc_cnf
+from repro.wfomc.solver import clear_solver_caches, wfomc
+from repro.weights import WeightPair
+
+from .strategies import cnf_clause_lists, fo2_sentences, weighted_vocabularies
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    """One persistent store shared by the whole module.
+
+    Sharing is deliberate: entries are content-addressed and exact, so a
+    hit from an earlier example must be just as correct as a fresh
+    computation — the differential assertions below would catch any
+    key collision or stale payload.
+    """
+    return str(tmp_path_factory.mktemp("diff-store"))
+
+
+def _cnf_from_clauses(clauses, num_vars):
+    cnf = CNF()
+    for v in range(1, num_vars + 1):
+        cnf.var_for(v)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def _wmc_reference(clauses, pairs):
+    """WMC by enumerating all assignments of variables 1..len(pairs)."""
+    total = Fraction(0)
+    for bits in itertools.product((False, True), repeat=len(pairs)):
+        if all(any(bits[abs(lit) - 1] == (lit > 0) for lit in c) for c in clauses):
+            weight = Fraction(1)
+            for bit, pair in zip(bits, pairs):
+                weight *= pair.w if bit else pair.wbar
+            total += weight
+    return total
+
+
+def _count_all_ways(cnf, pairs, cache_dir):
+    """The counted value under every engine configuration.
+
+    Returns ``{name: Fraction}`` for: the default CDCL engine, the MOMS
+    branching ablation, the learning-free engine, a persist-on run
+    (writing the store), and a persist-on run with a *fresh in-memory
+    cache* (so every component it reuses comes back from disk).
+    """
+    weight_of = lambda v: pairs[v - 1]  # noqa: E731
+    results = {}
+    for name, kwargs in (
+        ("cdcl", {}),
+        ("moms-branching", {"branching": "moms"}),
+        ("no-learn", {"learn": False}),
+        ("persist-cold", {"persist": True, "cache_dir": cache_dir}),
+        ("persist-warm", {"persist": True, "cache_dir": cache_dir}),
+    ):
+        results[name] = wmc_cnf(cnf, weight_of, engine_cache={},
+                                stats=EngineStats(), **kwargs)
+    return results
+
+
+class TestPropositionalDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(clauses=cnf_clause_lists(num_vars=6, max_clauses=12),
+           wvs=weighted_vocabularies())
+    def test_all_configurations_match_enumeration(self, clauses, wvs,
+                                                  cache_dir):
+        num_vars = 6
+        named = list(wvs.items())
+        pairs = [named[v % len(named)][1] for v in range(num_vars)]
+        cnf = _cnf_from_clauses(clauses, num_vars)
+        reference = _wmc_reference(clauses, pairs)
+        results = _count_all_ways(cnf, pairs, cache_dir)
+        for name, got in results.items():
+            assert got == reference, name
+            # Bit-identical, not merely numerically equal.
+            assert (got.numerator, got.denominator) == (
+                reference.numerator, reference.denominator), name
+
+
+class TestFO2Differential:
+    @settings(max_examples=25, deadline=None)
+    @given(sentence=fo2_sentences(), wv=weighted_vocabularies())
+    def test_fo2_lineage_enumeration_and_persistence_agree(
+            self, sentence, wv, cache_dir):
+        n = 2
+        reference = wfomc(sentence, n, wv, method="enumerate")
+        configurations = (
+            ("fo2", {"method": "fo2"}),
+            ("lineage", {"method": "lineage"}),
+            ("fo2-persist", {"method": "fo2", "persist": True,
+                             "cache_dir": cache_dir}),
+            ("lineage-persist", {"method": "lineage", "persist": True,
+                                 "cache_dir": cache_dir}),
+        )
+        for name, kwargs in configurations:
+            # Fresh in-memory caches per configuration: each one has to
+            # recompute (or, for the persist runs, re-read from disk)
+            # rather than coast on another configuration's result cache.
+            reset_engine()
+            clear_grounding_caches()
+            clear_solver_caches()
+            got = wfomc(sentence, n, wv, **kwargs)
+            assert got == reference, name
+
+
+# -- seeded deterministic regression corpus ----------------------------------
+
+
+def _corpus_cnf(seed, num_vars, ratio):
+    """A reproducible random 3-CNF (the counting-hard shapes)."""
+    rng = random.Random("differential:{}".format(seed))
+    clauses = []
+    for _ in range(int(num_vars * ratio)):
+        vs = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append(tuple(v if rng.random() < 0.5 else -v for v in vs))
+    return clauses
+
+
+#: (seed, num_vars, clause ratio, weight scheme).  Ratios cover the
+#: model-dense regime (2.0), the hard middle (3.5), and near-threshold
+#: refutation-heavy instances (4.2); weight schemes cover unweighted,
+#: fractional, and negative (Skolem-style) pairs.
+_CORPUS = [
+    (11, 12, 2.0, "unweighted"),
+    (23, 12, 3.5, "unweighted"),
+    (5, 12, 4.2, "unweighted"),
+    (42, 10, 2.0, "fractional"),
+    (87, 10, 3.5, "fractional"),
+    (61, 10, 4.2, "skolem"),
+    (7, 14, 3.0, "unweighted"),
+    (99, 10, 3.0, "skolem"),
+]
+
+
+def _corpus_pairs(scheme, num_vars):
+    if scheme == "unweighted":
+        return [WeightPair(1, 1)] * num_vars
+    if scheme == "fractional":
+        return [WeightPair(Fraction(v % 3 + 1, 2), Fraction(1, v % 2 + 1))
+                for v in range(1, num_vars + 1)]
+    return [WeightPair(1, -1) if v % 4 == 0 else WeightPair(1, 1)
+            for v in range(1, num_vars + 1)]
+
+
+class TestSeededRegressionCorpus:
+    @pytest.mark.parametrize("seed,num_vars,ratio,scheme", _CORPUS)
+    def test_corpus_instance_agrees_everywhere(self, seed, num_vars, ratio,
+                                               scheme, cache_dir):
+        clauses = _corpus_cnf(seed, num_vars, ratio)
+        pairs = _corpus_pairs(scheme, num_vars)
+        cnf = _cnf_from_clauses(clauses, num_vars)
+        reference = _wmc_reference(clauses, pairs)
+        results = _count_all_ways(cnf, pairs, cache_dir)
+        for name, got in results.items():
+            assert got == reference, (name, seed)
+
+    _FO2_CORPUS = [
+        "forall x. exists y. R(x, y)",
+        "forall x, y. (R(x, y) | R(y, x))",
+        "forall x. (P(x) | exists y. (R(x, y) & ~P(y)))",
+        "exists x. forall y. (R(x, y) | x = y)",
+        "(forall x. P(x)) | (forall x, y. ~R(x, y))",
+    ]
+
+    @pytest.mark.parametrize("text", _FO2_CORPUS)
+    def test_fo2_corpus_cross_method_and_persistence(self, text, cache_dir):
+        from repro.logic.parser import parse
+
+        sentence = parse(text)
+        reference = wfomc(sentence, 3, method="lineage")
+        for kwargs in ({"method": "fo2"},
+                       {"method": "fo2", "persist": True,
+                        "cache_dir": cache_dir},
+                       {"method": "lineage", "persist": True,
+                        "cache_dir": cache_dir}):
+            reset_engine()
+            clear_grounding_caches()
+            clear_solver_caches()
+            assert wfomc(sentence, 3, **kwargs) == reference
