@@ -22,6 +22,12 @@ separate subprocesses sharing one on-disk store (serial and
 warm-start-serving property the cache subsystem exists for.  Disable
 with ``--skip-persist``.
 
+The *knowledge-compilation* gate runs the same Theta_1 weight sweep
+compile-once-evaluate-k against k direct counts (both from cold
+caches): the compiled route must win by at least ``--compile-floor``
+(default 2x) with bit-identical results — the amortization property of
+:mod:`repro.compile`.  Disable with ``--skip-compile``.
+
 Usage::
 
     python benchmarks/check_regression.py --baseline BENCH_engine_v3.json
@@ -153,6 +159,43 @@ def check_persist(persist_floor):
         persist_floor))
 
 
+def check_compile(compile_floor):
+    """Compile-once-evaluate-k vs k direct counts on the Theta_1 sweep.
+
+    The amortization gate of the knowledge-compilation subsystem: the
+    compiled sweep must be at least ``compile_floor`` times faster than
+    the same sweep served by repeated direct counts, with bit-identical
+    results.  One retry absorbs scheduler noise, exactly like the
+    persistent-cache gate.
+    """
+    from bench_compile import measure_compile_vs_direct
+
+    result = measure_compile_vs_direct()
+    if not result["bit_identical"]:
+        raise SystemExit(
+            "compiled sweep counts differ from direct counts — the "
+            "circuit evaluated to a wrong value")
+    speedup = result["speedup"]
+    if speedup < compile_floor:
+        result = measure_compile_vs_direct()
+        if not result["bit_identical"]:
+            raise SystemExit(
+                "compiled sweep counts differ from direct counts")
+        speedup = result["speedup"]
+    status = "FAIL" if speedup < compile_floor else "ok"
+    print(
+        "{:32s} direct {:.3f}s  compiled {:.3f}s  speedup {:.2f}x  "
+        "(floor {:.1f}x)  [{}]".format(
+            "compile_vs_direct_theta1", result["direct_s"],
+            result["compiled_s"], speedup, compile_floor, status))
+    if speedup < compile_floor:
+        raise SystemExit(
+            "compiled weight sweep below {:.1f}x over direct counts "
+            "(confirmed twice)".format(compile_floor))
+    print("knowledge-compilation amortization check passed "
+          "(floor {:.1f}x)".format(compile_floor))
+
+
 def main():
     here = os.path.dirname(os.path.abspath(__file__))
     sys.path.insert(0, here)  # for bench_parallel
@@ -181,10 +224,21 @@ def main():
         "--skip-persist", action="store_true",
         help="skip the cross-process persistent-cache gate",
     )
+    parser.add_argument(
+        "--compile-floor", type=float, default=2.0,
+        help="minimum speedup of the compiled Theta_1 weight sweep over "
+             "repeated direct counts (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-compile", action="store_true",
+        help="skip the knowledge-compilation amortization gate",
+    )
     args = parser.parse_args()
     check(args.baseline, args.tolerance, args.ablation_floor)
     if not args.skip_persist:
         check_persist(args.persist_floor)
+    if not args.skip_compile:
+        check_compile(args.compile_floor)
 
 
 if __name__ == "__main__":

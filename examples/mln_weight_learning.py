@@ -1,0 +1,105 @@
+"""MLN weight learning on compiled arithmetic circuits.
+
+The knowledge-compilation subsystem (``repro.compile``) traces the
+counting search once into a weight-symbolic circuit; evaluating the
+circuit serves any weight vector, and one backward pass yields exact
+gradients.  This demo uses those gradients for the classic statistical-
+relational workload: *learning* the soft weights of the friends-and-
+smokers MLN by maximum likelihood.
+
+The data is the exact world distribution of a ground-truth MLN (passed
+as weighted observations), so maximum likelihood provably recovers the
+generating weights — the moment-matching property: the gradient of the
+average log-likelihood vanishes *exactly* (a rational identity) at the
+true weights.  Watch the ascent walk there from a wrong initialization,
+with the partition function and its gradient computed exactly on one
+circuit compiled once.
+
+Run:  python examples/mln_weight_learning.py
+"""
+
+import time
+from fractions import Fraction
+
+from repro import HARD, MLN, parse
+from repro.grounding.structures import all_structures
+from repro.mln import (
+    mln_average_log_likelihood,
+    mln_likelihood_gradient,
+    mln_weight_learn,
+)
+
+TRUE_IMPLIES = Fraction(3)
+TRUE_SMOKES = Fraction(1, 2)
+
+
+def smokers(w_implies, w_smokes):
+    return MLN(
+        [
+            (w_implies, parse("Smokes(x) & Friends(x, y) -> Smokes(y)")),
+            (w_smokes, parse("Smokes(x)")),
+            (HARD, parse("forall x. ~Friends(x, x)")),
+        ]
+    )
+
+
+def model_distribution(mln, n):
+    """The MLN's exact world distribution as (probability, world) pairs."""
+    worlds = []
+    partition = Fraction(0)
+    for structure in all_structures(mln.vocabulary, n):
+        weight = mln.world_weight(structure)
+        if weight:
+            worlds.append((weight, structure))
+            partition += weight
+    return [(weight / partition, structure) for weight, structure in worlds]
+
+
+def main():
+    n = 2
+    truth = smokers(TRUE_IMPLIES, TRUE_SMOKES)
+    observations = model_distribution(truth, n)
+    print("Ground truth: friends-and-smokers MLN with weights "
+          "({}, {})".format(TRUE_IMPLIES, TRUE_SMOKES))
+    print("Data: its exact world distribution over n={} "
+          "({} worlds, weighted)".format(n, len(observations)))
+    print()
+
+    # Moment matching: at the generating weights the likelihood gradient
+    # is exactly zero — a rational identity, not a numerical near-miss.
+    gradient_at_truth = mln_likelihood_gradient(truth, observations, n)
+    assert gradient_at_truth == [Fraction(0), Fraction(0)]
+    print("Gradient at the true weights (exact Fractions):",
+          gradient_at_truth)
+
+    init = smokers(2, Fraction(1, 4))
+    print("Initialization: weights (2, 1/4), log-likelihood {:.6f}".format(
+        mln_average_log_likelihood(init, observations, n)))
+    print()
+
+    start = time.perf_counter()
+    result = mln_weight_learn(init, observations, n, steps=300,
+                              learning_rate=Fraction(1))
+    elapsed = time.perf_counter() - start
+
+    print("Gradient ascent (circuit compiled once, {} steps, {:.2f}s):"
+          .format(result.steps_taken, elapsed))
+    for step, weights in result.history[::60] + [result.history[-1]]:
+        print("  step {:>3}: weights ({:.4f}, {:.4f})".format(
+            step, float(weights[0]), float(weights[1])))
+    print()
+
+    learned = result.weights
+    print("Learned weights: ({:.4f}, {:.4f})  — truth ({}, {})".format(
+        float(learned[0]), float(learned[1]), TRUE_IMPLIES, TRUE_SMOKES))
+    assert abs(learned[0] - TRUE_IMPLIES) < Fraction(1, 5)
+    assert abs(learned[1] - TRUE_SMOKES) < Fraction(1, 20)
+    final_ll = mln_average_log_likelihood(result.mln, observations, n)
+    init_ll = mln_average_log_likelihood(init, observations, n)
+    assert final_ll > init_ll
+    print("Log-likelihood improved from {:.6f} to {:.6f}".format(
+        init_ll, final_ll))
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,12 @@ PODS 2015.  The library provides:
   Q_S4 dynamic program (Theorem 3.7), and chain queries (Example 3.10);
 * the WFOMC-preserving reductions of Lemmas 3.3-3.5
   (:mod:`repro.transforms`);
-* Markov Logic Networks and the Example 1.2 reduction (:mod:`repro.mln`);
+* Markov Logic Networks and the Example 1.2 reduction (:mod:`repro.mln`),
+  including circuit-based weight learning (:func:`repro.mln.mln_weight_learn`);
+* the knowledge-compilation subsystem (:mod:`repro.compile`): the
+  counting search traced once into an arithmetic circuit, serving any
+  number of weight vectors — and their exact gradients — by circuit
+  evaluation;
 * the paper's complexity-theoretic constructions
   (:mod:`repro.complexity`): the FO3 Turing-machine encoding Theta_1,
   the #SAT gadget of Figure 2, the QBF/PSPACE gadget, the Lemma 3.8
@@ -64,7 +69,16 @@ from .cq import (
     Hypergraph,
     gamma_acyclic_probability,
 )
-from .mln import HARD, MLN, mln_probability_bruteforce, mln_probability_wfomc
+from .compile import Circuit, CompiledWFOMC, compile_wfomc
+from .mln import (
+    HARD,
+    MLN,
+    mln_probability,
+    mln_probability_bruteforce,
+    mln_probability_wfomc,
+    mln_query_sweep,
+    mln_weight_learn,
+)
 from .lifted import RulesIncompleteError, lifted_wfomc
 
 __version__ = "0.2.0"
@@ -101,10 +115,16 @@ __all__ = [
     "ConjunctiveQuery",
     "Hypergraph",
     "gamma_acyclic_probability",
+    "Circuit",
+    "CompiledWFOMC",
+    "compile_wfomc",
     "HARD",
     "MLN",
+    "mln_probability",
+    "mln_query_sweep",
     "mln_probability_bruteforce",
     "mln_probability_wfomc",
+    "mln_weight_learn",
     "RulesIncompleteError",
     "lifted_wfomc",
     "__version__",

@@ -18,6 +18,7 @@ unwritable store silently degrades to plain recomputation.
 """
 
 from .adapters import (
+    CIRCUITS_NS,
     COMPONENTS_NS,
     FO2_TABLES_NS,
     POLYNOMIALS_NS,
@@ -42,6 +43,7 @@ __all__ = [
     "COMPONENTS_NS",
     "POLYNOMIALS_NS",
     "FO2_TABLES_NS",
+    "CIRCUITS_NS",
     "PersistentStore",
     "StoreBackedComponentCache",
     "persistent_component_cache",

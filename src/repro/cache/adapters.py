@@ -8,7 +8,10 @@ Three cache layers persist (each in its own namespace):
 * ``polynomials`` — cardinality-polynomial coefficient tables keyed on
   ``(formula, n, ordered vocabulary signature, method)``;
 * ``fo2_tables`` — FO2 cell/2-table enumerations keyed on the
-  skolemized matrix and the zero-ary assignment.
+  skolemized matrix and the zero-ary assignment;
+* ``circuits`` — serialized arithmetic circuits of the knowledge-
+  compilation subsystem (:mod:`repro.compile`), keyed on the
+  weight-independent canonical identity of the compiled instance.
 
 :class:`StoreBackedComponentCache` speaks the engine's cache protocol
 (``get``/``[]=``/``len``/``clear``), layering an in-memory dict in front
@@ -24,6 +27,7 @@ __all__ = [
     "COMPONENTS_NS",
     "POLYNOMIALS_NS",
     "FO2_TABLES_NS",
+    "CIRCUITS_NS",
     "StoreBackedComponentCache",
     "persistent_component_cache",
 ]
@@ -31,6 +35,7 @@ __all__ = [
 COMPONENTS_NS = "components"
 POLYNOMIALS_NS = "polynomials"
 FO2_TABLES_NS = "fo2_tables"
+CIRCUITS_NS = "circuits"
 
 
 class StoreBackedComponentCache:

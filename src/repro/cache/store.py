@@ -43,6 +43,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import time
 from fractions import Fraction
 
 __all__ = [
@@ -62,7 +63,9 @@ STORE_FILENAME = "store.sqlite"
 
 #: On-disk format version; bumping it orphans every existing row (the
 #: digest embeds it) and the schema check below recreates the tables.
-STORE_FORMAT = 1
+#: Format 2 added the ``last_used`` column that LRU eviction
+#: (:meth:`PersistentStore.vacuum`) orders by.
+STORE_FORMAT = 2
 
 #: Canonical-key format tag of the engine generation writing the
 #: entries.  Bump together with any change to component canonicalization
@@ -79,9 +82,10 @@ _BUSY_TIMEOUT_S = 30.0
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS kv (
-    ns    TEXT NOT NULL,
-    key   BLOB NOT NULL,
-    value BLOB NOT NULL,
+    ns        TEXT NOT NULL,
+    key       BLOB NOT NULL,
+    value     BLOB NOT NULL,
+    last_used INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (ns, key)
 );
 CREATE TABLE IF NOT EXISTS meta (
@@ -93,6 +97,12 @@ CREATE TABLE IF NOT EXISTS counters (
     value INTEGER NOT NULL
 );
 """
+
+#: Environment knobs for automatic store maintenance: when set, every
+#: clean close (including the atexit flush) vacuums the store down to
+#: the configured bound, evicting least-recently-used rows first.
+MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 
 def default_cache_dir():
@@ -192,6 +202,7 @@ class PersistentStore:
         self.recreated = False
         self._conn = None
         self._pending = {}
+        self._touched = set()
         self._unflushed = {"hits": 0, "misses": 0, "writes": 0}
         self._open(allow_recreate=True)
 
@@ -214,13 +225,15 @@ class PersistentStore:
                         (str(STORE_FORMAT),))
             elif row[0] != str(STORE_FORMAT):
                 # Older on-disk format: recreate rather than migrate (the
-                # digests would not match its rows anyway).
+                # digests would not match its rows anyway, and older
+                # schemas may lack columns like ``last_used``).
                 with conn:
-                    conn.execute("DELETE FROM kv")
+                    conn.execute("DROP TABLE IF EXISTS kv")
                     conn.execute("DELETE FROM counters")
                     conn.execute(
                         "INSERT OR REPLACE INTO meta(k, v) VALUES('format', ?)",
                         (str(STORE_FORMAT),))
+                conn.executescript(_SCHEMA)
             self._conn = conn
         except (sqlite3.Error, OSError):
             self.errors += 1
@@ -244,8 +257,26 @@ class PersistentStore:
                 self.disabled = True
 
     def close(self):
-        """Flush the write-behind buffer and close the connection."""
+        """Flush the write-behind buffer and close the connection.
+
+        When ``$REPRO_CACHE_MAX_ENTRIES`` / ``$REPRO_CACHE_MAX_BYTES``
+        are set, the store is vacuumed down to those bounds first, so
+        long-lived cache directories stay size-bounded without manual
+        ``repro cache vacuum`` runs.
+        """
         self.flush()
+        if not self.disabled and self._conn is not None:
+            bounds = {}
+            for env, name in ((MAX_ENTRIES_ENV, "max_entries"),
+                              (MAX_BYTES_ENV, "max_bytes")):
+                raw = os.environ.get(env)
+                if raw:
+                    try:
+                        bounds[name] = int(raw)
+                    except ValueError:
+                        pass
+            if bounds:
+                self.vacuum(**bounds)
         if self._conn is not None:
             try:
                 self._conn.close()
@@ -259,6 +290,7 @@ class PersistentStore:
         self.errors += 1
         self.disabled = True
         self._pending.clear()
+        self._touched.clear()
 
     # -- key/value ---------------------------------------------------------
 
@@ -296,6 +328,9 @@ class PersistentStore:
             return None
         self.hits += 1
         self._unflushed["hits"] += 1
+        # Remember the row for the write-behind last-used refresh: LRU
+        # eviction (:meth:`vacuum`) orders by this timestamp.
+        self._touched.add((namespace, digest))
         return value
 
     def put(self, namespace, key, value):
@@ -313,20 +348,29 @@ class PersistentStore:
             self.flush()
 
     def flush(self):
-        """Write buffered rows and counter deltas in one transaction."""
+        """Write buffered rows, hit timestamps, and counter deltas in
+        one transaction."""
         if self.disabled or self._conn is None:
             return
         deltas = {k: v for k, v in self._unflushed.items() if v}
-        if not self._pending and not deltas:
+        if not self._pending and not deltas and not self._touched:
             return
-        rows = [(ns, digest, payload)
+        now = int(time.time())
+        rows = [(ns, digest, payload, now)
                 for (ns, digest), payload in self._pending.items()]
+        touched = [(now, ns, digest)
+                   for ns, digest in self._touched
+                   if (ns, digest) not in self._pending]
         try:
             with self._conn:
                 if rows:
                     self._conn.executemany(
-                        "INSERT OR REPLACE INTO kv(ns, key, value) "
-                        "VALUES (?, ?, ?)", rows)
+                        "INSERT OR REPLACE INTO kv(ns, key, value, last_used) "
+                        "VALUES (?, ?, ?, ?)", rows)
+                if touched:
+                    self._conn.executemany(
+                        "UPDATE kv SET last_used=? WHERE ns=? AND key=?",
+                        touched)
                 for name, delta in deltas.items():
                     self._conn.execute(
                         "INSERT INTO counters(name, value) VALUES (?, ?) "
@@ -336,6 +380,7 @@ class PersistentStore:
             self._fail()
             return
         self._pending.clear()
+        self._touched.clear()
         for name in self._unflushed:
             self._unflushed[name] = 0
 
@@ -392,6 +437,7 @@ class PersistentStore:
     def clear(self):
         """Delete every row and counter; returns the rows removed."""
         self._pending.clear()
+        self._touched.clear()
         for name in self._unflushed:
             self._unflushed[name] = 0
         if self.disabled or self._conn is None:
@@ -405,6 +451,64 @@ class PersistentStore:
         except sqlite3.Error:
             self._fail()
             return 0
+        return removed
+
+    def vacuum(self, max_entries=None, max_bytes=None):
+        """Size-bounded LRU eviction plus an SQLite ``VACUUM``.
+
+        Evicts least-recently-*hit* rows (``last_used`` timestamp, oldest
+        first, insertion order as the tie-break) until the store holds at
+        most ``max_entries`` rows and occupies at most ``max_bytes`` on
+        disk, then compacts the database file so the space is actually
+        returned.  Either bound may be ``None``; with both ``None`` only
+        the compaction runs.  A bounded call that evicts nothing skips
+        the compaction entirely — the auto-vacuum hook in :meth:`close`
+        must cost nothing when the store is already within bounds.
+        Returns the number of evicted rows; never raises on the counting
+        path (failures disable the store like any other SQLite error).
+        """
+        self.flush()
+        if self.disabled or self._conn is None:
+            return 0
+        removed = 0
+        try:
+            conn = self._conn
+            total = conn.execute("SELECT COUNT(*) FROM kv").fetchone()[0]
+            if max_entries is not None and total > max_entries:
+                excess = total - max_entries
+                with conn:
+                    conn.execute(
+                        "DELETE FROM kv WHERE rowid IN (SELECT rowid FROM kv "
+                        "ORDER BY last_used ASC, rowid ASC LIMIT ?)",
+                        (excess,))
+                removed += excess
+                total -= excess
+            compacted = False
+            if max_bytes is not None:
+                page_size = conn.execute("PRAGMA page_size").fetchone()[0]
+                while total > 0:
+                    # Page counts only shrink after a VACUUM, so each
+                    # round evicts the oldest eighth, compacts, and
+                    # re-measures; rounds stop as soon as the file fits.
+                    pages = conn.execute("PRAGMA page_count").fetchone()[0]
+                    if pages * page_size <= max_bytes:
+                        break
+                    batch = max(1, total // 8)
+                    with conn:
+                        conn.execute(
+                            "DELETE FROM kv WHERE rowid IN (SELECT rowid "
+                            "FROM kv ORDER BY last_used ASC, rowid ASC "
+                            "LIMIT ?)", (batch,))
+                    removed += batch
+                    total -= batch
+                    conn.execute("VACUUM")
+                    compacted = True
+            explicit_compaction = max_entries is None and max_bytes is None
+            if (removed or explicit_compaction) and not compacted:
+                conn.execute("VACUUM")
+        except sqlite3.Error:
+            self._fail()
+            return removed
         return removed
 
 

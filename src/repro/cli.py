@@ -5,11 +5,18 @@ Commands
 count        FOMC of a sentence over a domain size
 wfomc        weighted count, with ``--weight R=w,wbar`` options
 batch        weighted counts at several domain sizes in one run
+             (``--compile`` serves them from compiled circuits)
+sweep        weighted counts of one instance at many weights for one
+             predicate (``--vary R --values 1/2,1,2``; ``--compile``
+             compiles the instance once and evaluates the circuit)
 probability  probability of the sentence under the weight semantics
+compile      compile a WFOMC instance into an arithmetic circuit and
+             report its node/edge/depth statistics
 stats        run a weighted count and pretty-print every engine/cache
-             statistic the run touched
+             statistic the run touched (including circuit-compilation
+             counters and trace-template sizes)
 cache        inspect the persistent on-disk cache: ``stats`` / ``clear``
-             / ``path``
+             / ``vacuum`` (size-bounded LRU eviction) / ``path``
 spectrum     which domain sizes up to a bound admit a model
 mu           the labeled-structure fraction mu_n (0-1 laws)
 
@@ -22,14 +29,19 @@ disk store under ``--cache-dir`` (default ``$REPRO_CACHE_DIR`` or
 served from disk.  The grounded counting engine's conflict-driven
 search is configurable: ``--branching {evsids,moms}`` picks the
 decision heuristic, ``--no-learn`` disables clause learning (the
-pre-CDCL engine), and ``--max-learned N`` bounds the learned-clause
-database.  None of these change the counted value.
+pre-CDCL engine), ``--max-learned N`` bounds the learned-clause
+database, and ``--no-phase-saving`` disables backjump polarity memory.
+None of these change the counted value.
 
 Examples::
 
     python -m repro count "forall x. exists y. R(x, y)" 5
     python -m repro wfomc "exists y. S(y)" 4 --weight S=1/2,1
     python -m repro batch "forall x, y. (R(x) | S(x, y))" 1 2 3 4
+    python -m repro sweep "forall x, y. (R(x) | S(x, y))" 3 --vary R \
+        --values "1/2,1,3/2,2" --compile
+    python -m repro compile "forall x. exists y. R(x, y)" 6
+    python -m repro cache vacuum --max-entries 100000
     python -m repro count "forall x, y, z. (R(x, y) | S(y, z))" 4 --workers 4
     python -m repro count "forall x, y. (R(x) | S(x, y))" 3 --no-learn
     python -m repro count "forall x, y. (R(x) | S(x, y))" 4 --persist
@@ -137,6 +149,12 @@ def build_parser():
                  "search before an LBD-based reduction (default 4096)",
         )
         p.add_argument(
+            "--no-phase-saving",
+            action="store_true",
+            help="disable backjump phase saving (branch every decision "
+                 "w-first; the count is identical)",
+        )
+        p.add_argument(
             "--persist",
             action="store_true",
             help="back the component/polynomial/FO2 caches with the "
@@ -173,6 +191,77 @@ def build_parser():
         metavar="NAME=w,wbar",
         help="weights for one predicate (default 1,1); repeatable",
     )
+    p_batch.add_argument(
+        "--compile",
+        action="store_true",
+        help="serve every domain size through the knowledge-compilation "
+             "fast path (compile one circuit per size, then evaluate; "
+             "bit-identical results)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="weighted counts of one instance at many weights for one "
+             "predicate",
+    )
+    add_common(p_sweep)
+    p_sweep.add_argument(
+        "--weight",
+        action="append",
+        type=_parse_weight_option,
+        metavar="NAME=w,wbar",
+        help="base weights for the non-varied predicates; repeatable",
+    )
+    p_sweep.add_argument(
+        "--vary",
+        required=True,
+        metavar="NAME",
+        help="predicate whose weight w is swept",
+    )
+    p_sweep.add_argument(
+        "--values",
+        required=True,
+        metavar="w1,w2,...",
+        help="comma-separated exact w values for the varied predicate "
+             "(e.g. 1/2,1,3/2)",
+    )
+    p_sweep.add_argument(
+        "--wbar",
+        default="1",
+        metavar="V",
+        help="fixed wbar of the varied predicate (default 1)",
+    )
+    p_sweep.add_argument(
+        "--compile",
+        action="store_true",
+        help="compile the instance to an arithmetic circuit once and "
+             "evaluate every weight set on it (bit-identical results)",
+    )
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="compile a WFOMC instance into an arithmetic circuit and "
+             "report its size",
+    )
+    p_compile.add_argument("formula")
+    p_compile.add_argument("n", type=int)
+    p_compile.add_argument(
+        "--method", choices=("auto", "fo2", "lineage"), default="auto")
+    p_compile.add_argument(
+        "--persist", action="store_true",
+        help="store the serialized circuit in the on-disk cache "
+             "(namespace 'circuits')")
+    p_compile.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent cache location (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    p_compile.add_argument(
+        "--weight",
+        action="append",
+        type=_parse_weight_option,
+        metavar="NAME=w,wbar",
+        help="weights to evaluate the compiled circuit at (default 1,1)",
+    )
 
     p_prob = sub.add_parser("probability", help="probability of the sentence")
     add_common(p_prob)
@@ -206,6 +295,8 @@ def build_parser():
         ("stats", "entry counts per cache layer plus cumulative hit/"
                   "miss/write counters (cross-process)"),
         ("clear", "delete every persisted entry and counter"),
+        ("vacuum", "evict least-recently-used entries down to a size "
+                   "bound and compact the store file"),
         ("path", "print the resolved cache directory"),
     ):
         p = cache_sub.add_parser(name, help=help_text)
@@ -216,6 +307,15 @@ def build_parser():
             help="persistent cache location (default: $REPRO_CACHE_DIR "
                  "or ~/.cache/repro)",
         )
+        if name == "vacuum":
+            p.add_argument(
+                "--max-entries", type=int, default=None, metavar="N",
+                help="keep at most N entries (least-recently-hit evicted "
+                     "first)")
+            p.add_argument(
+                "--max-bytes", type=int, default=None, metavar="N",
+                help="shrink the store file to at most N bytes (default "
+                     "268435456 = 256 MiB when neither bound is given)")
 
     p_spec = sub.add_parser("spectrum", help="domain sizes with a model")
     p_spec.add_argument("formula")
@@ -230,13 +330,18 @@ def build_parser():
 
 def _print_stats():
     """One line per cache layer; solver stats cover grounding and FO2."""
+    from .compile import compile_stats
+
     print("engine: {}".format(engine_stats()), file=sys.stderr)
     for name, stats in solver_cache_stats().items():
         print("solver.{}: {}".format(name, stats), file=sys.stderr)
+    print("compile: {}".format(compile_stats()), file=sys.stderr)
 
 
 def _print_stats_pretty(stream=None):
     """Aligned breakdown of the engine counters and every solver cache."""
+    from .compile import compile_stats
+
     stream = stream or sys.stdout
     engine = engine_stats()
     cnf_cache = engine.pop("cnf_cache", None)
@@ -254,6 +359,15 @@ def _print_stats_pretty(stream=None):
             "{}={}".format(k, v) for k, v in stats.items()
         ) if isinstance(stats, dict) else str(stats)
         print("  {:<{}}  {}".format(name, width, row), file=stream)
+    compiled = compile_stats()
+    circuits = compiled.pop("circuits", None)
+    print("compile", file=stream)
+    width = max(len(name) for name in compiled) if compiled else 8
+    for name, value in compiled.items():
+        print("  {:<{}}  {}".format(name, width, value), file=stream)
+    if circuits is not None:
+        row = "  ".join("{}={}".format(k, v) for k, v in circuits.items())
+        print("  {:<{}}  {}".format("circuits", width, row), file=stream)
 
 
 def _engine_options(args):
@@ -264,6 +378,8 @@ def _engine_options(args):
         "max_learned": getattr(args, "max_learned", None),
         "persist": True if getattr(args, "persist", False) else None,
         "cache_dir": getattr(args, "cache_dir", None),
+        "phase_saving": (False if getattr(args, "no_phase_saving", False)
+                         else None),
     }
 
 
@@ -290,6 +406,20 @@ def _cache_main(args):
     if args.cache_command == "clear":
         removed = store.clear()
         print("cleared {} entries from {}".format(removed, store.path))
+        return 0
+    if args.cache_command == "vacuum":
+        max_entries = args.max_entries
+        max_bytes = args.max_bytes
+        if max_entries is None and max_bytes is None:
+            max_bytes = 1 << 28  # 256 MiB default bound
+        removed = store.vacuum(max_entries=max_entries, max_bytes=max_bytes)
+        try:
+            size = os.path.getsize(store.path)
+        except OSError:
+            size = 0
+        print("evicted {} entries; {} now {} bytes, {} entries".format(
+            removed, store.path, size,
+            sum(store.entry_counts().values())))
         return 0
     stats = store.stats()
     print("path     {}".format(stats["path"]))
@@ -324,9 +454,43 @@ def main(argv=None):
     elif args.command == "batch":
         wv = _weighted_vocabulary(formula, args.weight)
         results = wfomc_batch(formula, args.ns, wv, method=args.method,
-                              **options)
+                              compile=args.compile, **options)
         for n, value in results.items():
             print("{}\t{}".format(n, value))
+    elif args.command == "sweep":
+        from .wfomc.solver import wfomc_weight_sweep
+
+        base = _weighted_vocabulary(formula, args.weight)
+        if args.vary not in base.vocabulary:
+            raise SystemExit(
+                "predicate {} does not occur in the sentence".format(args.vary))
+        try:
+            wbar = Fraction(args.wbar)
+            values = [Fraction(v) for v in args.values.split(",") if v]
+        except (ValueError, ZeroDivisionError) as exc:
+            raise SystemExit("bad --values/--wbar: {}".format(exc))
+        vocabularies = [base.with_weight(args.vary, WeightPair(value, wbar))
+                        for value in values]
+        results = wfomc_weight_sweep(formula, args.n, vocabularies,
+                                     method=args.method,
+                                     compile=args.compile, **options)
+        for value, count in zip(values, results):
+            print("{}\t{}".format(value, count))
+    elif args.command == "compile":
+        from .compile import compile_wfomc
+
+        wv = _weighted_vocabulary(formula, args.weight)
+        compiled = compile_wfomc(
+            formula, args.n, wv.vocabulary, method=args.method,
+            persist=True if args.persist else None,
+            cache_dir=args.cache_dir)
+        stats = compiled.stats()
+        print("kind    {}".format(stats.pop("kind")))
+        for name in ("nodes", "edges", "depth", "vars", "leaf", "tot",
+                     "times", "plus", "pow", "const"):
+            print("{:<7} {}".format(name, stats.pop(name)))
+        value = compiled.evaluate(wv)
+        print("value   {}  (at the given weights)".format(value))
     elif args.command == "probability":
         wv = _weighted_vocabulary(formula, args.weight)
         value = probability(formula, args.n, wv, method=args.method,

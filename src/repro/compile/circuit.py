@@ -1,0 +1,600 @@
+"""The arithmetic-circuit IR: hash-consed DAG nodes over weight leaves.
+
+A :class:`Circuit` is a d-DNNF-style arithmetic circuit in the symmetric
+weight pairs of its leaves: evaluating it at a weight assignment
+``key -> (w, wbar)`` reproduces an exact weighted model count, and
+because every node is a polynomial in the leaf weights, the same DAG
+also yields exact gradients by one reverse pass.  Circuits are produced
+by tracing the counting engine's search
+(:func:`repro.propositional.counter.trace_cnf_clauses` via
+:mod:`repro.compile.trace`) or by compiling the FO2 cell decomposition
+(:mod:`repro.compile.wfomc`); the expensive search runs once, after
+which any number of weight vectors are served by circuit evaluation.
+
+Node kinds
+----------
+
+``("L", key, positive)``
+    a weight leaf: evaluates to ``w`` of ``key``'s pair when
+    ``positive`` else ``wbar``;
+``("T", key)``
+    a *total* leaf ``w + wbar`` — the full mass of an unconstrained
+    variable, also the smoothing factor ``(x | ~x)`` of d-DNNF;
+``("C", value)``
+    an exact constant (int or Fraction);
+``("*", children)`` / ``("+", children)``
+    product / sum over earlier node ids (children may repeat: a product
+    with a duplicated child is a square);
+``("^", child, exponent)``
+    integer power (exponent >= 2; smaller powers fold at build time).
+
+Nodes are **hash-consed** by :class:`CircuitBuilder`: structurally equal
+nodes share one id, so repeated subproblems become shared subcircuit
+references and the DAG is no larger than the (cache-assisted) search
+that produced it.  Children always have smaller ids than their parents,
+so a single forward scan evaluates the circuit and a single backward
+scan accumulates gradients — no recursion, no topological sort.
+
+All arithmetic is exact: leaf weights are ints or Fractions and stay
+that way through evaluation and backpropagation, which is what makes
+compiled results bit-identical to direct counting.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+__all__ = ["Circuit", "CircuitBuilder", "CIRCUIT_FORMAT"]
+
+#: Serialization format tag; bump when the node layout changes so
+#: persisted circuits self-invalidate instead of decoding wrongly.
+CIRCUIT_FORMAT = 1
+
+_LIT = "L"
+_TOT = "T"
+_CONST = "C"
+_TIMES = "*"
+_PLUS = "+"
+_POW = "^"
+
+
+def _exact(value):
+    """Keep integer-valued weights as machine ints for fast arithmetic."""
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Fraction):
+        return value.numerator if value.denominator == 1 else value
+    frac = Fraction(value)
+    return frac.numerator if frac.denominator == 1 else frac
+
+
+class CircuitBuilder:
+    """Bottom-up hash-consing constructor for :class:`Circuit` DAGs.
+
+    ``times``/``plus``/``pow`` perform light algebraic folding (constant
+    accumulation, neutral-element removal, singleton collapse) so traced
+    circuits stay compact; they never change the computed value.  The
+    ``memo`` dict is free scratch space for tracers (the engine keys it
+    on canonical component structures to share subcircuits).
+    """
+
+    __slots__ = ("nodes", "_index", "memo")
+
+    def __init__(self):
+        self.nodes = []
+        self._index = {}
+        self.memo = {}
+
+    def spawn(self):
+        """A fresh empty builder (used for canonical-space templates)."""
+        return CircuitBuilder()
+
+    def _intern(self, row):
+        idx = self._index.get(row)
+        if idx is None:
+            idx = len(self.nodes)
+            self.nodes.append(row)
+            self._index[row] = idx
+        return idx
+
+    # -- leaves ------------------------------------------------------------
+
+    def const(self, value):
+        return self._intern((_CONST, _exact(value)))
+
+    def lit(self, key, positive):
+        return self._intern((_LIT, key, bool(positive)))
+
+    def tot(self, key):
+        return self._intern((_TOT, key))
+
+    # -- operators ---------------------------------------------------------
+
+    def times(self, children):
+        """Product node.  Constants fold; a zero annihilates; children
+        are sorted (multiplication commutes) for maximal sharing —
+        duplicates are kept, a repeated child is a genuine power."""
+        const_val = 1
+        kids = []
+        nodes = self.nodes
+        for c in children:
+            row = nodes[c]
+            if row[0] == _CONST:
+                const_val *= row[1]
+            else:
+                kids.append(c)
+        if const_val == 0 or not kids:
+            return self.const(const_val)
+        if const_val != 1:
+            kids.append(self.const(const_val))
+        if len(kids) == 1:
+            return kids[0]
+        kids.sort()
+        return self._intern((_TIMES, tuple(kids)))
+
+    def plus(self, children):
+        """Sum node.  Constants fold; zeros vanish; children sorted."""
+        const_val = 0
+        kids = []
+        nodes = self.nodes
+        for c in children:
+            row = nodes[c]
+            if row[0] == _CONST:
+                const_val += row[1]
+            else:
+                kids.append(c)
+        if not kids:
+            return self.const(const_val)
+        if const_val != 0:
+            kids.append(self.const(const_val))
+        if len(kids) == 1:
+            return kids[0]
+        kids.sort()
+        return self._intern((_PLUS, tuple(kids)))
+
+    def is_zero(self, node):
+        """True when ``node`` folded to the constant 0 — i.e. the
+        subcircuit is structurally zero at *every* weight assignment."""
+        row = self.nodes[node]
+        return row[0] == _CONST and row[1] == 0
+
+    def pow(self, child, exponent):
+        """Integer power node; exponents 0/1 and constant bases fold."""
+        if exponent == 0:
+            return self.const(1)
+        if exponent == 1:
+            return child
+        row = self.nodes[child]
+        if row[0] == _CONST:
+            return self.const(row[1] ** exponent)
+        return self._intern((_POW, child, int(exponent)))
+
+    # -- template emission -------------------------------------------------
+
+    def inline(self, rows, root, lit_fn=None, tot_fn=None):
+        """Re-emit a node-row list into this builder, remapping leaves.
+
+        ``rows`` is a compact node list (children refer to earlier local
+        indices, as produced by :meth:`extract` or
+        :meth:`Circuit.rows`); ``lit_fn(key, positive)`` / ``tot_fn(key)``
+        supply replacement nodes for the leaves (defaulting to plain
+        re-interning).  Operator folding re-applies, so inlining a
+        template with constants for some leaves simplifies on the fly.
+        Returns the id of the re-emitted root.
+
+        Child references are validated (ints pointing strictly at
+        *earlier* rows, integer exponents): a structurally damaged row
+        list — e.g. a corrupted persisted payload that still decodes —
+        raises :class:`ValueError` instead of silently re-emitting a
+        circuit that computes something else.
+        """
+        lit_fn = lit_fn or self.lit
+        tot_fn = tot_fn or self.tot
+        mapped = [0] * len(rows)
+        for i, row in enumerate(rows):
+            tag = row[0]
+            if tag == _LIT:
+                mapped[i] = lit_fn(row[1], row[2])
+            elif tag == _TOT:
+                mapped[i] = tot_fn(row[1])
+            elif tag == _CONST:
+                mapped[i] = self.const(row[1])
+            elif tag == _TIMES or tag == _PLUS:
+                for c in row[1]:
+                    if not isinstance(c, int) or not 0 <= c < i:
+                        raise ValueError(
+                            "node {} has invalid child reference {!r}".format(
+                                i, c))
+                children = [mapped[c] for c in row[1]]
+                mapped[i] = (self.times(children) if tag == _TIMES
+                             else self.plus(children))
+            elif tag == _POW:
+                child, exponent = row[1], row[2]
+                if not isinstance(child, int) or not 0 <= child < i:
+                    raise ValueError(
+                        "node {} has invalid child reference {!r}".format(
+                            i, child))
+                if not isinstance(exponent, int) or exponent < 0:
+                    raise ValueError(
+                        "node {} has invalid exponent {!r}".format(i, exponent))
+                mapped[i] = self.pow(mapped[child], exponent)
+            else:
+                raise ValueError("unknown circuit node tag {!r}".format(tag))
+        if not rows:
+            return self.const(1)
+        if not isinstance(root, int) or not 0 <= root < len(rows):
+            raise ValueError("invalid root reference {!r}".format(root))
+        return mapped[root]
+
+    def emit_template(self, template, leaf_map):
+        """Instantiate a canonical-space ``(rows, root)`` template.
+
+        Leaf keys in the template are 1-based slot indices;
+        ``leaf_map[slot - 1]`` names the concrete key each slot becomes.
+        Hash-consing dedups against everything already in the builder,
+        so instantiating the same template twice with the same map is a
+        cascade of dictionary hits.
+        """
+        rows, root = template
+        return self.inline(
+            rows, root,
+            lit_fn=lambda slot, positive: self.lit(leaf_map[slot - 1], positive),
+            tot_fn=lambda slot: self.tot(leaf_map[slot - 1]),
+        )
+
+    def extract(self, root):
+        """``(rows, root)`` of the sub-DAG reachable from ``root``,
+        with node ids remapped to a dense local numbering (a template)."""
+        rows, new_root = _reachable(self.nodes, root)
+        return tuple(rows), new_root
+
+    def build(self, root):
+        """Freeze the sub-DAG reachable from ``root`` into a Circuit."""
+        rows, new_root = _reachable(self.nodes, root)
+        return Circuit(tuple(rows), new_root)
+
+
+def _reachable(nodes, root):
+    """Prune ``nodes`` to the sub-DAG under ``root`` (order preserved)."""
+    marked = bytearray(root + 1)
+    marked[root] = 1
+    for i in range(root, -1, -1):
+        if not marked[i]:
+            continue
+        row = nodes[i]
+        tag = row[0]
+        if tag == _TIMES or tag == _PLUS:
+            for c in row[1]:
+                marked[c] = 1
+        elif tag == _POW:
+            marked[row[1]] = 1
+    remap = [0] * (root + 1)
+    out = []
+    for i in range(root + 1):
+        if not marked[i]:
+            continue
+        row = nodes[i]
+        tag = row[0]
+        if tag == _TIMES or tag == _PLUS:
+            row = (tag, tuple(remap[c] for c in row[1]))
+        elif tag == _POW:
+            row = (tag, remap[row[1]], row[2])
+        remap[i] = len(out)
+        out.append(row)
+    return out, remap[root]
+
+
+def _pair_lookup(weights):
+    """Normalize a weight source to a ``key -> (w, wbar)`` callable.
+
+    Accepts a mapping or a callable; pair values may be tuples or
+    :class:`~repro.weights.WeightPair` (anything that unpacks to two
+    exact values).
+    """
+    if callable(weights):
+        return weights
+    return weights.__getitem__
+
+
+class Circuit:
+    """An immutable arithmetic circuit: node rows plus a root id.
+
+    Rows are topologically ordered (children precede parents), so
+    :meth:`evaluate` is one forward scan and :meth:`gradient` adds one
+    backward scan.  Construct circuits through :class:`CircuitBuilder`.
+    """
+
+    __slots__ = ("rows", "root")
+
+    def __init__(self, rows, root):
+        self.rows = rows
+        self.root = root
+
+    # -- inspection --------------------------------------------------------
+
+    def __len__(self):
+        return len(self.rows)
+
+    def leaf_keys(self):
+        """The distinct leaf keys, in first-occurrence order."""
+        seen = dict()
+        for row in self.rows:
+            if row[0] in (_LIT, _TOT):
+                seen.setdefault(row[1], None)
+        return list(seen)
+
+    def depth(self):
+        """Longest leaf-to-root path (0 for a single-node circuit)."""
+        depths = [0] * len(self.rows)
+        for i, row in enumerate(self.rows):
+            tag = row[0]
+            if tag == _TIMES or tag == _PLUS:
+                depths[i] = 1 + max(depths[c] for c in row[1])
+            elif tag == _POW:
+                depths[i] = 1 + depths[row[1]]
+        return depths[self.root]
+
+    def degree(self, key):
+        """Polynomial degree of the circuit in ``key``'s weight pair."""
+        deg = [0] * len(self.rows)
+        for i, row in enumerate(self.rows):
+            tag = row[0]
+            if tag in (_LIT, _TOT):
+                deg[i] = 1 if row[1] == key else 0
+            elif tag == _TIMES:
+                deg[i] = sum(deg[c] for c in row[1])
+            elif tag == _PLUS:
+                deg[i] = max(deg[c] for c in row[1])
+            elif tag == _POW:
+                deg[i] = deg[row[1]] * row[2]
+        return deg[self.root]
+
+    def stats(self):
+        """Node/edge counts by kind, depth, and distinct leaf keys."""
+        counts = {"leaf": 0, "tot": 0, "const": 0, "times": 0, "plus": 0,
+                  "pow": 0}
+        edges = 0
+        for row in self.rows:
+            tag = row[0]
+            if tag == _LIT:
+                counts["leaf"] += 1
+            elif tag == _TOT:
+                counts["tot"] += 1
+            elif tag == _CONST:
+                counts["const"] += 1
+            elif tag == _TIMES:
+                counts["times"] += 1
+                edges += len(row[1])
+            elif tag == _PLUS:
+                counts["plus"] += 1
+                edges += len(row[1])
+            else:
+                counts["pow"] += 1
+                edges += 1
+        counts["nodes"] = len(self.rows)
+        counts["edges"] = edges
+        counts["depth"] = self.depth()
+        counts["vars"] = len(self.leaf_keys())
+        return counts
+
+    # -- evaluation --------------------------------------------------------
+
+    def _forward(self, pair_of):
+        """One forward pass: the exact value of every node, in order.
+
+        The single evaluation loop shared by :meth:`evaluate` and
+        :meth:`gradient` — a zero product short-circuits (its value is
+        exactly 0 either way), and child values are always computed at
+        their own rows, so the same pass serves backpropagation.
+        """
+        vals = [0] * len(self.rows)
+        for i, row in enumerate(self.rows):
+            tag = row[0]
+            if tag == _TIMES:
+                v = 1
+                for c in row[1]:
+                    v *= vals[c]
+                    if v == 0:
+                        break
+                vals[i] = v
+            elif tag == _PLUS:
+                v = 0
+                for c in row[1]:
+                    v += vals[c]
+                vals[i] = v
+            elif tag == _LIT:
+                w, wbar = pair_of(row[1])
+                vals[i] = _exact(w) if row[2] else _exact(wbar)
+            elif tag == _TOT:
+                w, wbar = pair_of(row[1])
+                vals[i] = _exact(w) + _exact(wbar)
+            elif tag == _CONST:
+                vals[i] = row[1]
+            else:
+                vals[i] = vals[row[1]] ** row[2]
+        return vals
+
+    def evaluate(self, weights):
+        """Exact value at one weight assignment.
+
+        ``weights`` maps each leaf key to its ``(w, wbar)`` pair (a
+        mapping or a callable).  Returns a :class:`Fraction`, bit-
+        identical to what direct counting computes at the same weights.
+        """
+        return Fraction(self._forward(_pair_lookup(weights))[self.root])
+
+    def evaluate_batch(self, weight_list):
+        """Values at many weight assignments (one forward pass each)."""
+        return [self.evaluate(w) for w in weight_list]
+
+    def gradient(self, weights):
+        """``(value, grads)`` with ``grads[key] == (d/dw, d/dwbar)``.
+
+        One forward pass computes node values, one reverse pass
+        accumulates adjoints over the DAG (product nodes use
+        prefix/suffix products, so zero-valued children need no
+        division).  All arithmetic is exact.
+        """
+        pair_of = _pair_lookup(weights)
+        rows = self.rows
+        vals = self._forward(pair_of)
+
+        adj = [0] * len(rows)
+        adj[self.root] = 1
+        grads = {}
+        for i in range(self.root, -1, -1):
+            a = adj[i]
+            if a == 0:
+                continue
+            row = rows[i]
+            tag = row[0]
+            if tag == _TIMES:
+                kids = row[1]
+                prefix = [1]
+                for c in kids:
+                    prefix.append(prefix[-1] * vals[c])
+                suffix = 1
+                for j in range(len(kids) - 1, -1, -1):
+                    c = kids[j]
+                    adj[c] += a * prefix[j] * suffix
+                    suffix *= vals[c]
+            elif tag == _PLUS:
+                for c in row[1]:
+                    adj[c] += a
+            elif tag == _POW:
+                c, e = row[1], row[2]
+                adj[c] += a * e * vals[c] ** (e - 1)
+            elif tag == _LIT:
+                gw, gwbar = grads.get(row[1], (0, 0))
+                if row[2]:
+                    grads[row[1]] = (gw + a, gwbar)
+                else:
+                    grads[row[1]] = (gw, gwbar + a)
+            elif tag == _TOT:
+                gw, gwbar = grads.get(row[1], (0, 0))
+                grads[row[1]] = (gw + a, gwbar + a)
+        for key in self.leaf_keys():
+            grads.setdefault(key, (0, 0))
+        return (
+            Fraction(vals[self.root]),
+            {k: (Fraction(gw), Fraction(gwb)) for k, (gw, gwb) in grads.items()},
+        )
+
+    # -- smoothing ---------------------------------------------------------
+
+    def scopes(self):
+        """Per-node leaf-key scopes (frozensets), index-aligned."""
+        scopes = [frozenset()] * len(self.rows)
+        for i, row in enumerate(self.rows):
+            tag = row[0]
+            if tag in (_LIT, _TOT):
+                scopes[i] = frozenset((row[1],))
+            elif tag == _TIMES or tag == _PLUS:
+                s = frozenset()
+                for c in row[1]:
+                    s |= scopes[c]
+                scopes[i] = s
+            elif tag == _POW:
+                scopes[i] = scopes[row[1]]
+        return scopes
+
+    def is_smooth(self):
+        """True when every +-node's children share one leaf scope."""
+        scopes = self.scopes()
+        for row in self.rows:
+            if row[0] == _PLUS:
+                kids = row[1]
+                first = scopes[kids[0]]
+                if any(scopes[c] != first for c in kids[1:]):
+                    return False
+        return True
+
+    def smooth(self):
+        """A smoothed equivalent: +-children missing leaves of the node
+        scope are multiplied by the ``w + wbar`` total of each missing
+        key (exactly d-DNNF smoothing).  Traced circuits are smooth by
+        construction, so this is a no-op-sized pass for them."""
+        scopes = self.scopes()
+        builder = CircuitBuilder()
+        mapped = [0] * len(self.rows)
+        for i, row in enumerate(self.rows):
+            tag = row[0]
+            if tag == _LIT:
+                mapped[i] = builder.lit(row[1], row[2])
+            elif tag == _TOT:
+                mapped[i] = builder.tot(row[1])
+            elif tag == _CONST:
+                mapped[i] = builder.const(row[1])
+            elif tag == _TIMES:
+                mapped[i] = builder.times([mapped[c] for c in row[1]])
+            elif tag == _POW:
+                mapped[i] = builder.pow(mapped[row[1]], row[2])
+            else:
+                target = scopes[i]
+                kids = []
+                for c in row[1]:
+                    missing = target - scopes[c]
+                    child = mapped[c]
+                    if missing:
+                        child = builder.times(
+                            [child] + [builder.tot(k)
+                                       for k in sorted(missing, key=repr)])
+                    kids.append(child)
+                mapped[i] = builder.plus(kids)
+        return builder.build(mapped[self.root])
+
+    def map_leaves(self, key_fn):
+        """Rebuild with leaves rewritten by ``key_fn(key)``.
+
+        ``key_fn`` returns a tagged pair: ``("key", new_key)`` renames
+        the leaf, ``("bake", (w, wbar))`` folds it into constants (lit
+        becomes ``w`` / ``wbar``, tot becomes ``w + wbar``) — used to
+        bake auxiliary Tseitin variables (fixed weight ``(1, 1)``) out
+        of a traced circuit.  Folding re-applies, so baked-neutral
+        leaves vanish entirely.
+        """
+        builder = CircuitBuilder()
+
+        def lit_fn(key, positive):
+            action, new = key_fn(key)
+            if action == "bake":
+                return builder.const(new[0] if positive else new[1])
+            return builder.lit(new, positive)
+
+        def tot_fn(key):
+            action, new = key_fn(key)
+            if action == "bake":
+                return builder.const(_exact(new[0]) + _exact(new[1]))
+            return builder.tot(new)
+
+        root = builder.inline(self.rows, self.root, lit_fn=lit_fn,
+                              tot_fn=tot_fn)
+        return builder.build(root)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_payload(self):
+        """A store-codec-friendly serialization (tuples/ints/Fractions)."""
+        return ("accirc", CIRCUIT_FORMAT, self.root, tuple(self.rows))
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Inverse of :meth:`to_payload`; ``None`` on a foreign payload.
+
+        Rows are re-interned through a fresh builder, so a payload that
+        decodes but is structurally damaged degrades to ``None`` rather
+        than producing a circuit that fails later.
+        """
+        try:
+            tag, version, root, rows = payload
+            if tag != "accirc" or version != CIRCUIT_FORMAT:
+                return None
+            builder = CircuitBuilder()
+            new_root = builder.inline(list(rows), root)
+            return builder.build(new_root)
+        except (TypeError, ValueError, IndexError, KeyError):
+            return None
+
+    def __repr__(self):
+        return "Circuit(nodes={}, depth={}, vars={})".format(
+            len(self.rows), self.depth(), len(self.leaf_keys()))

@@ -1,16 +1,40 @@
-"""Markov Logic Networks: exact semantics and the reduction to symmetric WFOMC."""
+"""Markov Logic Networks: exact semantics, the reduction to symmetric
+WFOMC, lifted inference entry points, and circuit-based weight learning."""
 
 from .model import HARD, MLN, MLNConstraint
-from .inference import mln_probability_bruteforce, mln_partition_bruteforce
-from .reduction import MLNReduction, reduce_to_wfomc, mln_probability_wfomc
+from .inference import (
+    mln_partition_bruteforce,
+    mln_probability,
+    mln_probability_bruteforce,
+    mln_query_sweep,
+)
+from .learning import (
+    MLNLearnResult,
+    mln_average_log_likelihood,
+    mln_likelihood_gradient,
+    mln_weight_learn,
+)
+from .reduction import (
+    MLNReduction,
+    mln_probability_wfomc,
+    reduce_to_wfomc,
+    reduction_template,
+)
 
 __all__ = [
     "HARD",
     "MLN",
     "MLNConstraint",
+    "mln_probability",
+    "mln_query_sweep",
     "mln_probability_bruteforce",
     "mln_partition_bruteforce",
     "MLNReduction",
+    "reduction_template",
     "reduce_to_wfomc",
     "mln_probability_wfomc",
+    "MLNLearnResult",
+    "mln_weight_learn",
+    "mln_likelihood_gradient",
+    "mln_average_log_likelihood",
 ]

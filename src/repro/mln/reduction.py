@@ -31,7 +31,8 @@ from ..logic.vocabulary import WeightedVocabulary
 from ..weights import WeightPair
 from ..wfomc.solver import wfomc
 
-__all__ = ["MLNReduction", "reduce_to_wfomc", "mln_probability_wfomc"]
+__all__ = ["MLNReduction", "reduction_template", "reduce_to_wfomc",
+           "mln_probability_wfomc"]
 
 
 @dataclass
@@ -89,27 +90,47 @@ class MLNReduction:
         return wv
 
 
-def reduce_to_wfomc(mln):
-    """Apply the Example 1.2 reduction; returns an :class:`MLNReduction`."""
+def reduction_template(mln, keep_all_soft=False):
+    """The weight-independent *shape* of the Example 1.2 reduction.
+
+    Returns ``(gamma, entries, base_wv)``: the hard sentence, one
+    ``(constraint, fresh_name, arity)`` entry per reduced soft
+    constraint, and the uniform weighted vocabulary over the MLN's own
+    predicates.  ``keep_all_soft`` keeps weight-1 constraints in the
+    template (they are vacuous and normally dropped) — the weight
+    learner needs the template's structure to stay *fixed* while the
+    weights move, so it reduces every soft constraint unconditionally.
+    """
     wv = WeightedVocabulary.uniform(mln.vocabulary)
     hard_parts = [c.universal_closure() for c in mln.hard_constraints()]
 
-    new_weights = {}
-    new_arities = {}
+    entries = []
+    used_names = set()
     for c in mln.soft_constraints():
-        if c.weight == 1:
+        if not keep_all_soft and c.weight == 1:
             continue  # a weight-1 constraint changes nothing
         name = wv.fresh_name("MR")
-        while name in new_weights:
+        while name in used_names:
             name = name + "_"
+        used_names.add(name)
         variables = c.free_variables()
-        new_weights[name] = WeightPair(1 / (c.weight - 1), 1)
-        new_arities[name] = len(variables)
+        entries.append((c, name, len(variables)))
         witness = Atom(name, variables)
         hard_parts.append(forall(list(variables), disj(witness, c.formula)))
 
-    extended = wv.extend(new_weights, new_arities)
     gamma = conj(*hard_parts)
+    return gamma, entries, wv
+
+
+def reduce_to_wfomc(mln):
+    """Apply the Example 1.2 reduction; returns an :class:`MLNReduction`."""
+    gamma, entries, wv = reduction_template(mln)
+    new_weights = {}
+    new_arities = {}
+    for constraint, name, arity in entries:
+        new_weights[name] = WeightPair(1 / (constraint.weight - 1), 1)
+        new_arities[name] = arity
+    extended = wv.extend(new_weights, new_arities)
     return MLNReduction(gamma=gamma, weighted_vocabulary=extended)
 
 

@@ -56,7 +56,18 @@ sharpSAT/Cachet-style conflict-driven counting search:
   component cache reads through to the content-addressed on-disk store
   of :mod:`repro.cache`, shared across processes (and by the parallel
   workers), so repeated sweeps warm-start from disk.  Stored values are
-  exact, keeping persisted runs bit-identical to cold ones.
+  exact, keeping persisted runs bit-identical to cold ones;
+* **phase saving** (``phase_saving=True``, the default): variables
+  unassigned by a backjump remember their last polarity and later
+  decisions branch into it first (w-first order is the fallback) — in an
+  exhaustive counting search this only reorders the branches, steering
+  where conflicts and learned clauses arise, never the counted value;
+* a **trace mode** (:func:`trace_cnf_clauses`): the same search replayed
+  symbolically, recording decompositions as arithmetic-circuit nodes for
+  the knowledge-compilation subsystem (:mod:`repro.compile`) instead of
+  multiplying weights.  Component conjunctions become x-nodes, decision
+  splits smoothed +-nodes, literals weight leaves; canonical components
+  compile once into templates shared across isomorphic occurrences.
 
 Soundness of learning under component caching deserves a note.  A learned
 clause is entailed by the component a search was started on, so using it
@@ -97,6 +108,8 @@ __all__ = [
     "engine_stats",
     "reset_engine",
     "shutdown_worker_pool",
+    "trace_cnf_clauses",
+    "cnf_for_formula",
     "wmc_cnf",
     "wmc_formula",
     "model_count",
@@ -120,6 +133,11 @@ MAX_KEY_CACHE_ENTRIES = 1 << 16
 #: Default bound on the learned-clause database of one component search;
 #: exceeding it triggers an LBD-based reduction that drops the worst half.
 DEFAULT_MAX_LEARNED = 4096
+
+#: Phase saving (remember the polarity a backjump undid, branch with it
+#: first) is on by default; ``phase_saving=False`` restores the fixed
+#: w-first branch order everywhere.
+DEFAULT_PHASE_SAVING = True
 
 #: Learned clauses with an LBD this small ("glue" clauses) survive every
 #: database reduction.
@@ -164,15 +182,16 @@ class EngineStats:
     adds ``conflicts`` (falsified clauses found during propagation),
     ``learned_clauses`` (1-UIP clauses derived from them),
     ``backjumps``/``backjump_levels`` (non-chronological returns and the
-    total number of decision levels they unwound), and ``db_reductions``
-    (LBD-based learned-database halvings).
+    total number of decision levels they unwound), ``db_reductions``
+    (LBD-based learned-database halvings), and ``phase_hits`` (decisions
+    whose first branch polarity came from a saved phase).
     """
 
     __slots__ = ("calls", "decisions", "propagations", "watch_moves",
                  "component_splits", "cache_hits", "cache_misses",
                  "key_hits", "key_misses", "parallel_tasks",
                  "conflicts", "learned_clauses", "backjumps",
-                 "backjump_levels", "db_reductions")
+                 "backjump_levels", "db_reductions", "phase_hits")
 
     def __init__(self):
         self.reset()
@@ -193,6 +212,7 @@ class EngineStats:
         self.backjumps = 0
         self.backjump_levels = 0
         self.db_reductions = 0
+        self.phase_hits = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -243,6 +263,8 @@ def engine_stats():
     stats["cache_entries"] = len(_SHARED_CACHE)
     stats["key_entries"] = len(_SHARED_KEY_CACHE)
     stats["cnf_cache"] = _CNF_CACHE.stats()
+    stats["trace_templates"] = len(_TRACE_TEMPLATES)
+    stats.update(_TRACE_COUNTERS)
     stats.update(_SHARED_STATS.hit_rates())
     return stats
 
@@ -252,6 +274,9 @@ def reset_engine():
     _SHARED_CACHE.clear()
     _SHARED_KEY_CACHE.clear()
     _CNF_CACHE.clear()
+    _TRACE_TEMPLATES.clear()
+    for name in _TRACE_COUNTERS:
+        _TRACE_COUNTERS[name] = 0
     _SHARED_STATS.reset()
 
 
@@ -725,6 +750,20 @@ def _canonical_structure(component):
     return tuple(rows), tuple(var_order)
 
 
+def _canonical_entry(component, key_cache, stats):
+    """The memoized ``(canonical rows, var order)`` of a component."""
+    entry = key_cache.get(component)
+    if entry is None:
+        stats.key_misses += 1
+        entry = _canonical_structure(component)
+        if len(key_cache) >= MAX_KEY_CACHE_ENTRIES:
+            key_cache.clear()
+        key_cache[component] = entry
+    else:
+        stats.key_hits += 1
+    return entry
+
+
 class CountingEngine:
     """Exact WMC over integer-variable clauses with component caching.
 
@@ -739,18 +778,21 @@ class CountingEngine:
     engine.  ``branching`` picks the decision heuristic of the learning
     search: ``"evsids"`` (default) or ``"moms"`` for ablation.
     ``max_learned`` bounds the learned-clause database of one component
-    search before an LBD-based reduction drops the worst half.  All knobs
-    leave the counted value bit-identical — they only steer the search.
+    search before an LBD-based reduction drops the worst half.
+    ``phase_saving`` (default on) branches each decision into the
+    polarity a backjump last undid for that variable.  All knobs leave
+    the counted value bit-identical — they only steer the search.
     """
 
     __slots__ = ("weights", "totals", "cache", "stats", "key_cache",
                  "workers", "branching", "learn", "max_learned",
-                 "activity", "var_inc", "persist_dir",
-                 "search_conflicts", "search_decisions", "search_activity_on")
+                 "activity", "var_inc", "persist_dir", "phase_saving",
+                 "saved_phase", "search_conflicts", "search_decisions",
+                 "search_activity_on")
 
     def __init__(self, weights, totals, cache=None, stats=None,
                  key_cache=None, workers=None, branching=None, learn=None,
-                 max_learned=None, persist_dir=None):
+                 max_learned=None, persist_dir=None, phase_saving=None):
         self.weights = weights
         self.totals = totals
         self.cache = _SHARED_CACHE if cache is None else cache
@@ -764,6 +806,17 @@ class CountingEngine:
         self.branching = branching
         self.learn = True if learn is None else bool(learn)
         self.max_learned = DEFAULT_MAX_LEARNED if max_learned is None else max_learned
+        #: Phase saving: variables unassigned by a backjump remember
+        #: their last polarity, and later decisions on them branch into
+        #: that polarity first (w-first order is the fallback).  Like
+        #: every search knob it never changes the counted value — in an
+        #: exhaustive counting search both polarities are explored, the
+        #: saved phase only picks which one the search re-enters first,
+        #: which steers where conflicts (and thus learned clauses and
+        #: backjumps) happen.
+        self.phase_saving = (DEFAULT_PHASE_SAVING if phase_saving is None
+                             else bool(phase_saving))
+        self.saved_phase = {}
         #: When set, top-level components dispatched to worker processes
         #: carry this cache directory so the workers read and write the
         #: same persistent store as the parent.
@@ -901,17 +954,8 @@ class CountingEngine:
         first-occurrence order ride along so callers never re-derive the
         variable set.
         """
-        key_cache = self.key_cache
-        entry = key_cache.get(component)
-        if entry is None:
-            self.stats.key_misses += 1
-            entry = _canonical_structure(component)
-            if len(key_cache) >= MAX_KEY_CACHE_ENTRIES:
-                key_cache.clear()
-            key_cache[component] = entry
-        else:
-            self.stats.key_hits += 1
-        rows, var_order = entry
+        rows, var_order = _canonical_entry(component, self.key_cache,
+                                           self.stats)
         weights = self.weights
         return (rows, tuple(weights[v] for v in var_order)), var_order
 
@@ -987,11 +1031,17 @@ class CountingEngine:
                                occurrences_get(v, 0), -v),
             )
         w, wbar = self.weights[var]
+        positive_first = True
+        if self.phase_saving:
+            saved = self.saved_phase.get(var)
+            if saved is not None:
+                positive_first = saved
+                self.stats.phase_hits += 1
         branches = []
-        if w != 0:
-            branches.append(var)
-        if wbar != 0:
-            branches.append(-var)
+        order = (var, -var) if positive_first else (-var, var)
+        for lit in order:
+            if (w if lit > 0 else wbar) != 0:
+                branches.append(lit)
         return _SearchNode(component, comp_vars, key, branches, start)
 
     def _cdcl_count(self, component, var_order):
@@ -1065,10 +1115,18 @@ class CountingEngine:
                 stats.backjump_levels += level - a_level
                 del stack[a_level + 1:]
                 node = stack[-1]
-                for v in trail[node.prop_end:]:
-                    del assign[v]
-                    del vlevel[v]
-                    del reason[v]
+                if self.phase_saving:
+                    saved_phase = self.saved_phase
+                    for v in trail[node.prop_end:]:
+                        saved_phase[v] = assign[v]
+                        del assign[v]
+                        del vlevel[v]
+                        del reason[v]
+                else:
+                    for v in trail[node.prop_end:]:
+                        del assign[v]
+                        del vlevel[v]
+                        del reason[v]
                 del trail[node.prop_end:]
                 uip_lit = learned[0]
                 stats.learned_clauses += 1
@@ -1432,7 +1490,7 @@ class CountingEngine:
                         {v: weights[v] for v in var_order},
                         {v: totals[v] for v in var_order},
                         (self.branching, self.learn, self.max_learned,
-                         self.persist_dir),
+                         self.persist_dir, self.phase_saving),
                     )
                     futures.append((key, pool.submit(_count_component_task, payload)))
                     stats.parallel_tasks += 1
@@ -1464,6 +1522,169 @@ def _clause_vars(clauses):
         for lit in c:
             result.add(abs(lit))
     return result
+
+
+# -- circuit tracing ----------------------------------------------------------
+#
+# Trace mode replays the counting search symbolically: instead of
+# multiplying weights it records the search's decompositions as arithmetic-
+# circuit nodes in a caller-supplied builder (see repro.compile.circuit for
+# the IR).  Component conjunctions become x-nodes, decision splits become
+# smoothed +-nodes (every branch carries a literal or total leaf for each
+# component variable, so sibling branches always cover the same scope),
+# literals become weight leaves, and vanished variables become w+wbar
+# total leaves.  Because the circuit must stay *weight-symbolic*, trace
+# mode never prunes zero-weight branches and never consults the weighted
+# component cache; sharing comes from two weight-independent layers:
+#
+# * every component is compiled in its canonical variable space once and
+#   memoized as a *template* (keyed on the canonical rows, the same
+#   structures the engine's key cache memoizes), so isomorphic components
+#   -- which symmetric lineages produce in abundance -- are traced once
+#   and stamped out per occurrence;
+# * instantiated templates pass through the builder's hash-consing, so
+#   repeated occurrences of the *same* component collapse to one shared
+#   subcircuit reference and the DAG is no larger than the search.
+
+#: Weight-independent compiled component templates, shared across traces
+#: (cleared wholesale at the bound, like the canonical-key cache).
+_TRACE_TEMPLATES = {}
+MAX_TRACE_TEMPLATE_ENTRIES = 1 << 14
+
+_TRACE_COUNTERS = {"traced_components": 0, "trace_template_hits": 0,
+                   "trace_template_misses": 0}
+
+
+def _trace_search(component, comp_vars, builder, key_cache, stats):
+    """Trace one connected component's counting search into the builder.
+
+    Mirrors the learning-free search (:meth:`CountingEngine._branch`)
+    with MOMS decisions, but emits nodes instead of multiplying weights:
+    both polarities are always explored (a conflicted polarity simply
+    contributes no branch), so the resulting +-node is correct for every
+    weight assignment, zeros and negatives included.
+    """
+    stats.decisions += 1
+    clause_lits = list(component)
+    watches = {}
+    watch_pair = []
+    watches_setdefault = watches.setdefault
+    for ci, c in enumerate(clause_lits):
+        watch_pair.append([c[0], c[1]])
+        watches_setdefault(c[0], []).append(ci)
+        watches_setdefault(c[1], []).append(ci)
+    var = _moms_var(component)
+    branches = []
+    for lit in (var, -var):
+        assign = {}
+        trail = []
+        if not _propagate(clause_lits, watches, watch_pair, assign, trail,
+                          [lit], stats):
+            continue
+        factors = [builder.lit(v, assign[v]) for v in trail]
+        components, residual_vars = _residual_components(clause_lits, assign)
+        for v in comp_vars:
+            if v not in assign and v not in residual_vars:
+                factors.append(builder.tot(v))
+        for child in components:
+            factors.append(_trace_component(child, builder, key_cache, stats))
+        branches.append(builder.times(factors))
+    return builder.plus(branches)
+
+
+def _trace_component(component, builder, key_cache, stats):
+    """Emit one component's subcircuit, sharing canonical templates."""
+    rows, var_order = _canonical_entry(component, key_cache, stats)
+    memo = builder.memo
+    memo_key = (rows, var_order)
+    node = memo.get(memo_key)
+    if node is not None:
+        return node
+    template = _TRACE_TEMPLATES.get(rows)
+    if template is None:
+        _TRACE_COUNTERS["trace_template_misses"] += 1
+        sub = builder.spawn()
+        root = _trace_search(rows, range(1, len(var_order) + 1), sub,
+                             key_cache, stats)
+        template = sub.extract(root)
+        if len(_TRACE_TEMPLATES) >= MAX_TRACE_TEMPLATE_ENTRIES:
+            _TRACE_TEMPLATES.clear()
+        _TRACE_TEMPLATES[rows] = template
+    else:
+        _TRACE_COUNTERS["trace_template_hits"] += 1
+    _TRACE_COUNTERS["traced_components"] += 1
+    node = builder.emit_template(template, var_order)
+    memo[memo_key] = node
+    return node
+
+
+def trace_cnf_clauses(clauses, builder, key_cache=None, stats=None,
+                      trusted=False):
+    """Trace the counting search over ``clauses`` into circuit nodes.
+
+    The symbolic twin of :meth:`CountingEngine.run`: returns the builder
+    id of a node whose value at any weight assignment ``var -> (w,
+    wbar)`` equals the WMC of the clauses over exactly the variables
+    they mention.  ``builder`` is a
+    :class:`repro.compile.circuit.CircuitBuilder` (any object with the
+    same ``lit``/``tot``/``const``/``times``/``plus``/``spawn``/
+    ``extract``/``emit_template``/``memo`` protocol).  ``trusted`` skips
+    per-clause literal deduplication exactly like :meth:`~CountingEngine.run`.
+    """
+    key_cache = _SHARED_KEY_CACHE if key_cache is None else key_cache
+    stats = _SHARED_STATS if stats is None else stats
+    if trusted:
+        normalized = clauses if isinstance(clauses, tuple) else tuple(clauses)
+    else:
+        normalized = []
+        for c in clauses:
+            c = tuple(dict.fromkeys(c))
+            if not c:
+                return builder.const(0)
+            normalized.append(c)
+        normalized = tuple(normalized)
+    if not normalized:
+        return builder.const(1)
+
+    all_vars = set()
+    watches = {}
+    watch_pair = []
+    watched = []
+    queue = []
+    for c in normalized:
+        for lit in c:
+            all_vars.add(lit if lit > 0 else -lit)
+        if len(c) == 1:
+            queue.append(c[0])
+        else:
+            ci = len(watched)
+            watched.append(c)
+            watch_pair.append([c[0], c[1]])
+            watches.setdefault(c[0], []).append(ci)
+            watches.setdefault(c[1], []).append(ci)
+    assign = {}
+    trail = []
+    if not _propagate(watched, watches, watch_pair, assign, trail, queue,
+                      stats):
+        return builder.const(0)
+
+    limit = sys.getrecursionlimit()
+    needed = min(12 * len(all_vars) + 1000, MAX_RECURSION_LIMIT)
+    if limit < needed:
+        sys.setrecursionlimit(needed)
+    try:
+        factors = [builder.lit(v, assign[v]) for v in trail]
+        components, residual_vars = _residual_components(watched, assign)
+        for v in all_vars:
+            if v not in assign and v not in residual_vars:
+                factors.append(builder.tot(v))
+        for component in components:
+            factors.append(_trace_component(component, builder, key_cache,
+                                            stats))
+        return builder.times(factors)
+    finally:
+        if limit < needed:
+            sys.setrecursionlimit(limit)
 
 
 # -- worker pool -------------------------------------------------------------
@@ -1520,7 +1741,7 @@ def _count_component_task(payload):
     same on-disk store through its own store-backed cache front.
     """
     component, weights, totals, knobs = payload
-    branching, learn, max_learned, persist_dir = knobs
+    branching, learn, max_learned, persist_dir, phase_saving = knobs
     cache = None
     if persist_dir is not None:
         from ..cache import persistent_component_cache
@@ -1534,7 +1755,8 @@ def _count_component_task(payload):
         stats = EngineStats()
         engine = CountingEngine(weights, totals, cache=cache, stats=stats,
                                 branching=branching, learn=learn,
-                                max_learned=max_learned)
+                                max_learned=max_learned,
+                                phase_saving=phase_saving)
         value = engine._count_component(component)
         return value, stats.as_dict()
     finally:
@@ -1547,7 +1769,7 @@ def _count_component_task(payload):
 
 def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
             branching=None, learn=None, max_learned=None, persist=None,
-            cache_dir=None):
+            cache_dir=None, phase_saving=None):
     """Exact WMC of a :class:`~repro.propositional.cnf.CNF`.
 
     ``weight_of_label`` maps a variable label to a
@@ -1598,7 +1820,8 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
 
     engine = CountingEngine(weights, totals, cache=engine_cache, stats=stats,
                             workers=workers, branching=branching, learn=learn,
-                            max_learned=max_learned, persist_dir=persist_dir)
+                            max_learned=max_learned, persist_dir=persist_dir,
+                            phase_saving=phase_saving)
     clauses = tuple(cnf.clauses)
     # ``to_cnf`` guarantees duplicate-free, non-empty clauses.
     result = engine.run(clauses, trusted=True)
@@ -1611,9 +1834,26 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
     return Fraction(result)
 
 
+def cnf_for_formula(formula, universe=()):
+    """The memoized CNF conversion of ``(formula, universe)``.
+
+    Shared by :func:`wmc_formula` and the circuit compiler
+    (:mod:`repro.compile`), so counting a formula and compiling it use
+    one and the same CNF — a prerequisite for bit-identical results.
+    The returned CNF is cached and must be treated as read-only.
+    """
+    key = (formula, tuple(universe) if universe else None)
+    cnf = _CNF_CACHE.get(key)
+    if cnf is None:
+        labels = set(universe) or prop_vars(formula)
+        cnf = to_cnf(formula, extra_labels=sorted(labels, key=repr))
+        _CNF_CACHE.put(key, cnf)
+    return cnf
+
+
 def wmc_formula(formula, weight_of_label, universe=(), workers=None,
                 branching=None, learn=None, max_learned=None, persist=None,
-                cache_dir=None):
+                cache_dir=None, phase_saving=None):
     """Exact WMC of an arbitrary propositional formula.
 
     ``universe`` optionally lists labels that define the full variable set
@@ -1629,15 +1869,10 @@ def wmc_formula(formula, weight_of_label, universe=(), workers=None,
     ``persist``/``cache_dir`` back the component cache with the on-disk
     store (see :func:`wmc_cnf`).
     """
-    key = (formula, tuple(universe) if universe else None)
-    cnf = _CNF_CACHE.get(key)
-    if cnf is None:
-        labels = set(universe) or prop_vars(formula)
-        cnf = to_cnf(formula, extra_labels=sorted(labels, key=repr))
-        _CNF_CACHE.put(key, cnf)
+    cnf = cnf_for_formula(formula, universe)
     return wmc_cnf(cnf, weight_of_label, workers=workers, branching=branching,
                    learn=learn, max_learned=max_learned, persist=persist,
-                   cache_dir=cache_dir)
+                   cache_dir=cache_dir, phase_saving=phase_saving)
 
 
 def model_count(formula, universe=()):

@@ -49,7 +49,7 @@ def wfomc_enumerate(formula, n, weighted_vocabulary=None):
 
 def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None,
                   branching=None, learn=None, max_learned=None, persist=None,
-                  cache_dir=None):
+                  cache_dir=None, phase_saving=None):
     """WFOMC via lineage grounding and exact CDCL model counting.
 
     ``workers`` > 1 counts independent top-level lineage components on a
@@ -69,14 +69,16 @@ def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None,
     return wmc_formula(prop, weight_of, universe, workers=workers,
                        branching=branching, learn=learn,
                        max_learned=max_learned, persist=persist,
-                       cache_dir=cache_dir)
+                       cache_dir=cache_dir, phase_saving=phase_saving)
 
 
 def fomc_lineage(formula, n, workers=None, branching=None, learn=None,
-                 max_learned=None, persist=None, cache_dir=None):
+                 max_learned=None, persist=None, cache_dir=None,
+                 phase_saving=None):
     """Unweighted first-order model count via the lineage path."""
     result = wfomc_lineage(formula, n, workers=workers, branching=branching,
                            learn=learn, max_learned=max_learned,
-                           persist=persist, cache_dir=cache_dir)
+                           persist=persist, cache_dir=cache_dir,
+                           phase_saving=phase_saving)
     assert result.denominator == 1
     return int(result)

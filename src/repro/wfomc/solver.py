@@ -104,7 +104,7 @@ def clear_solver_caches():
 
 def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
           branching=None, learn=None, max_learned=None, persist=None,
-          cache_dir=None):
+          cache_dir=None, phase_saving=None):
     """Symmetric weighted first-order model count of a sentence.
 
     Parameters
@@ -123,10 +123,11 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
         When > 1, grounded counting farms independent top-level lineage
         components to that many worker processes.  The result is
         bit-identical to a serial run, so it shares the result cache.
-    branching / learn / max_learned:
+    branching / learn / max_learned / phase_saving:
         Conflict-driven-search knobs of the grounded counting engine
         (``"evsids"``/``"moms"``, clause learning on/off, learned-database
-        bound); see :class:`~repro.propositional.counter.CountingEngine`.
+        bound, backjump phase saving); see
+        :class:`~repro.propositional.counter.CountingEngine`.
         They steer the search only — the counted value is knob-independent,
         so all configurations share the result cache.
     persist / cache_dir:
@@ -153,16 +154,17 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
     result = _dispatch(formula, n, wv, method, workers,
                        branching=branching, learn=learn,
                        max_learned=max_learned, persist=persist,
-                       cache_dir=cache_dir)
+                       cache_dir=cache_dir, phase_saving=phase_saving)
     _RESULT_CACHE.put(key, result)
     return result
 
 
 def _dispatch(formula, n, wv, method, workers=None, branching=None,
-              learn=None, max_learned=None, persist=None, cache_dir=None):
+              learn=None, max_learned=None, persist=None, cache_dir=None,
+              phase_saving=None):
     engine_knobs = {"branching": branching, "learn": learn,
                     "max_learned": max_learned, "persist": persist,
-                    "cache_dir": cache_dir}
+                    "cache_dir": cache_dir, "phase_saving": phase_saving}
     if method == "fo2":
         return wfomc_fo2(formula, n, wv, persist=persist, cache_dir=cache_dir)
     if method == "lineage":
@@ -183,32 +185,48 @@ def _dispatch(formula, n, wv, method, workers=None, branching=None,
 
 
 def fomc(formula, n, method="auto", workers=None, branching=None,
-         learn=None, max_learned=None, persist=None, cache_dir=None):
+         learn=None, max_learned=None, persist=None, cache_dir=None,
+         phase_saving=None):
     """Unweighted first-order model count (all weights ``(1, 1)``)."""
     result = wfomc(formula, n, method=method, workers=workers,
                    branching=branching, learn=learn, max_learned=max_learned,
-                   persist=persist, cache_dir=cache_dir)
+                   persist=persist, cache_dir=cache_dir,
+                   phase_saving=phase_saving)
     assert result.denominator == 1
     return int(result)
 
 
 def probability(formula, n, weighted_vocabulary=None, method="auto",
                 workers=None, branching=None, learn=None, max_learned=None,
-                persist=None, cache_dir=None):
+                persist=None, cache_dir=None, phase_saving=None,
+                compile=None):
     """Probability of the sentence in the induced distribution.
 
     ``Pr(Phi) = WFOMC(Phi, n, w, wbar) / WFOMC(true, n, w, wbar)`` — each
     tuple of relation ``R`` is present independently with probability
     ``w_R / (w_R + wbar_R)``.
 
+    ``compile=True`` serves the numerator from the knowledge-compilation
+    fast path (:func:`repro.compile.compile_wfomc`): the count structure
+    is compiled into an arithmetic circuit once per ``(formula, n)`` and
+    repeated queries at different weights are circuit evaluations —
+    bit-identical to the direct path.
+
     Raises :class:`~repro.errors.UnsupportedFormulaError` when the
     normalization constant is zero (e.g. Skolem weights ``(1, -1)``).
     """
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
-    numerator = wfomc(formula, n, wv, method=method, workers=workers,
-                      branching=branching, learn=learn,
-                      max_learned=max_learned, persist=persist,
-                      cache_dir=cache_dir)
+    if compile and method != "enumerate":
+        from ..compile import compile_wfomc
+
+        compiled = compile_wfomc(formula, n, wv.vocabulary, method=method,
+                                 persist=persist, cache_dir=cache_dir)
+        numerator = compiled.evaluate(wv)
+    else:
+        numerator = wfomc(formula, n, wv, method=method, workers=workers,
+                          branching=branching, learn=learn,
+                          max_learned=max_learned, persist=persist,
+                          cache_dir=cache_dir, phase_saving=phase_saving)
     denominator = wv.total_world_weight(n)
     if denominator == 0:
         raise UnsupportedFormulaError(
@@ -219,7 +237,8 @@ def probability(formula, n, weighted_vocabulary=None, method="auto",
 
 def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
                 workers=None, branching=None, learn=None, max_learned=None,
-                persist=None, cache_dir=None):
+                persist=None, cache_dir=None, phase_saving=None,
+                compile=None):
     """WFOMC of one sentence at many domain sizes.
 
     Returns ``{n: WFOMC(formula, n)}``.  All sizes flow through the shared
@@ -228,11 +247,29 @@ def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
     component, and FO2 cell-decomposition caches are shared across sizes,
     so a batch is substantially cheaper than independent :func:`wfomc`
     calls on a cold cache.
+
+    ``compile=True`` routes every size through the knowledge-compilation
+    fast path: each ``(formula, n)`` instance is compiled to a circuit
+    (cached in memory and, with ``persist``, on disk) and evaluated at
+    the requested weights — re-running the batch at new weights then
+    costs one circuit evaluation per size.
     """
     if method not in _METHODS:
         raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
     signature = weights_signature(wv)
+
+    if compile and method != "enumerate":
+        from ..compile import compile_wfomc
+
+        results = {}
+        for n in ns:
+            if n not in results:
+                compiled = compile_wfomc(formula, n, wv.vocabulary,
+                                         method=method, persist=persist,
+                                         cache_dir=cache_dir)
+                results[n] = compiled.evaluate(wv)
+        return results
 
     results = {}
     for n in ns:
@@ -244,7 +281,7 @@ def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
             cached = _dispatch(formula, n, wv, method, workers,
                                branching=branching, learn=learn,
                                max_learned=max_learned, persist=persist,
-                               cache_dir=cache_dir)
+                               cache_dir=cache_dir, phase_saving=phase_saving)
             _RESULT_CACHE.put(key, cached)
         results[n] = cached
     return results
@@ -260,7 +297,7 @@ def _cardinality_grid_size(vocabulary, n):
 def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
                        via_polynomial=None, workers=None, branching=None,
                        learn=None, max_learned=None, persist=None,
-                       cache_dir=None):
+                       cache_dir=None, phase_saving=None, compile=None):
     """WFOMC of one ``(formula, n)`` instance at many weight assignments.
 
     ``weight_vocabularies`` is an iterable of
@@ -273,6 +310,13 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
     positive-weight oracle calls only, per the paper's Section 2 argument
     — cached, and evaluated at every weight set, negative weights
     included.  Otherwise each weight set is dispatched individually.
+
+    ``compile=True`` takes a third route: the instance is compiled once
+    into an arithmetic circuit (:mod:`repro.compile`) and every weight
+    set — zeros and negatives included — is a linear-time circuit
+    evaluation, bit-identical to the dispatch path.  Unlike the
+    cardinality polynomial, the circuit route needs no positive-weight
+    oracle grid, so it amortizes even when the grid is large.
 
     Either way every evaluation flows through the shared caches — the
     memoized lineage and ground-atom universe of ``(formula, n)`` are
@@ -287,6 +331,18 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
         return []
     vocabulary = weight_vocabularies[0].vocabulary
 
+    if compile and method != "enumerate":
+        # The knowledge-compilation fast path: trace the count structure
+        # into an arithmetic circuit once (cached across calls and, with
+        # ``persist``, across processes) and serve every weight set by
+        # circuit evaluation.  Exact arithmetic keeps the results
+        # bit-identical to the dispatch path.
+        from ..compile import compile_wfomc
+
+        compiled = compile_wfomc(formula, n, vocabulary, method=method,
+                                 persist=persist, cache_dir=cache_dir)
+        return compiled.evaluate_batch(weight_vocabularies)
+
     if via_polynomial is None:
         grid = _cardinality_grid_size(vocabulary, n)
         via_polynomial = grid <= _SWEEP_GRID_FACTOR * len(weight_vocabularies)
@@ -295,7 +351,8 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
         return [
             wfomc(formula, n, wv, method=method, workers=workers,
                   branching=branching, learn=learn, max_learned=max_learned,
-                  persist=persist, cache_dir=cache_dir)
+                  persist=persist, cache_dir=cache_dir,
+                  phase_saving=phase_saving)
             for wv in weight_vocabularies
         ]
 
@@ -320,7 +377,8 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
             lambda f, size, wv: wfomc(f, size, wv, method=method,
                                       workers=workers, branching=branching,
                                       learn=learn, max_learned=max_learned,
-                                      persist=persist, cache_dir=cache_dir),
+                                      persist=persist, cache_dir=cache_dir,
+                                      phase_saving=phase_saving),
         )
         _POLYNOMIAL_CACHE.put(key, coefficients)
         if store is not None and not store.disabled:

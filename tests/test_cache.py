@@ -347,3 +347,86 @@ class TestWorkersShareTheStore:
             assert store.stats()["entries"] > 0
         finally:
             shutdown_worker_pool()
+
+
+class TestVacuum:
+    """Size-bounded LRU eviction and the maintenance entry points."""
+
+    def _filled_store(self, tmp_path, rows=40):
+        store = PersistentStore(str(tmp_path / "vac-store"))
+        for i in range(rows):
+            store.put("components", ("row", i), [i, i + 1])
+        store.flush()
+        # Backdate everything so subsequent hits are strictly newer.
+        store._conn.execute("UPDATE kv SET last_used = 1")
+        store._conn.commit()
+        return store
+
+    def test_lru_eviction_keeps_recently_hit_rows(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        survivors = (3, 11, 29)
+        for i in survivors:
+            assert store.get("components", ("row", i)) == [i, i + 1]
+        removed = store.vacuum(max_entries=3)
+        assert removed == 37
+        assert store.entry_counts() == {"components": 3}
+        for i in survivors:
+            assert store.get("components", ("row", i)) == [i, i + 1]
+        assert store.get("components", ("row", 0)) is None
+        assert not store.disabled
+        store.close()
+
+    def test_max_bytes_bound_shrinks_the_file(self, tmp_path):
+        store = PersistentStore(str(tmp_path / "bytes-store"))
+        for i in range(300):
+            store.put("components", ("big", i), list(range(80)))
+        store.flush()
+        removed = store.vacuum(max_bytes=65536)
+        assert removed > 0
+        assert os.path.getsize(store.path) <= 65536
+        # The newest rows are the ones that survive.
+        remaining = store.entry_counts().get("components", 0)
+        assert remaining > 0
+        assert store.get("components", ("big", 299)) == list(range(80))
+        store.close()
+
+    def test_vacuum_without_bounds_only_compacts(self, tmp_path):
+        store = self._filled_store(tmp_path, rows=10)
+        assert store.vacuum() == 0
+        assert store.entry_counts() == {"components": 10}
+        store.close()
+
+    def test_eviction_tracks_disk_hits_through_write_behind(self, tmp_path):
+        # A row hit through get() must have its timestamp refreshed by
+        # the *next flush*, not immediately — and still survive eviction.
+        store = self._filled_store(tmp_path, rows=6)
+        assert store.get("components", ("row", 4)) is not None
+        assert store._touched  # pending timestamp refresh
+        removed = store.vacuum(max_entries=1)  # vacuum flushes first
+        assert removed == 5
+        assert store.get("components", ("row", 4)) == [4, 5]
+        store.close()
+
+    def test_close_auto_vacuums_under_env_bound(self, tmp_path, monkeypatch):
+        store = self._filled_store(tmp_path, rows=20)
+        path = store.directory
+        monkeypatch.setenv(store_module.MAX_ENTRIES_ENV, "5")
+        store.close()
+        monkeypatch.delenv(store_module.MAX_ENTRIES_ENV)
+        reopened = PersistentStore(path)
+        assert sum(reopened.entry_counts().values()) == 5
+        reopened.close()
+
+    def test_cli_vacuum_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = self._filled_store(tmp_path, rows=12)
+        directory = store.directory
+        store.close()
+        assert main(["cache", "vacuum", "--cache-dir", directory,
+                     "--max-entries", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 8 entries" in out
+        reopened = PersistentStore(directory)
+        assert sum(reopened.entry_counts().values()) == 4
+        reopened.close()

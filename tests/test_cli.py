@@ -184,3 +184,76 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestCompileSubcommand:
+    def test_compile_reports_circuit_shape_and_value(self, capsys):
+        out = run(capsys, "compile", "forall x. exists y. R(x, y)", "4")
+        assert "kind    fo2" in out
+        assert "nodes" in out and "depth" in out
+        assert out.strip().endswith("(at the given weights)")
+        assert str((2 ** 4 - 1) ** 4) in out
+
+    def test_compile_lineage_method_and_weights(self, capsys):
+        out = run(capsys, "compile", "exists y. S(y)", "3",
+                  "--method", "lineage", "--weight", "S=1/2,1")
+        assert "kind    lineage" in out
+        # 2^3 total mass minus the all-absent world at (1/2, 1) weights.
+        assert "19/8" in out
+
+    def test_compile_persist_writes_the_circuits_namespace(self, capsys,
+                                                           tmp_path):
+        cache_dir = str(tmp_path / "cli-circ")
+        run(capsys, "compile", "exists x. P(x)", "2", "--persist",
+            "--cache-dir", cache_dir)
+        out = run(capsys, "cache", "stats", "--cache-dir", cache_dir)
+        assert "circuits" in out
+
+
+class TestSweepSubcommand:
+    ARGS = ("sweep", "forall x, y. (R(x) | S(x, y))", "3",
+            "--vary", "R", "--values", "1/2,1,2")
+
+    def test_sweep_prints_one_line_per_value(self, capsys):
+        out = run(capsys, *self.ARGS)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[1].split("\t") == ["1", "729"]
+
+    def test_compiled_sweep_is_identical(self, capsys):
+        direct = run(capsys, *self.ARGS)
+        compiled = run(capsys, *self.ARGS, "--compile")
+        assert compiled == direct
+
+    def test_unknown_vary_predicate_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "exists x. P(x)", "2", "--vary", "Q",
+                  "--values", "1,2"])
+
+    def test_malformed_values_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "exists x. P(x)", "2", "--vary", "P",
+                  "--values", "1,zebra"])
+
+
+class TestPhaseSavingFlag:
+    def test_no_phase_saving_leaves_the_count_unchanged(self, capsys):
+        default = run(capsys, "count", "forall x, y. (R(x) | S(x, y))", "3")
+        ablated = run(capsys, "count", "forall x, y. (R(x) | S(x, y))", "3",
+                      "--no-phase-saving")
+        assert ablated == default == "729"
+
+
+class TestBatchCompileFlag:
+    def test_batch_compile_matches_direct(self, capsys):
+        argv = ("batch", "forall x. exists y. R(x, y)", "1", "2", "3")
+        direct = run(capsys, *argv)
+        compiled = run(capsys, *argv, "--compile")
+        assert compiled == direct
+
+
+class TestStatsIncludesCompile:
+    def test_stats_prints_compile_section(self, capsys):
+        out = run(capsys, "stats", "exists x. P(x)", "2")
+        assert "compile" in out
+        assert "trace_templates" in out

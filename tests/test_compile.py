@@ -1,0 +1,438 @@
+"""Tests for the knowledge-compilation subsystem (``repro.compile``).
+
+Layers: white-box units for the circuit IR (hash-consing, folding,
+evaluation, gradients, smoothing, serialization), equivalence of
+compiled circuits with direct counting across the CNF / formula /
+lineage / FO2 entry points, exact gradient validation against
+interpolated derivatives, persistence through the on-disk store, and
+the solver-level ``compile=`` fast paths.
+"""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.compile import (
+    CircuitBuilder,
+    Circuit,
+    clear_compile_cache,
+    compile_cnf,
+    compile_formula,
+    compile_lineage,
+    compile_stats,
+    compile_wfomc,
+)
+from repro.cache import decode_value, encode_value
+from repro.logic.parser import parse
+from repro.logic.vocabulary import WeightedVocabulary
+from repro.propositional.cnf import CNF
+from repro.propositional.counter import (
+    EngineStats,
+    engine_stats,
+    reset_engine,
+    wmc_cnf,
+    wmc_formula,
+)
+from repro.propositional.formula import pand, pnot, por, pvar
+from repro.utils import polynomial_interpolate
+from repro.weights import WeightPair
+from repro.wfomc.bruteforce import wfomc_lineage
+from repro.wfomc.solver import (
+    probability,
+    wfomc,
+    wfomc_batch,
+    wfomc_weight_sweep,
+)
+
+
+def _cnf(clauses, num_vars):
+    cnf = CNF()
+    for v in range(1, num_vars + 1):
+        cnf.var_for(v)
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def _pairs_fn(pairs):
+    return lambda label: pairs[label - 1]
+
+
+class TestCircuitBuilder:
+    def test_hash_consing_shares_structurally_equal_nodes(self):
+        b = CircuitBuilder()
+        x1 = b.lit("x", True)
+        x2 = b.lit("x", True)
+        assert x1 == x2
+        p1 = b.times([x1, b.lit("y", False)])
+        p2 = b.times([b.lit("y", False), x1])  # commutative: same node
+        assert p1 == p2
+
+    def test_constant_folding(self):
+        b = CircuitBuilder()
+        x = b.lit("x", True)
+        assert b.times([b.const(2), b.const(3)]) == b.const(6)
+        assert b.times([x, b.const(0)]) == b.const(0)
+        assert b.times([x, b.const(1)]) == x
+        assert b.plus([x, b.const(0)]) == x
+        assert b.plus([b.const(2), b.const(-2)]) == b.const(0)
+        assert b.pow(x, 0) == b.const(1)
+        assert b.pow(x, 1) == x
+        assert b.pow(b.const(3), 4) == b.const(81)
+
+    def test_duplicate_children_are_powers_not_sets(self):
+        b = CircuitBuilder()
+        x = b.lit("x", True)
+        square = b.times([x, x])
+        circuit = b.build(square)
+        assert circuit.evaluate({"x": (3, 1)}) == 9
+
+    def test_empty_operators(self):
+        b = CircuitBuilder()
+        assert b.times([]) == b.const(1)
+        assert b.plus([]) == b.const(0)
+
+    def test_is_zero(self):
+        b = CircuitBuilder()
+        assert b.is_zero(b.const(0))
+        assert not b.is_zero(b.const(2))
+        assert not b.is_zero(b.lit("x", True))
+
+
+class TestCircuitEvaluation:
+    def _example(self):
+        # (x + ~x * tot(y)) * 3 ^ see manual value below
+        b = CircuitBuilder()
+        x = b.lit("x", True)
+        nx = b.lit("x", False)
+        ty = b.tot("y")
+        node = b.plus([b.times([x, b.tot("y")]),
+                       b.times([nx, ty])])
+        root = b.times([node, b.const(3)])
+        return b.build(root)
+
+    def test_evaluate_matches_manual_computation(self):
+        c = self._example()
+        weights = {"x": (Fraction(1, 2), 2), "y": (5, -1)}
+        # (1/2 * 4 + 2 * 4) * 3 = 30
+        assert c.evaluate(weights) == 30
+
+    def test_gradient_matches_hand_derivative(self):
+        c = self._example()
+        weights = {"x": (Fraction(1, 2), 2), "y": (5, -1)}
+        value, grads = c.gradient(weights)
+        assert value == 30
+        # d/dw_x = tot(y) * 3 = 12; d/dwbar_x likewise 12
+        assert grads["x"] == (12, 12)
+        # d/dw_y = d/dwbar_y = (w_x + wbar_x) * 3 = 15/2
+        assert grads["y"] == (Fraction(15, 2), Fraction(15, 2))
+
+    def test_gradient_handles_zero_valued_product_children(self):
+        b = CircuitBuilder()
+        root = b.times([b.lit("x", True), b.lit("y", True)])
+        c = b.build(root)
+        value, grads = c.gradient({"x": (0, 1), "y": (7, 1)})
+        assert value == 0
+        assert grads["x"] == (7, 0)  # the cofactor, no division by zero
+        assert grads["y"] == (0, 0)
+
+    def test_pow_gradient(self):
+        b = CircuitBuilder()
+        c = b.build(b.pow(b.lit("x", True), 3))
+        value, grads = c.gradient({"x": (Fraction(2), 1)})
+        assert value == 8
+        assert grads["x"] == (12, 0)  # 3 * x^2
+
+    def test_degree_and_depth_and_stats(self):
+        c = self._example()
+        assert c.degree("x") == 1
+        assert c.degree("y") == 1
+        stats = c.stats()
+        assert stats["nodes"] == len(c)
+        assert stats["depth"] == c.depth()
+        assert stats["vars"] == 2
+
+    def test_evaluate_batch(self):
+        c = self._example()
+        w1 = {"x": (1, 1), "y": (1, 1)}
+        w2 = {"x": (2, 0), "y": (0, 3)}
+        assert c.evaluate_batch([w1, w2]) == [c.evaluate(w1), c.evaluate(w2)]
+
+
+class TestSmoothing:
+    def test_unsmooth_plus_is_detected_and_repaired(self):
+        b = CircuitBuilder()
+        root = b.plus([b.lit("x", True), b.lit("y", True)])
+        c = b.build(root)
+        assert not c.is_smooth()
+        smoothed = c.smooth()
+        assert smoothed.is_smooth()
+        # Each branch gained the other variable's total factor.
+        weights = {"x": (2, 3), "y": (5, 7)}
+        assert smoothed.evaluate(weights) == 2 * (5 + 7) + 5 * (2 + 3)
+
+    def test_traced_circuits_are_smooth_by_construction(self):
+        cnf = _cnf([(1, 2), (-2, 3), (1, -3)], 4)
+        circuit = compile_cnf(cnf)
+        assert circuit.is_smooth()
+        # Smoothing an already-smooth circuit changes nothing observable.
+        weights = {v: (Fraction(1, 3), 2) for v in range(1, 5)}
+        assert circuit.smooth().evaluate(weights) == circuit.evaluate(weights)
+
+
+class TestSerialization:
+    def test_payload_roundtrip_through_store_codec(self):
+        cnf = _cnf([(1, 2), (-1, 3), (2, -3)], 3)
+        circuit = compile_cnf(cnf)
+        payload = decode_value(encode_value(circuit.to_payload()))
+        restored = Circuit.from_payload(payload)
+        weights = {v: (Fraction(2, 3), -1) for v in range(1, 4)}
+        assert restored.evaluate(weights) == circuit.evaluate(weights)
+        value, grads = restored.gradient(weights)
+        assert (value, grads) == circuit.gradient(weights)
+
+    def test_foreign_payloads_degrade_to_none(self):
+        assert Circuit.from_payload(None) is None
+        assert Circuit.from_payload(("other", 1, 0, ())) is None
+        assert Circuit.from_payload(("accirc", 999, 0, ())) is None
+
+
+def _enumeration(clauses, pairs):
+    total = Fraction(0)
+    for bits in itertools.product((False, True), repeat=len(pairs)):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in c) for c in clauses):
+            weight = Fraction(1)
+            for bit, pair in zip(bits, pairs):
+                weight *= pair[0] if bit else pair[1]
+            total += weight
+    return total
+
+
+class TestCompileCNF:
+    def test_matches_wmc_cnf_at_many_weights(self):
+        clauses = [(1, 2, -3), (-1, 4), (2, 3), (-4, -2, 1)]
+        cnf = _cnf(clauses, 5)  # variable 5 occurs in no clause
+        circuit = compile_cnf(cnf)
+        for pairs in (
+            [WeightPair(1, 1)] * 5,
+            [WeightPair(Fraction(1, 2), 2), WeightPair(0, 1),
+             WeightPair(1, -1), WeightPair(3, Fraction(-1, 3)),
+             WeightPair(2, 5)],
+        ):
+            direct = wmc_cnf(cnf, lambda v: pairs[v - 1], engine_cache={},
+                             stats=EngineStats())
+            compiled = circuit.evaluate(lambda v: tuple(pairs[v - 1]))
+            assert compiled == direct
+            assert (compiled.numerator, compiled.denominator) == (
+                direct.numerator, direct.denominator)
+
+    def test_contradictory_cnf_compiles_to_zero(self):
+        cnf = _cnf([(1,), ()], 2)
+        assert compile_cnf(cnf).evaluate({1: (1, 1), 2: (1, 1)}) == 0
+
+    def test_empty_cnf_counts_unconstrained_mass(self):
+        cnf = _cnf([], 2)
+        assert compile_cnf(cnf).evaluate({1: (2, 3), 2: (1, 4)}) == 25
+
+    def test_tseitin_auxiliaries_are_baked_out(self):
+        # A non-clausal formula forces the Tseitin path in to_cnf.
+        formula = por(pand(pvar("a"), pvar("b")),
+                      pand(pvar("c"), pnot(pvar("a"))))
+        circuit = compile_formula(formula)
+        assert set(circuit.leaf_keys()) <= {"a", "b", "c"}
+        for w in ((1, 1), (Fraction(1, 2), Fraction(1, 3))):
+            weights = {label: w for label in ("a", "b", "c")}
+            direct = wmc_formula(formula, lambda label: WeightPair(*w))
+            assert circuit.evaluate(weights) == direct
+
+    def test_gradient_is_exact_on_multilinear_wmc(self):
+        # WMC is degree-1 in every (w_v, wbar_v) coordinate, so central
+        # differences are *exactly* the derivative — no tolerance.
+        clauses = [(1, -2), (2, 3), (-1, -3), (1, 2, 3)]
+        cnf = _cnf(clauses, 3)
+        circuit = compile_cnf(cnf)
+        pairs = [(Fraction(2, 3), 1), (Fraction(-1, 2), 2), (3, Fraction(1, 5))]
+        value, grads = circuit.gradient(_pairs_fn(pairs))
+        assert value == _enumeration(clauses, pairs)
+        h = Fraction(1, 9)
+        for v in (1, 2, 3):
+            for side in (0, 1):
+                def shifted(delta):
+                    def fn(u):
+                        if u == v:
+                            pair = list(pairs[u - 1])
+                            pair[side] += delta
+                            return tuple(pair)
+                        return pairs[u - 1]
+                    return fn
+                fd = (circuit.evaluate(shifted(h))
+                      - circuit.evaluate(shifted(-h))) / (2 * h)
+                assert fd == grads[v][side]
+
+
+class TestCompileLineage:
+    def test_matches_wfomc_lineage_across_weight_vectors(self):
+        sentence = parse("forall x, y. (R(x) | S(x, y))")
+        circuit = compile_lineage(sentence, 3)
+        for w_r, w_s in ((Fraction(1, 2), 2), (1, 1), (-1, Fraction(1, 3))):
+            wv = WeightedVocabulary.from_weights(
+                {"R": (w_r, 1), "S": (w_s, 1)}, {"R": 1, "S": 2})
+            direct = wfomc_lineage(sentence, 3, wv)
+            compiled = circuit.evaluate(
+                lambda label: tuple(wv.weight(label[0])))
+            assert compiled == direct
+
+    def test_template_cache_shares_isomorphic_components(self):
+        reset_engine()
+        sentence = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+        compile_lineage(sentence, 3)
+        stats = engine_stats()
+        # Symmetric lineages re-encounter renamed copies of the same
+        # component: the canonical templates must be reused.
+        assert stats["trace_template_hits"] > 0
+
+
+class TestCompileWFOMC:
+    SENTENCES = [
+        ("forall x. exists y. R(x, y)", 3),
+        ("forall x. (P(x) | exists y. (R(x, y) & ~P(y)))", 2),
+        ("exists x. forall y. (R(x, y) | x = y)", 3),
+    ]
+
+    @pytest.mark.parametrize("text,n", SENTENCES)
+    def test_fo2_and_lineage_kinds_agree_with_the_solver(self, text, n):
+        sentence = parse(text)
+        weighted = WeightedVocabulary.uniform(
+            WeightedVocabulary.counting(sentence).vocabulary,
+            WeightPair(Fraction(1, 2), Fraction(3, 2)))
+        reference = wfomc(sentence, n, weighted, method="lineage")
+        for method in ("auto", "fo2", "lineage"):
+            compiled = compile_wfomc(sentence, n, method=method)
+            assert compiled.evaluate(weighted) == reference
+
+    def test_kind_dispatch(self):
+        fo2 = compile_wfomc(parse("forall x. exists y. R(x, y)"), 2)
+        assert fo2.kind == "fo2"
+        three_var = compile_wfomc(
+            parse("forall x, y, z. (R(x, y) | R(y, z))"), 2)
+        assert three_var.kind == "lineage"
+
+    def test_domain_size_zero_routes_to_lineage(self):
+        sentence = parse("forall x. exists y. R(x, y)")
+        compiled = compile_wfomc(sentence, 0, method="fo2")
+        assert compiled.kind == "lineage"
+        assert compiled.evaluate(WeightedVocabulary.counting(sentence)) == 1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            compile_wfomc(parse("exists x. P(x)"), 2, method="enumerate")
+
+    def test_compiled_cache_hits(self):
+        clear_compile_cache()
+        sentence = parse("forall x. exists y. R(x, y)")
+        first = compile_wfomc(sentence, 3)
+        second = compile_wfomc(sentence, 3)
+        assert first is second
+        stats = compile_stats()
+        assert stats["compiled"] == 1
+        assert stats["circuits"]["hits"] >= 1
+
+    def test_gradient_matches_interpolated_derivative(self):
+        # WFOMC is a polynomial in each predicate's w coordinate; the
+        # derivative read off d+1 evaluation points by exact Lagrange
+        # interpolation must equal the circuit gradient exactly.
+        sentence = parse("forall x, y. (R(x, y) | R(y, x))")
+        for method in ("fo2", "lineage"):
+            compiled = compile_wfomc(sentence, 3, method=method)
+            base = WeightedVocabulary.from_weights(
+                {"R": (Fraction(1, 2), Fraction(2, 3))}, {"R": 2})
+            value, grads = compiled.gradient(base)
+            assert value == wfomc(sentence, 3, base, method="lineage")
+            degree = 9 + 1  # at most n**2 atoms, degree <= 9; margin
+            points = []
+            for t in range(degree + 1):
+                shifted = base.with_weight(
+                    "R", WeightPair(Fraction(1, 2) + t, Fraction(2, 3)))
+                points.append((t, compiled.evaluate(shifted)))
+            coefficients = polynomial_interpolate(points)
+            assert coefficients[1] == grads["R"][0]
+
+
+class TestPersistence:
+    def test_circuits_roundtrip_through_the_store(self, tmp_path):
+        cache_dir = str(tmp_path / "circ-store")
+        sentence = parse("forall x, y. (R(x) | S(x, y))")
+        wv = WeightedVocabulary.from_weights(
+            {"R": (Fraction(1, 2), 1), "S": (2, 1)}, {"R": 1, "S": 2})
+        clear_compile_cache()
+        first = compile_wfomc(sentence, 3, method="lineage", persist=True,
+                              cache_dir=cache_dir)
+        expected = first.evaluate(wv)
+        from repro.cache import open_store
+
+        open_store(cache_dir).flush()
+        # A cold in-memory state must be served from disk.
+        clear_compile_cache()
+        reset_engine()
+        second = compile_wfomc(sentence, 3, method="lineage", persist=True,
+                               cache_dir=cache_dir)
+        assert compile_stats()["compile_store_hits"] == 1
+        assert second.evaluate(wv) == expected
+
+    def test_store_serves_fo2_circuits_with_fixed_pairs(self, tmp_path):
+        cache_dir = str(tmp_path / "fo2-store")
+        sentence = parse("forall x. exists y. R(x, y)")
+        wv = WeightedVocabulary.from_weights({"R": (Fraction(1, 3), 2)},
+                                             {"R": 2})
+        clear_compile_cache()
+        first = compile_wfomc(sentence, 3, persist=True, cache_dir=cache_dir)
+        expected = first.evaluate(wv)
+        from repro.cache import open_store
+
+        open_store(cache_dir).flush()
+        clear_compile_cache()
+        second = compile_wfomc(sentence, 3, persist=True, cache_dir=cache_dir)
+        assert second.kind == "fo2"
+        assert second.fixed_pairs == first.fixed_pairs
+        assert second.evaluate(wv) == expected
+
+
+class TestSolverFastPaths:
+    def test_weight_sweep_compile_is_bit_identical(self):
+        sentence = parse("forall x, y. (R(x) | S(x, y))")
+        arities = {"R": 1, "S": 2}
+        vocabularies = [
+            WeightedVocabulary.from_weights(
+                {"R": (Fraction(k, 2), 1), "S": (1, 1)}, arities)
+            for k in range(1, 6)
+        ]
+        direct = wfomc_weight_sweep(sentence, 3, vocabularies,
+                                    method="lineage", via_polynomial=False)
+        compiled = wfomc_weight_sweep(sentence, 3, vocabularies,
+                                      method="lineage", compile=True)
+        assert compiled == direct
+        for a, b in zip(compiled, direct):
+            assert (a.numerator, a.denominator) == (b.numerator, b.denominator)
+
+    def test_batch_compile_matches_direct(self):
+        sentence = parse("forall x. exists y. R(x, y)")
+        direct = wfomc_batch(sentence, [1, 2, 3])
+        compiled = wfomc_batch(sentence, [1, 2, 3], compile=True)
+        assert compiled == direct
+
+    def test_probability_compile_matches_direct(self):
+        sentence = parse("exists x. P(x)")
+        wv = WeightedVocabulary.from_weights(
+            {"P": (Fraction(1, 3), Fraction(2, 3))}, {"P": 1})
+        assert (probability(sentence, 3, wv, compile=True)
+                == probability(sentence, 3, wv))
+
+    def test_enumerate_method_ignores_compile(self):
+        sentence = parse("exists x. P(x)")
+        assert (wfomc_weight_sweep(
+                    sentence, 2, [WeightedVocabulary.counting(sentence)],
+                    method="enumerate", compile=True)
+                == wfomc_weight_sweep(
+                    sentence, 2, [WeightedVocabulary.counting(sentence)],
+                    method="enumerate"))

@@ -1,12 +1,16 @@
 """Differential fuzzing across every counting configuration.
 
 After three engine rewrites (component caching, watched literals, CDCL)
-the correctness surface is wide: any of the search knobs, the parallel
-mode, or the persistent cache could in principle drift from the others.
-This suite pins them together: for hypothesis-generated propositional
-CNFs and small FO2 sentences, the CDCL engine, the learning-free engine,
-brute-force enumeration, and persist-on (cold *and* disk-warm) /
-persist-off runs must produce bit-identical exact counts.
+and the knowledge-compilation subsystem, the correctness surface is
+wide: any of the search knobs, the parallel mode, the persistent cache,
+or the circuit compiler could in principle drift from the others.  This
+suite pins them together: for hypothesis-generated propositional CNFs
+and small FO2 sentences, the CDCL engine, the learning-free engine,
+phase-saving on/off, brute-force enumeration, persist-on (cold *and*
+disk-warm) / persist-off runs, and compiled-circuit evaluation (cold
+*and* template-cache-warm) must produce bit-identical exact counts —
+and circuit gradients must equal finite differences on rational
+perturbations (exactly: WMC is multilinear per variable).
 
 A seeded deterministic corpus of random 3-CNFs and FO2 sentences rides
 along as a regression net: it reruns the same instances every time (no
@@ -20,6 +24,7 @@ from fractions import Fraction
 import pytest
 from hypothesis import given, settings
 
+from repro.compile import compile_cnf, compile_wfomc, clear_compile_cache
 from repro.grounding.lineage import clear_grounding_caches
 from repro.propositional.cnf import CNF
 from repro.propositional.counter import EngineStats, reset_engine, wmc_cnf
@@ -66,9 +71,11 @@ def _count_all_ways(cnf, pairs, cache_dir):
     """The counted value under every engine configuration.
 
     Returns ``{name: Fraction}`` for: the default CDCL engine, the MOMS
-    branching ablation, the learning-free engine, a persist-on run
-    (writing the store), and a persist-on run with a *fresh in-memory
-    cache* (so every component it reuses comes back from disk).
+    branching ablation, the learning-free engine, the phase-saving
+    ablation, a persist-on run (writing the store), a persist-on run
+    with a *fresh in-memory cache* (so every component it reuses comes
+    back from disk), and compiled-circuit evaluation from a cold trace
+    (fresh template cache) and a cache-warm one.
     """
     weight_of = lambda v: pairs[v - 1]  # noqa: E731
     results = {}
@@ -76,11 +83,16 @@ def _count_all_ways(cnf, pairs, cache_dir):
         ("cdcl", {}),
         ("moms-branching", {"branching": "moms"}),
         ("no-learn", {"learn": False}),
+        ("no-phase-saving", {"phase_saving": False}),
         ("persist-cold", {"persist": True, "cache_dir": cache_dir}),
         ("persist-warm", {"persist": True, "cache_dir": cache_dir}),
     ):
         results[name] = wmc_cnf(cnf, weight_of, engine_cache={},
                                 stats=EngineStats(), **kwargs)
+    circuit_weights = lambda v: tuple(pairs[v - 1])  # noqa: E731
+    reset_engine()  # compiled-cold: empty trace-template cache
+    results["compiled-cold"] = compile_cnf(cnf).evaluate(circuit_weights)
+    results["compiled-warm"] = compile_cnf(cnf).evaluate(circuit_weights)
     return results
 
 
@@ -127,6 +139,25 @@ class TestFO2Differential:
             clear_solver_caches()
             got = wfomc(sentence, n, wv, **kwargs)
             assert got == reference, name
+        # Compiled circuits, cold and cache-warm, for both kinds.
+        for method in ("fo2", "lineage"):
+            reset_engine()
+            clear_grounding_caches()
+            clear_solver_caches()
+            clear_compile_cache()
+            try:
+                compiled = compile_wfomc(sentence, n, wv.vocabulary,
+                                         method=method)
+            except Exception as exc:  # NotFO2Error from strict fo2 mode
+                from repro.errors import NotFO2Error
+
+                if method == "fo2" and isinstance(exc, NotFO2Error):
+                    continue
+                raise
+            assert compiled.evaluate(wv) == reference, (
+                "compiled-cold", method)
+            warm = compile_wfomc(sentence, n, wv.vocabulary, method=method)
+            assert warm.evaluate(wv) == reference, ("compiled-warm", method)
 
 
 # -- seeded deterministic regression corpus ----------------------------------
@@ -203,3 +234,63 @@ class TestSeededRegressionCorpus:
             clear_grounding_caches()
             clear_solver_caches()
             assert wfomc(sentence, 3, **kwargs) == reference
+
+
+class TestCircuitGradientDifferential:
+    """Circuit gradients vs finite differences on rational perturbations.
+
+    WMC is multilinear in each variable's ``(w, wbar)`` coordinate, so a
+    central difference is not an approximation but the *exact*
+    derivative — the comparison is ``==``, no tolerance anywhere.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(clauses=cnf_clause_lists(num_vars=5, max_clauses=10),
+           wvs=weighted_vocabularies())
+    def test_gradient_equals_central_difference(self, clauses, wvs):
+        num_vars = 5
+        named = list(wvs.items())
+        pairs = [tuple(named[v % len(named)][1]) for v in range(num_vars)]
+        cnf = _cnf_from_clauses(clauses, num_vars)
+        circuit = compile_cnf(cnf)
+        weight_fn = lambda v: pairs[v - 1]  # noqa: E731
+        value, grads = circuit.gradient(weight_fn)
+        assert value == circuit.evaluate(weight_fn)
+        h = Fraction(1, 5)
+        for v in circuit.leaf_keys():
+            for side in (0, 1):
+                def shifted(delta, v=v, side=side):
+                    def fn(u):
+                        if u == v:
+                            pair = list(pairs[u - 1])
+                            pair[side] += delta
+                            return tuple(pair)
+                        return pairs[u - 1]
+                    return fn
+                derivative = (circuit.evaluate(shifted(h))
+                              - circuit.evaluate(shifted(-h))) / (2 * h)
+                assert derivative == grads[v][side], (v, side)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sentence=fo2_sentences(), wv=weighted_vocabularies())
+    def test_fo2_circuit_gradient_matches_interpolated_derivative(
+            self, sentence, wv):
+        # Per-predicate WFOMC gradients have polynomial degree up to the
+        # number of ground atoms; exact Lagrange interpolation over
+        # degree+1 points recovers the derivative with no tolerance.
+        from repro.utils import polynomial_interpolate
+
+        n = 2
+        compiled = compile_wfomc(sentence, n, wv.vocabulary)
+        value, grads = compiled.gradient(wv)
+        assert value == wfomc(sentence, n, wv, method="enumerate")
+        name = next(iter(p.name for p in wv.vocabulary))
+        arity = next(p.arity for p in wv.vocabulary if p.name == name)
+        degree = n ** arity
+        base = wv.weight(name)
+        points = []
+        for t in range(degree + 2):
+            shifted = wv.with_weight(name, WeightPair(base.w + t, base.wbar))
+            points.append((t, compiled.evaluate(shifted)))
+        coefficients = polynomial_interpolate(points)
+        assert coefficients[1] == grads[name][0]

@@ -15,6 +15,7 @@ EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = [
     "quickstart",
     "mln_smokers",
+    "mln_weight_learning",
     "knowledge_base",
     "zero_one_laws",
     "lifted_rules_limits",

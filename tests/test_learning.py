@@ -1,0 +1,158 @@
+"""Tests for circuit-based MLN weight learning (``repro.mln.learning``).
+
+The headline property: feeding the learner the *exact* model
+distribution of a known MLN as weighted observations makes the true
+weights a stationary point of the likelihood (moment matching), so the
+gradient vanishes **exactly** there — a rational identity, asserted
+with ``==`` — and gradient ascent started elsewhere recovers the
+weights.  Gradients are additionally validated against finite
+differences of the log-likelihood on rational perturbations.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import HARD, MLN, parse
+from repro.grounding.structures import all_structures
+from repro.mln import (
+    mln_average_log_likelihood,
+    mln_likelihood_gradient,
+    mln_weight_learn,
+    reduction_template,
+)
+
+
+def _model_distribution(mln, n):
+    """The MLN's exact world distribution as weighted observations."""
+    worlds = []
+    partition = Fraction(0)
+    for structure in all_structures(mln.vocabulary, n):
+        weight = mln.world_weight(structure)
+        if weight:
+            worlds.append((weight, structure))
+            partition += weight
+    return [(weight / partition, structure) for weight, structure in worlds]
+
+
+def _smokers(w_implies, w_smokes):
+    return MLN([
+        (w_implies, parse("Smokes(x) & Friends(x, y) -> Smokes(y)")),
+        (w_smokes, parse("Smokes(x)")),
+        (HARD, parse("forall x. ~Friends(x, x)")),
+    ])
+
+
+class TestGradient:
+    def test_gradient_vanishes_exactly_at_the_generating_weights(self):
+        true_mln = MLN([(Fraction(1, 2), parse("Smokes(x)"))])
+        observations = _model_distribution(true_mln, 2)
+        gradient = mln_likelihood_gradient(true_mln, observations, 2)
+        assert gradient == [Fraction(0)]
+
+    def test_smokers_gradient_vanishes_at_the_truth(self):
+        true_mln = _smokers(3, Fraction(1, 2))
+        observations = _model_distribution(true_mln, 2)
+        gradient = mln_likelihood_gradient(true_mln, observations, 2)
+        assert gradient == [Fraction(0), Fraction(0)]
+
+    def test_gradient_matches_finite_differences(self):
+        true_mln = _smokers(3, Fraction(1, 2))
+        observations = _model_distribution(true_mln, 2)
+        mln = _smokers(2, Fraction(1, 4))
+        gradient = mln_likelihood_gradient(mln, observations, 2)
+        h = Fraction(1, 512)
+        for i in range(2):
+            def shifted(delta, i=i):
+                constraints = []
+                for j, c in enumerate(mln.constraints):
+                    if not c.is_hard() and j == i:
+                        constraints.append((c.weight + delta, c.formula))
+                    else:
+                        constraints.append(c)
+                return MLN(constraints)
+
+            fd = (mln_average_log_likelihood(shifted(h), observations, 2)
+                  - mln_average_log_likelihood(shifted(-h), observations, 2)
+                  ) / (2 * float(h))
+            assert abs(float(gradient[i]) - fd) < 1e-3
+
+    def test_weight_one_initialization_is_rejected(self):
+        mln = MLN([(1, parse("Smokes(x)"))])
+        with pytest.raises(ValueError):
+            mln_likelihood_gradient(mln, _model_distribution(
+                MLN([(2, parse("Smokes(x)"))]), 2), 2)
+
+
+class TestWeightLearning:
+    def test_recovers_single_weight_exactly_enough(self):
+        true_mln = MLN([(Fraction(1, 2), parse("Smokes(x)"))])
+        observations = _model_distribution(true_mln, 2)
+        init = MLN([(Fraction(1, 4), parse("Smokes(x)"))])
+        result = mln_weight_learn(init, observations, 2, steps=120,
+                                  learning_rate=Fraction(1, 2))
+        assert abs(result.weights[0] - Fraction(1, 2)) < Fraction(1, 50)
+        assert result.converged or result.steps_taken == 120
+
+    def test_recovers_smokers_weights(self):
+        true_mln = _smokers(3, Fraction(1, 2))
+        observations = _model_distribution(true_mln, 2)
+        init = _smokers(2, Fraction(1, 4))
+        result = mln_weight_learn(init, observations, 2, steps=300,
+                                  learning_rate=Fraction(1))
+        assert abs(result.weights[0] - 3) < Fraction(1, 5)
+        assert abs(result.weights[1] - Fraction(1, 2)) < Fraction(1, 20)
+        # Likelihood improved over the initialization.
+        assert (mln_average_log_likelihood(result.mln, observations, 2)
+                > mln_average_log_likelihood(init, observations, 2))
+        # Hard constraints survive untouched, soft weights moved.
+        assert len(result.mln.hard_constraints()) == 1
+        assert result.history  # per-step snapshots for inspection
+
+    def test_iterates_stay_on_their_side_of_the_pole(self):
+        # A below-1 weight must never cross the w = 1 reduction pole,
+        # however aggressive the learning rate.
+        true_mln = MLN([(Fraction(1, 2), parse("Smokes(x)"))])
+        observations = _model_distribution(true_mln, 2)
+        init = MLN([(Fraction(9, 10), parse("Smokes(x)"))])
+        result = mln_weight_learn(init, observations, 2, steps=30,
+                                  learning_rate=Fraction(50))
+        for _step, weights in result.history:
+            assert 0 < weights[0] < 1
+
+    def test_bare_structures_are_accepted_as_observations(self):
+        mln = MLN([(2, parse("Smokes(x)"))])
+        worlds = [s for _w, s in _model_distribution(mln, 1)]
+        gradient = mln_likelihood_gradient(mln, worlds, 1)
+        assert len(gradient) == 1
+
+    def test_no_soft_constraints_is_a_noop(self):
+        mln = MLN([(HARD, parse("forall x. ~Friends(x, x)"))])
+        worlds = [s for _w, s in _model_distribution(
+            MLN([(2, parse("Friends(x, y)")),
+                 (HARD, parse("forall x. ~Friends(x, x)"))]), 1)]
+        result = mln_weight_learn(mln, worlds, 1)
+        assert result.converged and result.weights == []
+
+
+class TestReductionTemplate:
+    def test_keep_all_soft_retains_weight_one_constraints(self):
+        mln = MLN([(1, parse("P(x)")), (2, parse("Q(x)"))])
+        _gamma, dropped, _wv = reduction_template(mln)
+        _gamma, kept, _wv = reduction_template(mln, keep_all_soft=True)
+        assert len(dropped) == 1
+        assert len(kept) == 2
+
+    def test_template_matches_legacy_reduction(self):
+        from repro.mln import reduce_to_wfomc
+
+        mln = _smokers(3, Fraction(1, 2))
+        reduction = reduce_to_wfomc(mln)
+        gamma, entries, _wv = reduction_template(mln)
+        assert gamma == reduction.gamma
+        names = {name for _c, name, _a in entries}
+        reduced_names = {
+            p.name for p in reduction.weighted_vocabulary.vocabulary
+            if p.name not in {q.name for q in mln.vocabulary}
+        }
+        assert names == reduced_names
