@@ -28,6 +28,12 @@ caches): the compiled route must win by at least ``--compile-floor``
 (default 2x) with bit-identical results — the amortization property of
 :mod:`repro.compile`.  Disable with ``--skip-compile``.
 
+The *evaluation-backend* gate serves the compiled Theta_1 k=32 sweep
+through the ``codegen`` and ``batched`` backends in steady state: each
+must beat the exact row interpreter by at least ``--backend-floor``
+(default 5x) with bit-identical results, and the ``float`` backend's
+tracked error bound must hold.  Disable with ``--skip-backends``.
+
 Usage::
 
     python benchmarks/check_regression.py --baseline BENCH_engine_v3.json
@@ -196,6 +202,60 @@ def check_compile(compile_floor):
           "(floor {:.1f}x)".format(compile_floor))
 
 
+def check_backends(backend_floor):
+    """Steady-state backend serving vs the exact row interpreter.
+
+    The tentpole gate of the evaluation-backend subsystem: on the
+    compiled Theta_1 k=32 sweep, the ``codegen`` and ``batched``
+    backends must each be at least ``backend_floor`` times faster than
+    the row interpreter with bit-identical counts, and the ``float``
+    backend must stay within its tracked error bound.  One retry
+    absorbs scheduler noise, exactly like the other wall-clock gates.
+    """
+    from bench_backends import measure_backends
+
+    result = measure_backends()
+    retried = False
+    failures = []
+    for name in ("codegen", "batched"):
+        entry = result["backends"][name]
+        if not entry["bit_identical"]:
+            raise SystemExit(
+                "{} backend counts differ from the exact interpreter — "
+                "the backend evaluated to a wrong value".format(name))
+        if entry["speedup"] < backend_floor and not retried:
+            retried = True
+            result = measure_backends()
+            entry = result["backends"][name]
+            if not entry["bit_identical"]:
+                raise SystemExit(
+                    "{} backend counts differ from the exact "
+                    "interpreter".format(name))
+        status = "FAIL" if entry["speedup"] < backend_floor else "ok"
+        print(
+            "{:32s} exact {:.4f}s  {} {:.4f}s  speedup {:.2f}x  "
+            "(floor {:.1f}x)  [{}]".format(
+                "backend_{}_vs_exact".format(name), result["exact_s"],
+                name, entry["seconds"], entry["speedup"], backend_floor,
+                status))
+        if entry["speedup"] < backend_floor:
+            failures.append(name)
+    float_err = result["backends"]["float"]["max_rel_error"]
+    if float_err > 1e-9:
+        raise SystemExit(
+            "float backend relative error {:.3e} exceeds its decision "
+            "threshold — the fallback machinery is broken".format(float_err))
+    print("{:32s} max relative error {:.3e}  [ok]".format(
+        "backend_float_error", float_err))
+    if failures:
+        raise SystemExit(
+            "backend serving below {:.1f}x over the row interpreter "
+            "(confirmed twice) on: {}".format(
+                backend_floor, ", ".join(failures)))
+    print("evaluation-backend serving check passed (floor {:.1f}x)".format(
+        backend_floor))
+
+
 def main():
     here = os.path.dirname(os.path.abspath(__file__))
     sys.path.insert(0, here)  # for bench_parallel
@@ -233,12 +293,24 @@ def main():
         "--skip-compile", action="store_true",
         help="skip the knowledge-compilation amortization gate",
     )
+    parser.add_argument(
+        "--backend-floor", type=float, default=5.0,
+        help="minimum steady-state speedup of the codegen and batched "
+             "backends over the exact row interpreter on the compiled "
+             "Theta_1 k=32 sweep (default 5.0)",
+    )
+    parser.add_argument(
+        "--skip-backends", action="store_true",
+        help="skip the evaluation-backend serving gate",
+    )
     args = parser.parse_args()
     check(args.baseline, args.tolerance, args.ablation_floor)
     if not args.skip_persist:
         check_persist(args.persist_floor)
     if not args.skip_compile:
         check_compile(args.compile_floor)
+    if not args.skip_backends:
+        check_backends(args.backend_floor)
 
 
 if __name__ == "__main__":

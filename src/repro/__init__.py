@@ -44,6 +44,7 @@ from .errors import (
     UnsupportedFormulaError,
     WeightError,
 )
+from .options import SolverOptions
 from .weights import WeightPair, ONE_ONE, SKOLEM, from_probability
 from .logic import (
     Predicate,
@@ -93,6 +94,7 @@ __all__ = [
     "DomainSizeError",
     "WeightError",
     "EncodingError",
+    "SolverOptions",
     "WeightPair",
     "ONE_ONE",
     "SKOLEM",

@@ -31,7 +31,11 @@ search is configurable: ``--branching {evsids,moms}`` picks the
 decision heuristic, ``--no-learn`` disables clause learning (the
 pre-CDCL engine), ``--max-learned N`` bounds the learned-clause
 database, and ``--no-phase-saving`` disables backjump polarity memory.
-None of these change the counted value.
+None of these change the counted value.  ``--backend
+{exact,batched,float,codegen}`` picks the circuit-evaluation backend of
+the compiled fast path (and implies ``--compile`` where that applies);
+all flags are gathered into one :class:`repro.SolverOptions` object and
+threaded through the solver stack as-is.
 
 Examples::
 
@@ -40,6 +44,8 @@ Examples::
     python -m repro batch "forall x, y. (R(x) | S(x, y))" 1 2 3 4
     python -m repro sweep "forall x, y. (R(x) | S(x, y))" 3 --vary R \
         --values "1/2,1,3/2,2" --compile
+    python -m repro sweep "forall x, y. (R(x) | S(x, y))" 3 --vary R \
+        --values "1/2,1,3/2,2" --backend codegen
     python -m repro compile "forall x. exists y. R(x, y)" 6
     python -m repro cache vacuum --max-entries 100000
     python -m repro count "forall x, y, z. (R(x, y) | S(y, z))" 4 --workers 4
@@ -63,6 +69,7 @@ from .asymptotics.zero_one import mu_n
 from .logic.parser import parse
 from .logic.syntax import predicates_of
 from .logic.vocabulary import Vocabulary, Predicate, WeightedVocabulary
+from .options import BACKEND_NAMES, SolverOptions
 from .propositional.counter import engine_stats
 from .weights import WeightPair
 from .wfomc.solver import fomc, probability, solver_cache_stats, wfomc, wfomc_batch
@@ -167,6 +174,16 @@ def build_parser():
             metavar="DIR",
             help="persistent cache location (default: $REPRO_CACHE_DIR "
                  "or ~/.cache/repro)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=BACKEND_NAMES,
+            default=None,
+            help="circuit-evaluation backend for the compiled fast path "
+                 "(implies --compile where that applies): exact row "
+                 "interpreter, batched multi-weight pass, float64 with "
+                 "tracked error bounds and exact fallback, or per-circuit "
+                 "generated code",
         )
 
     p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
@@ -371,16 +388,20 @@ def _print_stats_pretty(stream=None):
 
 
 def _engine_options(args):
-    return {
-        "workers": getattr(args, "workers", None),
-        "branching": getattr(args, "branching", None),
-        "learn": False if getattr(args, "no_learn", False) else None,
-        "max_learned": getattr(args, "max_learned", None),
-        "persist": True if getattr(args, "persist", False) else None,
-        "cache_dir": getattr(args, "cache_dir", None),
-        "phase_saving": (False if getattr(args, "no_phase_saving", False)
-                         else None),
-    }
+    """The parsed command line as one :class:`SolverOptions` object."""
+    return SolverOptions(
+        method=getattr(args, "method", "auto"),
+        workers=getattr(args, "workers", None),
+        branching=getattr(args, "branching", None),
+        learn=False if getattr(args, "no_learn", False) else None,
+        max_learned=getattr(args, "max_learned", None),
+        persist=True if getattr(args, "persist", False) else None,
+        cache_dir=getattr(args, "cache_dir", None),
+        phase_saving=(False if getattr(args, "no_phase_saving", False)
+                      else None),
+        compile=True if getattr(args, "compile", False) else None,
+        backend=getattr(args, "backend", None),
+    )
 
 
 def _cache_main(args):
@@ -447,14 +468,13 @@ def main(argv=None):
 
     options = _engine_options(args)
     if args.command == "count":
-        print(fomc(formula, args.n, method=args.method, **options))
+        print(fomc(formula, args.n, options=options))
     elif args.command == "wfomc":
         wv = _weighted_vocabulary(formula, args.weight)
-        print(wfomc(formula, args.n, wv, method=args.method, **options))
+        print(wfomc(formula, args.n, wv, options=options))
     elif args.command == "batch":
         wv = _weighted_vocabulary(formula, args.weight)
-        results = wfomc_batch(formula, args.ns, wv, method=args.method,
-                              compile=args.compile, **options)
+        results = wfomc_batch(formula, args.ns, wv, options=options)
         for n, value in results.items():
             print("{}\t{}".format(n, value))
     elif args.command == "sweep":
@@ -472,8 +492,7 @@ def main(argv=None):
         vocabularies = [base.with_weight(args.vary, WeightPair(value, wbar))
                         for value in values]
         results = wfomc_weight_sweep(formula, args.n, vocabularies,
-                                     method=args.method,
-                                     compile=args.compile, **options)
+                                     options=options)
         for value, count in zip(values, results):
             print("{}\t{}".format(value, count))
     elif args.command == "compile":
@@ -493,12 +512,11 @@ def main(argv=None):
         print("value   {}  (at the given weights)".format(value))
     elif args.command == "probability":
         wv = _weighted_vocabulary(formula, args.weight)
-        value = probability(formula, args.n, wv, method=args.method,
-                            **options)
+        value = probability(formula, args.n, wv, options=options)
         print("{} (~{:.6f})".format(value, float(value)))
     elif args.command == "stats":
         wv = _weighted_vocabulary(formula, args.weight)
-        value = wfomc(formula, args.n, wv, method=args.method, **options)
+        value = wfomc(formula, args.n, wv, options=options)
         print("result  {}".format(value))
         _print_stats_pretty()
     elif args.command == "spectrum":

@@ -34,6 +34,15 @@ circuits live in the ``circuits`` namespace of the on-disk store
 (:mod:`repro.cache`) keyed on the weight-independent instance identity.
 """
 
+from .backends import (
+    BatchedBackend,
+    CodegenBackend,
+    EvalBackend,
+    ExactBackend,
+    FloatBackend,
+    backend_stats,
+    get_backend,
+)
 from .circuit import CIRCUIT_FORMAT, Circuit, CircuitBuilder
 from .trace import CIRCUITS_NS, compile_cnf, compile_formula, compile_lineage
 from .wfomc import (
@@ -49,6 +58,13 @@ __all__ = [
     "Circuit",
     "CircuitBuilder",
     "CompiledWFOMC",
+    "EvalBackend",
+    "ExactBackend",
+    "BatchedBackend",
+    "FloatBackend",
+    "CodegenBackend",
+    "get_backend",
+    "backend_stats",
     "compile_cnf",
     "compile_formula",
     "compile_lineage",

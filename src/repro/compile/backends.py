@@ -1,0 +1,436 @@
+"""Circuit-evaluation backends: one `EvalBackend` API, four strategies.
+
+The row interpreter of :meth:`~repro.compile.circuit.Circuit._forward`
+is the semantic reference — exact, simple, and the differential oracle
+everything else is tested against.  This module puts it behind a small
+strategy interface and adds three hardware-fast alternatives:
+
+``exact``
+    the row interpreter itself (the default everywhere);
+``batched``
+    K weight vectors through a *single* pass over the node rows.
+    Columns whose leaves do not vary across the batch collapse to
+    scalars computed once — in a weight sweep only one or two predicates
+    vary, so most of the circuit is evaluated once instead of K times.
+    Exact arithmetic, bit-identical to ``exact``;
+``codegen``
+    per-circuit generated Python (:mod:`repro.compile.codegen`):
+    ``evaluate`` runs a compiled straight-line function, and
+    ``evaluate_many`` a *staged* batch function specialized on the
+    sweep's varying-leaf pattern.  Exact arithmetic, bit-identical to
+    ``exact``, and the fastest serving path (the CI gate pins its
+    speedup over the interpreter on the Θ₁ k=32 sweep);
+``float``
+    a float64 forward pass carrying a per-node absolute error bound
+    (standard running error analysis with unit roundoff ``u = 2**-53``).
+    When the bound at the root is small relative to the value the float
+    is returned directly; when it crosses the decision threshold — or
+    the computation overflows to non-finite — the backend **falls back
+    to the exact interpreter automatically**, so callers never see an
+    unqualified wrong answer.
+
+Backends are stateless singletons resolved by :func:`get_backend` from a
+name (see :data:`repro.options.BACKEND_NAMES`) or passed as instances
+for custom strategies.  Module counters (:func:`backend_stats`) expose
+how often each path ran and how often float fell back.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from .circuit import _exact
+from .codegen import (
+    CODEGEN_NODE_LIMIT,
+    batch_evaluator,
+    leaf_slots,
+    scalar_evaluator,
+)
+
+__all__ = [
+    "EvalBackend",
+    "ExactBackend",
+    "BatchedBackend",
+    "FloatBackend",
+    "CodegenBackend",
+    "get_backend",
+    "backend_stats",
+    "clear_backend_stats",
+]
+
+_LIT = "L"
+_TOT = "T"
+_CONST = "C"
+_TIMES = "*"
+_PLUS = "+"
+_POW = "^"
+
+#: Unit roundoff of IEEE-754 binary64.
+_U = 2.0 ** -53
+
+_COUNTERS = {
+    "exact_evaluations": 0,
+    "batched_batches": 0,
+    "codegen_evaluations": 0,
+    "codegen_batches": 0,
+    "codegen_store_hits": 0,
+    "float_evaluations": 0,
+    "float_fallbacks": 0,
+}
+
+
+def backend_stats():
+    """Evaluation counters of the backend layer (copies)."""
+    return dict(_COUNTERS)
+
+
+def clear_backend_stats():
+    for name in _COUNTERS:
+        _COUNTERS[name] = 0
+
+
+def leaf_values(keys, pair_of):
+    """The flat leaf-value list codegen/batched functions consume:
+    two entries per key (``w`` then ``wbar``), normalized by
+    :func:`~repro.compile.circuit._exact` exactly as the interpreter
+    normalizes leaves (integer-valued weights stay machine ints)."""
+    flat = []
+    for key in keys:
+        w, wbar = pair_of(key)
+        flat.append(_exact(w))
+        flat.append(_exact(wbar))
+    return flat
+
+
+def _leaf_columns(keys, pair_fns):
+    """Per-slot value columns across a batch of weight assignments.
+
+    ``_exact`` normalization is memoized by pair-object identity: a
+    symmetric pair function returns one tuple per *predicate* (see
+    :meth:`~repro.compile.wfomc.CompiledWFOMC._pair_fn`), so the
+    normalization runs once per predicate instead of once per ground
+    atom.  The memo keeps a reference to each pair, so an id cannot be
+    recycled while it is a key — and the ``is`` check re-verifies the
+    match before trusting a cached entry.
+    """
+    columns = [[] for _ in range(2 * len(keys))]
+    memo = {}
+    for pair_of in pair_fns:
+        for j, key in enumerate(keys):
+            pair = pair_of(key)
+            cached = memo.get(id(pair))
+            if cached is None or cached[0] is not pair:
+                w, wbar = pair
+                cached = memo[id(pair)] = (pair, _exact(w), _exact(wbar))
+            columns[2 * j].append(cached[1])
+            columns[2 * j + 1].append(cached[2])
+    return columns
+
+
+def _varying_slots(columns):
+    # list.count scans in C — cheaper than a Python-level any() on the
+    # mostly-uniform columns of a weight sweep.
+    return frozenset(
+        i for i, col in enumerate(columns)
+        if col.count(col[0]) != len(col))
+
+
+class EvalBackend:
+    """Strategy interface for evaluating a circuit at weight pairs.
+
+    ``pair_of`` arguments are already-normalized callables
+    ``key -> (w, wbar)`` (see
+    :func:`~repro.compile.circuit._pair_lookup`); ``store`` is an open
+    persistent store or ``None`` — only codegen uses it (to persist
+    generated source next to the circuit it serves).
+    """
+
+    name = "abstract"
+
+    def evaluate(self, circuit, pair_of, store=None):
+        raise NotImplementedError
+
+    def evaluate_many(self, circuit, pair_fns, store=None):
+        return [self.evaluate(circuit, pf, store=store) for pf in pair_fns]
+
+
+class ExactBackend(EvalBackend):
+    """The row interpreter: the exact reference everything agrees with."""
+
+    name = "exact"
+
+    def evaluate(self, circuit, pair_of, store=None):
+        _COUNTERS["exact_evaluations"] += 1
+        return Fraction(circuit._forward(pair_of)[circuit.root])
+
+
+class BatchedBackend(EvalBackend):
+    """K weight vectors per node-row pass, uniform columns collapsed.
+
+    A node's column across the batch is materialized only when one of
+    its leaf dependencies actually varies; everything else is computed
+    once as a scalar.  Exact arithmetic throughout — results are
+    bit-identical to :class:`ExactBackend` in the same order.
+    """
+
+    name = "batched"
+
+    def evaluate(self, circuit, pair_of, store=None):
+        # A batch of one has nothing to share; use the interpreter.
+        return _EXACT.evaluate(circuit, pair_of, store=store)
+
+    def evaluate_many(self, circuit, pair_fns, store=None):
+        if not pair_fns:
+            return []
+        _COUNTERS["batched_batches"] += 1
+        keys = circuit.leaf_keys()
+        columns = _leaf_columns(keys, pair_fns)
+        varying = _varying_slots(columns)
+        out = _batched_forward(circuit, columns, varying)
+        if not isinstance(out, list):
+            out = [out] * len(pair_fns)
+        return [Fraction(v) for v in out]
+
+
+def _batched_forward(circuit, columns, varying_slots):
+    """The staged batch interpreter: column lists for varying nodes,
+    scalars for uniform ones.  Returns the root column (or scalar)."""
+    slot = leaf_slots(circuit)
+    rows = circuit.rows
+    flags = [False] * len(rows)
+    vals = [None] * len(rows)
+    for i, row in enumerate(rows):
+        tag = row[0]
+        if tag == _LIT:
+            idx = 2 * slot[row[1]] + (0 if row[2] else 1)
+            if idx in varying_slots:
+                flags[i] = True
+                vals[i] = columns[idx]
+            else:
+                vals[i] = columns[idx][0]
+        elif tag == _TOT:
+            base = 2 * slot[row[1]]
+            if base in varying_slots or base + 1 in varying_slots:
+                flags[i] = True
+                vals[i] = [a + b for a, b in
+                           zip(columns[base], columns[base + 1])]
+            else:
+                vals[i] = columns[base][0] + columns[base + 1][0]
+        elif tag == _CONST:
+            vals[i] = row[1]
+        elif tag == _TIMES or tag == _PLUS:
+            kids = row[1]
+            varying = [c for c in kids if flags[c]]
+            if not varying:
+                if tag == _TIMES:
+                    v = 1
+                    for c in kids:
+                        v *= vals[c]
+                        if v == 0:
+                            break
+                else:
+                    v = 0
+                    for c in kids:
+                        v += vals[c]
+                vals[i] = v
+                continue
+            flags[i] = True
+            if tag == _TIMES:
+                s = 1
+                for c in kids:
+                    if not flags[c]:
+                        s *= vals[c]
+                col = list(vals[varying[0]])
+                if s != 1:
+                    col = [s * x for x in col]
+                for c in varying[1:]:
+                    other = vals[c]
+                    col = [x * y for x, y in zip(col, other)]
+            else:
+                s = 0
+                for c in kids:
+                    if not flags[c]:
+                        s += vals[c]
+                col = list(vals[varying[0]])
+                if s != 0:
+                    col = [s + x for x in col]
+                for c in varying[1:]:
+                    other = vals[c]
+                    col = [x + y for x, y in zip(col, other)]
+            vals[i] = col
+        else:  # _POW
+            c, e = row[1], row[2]
+            if flags[c]:
+                flags[i] = True
+                vals[i] = [x ** e for x in vals[c]]
+            else:
+                vals[i] = vals[c] ** e
+    return vals[circuit.root]
+
+
+class FloatBackend(EvalBackend):
+    """Float64 forward pass with a tracked absolute error bound.
+
+    Every node carries ``(value, bound)`` where ``bound`` is a rigorous
+    absolute bound on ``|float value - exact value|`` built by running
+    error analysis (each float operation contributes the propagated
+    child bounds plus one rounding of ``|result| * u``).  ``evaluate``
+    returns a *float*; when the root bound exceeds
+    ``rel_tol * max(|value|, abs_floor)`` — the decision threshold — or
+    the pass leaves finite range, the backend transparently recomputes
+    through the exact interpreter and returns that value as a float
+    (counted in ``float_fallbacks``).
+
+    Use :meth:`evaluate_bounds` to observe ``(value, bound)`` directly;
+    the differential tests check ``|value - exact| <= bound``.
+    """
+
+    name = "float"
+
+    def __init__(self, rel_tol=1e-9, abs_floor=1e-300):
+        self.rel_tol = rel_tol
+        self.abs_floor = abs_floor
+
+    def evaluate_bounds(self, circuit, pair_of):
+        """``(value, bound)`` of the float pass; ``(nan, inf)`` when the
+        computation leaves finite range."""
+        result = _float_forward(circuit, pair_of)
+        if result is None:
+            return (float("nan"), float("inf"))
+        return result
+
+    def evaluate(self, circuit, pair_of, store=None):
+        _COUNTERS["float_evaluations"] += 1
+        value, bound = self.evaluate_bounds(circuit, pair_of)
+        if (math.isfinite(value)
+                and bound <= self.rel_tol * max(abs(value), self.abs_floor)):
+            return value
+        _COUNTERS["float_fallbacks"] += 1
+        return float(_EXACT.evaluate(circuit, pair_of, store=store))
+
+
+def _to_float(value):
+    try:
+        return float(value)
+    except OverflowError:
+        return math.inf if value > 0 else -math.inf
+
+
+def _float_forward(circuit, pair_of):
+    """Float values + absolute error bounds per node; None on overflow."""
+    rows = circuit.rows
+    vals = [0.0] * len(rows)
+    errs = [0.0] * len(rows)
+    for i, row in enumerate(rows):
+        tag = row[0]
+        if tag == _LIT:
+            w, wbar = pair_of(row[1])
+            v = _to_float(_exact(w if row[2] else wbar))
+            e = abs(v) * _U  # one conversion rounding
+        elif tag == _TOT:
+            w, wbar = pair_of(row[1])
+            a = _to_float(_exact(w))
+            b = _to_float(_exact(wbar))
+            v = a + b
+            e = (abs(a) + abs(b)) * _U + abs(v) * _U
+        elif tag == _CONST:
+            v = _to_float(row[1])
+            e = abs(v) * _U
+        elif tag == _TIMES:
+            v, e = 1.0, 0.0
+            for c in row[1]:
+                cv, ce = vals[c], errs[c]
+                nv = v * cv
+                e = abs(v) * ce + abs(cv) * e + e * ce + abs(nv) * _U
+                v = nv
+        elif tag == _PLUS:
+            v, e = 0.0, 0.0
+            for c in row[1]:
+                v += vals[c]
+                e += errs[c] + abs(v) * _U
+        else:  # _POW
+            c, k = row[1], row[2]
+            cv, ce = vals[c], errs[c]
+            v = cv ** k
+            # |(x+d)^k - x^k| <= (|x|+d)^k - |x|^k, plus k-1 roundings.
+            e = (abs(cv) + ce) ** k - abs(cv) ** k + abs(v) * _U * (k - 1)
+        if not (math.isfinite(v) and math.isfinite(e)):
+            return None
+        vals[i] = v
+        errs[i] = e
+    return vals[circuit.root], errs[circuit.root]
+
+
+class CodegenBackend(EvalBackend):
+    """Generated-and-``compile()``d Python per circuit.
+
+    ``evaluate`` runs the straight-line scalar function of
+    :func:`~repro.compile.codegen.scalar_evaluator`; ``evaluate_many``
+    the staged batch function specialized on which leaf slots vary
+    across the batch.  Both are cached on the circuit and (with a
+    store) persisted as validated source in the ``circuits`` namespace.
+    Exact arithmetic — bit-identical to :class:`ExactBackend`.
+
+    Circuits beyond :data:`~repro.compile.codegen.CODEGEN_NODE_LIMIT`
+    nodes are served by the interpreter backends instead (``compile()``
+    of a function that long costs more than it saves).
+    """
+
+    name = "codegen"
+
+    def evaluate(self, circuit, pair_of, store=None):
+        if len(circuit.rows) > CODEGEN_NODE_LIMIT:
+            return _EXACT.evaluate(circuit, pair_of, store=store)
+        _COUNTERS["codegen_evaluations"] += 1
+        fn, keys, from_store = scalar_evaluator(circuit, store=store)
+        if from_store:
+            _COUNTERS["codegen_store_hits"] += 1
+        return Fraction(fn(leaf_values(keys, pair_of)))
+
+    def evaluate_many(self, circuit, pair_fns, store=None):
+        if not pair_fns:
+            return []
+        if len(circuit.rows) > CODEGEN_NODE_LIMIT:
+            return _BATCHED.evaluate_many(circuit, pair_fns, store=store)
+        _COUNTERS["codegen_batches"] += 1
+        keys = circuit.leaf_keys()
+        columns = _leaf_columns(keys, pair_fns)
+        varying = _varying_slots(columns)
+        fn, _keys, from_store = batch_evaluator(circuit, varying, store=store)
+        if from_store:
+            _COUNTERS["codegen_store_hits"] += 1
+        out = fn(columns)
+        if not isinstance(out, list):
+            out = [out] * len(pair_fns)
+        return [Fraction(v) for v in out]
+
+
+_EXACT = ExactBackend()
+_BATCHED = BatchedBackend()
+
+_REGISTRY = {
+    "exact": _EXACT,
+    "batched": _BATCHED,
+    "float": FloatBackend(),
+    "codegen": CodegenBackend(),
+}
+
+
+def get_backend(spec):
+    """Resolve a backend name (or instance, or ``None``) to a backend.
+
+    Names come from :data:`repro.options.BACKEND_NAMES`; instances pass
+    through, so callers can supply a tuned :class:`FloatBackend` or a
+    custom strategy.
+    """
+    if spec is None:
+        return _EXACT
+    if isinstance(spec, EvalBackend):
+        return spec
+    backend = _REGISTRY.get(spec)
+    if backend is None:
+        raise ValueError(
+            "unknown evaluation backend {!r}; expected one of {} or an "
+            "EvalBackend instance".format(spec, tuple(_REGISTRY)))
+    return backend

@@ -304,11 +304,24 @@ class Circuit:
     backward scan.  Construct circuits through :class:`CircuitBuilder`.
     """
 
-    __slots__ = ("rows", "root")
+    __slots__ = ("rows", "root", "_runtime")
 
     def __init__(self, rows, root):
         self.rows = rows
         self.root = root
+        self._runtime = None
+
+    @property
+    def runtime_cache(self):
+        """Per-circuit scratch space for evaluation backends.
+
+        Holds compiled codegen functions and staged batch evaluators
+        (:mod:`repro.compile.codegen`); lazily created, never
+        serialized — :meth:`to_payload` carries only ``rows``/``root``.
+        """
+        if self._runtime is None:
+            self._runtime = {}
+        return self._runtime
 
     # -- inspection --------------------------------------------------------
 
@@ -414,18 +427,42 @@ class Circuit:
                 vals[i] = vals[row[1]] ** row[2]
         return vals
 
-    def evaluate(self, weights):
-        """Exact value at one weight assignment.
+    def evaluate(self, weights, backend=None, store=None):
+        """Value at one weight assignment.
 
         ``weights`` maps each leaf key to its ``(w, wbar)`` pair (a
-        mapping or a callable).  Returns a :class:`Fraction`, bit-
-        identical to what direct counting computes at the same weights.
+        mapping or a callable).  With the default (exact) backend this
+        returns a :class:`Fraction`, bit-identical to what direct
+        counting computes at the same weights.  ``backend`` selects an
+        evaluation backend by name (``"exact"``, ``"batched"``,
+        ``"float"``, ``"codegen"``) or instance — see
+        :mod:`repro.compile.backends`; the ``"float"`` backend returns a
+        float with a tracked error bound (falling back to exact
+        arithmetic when the bound is unacceptable), all others are
+        bit-identical to exact.
         """
-        return Fraction(self._forward(_pair_lookup(weights))[self.root])
+        if backend is None:
+            return Fraction(self._forward(_pair_lookup(weights))[self.root])
+        from .backends import get_backend
+        return get_backend(backend).evaluate(
+            self, _pair_lookup(weights), store=store)
+
+    def evaluate_many(self, weight_list, backend=None, store=None):
+        """Values at many weight assignments, in input order.
+
+        The batched/codegen backends serve all K assignments in a
+        single staged pass over the node rows (uniform columns collapse
+        to scalars), which is where the sweep-serving speedup lives.
+        """
+        if backend is None:
+            return [self.evaluate(w) for w in weight_list]
+        from .backends import get_backend
+        return get_backend(backend).evaluate_many(
+            self, [_pair_lookup(w) for w in weight_list], store=store)
 
     def evaluate_batch(self, weight_list):
-        """Values at many weight assignments (one forward pass each)."""
-        return [self.evaluate(w) for w in weight_list]
+        """Deprecated alias of :meth:`evaluate_many` (exact backend)."""
+        return self.evaluate_many(weight_list)
 
     def gradient(self, weights):
         """``(value, grads)`` with ``grads[key] == (d/dw, d/dwbar)``.

@@ -100,20 +100,52 @@ class CompiledWFOMC:
 
             return pair_of
 
+        # Lineage leaves are ground atoms (pred, args) but symmetric
+        # weights depend on the predicate alone — memoize per name so a
+        # batch over many atoms pays one lookup per predicate.
+        by_name = {}
+
         def pair_of(label):
-            pair = weighted_vocabulary.weight(label[0])
-            return (pair.w, pair.wbar)
+            name = label[0]
+            pair = by_name.get(name)
+            if pair is None:
+                wp = weighted_vocabulary.weight(name)
+                pair = by_name[name] = (wp.w, wp.wbar)
+            return pair
 
         return pair_of
 
-    def evaluate(self, weighted_vocabulary):
-        """``WFOMC(formula, n)`` at the given weights (exact Fraction)."""
+    def evaluate(self, weighted_vocabulary, backend=None, store=None):
+        """``WFOMC(formula, n)`` at the given weights.
+
+        Exact (:class:`Fraction`) under the default backend; ``backend``
+        selects an evaluation backend by name or instance (see
+        :mod:`repro.compile.backends` — the exact backends are
+        bit-identical, ``"float"`` returns a float with automatic exact
+        fallback).  ``store`` lets the codegen backend persist its
+        generated source next to the circuit.
+        """
         _COMPILE_COUNTERS["evaluations"] += 1
-        return self.circuit.evaluate(self._pair_fn(weighted_vocabulary))
+        return self.circuit.evaluate(self._pair_fn(weighted_vocabulary),
+                                     backend=backend, store=store)
+
+    def evaluate_many(self, weight_vocabularies, backend=None, store=None):
+        """Counts for many weighted vocabularies, in input order.
+
+        The batched/codegen backends serve the whole batch in one
+        staged pass over the circuit — the sweep-serving fast path.
+        """
+        pair_fns = [self._pair_fn(wv) for wv in weight_vocabularies]
+        _COMPILE_COUNTERS["evaluations"] += len(pair_fns)
+        if backend is None:
+            return [self.circuit.evaluate(pf) for pf in pair_fns]
+        from .backends import get_backend
+        return get_backend(backend).evaluate_many(self.circuit, pair_fns,
+                                                  store=store)
 
     def evaluate_batch(self, weight_vocabularies):
-        """Counts for many weighted vocabularies, in input order."""
-        return [self.evaluate(wv) for wv in weight_vocabularies]
+        """Deprecated alias of :meth:`evaluate_many` (exact backend)."""
+        return self.evaluate_many(weight_vocabularies)
 
     def gradient(self, weighted_vocabulary):
         """``(value, {pred: (d/dw, d/dwbar)})`` at the given weights.
@@ -311,12 +343,17 @@ def compile_wfomc(formula, n, vocabulary=None, method="auto", persist=None,
 
     signature = vocabulary_signature(vocabulary, ordered=True)
     cache_key = (formula, n, signature, method)
+    store_key = ("wfomc", formula, n, signature, method)
     compiled = _COMPILED_CACHE.get(cache_key)
     if compiled is not None:
+        # A memory hit must still honor an explicit persist request: the
+        # cached circuit may predate it (compiled without a store).
+        store = _store_for(persist, cache_dir)
+        if store is not None and store.get(CIRCUITS_NS, store_key) is None:
+            store.put(CIRCUITS_NS, store_key, _encode_compiled(compiled))
         return compiled
 
     store = _store_for(persist, cache_dir)
-    store_key = ("wfomc", formula, n, signature, method)
     if store is not None:
         payload = store.get(CIRCUITS_NS, store_key)
         compiled = _decode_compiled(payload, formula, n)

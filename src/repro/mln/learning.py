@@ -45,6 +45,7 @@ from fractions import Fraction
 
 from ..logic.syntax import predicates_of
 from ..logic.vocabulary import Predicate, Vocabulary, WeightedVocabulary
+from ..options import SolverOptions
 from ..utils import as_fraction
 from ..weights import WeightPair
 from .model import MLN
@@ -120,7 +121,7 @@ def _data_counts(entries, weighted):
     return counts
 
 
-def _learning_setup(mln, n, method, persist, cache_dir):
+def _learning_setup(mln, n, opts):
     """Frozen reduction template + compiled partition circuit."""
     from ..compile import compile_wfomc
 
@@ -128,8 +129,8 @@ def _learning_setup(mln, n, method, persist, cache_dir):
     arities = predicates_of(gamma)
     vocabulary = Vocabulary(Predicate(name, arity)
                             for name, arity in sorted(arities.items()))
-    compiled = compile_wfomc(gamma, n, vocabulary, method=method,
-                             persist=persist, cache_dir=cache_dir)
+    compiled = compile_wfomc(gamma, n, vocabulary, method=opts.method,
+                             **opts.store_kwargs())
     return entries, vocabulary, compiled
 
 
@@ -180,17 +181,18 @@ def _gradient_at(compiled, vocabulary, entries, weights, counts, total, n):
     return gradient, value
 
 
-def mln_likelihood_gradient(mln, observations, n, method="auto",
-                            persist=None, cache_dir=None):
+def mln_likelihood_gradient(mln, observations, n, options=None, **legacy):
     """The exact average-log-likelihood gradient at the MLN's weights.
 
     Returns one Fraction per *soft* constraint (in constraint order).
     Exposed separately so the gradient can be validated against finite
-    differences of the likelihood on rational perturbations.
+    differences of the likelihood on rational perturbations.  The
+    gradient pass is always exact (the circuit's reverse mode carries
+    Fractions regardless of ``options.backend``).
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     weighted, total = _normalize_observations(observations)
-    entries, vocabulary, compiled = _learning_setup(mln, n, method, persist,
-                                                    cache_dir)
+    entries, vocabulary, compiled = _learning_setup(mln, n, opts)
     weights = [c.weight for c, _name, _arity in entries]
     _check_weights(weights)
     counts = _data_counts(entries, weighted)
@@ -207,23 +209,26 @@ def _log_fraction(value):
     return math.log(value.numerator) - math.log(value.denominator)
 
 
-def mln_average_log_likelihood(mln, observations, n, method="auto",
-                               persist=None, cache_dir=None):
+def mln_average_log_likelihood(mln, observations, n, options=None, **legacy):
     """The (float) average log-likelihood of the observations.
 
     ``Z`` is computed exactly through the compiled circuit and the
     reduction identity ``Z = G * prod (w_i - 1)^{n^{a_i}}``; only the
     final logarithms are floating point, so this is a readout for
     monitoring and finite-difference checks, not a counting result.
+    The exact evaluation backends (``"codegen"``, ``"batched"``) are
+    honored; the ``"float"`` backend is not (the log readout needs the
+    exact partition value) and falls back to exact.
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     weighted, total = _normalize_observations(observations)
-    entries, vocabulary, compiled = _learning_setup(mln, n, method, persist,
-                                                    cache_dir)
+    entries, vocabulary, compiled = _learning_setup(mln, n, opts)
     weights = [c.weight for c, _name, _arity in entries]
     _check_weights(weights)
     counts = _data_counts(entries, weighted)
     wv = _weighted_vocabulary(vocabulary, entries, weights)
-    value = compiled.evaluate(wv)
+    backend = opts.backend if opts.backend != "float" else None
+    value = compiled.evaluate(wv, backend=backend)
     partition = value
     for i, (_c, _name, arity) in enumerate(entries):
         partition *= (weights[i] - 1) ** (n ** arity)
@@ -236,8 +241,7 @@ def mln_average_log_likelihood(mln, observations, n, method="auto",
 
 def mln_weight_learn(mln, observations, n, *, steps=80,
                      learning_rate=Fraction(1, 8), tolerance=Fraction(1, 5000),
-                     method="auto", persist=None, cache_dir=None,
-                     max_denominator=_MAX_DENOMINATOR):
+                     options=None, max_denominator=_MAX_DENOMINATOR, **legacy):
     """Learn the MLN's soft weights by exact gradient ascent.
 
     ``mln`` supplies the structure and the *initial* soft weights;
@@ -249,15 +253,22 @@ def mln_weight_learn(mln, observations, n, *, steps=80,
     to a circuit **once**; each of the up-to-``steps`` iterations costs
     one circuit gradient pass, never a new count search.
 
+    ``options`` is a :class:`~repro.options.SolverOptions` (legacy
+    ``method=``/``persist=``/``cache_dir=`` keywords keep working and
+    are deprecated); it configures compilation and persistence.  The
+    gradient passes themselves always run exact (reverse mode carries
+    Fractions — ``options.backend`` accelerates the forward-only entry
+    points, not the ascent).
+
     Steps that would cross the reduction pole at ``w = 1`` (or 0) are
     halved until they stay on the initial side, and iterates are
     rationalized to ``max_denominator``.  Returns an
     :class:`MLNLearnResult`; the counting side stays exact throughout,
     so a run is deterministic and reproducible.
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     weighted, total = _normalize_observations(observations)
-    entries, vocabulary, compiled = _learning_setup(mln, n, method, persist,
-                                                    cache_dir)
+    entries, vocabulary, compiled = _learning_setup(mln, n, opts)
     if not entries:
         return MLNLearnResult(mln=mln, weights=[], gradient=[],
                               steps_taken=0, converged=True)

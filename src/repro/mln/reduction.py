@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..logic.syntax import Atom, conj, disj, forall
 from ..logic.vocabulary import WeightedVocabulary
+from ..options import SolverOptions
 from ..weights import WeightPair
 from ..wfomc.solver import wfomc
 
@@ -51,24 +52,37 @@ class MLNReduction:
     gamma: object
     weighted_vocabulary: WeightedVocabulary
 
-    def probability(self, query, n, method="auto", workers=None,
-                    persist=None, cache_dir=None):
+    def probability(self, query, n, options=None, **legacy):
         """``Pr_MLN(query) = WFOMC(query & gamma) / WFOMC(gamma)``.
 
         Numerator and denominator are computed over the *same* weighted
         vocabulary (covering any query-only predicates with neutral
         weights), so unconstrained atoms normalize away correctly.
-        ``workers``/``persist``/``cache_dir`` are forwarded to
+        ``options`` is a :class:`~repro.options.SolverOptions` (legacy
+        ``method=``/``workers=``/``persist=``/``cache_dir=`` keywords
+        keep working, deprecated) forwarded to
         :func:`~repro.wfomc.solver.wfomc` — with ``persist``, repeated
         queries over one MLN (or a weight sweep re-run in a fresh
         process) are served from the on-disk component cache.
+        ``options.compile``/``options.backend`` route both counts
+        through the knowledge-compilation fast path and the selected
+        circuit-evaluation backend.
         """
+        opts = SolverOptions.from_kwargs(options, **legacy)
         conditioned = conj(query, self.gamma)
         wv = self._wv_for(conditioned)
-        numerator = wfomc(conditioned, n, wv, method, workers=workers,
-                          persist=persist, cache_dir=cache_dir)
-        denominator = wfomc(self.gamma, n, wv, method, workers=workers,
-                            persist=persist, cache_dir=cache_dir)
+        if opts.compiled and opts.method != "enumerate":
+            from ..compile import compile_wfomc
+
+            num_c = compile_wfomc(conditioned, n, wv.vocabulary,
+                                  method=opts.method, **opts.store_kwargs())
+            den_c = compile_wfomc(self.gamma, n, wv.vocabulary,
+                                  method=opts.method, **opts.store_kwargs())
+            numerator = num_c.evaluate(wv, backend=opts.backend)
+            denominator = den_c.evaluate(wv, backend=opts.backend)
+        else:
+            numerator = wfomc(conditioned, n, wv, options=opts)
+            denominator = wfomc(self.gamma, n, wv, options=opts)
         if denominator == 0:
             raise ZeroDivisionError("the MLN assigns zero weight to every world")
         return numerator / denominator
@@ -134,9 +148,8 @@ def reduce_to_wfomc(mln):
     return MLNReduction(gamma=gamma, weighted_vocabulary=extended)
 
 
-def mln_probability_wfomc(mln, query, n, method="auto", workers=None,
-                          persist=None, cache_dir=None):
+def mln_probability_wfomc(mln, query, n, options=None, **legacy):
     """``Pr_MLN(query)`` computed through the WFOMC reduction."""
     reduction = reduce_to_wfomc(mln)
-    return reduction.probability(query, n, method=method, workers=workers,
-                                 persist=persist, cache_dir=cache_dir)
+    return reduction.probability(
+        query, n, options=SolverOptions.from_kwargs(options, **legacy))

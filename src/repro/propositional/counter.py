@@ -97,6 +97,7 @@ from __future__ import annotations
 import sys
 from fractions import Fraction
 
+from ..options import SolverOptions
 from ..utils import LRUCache
 from ..weights import WeightPair
 from .cnf import to_cnf
@@ -1484,13 +1485,20 @@ class CountingEngine:
             pool = _worker_pool(self.workers)
             futures = []
             try:
+                # Worker knobs travel as one picklable SolverOptions —
+                # the same object shape every public entry point takes.
+                worker_options = SolverOptions(
+                    branching=self.branching, learn=self.learn,
+                    max_learned=self.max_learned,
+                    persist=True if self.persist_dir is not None else None,
+                    cache_dir=self.persist_dir,
+                    phase_saving=self.phase_saving)
                 for key, component, var_order in pending:
                     payload = (
                         component,
                         {v: weights[v] for v in var_order},
                         {v: totals[v] for v in var_order},
-                        (self.branching, self.learn, self.max_learned,
-                         self.persist_dir, self.phase_saving),
+                        worker_options,
                     )
                     futures.append((key, pool.submit(_count_component_task, payload)))
                     stats.parallel_tasks += 1
@@ -1736,17 +1744,18 @@ def _count_component_task(payload):
     Returns ``(value, stats counters)`` — the worker's per-task counters
     travel back so the parent can report the work done in parallel mode.
     The worker's *caches* stay module-shared across its tasks; only the
-    statistics object is task-local.  When the parent persists, the
-    payload carries the cache directory and the worker reads/writes the
-    same on-disk store through its own store-backed cache front.
+    statistics object is task-local.  The payload's knobs travel as one
+    :class:`~repro.options.SolverOptions`; when the parent persists, its
+    ``cache_dir`` carries the resolved store directory and the worker
+    reads/writes the same on-disk store through its own store-backed
+    cache front.
     """
-    component, weights, totals, knobs = payload
-    branching, learn, max_learned, persist_dir, phase_saving = knobs
+    component, weights, totals, opts = payload
     cache = None
-    if persist_dir is not None:
+    if opts.persist and opts.cache_dir is not None:
         from ..cache import persistent_component_cache
 
-        cache = persistent_component_cache(persist_dir, mem=_SHARED_CACHE)
+        cache = persistent_component_cache(opts.cache_dir, mem=_SHARED_CACHE)
     limit = sys.getrecursionlimit()
     needed = min(12 * len(weights) + 1000, MAX_RECURSION_LIMIT)
     if limit < needed:
@@ -1754,9 +1763,9 @@ def _count_component_task(payload):
     try:
         stats = EngineStats()
         engine = CountingEngine(weights, totals, cache=cache, stats=stats,
-                                branching=branching, learn=learn,
-                                max_learned=max_learned,
-                                phase_saving=phase_saving)
+                                branching=opts.branching, learn=opts.learn,
+                                max_learned=opts.max_learned,
+                                phase_saving=opts.phase_saving)
         value = engine._count_component(component)
         return value, stats.as_dict()
     finally:
@@ -1767,9 +1776,8 @@ def _count_component_task(payload):
 # -- public wrappers ---------------------------------------------------------
 
 
-def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
-            branching=None, learn=None, max_learned=None, persist=None,
-            cache_dir=None, phase_saving=None):
+def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, options=None,
+            **legacy):
     """Exact WMC of a :class:`~repro.propositional.cnf.CNF`.
 
     ``weight_of_label`` maps a variable label to a
@@ -1779,10 +1787,14 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
 
     ``engine_cache``/``stats`` override the shared component cache and
     statistics (callers wanting isolation pass fresh instances).
-    ``workers`` enables process-pool counting of top-level components;
-    the result is bit-identical to a serial run.  ``branching``, ``learn``
-    and ``max_learned`` configure the conflict-driven search (see
-    :class:`CountingEngine`); they never change the counted value.
+    ``options`` is a :class:`~repro.options.SolverOptions` (legacy
+    keyword arguments — ``workers=``, ``branching=``, ``learn=``,
+    ``max_learned=``, ``persist=``, ``cache_dir=``, ``phase_saving=`` —
+    keep working and are deprecated).  ``workers`` enables process-pool
+    counting of top-level components; the result is bit-identical to a
+    serial run.  ``branching``, ``learn`` and ``max_learned`` configure
+    the conflict-driven search (see :class:`CountingEngine`); they never
+    change the counted value.
 
     ``persist`` layers the on-disk component store of
     :mod:`repro.cache` under the in-memory cache (``cache_dir``
@@ -1791,6 +1803,7 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
     it.  Persisted values are exact, so the count stays bit-identical;
     an unusable store silently degrades to in-memory caching.
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     if cnf.contradictory:
         return Fraction(0)
 
@@ -1809,19 +1822,20 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, workers=None,
         totals[v] = w + wbar
 
     persist_dir = None
-    if persist:
+    if opts.persist:
         from ..cache import persistent_component_cache
 
         mem = _SHARED_CACHE if engine_cache is None else engine_cache
-        backed = persistent_component_cache(cache_dir, mem=mem)
+        backed = persistent_component_cache(opts.cache_dir, mem=mem)
         if backed is not None:
             engine_cache = backed
             persist_dir = backed.store.directory
 
     engine = CountingEngine(weights, totals, cache=engine_cache, stats=stats,
-                            workers=workers, branching=branching, learn=learn,
-                            max_learned=max_learned, persist_dir=persist_dir,
-                            phase_saving=phase_saving)
+                            workers=opts.workers, branching=opts.branching,
+                            learn=opts.learn, max_learned=opts.max_learned,
+                            persist_dir=persist_dir,
+                            phase_saving=opts.phase_saving)
     clauses = tuple(cnf.clauses)
     # ``to_cnf`` guarantees duplicate-free, non-empty clauses.
     result = engine.run(clauses, trusted=True)
@@ -1851,9 +1865,7 @@ def cnf_for_formula(formula, universe=()):
     return cnf
 
 
-def wmc_formula(formula, weight_of_label, universe=(), workers=None,
-                branching=None, learn=None, max_learned=None, persist=None,
-                cache_dir=None, phase_saving=None):
+def wmc_formula(formula, weight_of_label, universe=(), options=None, **legacy):
     """Exact WMC of an arbitrary propositional formula.
 
     ``universe`` optionally lists labels that define the full variable set
@@ -1864,15 +1876,13 @@ def wmc_formula(formula, weight_of_label, universe=(), workers=None,
     so repeated counts of one ground formula at different weights skip
     the conversion.  The cached CNF is treated as read-only.
 
-    ``branching``/``learn``/``max_learned`` configure the conflict-driven
-    search (see :class:`CountingEngine`); the value is knob-independent.
-    ``persist``/``cache_dir`` back the component cache with the on-disk
-    store (see :func:`wmc_cnf`).
+    ``options`` is a :class:`~repro.options.SolverOptions`; legacy
+    keyword arguments keep working (deprecated — see :func:`wmc_cnf` for
+    the knobs).  The counted value is knob-independent.
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     cnf = cnf_for_formula(formula, universe)
-    return wmc_cnf(cnf, weight_of_label, workers=workers, branching=branching,
-                   learn=learn, max_learned=max_learned, persist=persist,
-                   cache_dir=cache_dir, phase_saving=phase_saving)
+    return wmc_cnf(cnf, weight_of_label, options=opts)
 
 
 def model_count(formula, universe=()):

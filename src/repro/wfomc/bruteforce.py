@@ -21,6 +21,7 @@ from ..grounding.structures import all_structures, world_weight
 from ..logic.evaluate import evaluate
 from ..logic.syntax import free_variables
 from ..logic.vocabulary import WeightedVocabulary
+from ..options import SolverOptions
 from ..propositional.counter import wmc_formula
 from ..utils import check_domain_size
 
@@ -47,38 +48,33 @@ def wfomc_enumerate(formula, n, weighted_vocabulary=None):
     return total
 
 
-def wfomc_lineage(formula, n, weighted_vocabulary=None, workers=None,
-                  branching=None, learn=None, max_learned=None, persist=None,
-                  cache_dir=None, phase_saving=None):
+def wfomc_lineage(formula, n, weighted_vocabulary=None, options=None,
+                  **legacy):
     """WFOMC via lineage grounding and exact CDCL model counting.
 
-    ``workers`` > 1 counts independent top-level lineage components on a
-    process pool; the result is bit-identical to a serial run.
-    ``branching``/``learn``/``max_learned`` configure the counting
-    engine's conflict-driven search (see
+    ``options`` is a :class:`~repro.options.SolverOptions` (legacy
+    keyword arguments — ``workers=``, ``branching=``, ``learn=``,
+    ``max_learned=``, ``persist=``, ``cache_dir=``, ``phase_saving=`` —
+    keep working and are deprecated).  ``workers`` > 1 counts
+    independent top-level lineage components on a process pool; the
+    result is bit-identical to a serial run.  The conflict-driven-search
+    knobs steer the counting engine only (see
     :class:`~repro.propositional.counter.CountingEngine`); the result is
     knob-independent.  ``persist``/``cache_dir`` back the engine's
     component cache with the on-disk store of :mod:`repro.cache`, so
     repeated runs (including separate processes) warm-start from disk.
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     _check_sentence(formula)
     check_domain_size(n)
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
     prop = lineage(formula, n)
     weight_of, universe = ground_atom_weights(wv, n)
-    return wmc_formula(prop, weight_of, universe, workers=workers,
-                       branching=branching, learn=learn,
-                       max_learned=max_learned, persist=persist,
-                       cache_dir=cache_dir, phase_saving=phase_saving)
+    return wmc_formula(prop, weight_of, universe, options=opts)
 
 
-def fomc_lineage(formula, n, workers=None, branching=None, learn=None,
-                 max_learned=None, persist=None, cache_dir=None,
-                 phase_saving=None):
+def fomc_lineage(formula, n, options=None, **legacy):
     """Unweighted first-order model count via the lineage path."""
-    result = wfomc_lineage(formula, n, workers=workers, branching=branching,
-                           learn=learn, max_learned=max_learned,
-                           persist=persist, cache_dir=cache_dir,
-                           phase_saving=phase_saving)
+    result = wfomc_lineage(formula, n, options=options, **legacy)
     assert result.denominator == 1
     return int(result)

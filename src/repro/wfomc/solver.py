@@ -41,6 +41,7 @@ from ..errors import NotFO2Error, UnsupportedFormulaError
 from ..grounding.lineage import clear_grounding_caches, grounding_cache_stats
 from ..logic.syntax import num_variables
 from ..logic.vocabulary import WeightedVocabulary
+from ..options import SolverOptions
 from ..utils import LRUCache, vocabulary_signature, weights_signature
 from .bruteforce import wfomc_enumerate, wfomc_lineage
 from .fo2 import clear_fo2_caches, fo2_cache_stats, wfomc_fo2
@@ -102,9 +103,16 @@ def clear_solver_caches():
     clear_grounding_caches()
 
 
-def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
-          branching=None, learn=None, max_learned=None, persist=None,
-          cache_dir=None, phase_saving=None):
+def _codegen_store(opts):
+    """An open store for codegen-source persistence, or ``None``."""
+    if opts.backend != "codegen" or not opts.persist:
+        return None
+    from ..compile.trace import _store_for
+
+    return _store_for(opts.persist, opts.cache_dir)
+
+
+def wfomc(formula, n, weighted_vocabulary=None, options=None, **legacy):
     """Symmetric weighted first-order model count of a sentence.
 
     Parameters
@@ -117,58 +125,45 @@ def wfomc(formula, n, weighted_vocabulary=None, method="auto", workers=None,
     weighted_vocabulary:
         A :class:`~repro.logic.vocabulary.WeightedVocabulary`; defaults to
         the unweighted vocabulary of the formula (plain model counting).
-    method:
-        ``"auto"`` (default), ``"fo2"``, ``"lineage"``, or ``"enumerate"``.
-    workers:
-        When > 1, grounded counting farms independent top-level lineage
-        components to that many worker processes.  The result is
-        bit-identical to a serial run, so it shares the result cache.
-    branching / learn / max_learned / phase_saving:
-        Conflict-driven-search knobs of the grounded counting engine
-        (``"evsids"``/``"moms"``, clause learning on/off, learned-database
-        bound, backjump phase saving); see
-        :class:`~repro.propositional.counter.CountingEngine`.
-        They steer the search only — the counted value is knob-independent,
-        so all configurations share the result cache.
-    persist / cache_dir:
-        When ``persist`` is true, the component, cardinality-polynomial,
-        and FO2 cell-table caches read through to the on-disk store of
-        :mod:`repro.cache` (at ``cache_dir``, ``$REPRO_CACHE_DIR``, or
-        ``~/.cache/repro``), shared across processes and by parallel
-        workers.  All persisted values are exact, so results are
-        bit-identical with the cache cold, warm, or absent.
+    options:
+        A :class:`~repro.options.SolverOptions` carrying every knob
+        (method, workers, engine search knobs, persistence, compilation,
+        evaluation backend) — or a bare method string as shorthand.
+        Legacy keyword arguments (``method=``, ``workers=``,
+        ``branching=``, ``learn=``, ``max_learned=``, ``persist=``,
+        ``cache_dir=``, ``phase_saving=``) keep working through
+        :meth:`~repro.options.SolverOptions.from_kwargs` and override
+        the corresponding ``options`` fields; the keyword style is
+        deprecated in favor of ``options=SolverOptions(...)``.
 
     Returns an exact :class:`~fractions.Fraction` (an ``int``-valued one
     for integer weights).  Results are cached on
     ``(formula, n, weights, method)``.
     """
-    if method not in _METHODS:
-        raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
+    opts = SolverOptions.from_kwargs(options, **legacy)
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
 
-    key = (formula, n, weights_signature(wv), method)
+    key = (formula, n, weights_signature(wv), opts.method)
     cached = _RESULT_CACHE.get(key)
     if cached is not None:
         return cached
 
-    result = _dispatch(formula, n, wv, method, workers,
-                       branching=branching, learn=learn,
-                       max_learned=max_learned, persist=persist,
-                       cache_dir=cache_dir, phase_saving=phase_saving)
+    result = _dispatch(formula, n, wv, opts)
     _RESULT_CACHE.put(key, result)
     return result
 
 
-def _dispatch(formula, n, wv, method, workers=None, branching=None,
-              learn=None, max_learned=None, persist=None, cache_dir=None,
-              phase_saving=None):
-    engine_knobs = {"branching": branching, "learn": learn,
-                    "max_learned": max_learned, "persist": persist,
-                    "cache_dir": cache_dir, "phase_saving": phase_saving}
+def _dispatch(formula, n, wv, opts):
+    """Route one instance to the best applicable algorithm.
+
+    Takes the whole :class:`~repro.options.SolverOptions` — the single
+    object threaded from every entry point down to the counting layers.
+    """
+    method = opts.method
     if method == "fo2":
-        return wfomc_fo2(formula, n, wv, persist=persist, cache_dir=cache_dir)
+        return wfomc_fo2(formula, n, wv, **opts.store_kwargs())
     if method == "lineage":
-        return wfomc_lineage(formula, n, wv, workers=workers, **engine_knobs)
+        return wfomc_lineage(formula, n, wv, options=opts)
     if method == "enumerate":
         return wfomc_enumerate(formula, n, wv)
 
@@ -177,56 +172,49 @@ def _dispatch(formula, n, wv, method, workers=None, branching=None,
     )
     if fo2_applicable:
         try:
-            return wfomc_fo2(formula, n, wv, persist=persist,
-                             cache_dir=cache_dir)
+            return wfomc_fo2(formula, n, wv, **opts.store_kwargs())
         except NotFO2Error:
             pass
-    return wfomc_lineage(formula, n, wv, workers=workers, **engine_knobs)
+    return wfomc_lineage(formula, n, wv, options=opts)
 
 
-def fomc(formula, n, method="auto", workers=None, branching=None,
-         learn=None, max_learned=None, persist=None, cache_dir=None,
-         phase_saving=None):
+def fomc(formula, n, options=None, **legacy):
     """Unweighted first-order model count (all weights ``(1, 1)``)."""
-    result = wfomc(formula, n, method=method, workers=workers,
-                   branching=branching, learn=learn, max_learned=max_learned,
-                   persist=persist, cache_dir=cache_dir,
-                   phase_saving=phase_saving)
+    result = wfomc(formula, n, options=options, **legacy)
     assert result.denominator == 1
     return int(result)
 
 
-def probability(formula, n, weighted_vocabulary=None, method="auto",
-                workers=None, branching=None, learn=None, max_learned=None,
-                persist=None, cache_dir=None, phase_saving=None,
-                compile=None):
+def probability(formula, n, weighted_vocabulary=None, options=None, **legacy):
     """Probability of the sentence in the induced distribution.
 
     ``Pr(Phi) = WFOMC(Phi, n, w, wbar) / WFOMC(true, n, w, wbar)`` — each
     tuple of relation ``R`` is present independently with probability
     ``w_R / (w_R + wbar_R)``.
 
-    ``compile=True`` serves the numerator from the knowledge-compilation
-    fast path (:func:`repro.compile.compile_wfomc`): the count structure
-    is compiled into an arithmetic circuit once per ``(formula, n)`` and
+    ``options.compile`` (or any non-default ``options.backend``) serves
+    the numerator from the knowledge-compilation fast path
+    (:func:`repro.compile.compile_wfomc`): the count structure is
+    compiled into an arithmetic circuit once per ``(formula, n)`` and
     repeated queries at different weights are circuit evaluations —
-    bit-identical to the direct path.
+    bit-identical to the direct path for the exact backends; the
+    ``"float"`` backend returns a float with a tracked error bound and
+    automatic exact fallback.
 
     Raises :class:`~repro.errors.UnsupportedFormulaError` when the
     normalization constant is zero (e.g. Skolem weights ``(1, -1)``).
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
-    if compile and method != "enumerate":
+    if opts.compiled and opts.method != "enumerate":
         from ..compile import compile_wfomc
 
-        compiled = compile_wfomc(formula, n, wv.vocabulary, method=method,
-                                 persist=persist, cache_dir=cache_dir)
-        numerator = compiled.evaluate(wv)
+        compiled = compile_wfomc(formula, n, wv.vocabulary,
+                                 method=opts.method, **opts.store_kwargs())
+        numerator = compiled.evaluate(wv, backend=opts.backend,
+                                      store=_codegen_store(opts))
     else:
-        numerator = wfomc(formula, n, wv, method=method, workers=workers,
-                          branching=branching, learn=learn,
-                          max_learned=max_learned, persist=persist,
-                          cache_dir=cache_dir, phase_saving=phase_saving)
+        numerator = wfomc(formula, n, wv, options=opts)
     denominator = wv.total_world_weight(n)
     if denominator == 0:
         raise UnsupportedFormulaError(
@@ -235,10 +223,7 @@ def probability(formula, n, weighted_vocabulary=None, method="auto",
     return numerator / denominator
 
 
-def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
-                workers=None, branching=None, learn=None, max_learned=None,
-                persist=None, cache_dir=None, phase_saving=None,
-                compile=None):
+def wfomc_batch(formula, ns, weighted_vocabulary=None, options=None, **legacy):
     """WFOMC of one sentence at many domain sizes.
 
     Returns ``{n: WFOMC(formula, n)}``.  All sizes flow through the shared
@@ -248,40 +233,46 @@ def wfomc_batch(formula, ns, weighted_vocabulary=None, method="auto",
     so a batch is substantially cheaper than independent :func:`wfomc`
     calls on a cold cache.
 
-    ``compile=True`` routes every size through the knowledge-compilation
-    fast path: each ``(formula, n)`` instance is compiled to a circuit
-    (cached in memory and, with ``persist``, on disk) and evaluated at
-    the requested weights — re-running the batch at new weights then
+    ``options.compile`` (or a non-default ``options.backend``) routes
+    every size through the knowledge-compilation fast path: each distinct
+    ``(formula, n)`` instance is compiled **once per call** — a local
+    registry pins the compiled circuits for the duration of the batch,
+    so neither repeated sizes nor LRU eviction mid-batch re-triggers
+    compilation — and evaluated at the requested weights through the
+    unified backend surface.  Re-running the batch at new weights then
     costs one circuit evaluation per size.
     """
-    if method not in _METHODS:
-        raise ValueError("unknown method {!r}; expected one of {}".format(method, _METHODS))
+    opts = SolverOptions.from_kwargs(options, **legacy)
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
     signature = weights_signature(wv)
 
-    if compile and method != "enumerate":
+    if opts.compiled and opts.method != "enumerate":
         from ..compile import compile_wfomc
 
+        store = _codegen_store(opts)
+        registry = {}
         results = {}
         for n in ns:
-            if n not in results:
+            if n in results:
+                continue
+            compiled = registry.get(n)
+            if compiled is None:
                 compiled = compile_wfomc(formula, n, wv.vocabulary,
-                                         method=method, persist=persist,
-                                         cache_dir=cache_dir)
-                results[n] = compiled.evaluate(wv)
+                                         method=opts.method,
+                                         **opts.store_kwargs())
+                registry[n] = compiled
+            results[n] = compiled.evaluate(wv, backend=opts.backend,
+                                           store=store)
         return results
 
     results = {}
     for n in ns:
         if n in results:
             continue
-        key = (formula, n, signature, method)
+        key = (formula, n, signature, opts.method)
         cached = _RESULT_CACHE.get(key)
         if cached is None:
-            cached = _dispatch(formula, n, wv, method, workers,
-                               branching=branching, learn=learn,
-                               max_learned=max_learned, persist=persist,
-                               cache_dir=cache_dir, phase_saving=phase_saving)
+            cached = _dispatch(formula, n, wv, opts)
             _RESULT_CACHE.put(key, cached)
         results[n] = cached
     return results
@@ -294,10 +285,8 @@ def _cardinality_grid_size(vocabulary, n):
     return size
 
 
-def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
-                       via_polynomial=None, workers=None, branching=None,
-                       learn=None, max_learned=None, persist=None,
-                       cache_dir=None, phase_saving=None, compile=None):
+def wfomc_weight_sweep(formula, n, weight_vocabularies, options=None,
+                       via_polynomial=None, **legacy):
     """WFOMC of one ``(formula, n)`` instance at many weight assignments.
 
     ``weight_vocabularies`` is an iterable of
@@ -311,10 +300,15 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
     — cached, and evaluated at every weight set, negative weights
     included.  Otherwise each weight set is dispatched individually.
 
-    ``compile=True`` takes a third route: the instance is compiled once
-    into an arithmetic circuit (:mod:`repro.compile`) and every weight
-    set — zeros and negatives included — is a linear-time circuit
-    evaluation, bit-identical to the dispatch path.  Unlike the
+    ``options.compile`` (or a non-default ``options.backend``) takes a
+    third route: the instance is compiled once into an arithmetic
+    circuit (:mod:`repro.compile`) and the whole sweep — zeros and
+    negatives included — is served through the unified
+    :meth:`~repro.compile.CompiledWFOMC.evaluate_many` surface.  The
+    exact backends (``"exact"``, ``"batched"``, ``"codegen"``) are
+    bit-identical to the dispatch path; ``"batched"``/``"codegen"``
+    serve all K weight sets in one staged pass over the circuit, which
+    is the serving fast path the CI benchmark gates.  Unlike the
     cardinality polynomial, the circuit route needs no positive-weight
     oracle grid, so it amortizes even when the grid is large.
 
@@ -322,50 +316,49 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
     memoized lineage and ground-atom universe of ``(formula, n)`` are
     built once and reused by all weight sets (and all oracle calls), and
     :func:`solver_cache_stats` reports the reuse.  With ``persist``, the
-    reconstructed coefficient table and every component count read
-    through to the on-disk store, which is what turns a repeated sweep in
-    a fresh process from recompute-everything into warm-start serving.
+    reconstructed coefficient table, every component count, and the
+    codegen backend's generated source read through to the on-disk
+    store, which is what turns a repeated sweep in a fresh process from
+    recompute-everything into warm-start serving.
     """
+    opts = SolverOptions.from_kwargs(options, **legacy)
     weight_vocabularies = list(weight_vocabularies)
     if not weight_vocabularies:
         return []
     vocabulary = weight_vocabularies[0].vocabulary
 
-    if compile and method != "enumerate":
+    if opts.compiled and opts.method != "enumerate":
         # The knowledge-compilation fast path: trace the count structure
         # into an arithmetic circuit once (cached across calls and, with
         # ``persist``, across processes) and serve every weight set by
-        # circuit evaluation.  Exact arithmetic keeps the results
-        # bit-identical to the dispatch path.
+        # circuit evaluation through the selected backend.
         from ..compile import compile_wfomc
 
-        compiled = compile_wfomc(formula, n, vocabulary, method=method,
-                                 persist=persist, cache_dir=cache_dir)
-        return compiled.evaluate_batch(weight_vocabularies)
+        compiled = compile_wfomc(formula, n, vocabulary, method=opts.method,
+                                 **opts.store_kwargs())
+        return compiled.evaluate_many(weight_vocabularies,
+                                      backend=opts.backend,
+                                      store=_codegen_store(opts))
 
     if via_polynomial is None:
         grid = _cardinality_grid_size(vocabulary, n)
         via_polynomial = grid <= _SWEEP_GRID_FACTOR * len(weight_vocabularies)
 
     if not via_polynomial:
-        return [
-            wfomc(formula, n, wv, method=method, workers=workers,
-                  branching=branching, learn=learn, max_learned=max_learned,
-                  persist=persist, cache_dir=cache_dir,
-                  phase_saving=phase_saving)
-            for wv in weight_vocabularies
-        ]
+        return [wfomc(formula, n, wv, options=opts)
+                for wv in weight_vocabularies]
 
     # Coefficient vectors are ordered by this vocabulary's iteration
     # order, so the key must be order-*sensitive*: the same predicates in
     # a different order must not share an entry.
-    key = (formula, n, vocabulary_signature(vocabulary, ordered=True), method)
+    key = (formula, n, vocabulary_signature(vocabulary, ordered=True),
+           opts.method)
     coefficients = _POLYNOMIAL_CACHE.get(key)
     store = None
-    if coefficients is None and persist:
+    if coefficients is None and opts.persist:
         from ..cache import open_store
 
-        store = open_store(cache_dir)
+        store = open_store(opts.cache_dir)
         coefficients = store.get("polynomials", key)
         if coefficients is not None:
             _POLYNOMIAL_CACHE.put(key, coefficients)
@@ -374,11 +367,7 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, method="auto",
             formula,
             n,
             vocabulary,
-            lambda f, size, wv: wfomc(f, size, wv, method=method,
-                                      workers=workers, branching=branching,
-                                      learn=learn, max_learned=max_learned,
-                                      persist=persist, cache_dir=cache_dir,
-                                      phase_saving=phase_saving),
+            lambda f, size, wv: wfomc(f, size, wv, options=opts),
         )
         _POLYNOMIAL_CACHE.put(key, coefficients)
         if store is not None and not store.disabled:
