@@ -34,6 +34,12 @@ must beat the exact row interpreter by at least ``--backend-floor``
 (default 5x) with bit-identical results, and the ``float`` backend's
 tracked error bound must hold.  Disable with ``--skip-backends``.
 
+The *budget-overhead* gate re-times the cold Theta_1 run with a
+generous never-tripping :class:`repro.Budget` attached: the per-
+decision/per-conflict budget bookkeeping of the fault-tolerance layer
+may add at most ``--budget-overhead`` (default 5%) over the unbudgeted
+run.  Disable with ``--skip-budget``.
+
 Usage::
 
     python benchmarks/check_regression.py --baseline BENCH_engine_v3.json
@@ -256,6 +262,46 @@ def check_backends(backend_floor):
         backend_floor))
 
 
+def check_budget_overhead(max_overhead):
+    """Budget bookkeeping must stay nearly free on the hot counting path.
+
+    The fault-tolerance layer charges a :class:`repro.Budget` on every
+    engine decision and conflict; this gate re-times the cold Theta_1
+    grounding with a generous never-tripping budget against the
+    unbudgeted run (both minimum-of-3, same process, same machine) and
+    fails when the relative overhead exceeds ``max_overhead``.  One
+    re-measurement absorbs scheduler noise, exactly like the other
+    wall-clock gates.
+    """
+    from bench_parallel import _measure_theta1_cold
+
+    def measure():
+        from repro.resilience.limits import Budget
+
+        plain = _measure_theta1_cold()
+        budgeted = _measure_theta1_cold(
+            budget=Budget(timeout=3600.0, max_conflicts=10 ** 9,
+                          max_decisions=10 ** 9))
+        return plain, budgeted
+
+    plain, budgeted = measure()
+    overhead = budgeted / plain - 1.0
+    if overhead > max_overhead:
+        plain, budgeted = measure()
+        overhead = budgeted / plain - 1.0
+    status = "FAIL" if overhead > max_overhead else "ok"
+    print(
+        "{:32s} plain {:.4f}s  budgeted {:.4f}s  overhead {:+.1%}  "
+        "(max {:.0%})  [{}]".format(
+            "budget_overhead_theta1", plain, budgeted, overhead,
+            max_overhead, status))
+    if overhead > max_overhead:
+        raise SystemExit(
+            "budget bookkeeping overhead {:.1%} exceeds {:.0%} "
+            "(confirmed twice)".format(overhead, max_overhead))
+    print("budget-overhead check passed (max {:.0%})".format(max_overhead))
+
+
 def main():
     here = os.path.dirname(os.path.abspath(__file__))
     sys.path.insert(0, here)  # for bench_parallel
@@ -303,6 +349,15 @@ def main():
         "--skip-backends", action="store_true",
         help="skip the evaluation-backend serving gate",
     )
+    parser.add_argument(
+        "--budget-overhead", type=float, default=0.05,
+        help="maximum relative slowdown a generous never-tripping budget "
+             "may add to the cold Theta_1 run (default 0.05)",
+    )
+    parser.add_argument(
+        "--skip-budget", action="store_true",
+        help="skip the budget-bookkeeping overhead gate",
+    )
     args = parser.parse_args()
     check(args.baseline, args.tolerance, args.ablation_floor)
     if not args.skip_persist:
@@ -311,6 +366,8 @@ def main():
         check_compile(args.compile_floor)
     if not args.skip_backends:
         check_backends(args.backend_floor)
+    if not args.skip_budget:
+        check_budget_overhead(args.budget_overhead)
 
 
 if __name__ == "__main__":

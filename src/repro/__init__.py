@@ -34,8 +34,10 @@ Quick start::
 """
 
 from .errors import (
+    BudgetExceededError,
     DomainSizeError,
     EncodingError,
+    FaultPlanError,
     NotFO2Error,
     NotGammaAcyclicError,
     ParseError,
@@ -45,6 +47,7 @@ from .errors import (
     WeightError,
 )
 from .options import SolverOptions
+from .resilience import Budget, FaultPlan
 from .weights import WeightPair, ONE_ONE, SKOLEM, from_probability
 from .logic import (
     Predicate,
@@ -94,7 +97,11 @@ __all__ = [
     "DomainSizeError",
     "WeightError",
     "EncodingError",
+    "BudgetExceededError",
+    "FaultPlanError",
     "SolverOptions",
+    "Budget",
+    "FaultPlan",
     "WeightPair",
     "ONE_ONE",
     "SKOLEM",

@@ -29,6 +29,17 @@ Layout and guarantees
   is dropped).  Counting callers therefore *always* fall back to
   recomputation — a broken cache can never produce a wrong count or an
   exception on the counting path.
+* **Fault tolerance**: runtime SQLite errors are *classified* rather
+  than treated as uniformly fatal.  Transient ``SQLITE_BUSY``/locked
+  errors (cross-process contention past the busy timeout) are retried
+  with bounded exponential backoff before the store gives up; a
+  disk-full error disables the store gracefully (counting falls back
+  to recomputation); corruption detected at runtime deletes and
+  recreates the database once, like corruption at open.  A store
+  disabled by failure (not by :meth:`~PersistentStore.close`) probes
+  for recovery periodically with a doubling interval, so a transient
+  outage does not cost the whole process lifetime.  The ``retries``,
+  ``reenables``, and ``disk_full`` session counters report all of it.
 
 Cumulative ``hits``/``misses``/``writes`` counters are persisted in the
 store itself (table ``counters``), so ``repro cache stats`` reports
@@ -45,6 +56,8 @@ import os
 import sqlite3
 import time
 from fractions import Fraction
+
+from ..resilience.faults import maybe_fire
 
 __all__ = [
     "ENGINE_TAG",
@@ -79,6 +92,43 @@ _FLUSH_THRESHOLD = 256
 
 #: Seconds SQLite waits on a locked database before failing.
 _BUSY_TIMEOUT_S = 30.0
+
+#: Bounded exponential backoff for transient (busy/locked) SQLite
+#: errors: up to ``_MAX_RETRIES`` retries starting at ``_RETRY_BASE_S``
+#: seconds, doubling, capped at ``_RETRY_CAP_S``.  Module-level so tests
+#: can shrink them.
+_RETRY_BASE_S = 0.01
+_RETRY_CAP_S = 0.1
+_MAX_RETRIES = 5
+
+#: A store disabled by failure (never one closed on purpose) probes for
+#: recovery: the first probe runs ``_PROBE_INTERVAL_S`` seconds after
+#: the failure, and the interval doubles up to ``_PROBE_MAX_S`` while
+#: probes keep failing.
+_PROBE_INTERVAL_S = 1.0
+_PROBE_MAX_S = 60.0
+
+
+def _classify(exc):
+    """Sort a ``sqlite3.Error`` into a failure class.
+
+    ``"transient"`` — lock contention (retry with backoff);
+    ``"disk_full"`` — no space (disable gracefully, recomputation is the
+    fallback); ``"corrupt"`` — a damaged database file (delete and
+    recreate once, like corruption at open); ``"fatal"`` — everything
+    else (disable).
+    """
+    message = str(exc).lower()
+    if isinstance(exc, sqlite3.OperationalError):
+        if "locked" in message or "busy" in message:
+            return "transient"
+        if "disk is full" in message or "disk full" in message:
+            return "disk_full"
+    if isinstance(exc, sqlite3.DatabaseError):
+        if ("malformed" in message or "not a database" in message
+                or "corrupt" in message):
+            return "corrupt"
+    return "fatal"
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS kv (
@@ -199,7 +249,14 @@ class PersistentStore:
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        self.retries = 0
+        self.reenables = 0
+        self.disk_full = 0
         self.recreated = False
+        self._closed = False
+        self._runtime_recreated = False
+        self._probe_at = None
+        self._probe_interval = _PROBE_INTERVAL_S
         self._conn = None
         self._pending = {}
         self._touched = set()
@@ -284,22 +341,104 @@ class PersistentStore:
                 pass
             self._conn = None
         self.disabled = True
+        #: A deliberate close is final: the re-enable probe must never
+        #: resurrect a store the caller shut down.
+        self._closed = True
 
-    def _fail(self):
-        """A runtime SQLite error: disable the store (graceful fallback)."""
+    # -- failure handling --------------------------------------------------
+
+    def _inject_fault(self):
+        """Raise an injected store fault when a FaultPlan says so."""
+        if maybe_fire("store_busy"):
+            raise sqlite3.OperationalError("database is locked")
+        if maybe_fire("store_disk_full"):
+            raise sqlite3.OperationalError("database or disk is full")
+        if maybe_fire("store_corrupt"):
+            raise sqlite3.DatabaseError("database disk image is malformed")
+
+    def _run(self, operation):
+        """Run one SQLite operation, retrying transient failures.
+
+        Busy/locked errors get up to ``_MAX_RETRIES`` retries with
+        bounded exponential backoff (``retries`` counts them); anything
+        else — and a still-locked database after the last retry —
+        propagates for :meth:`_fail` to classify.
+        """
+        delay = _RETRY_BASE_S
+        attempt = 0
+        while True:
+            try:
+                self._inject_fault()
+                return operation()
+            except sqlite3.Error as exc:
+                if _classify(exc) != "transient" or attempt >= _MAX_RETRIES:
+                    raise
+                attempt += 1
+                self.retries += 1
+                time.sleep(min(delay, _RETRY_CAP_S))
+                delay = min(delay * 2, _RETRY_CAP_S)
+
+    def _fail(self, exc=None):
+        """A runtime SQLite error that survived the retry loop.
+
+        Corruption gets one in-process delete-and-recreate, exactly like
+        corruption detected at open; everything else disables the store
+        (graceful fallback to recomputation) and, unless the store was
+        deliberately closed, arms the re-enable probe so a transient
+        outage does not cost the rest of the process lifetime.
+        """
         self.errors += 1
-        self.disabled = True
+        kind = _classify(exc) if exc is not None else "fatal"
+        if kind == "disk_full":
+            self.disk_full += 1
         self._pending.clear()
         self._touched.clear()
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+        if kind == "corrupt" and not self._runtime_recreated:
+            self._runtime_recreated = True
+            self.recreated = True
+            for suffix in ("", "-wal", "-shm", "-journal"):
+                try:
+                    os.unlink(self.path + suffix)
+                except OSError:
+                    pass
+            self._open(allow_recreate=False)
+            if self._conn is not None:
+                self.disabled = False
+                return
+        self.disabled = True
+        self._probe_at = time.monotonic() + self._probe_interval
+
+    def _maybe_reenable(self):
+        """Probe a failure-disabled store for recovery (doubling interval)."""
+        if (not self.disabled or self._closed or self._probe_at is None
+                or time.monotonic() < self._probe_at):
+            return
+        self._probe_interval = min(self._probe_interval * 2, _PROBE_MAX_S)
+        self._probe_at = time.monotonic() + self._probe_interval
+        self.disabled = False
+        self._open(allow_recreate=False)
+        if self._conn is None:
+            self.disabled = True
+        else:
+            self.reenables += 1
+            self._probe_at = None
+            self._probe_interval = _PROBE_INTERVAL_S
 
     # -- key/value ---------------------------------------------------------
 
     def get(self, namespace, key):
         """The decoded value stored for ``key``, or ``None``.
 
-        A payload that fails to decode (foreign writer, partial row) is
-        treated as a miss — never an exception.
+        A payload that fails to decode (foreign writer, partial row,
+        torn write) is treated as a miss — never an exception.
         """
+        self._maybe_reenable()
         if self.disabled:
             self.misses += 1
             self._unflushed["misses"] += 1
@@ -308,13 +447,18 @@ class PersistentStore:
         payload = self._pending.get((namespace, digest))
         if payload is None:
             try:
-                row = self._conn.execute(
+                row = self._run(lambda: self._conn.execute(
                     "SELECT value FROM kv WHERE ns=? AND key=?",
-                    (namespace, digest)).fetchone()
-            except sqlite3.Error:
-                self._fail()
+                    (namespace, digest)).fetchone())
+            except sqlite3.Error as exc:
+                self._fail(exc)
                 row = None
             payload = row[0] if row is not None else None
+            if payload is not None and maybe_fire("store_torn_write"):
+                # A torn write must decode to garbage, never to a wrong
+                # value: the trailing 0xff byte is invalid UTF-8, so the
+                # decode below fails and the read becomes a miss.
+                payload = payload[:len(payload) // 2] + b"\xff"
         if payload is None:
             self.misses += 1
             self._unflushed["misses"] += 1
@@ -335,6 +479,7 @@ class PersistentStore:
 
     def put(self, namespace, key, value):
         """Buffer one row for the next flush (write-behind)."""
+        self._maybe_reenable()
         if self.disabled:
             return
         try:
@@ -361,7 +506,9 @@ class PersistentStore:
         touched = [(now, ns, digest)
                    for ns, digest in self._touched
                    if (ns, digest) not in self._pending]
-        try:
+        def write():
+            # ``with conn`` is one transaction: a failure rolls it back
+            # whole, so a retry after a transient error is idempotent.
             with self._conn:
                 if rows:
                     self._conn.executemany(
@@ -376,8 +523,11 @@ class PersistentStore:
                         "INSERT INTO counters(name, value) VALUES (?, ?) "
                         "ON CONFLICT(name) DO UPDATE SET "
                         "value = value + excluded.value", (name, delta))
-        except sqlite3.Error:
-            self._fail()
+
+        try:
+            self._run(write)
+        except sqlite3.Error as exc:
+            self._fail(exc)
             return
         self._pending.clear()
         self._touched.clear()
@@ -394,8 +544,8 @@ class PersistentStore:
             rows = self._conn.execute(
                 "SELECT ns, COUNT(*) FROM kv GROUP BY ns ORDER BY ns"
             ).fetchall()
-        except sqlite3.Error:
-            self._fail()
+        except sqlite3.Error as exc:
+            self._fail(exc)
             return {}
         return dict(rows)
 
@@ -407,8 +557,8 @@ class PersistentStore:
         try:
             rows = self._conn.execute(
                 "SELECT name, value FROM counters").fetchall()
-        except sqlite3.Error:
-            self._fail()
+        except sqlite3.Error as exc:
+            self._fail(exc)
             return totals
         for name, value in rows:
             totals[name] = value
@@ -430,7 +580,9 @@ class PersistentStore:
             "namespaces": counts,
             "session": {"hits": self.hits, "misses": self.misses,
                         "pending_writes": len(self._pending),
-                        "errors": self.errors},
+                        "errors": self.errors, "retries": self.retries,
+                        "reenables": self.reenables,
+                        "disk_full": self.disk_full},
             "cumulative": self.cumulative_counters(),
         }
 
@@ -448,8 +600,8 @@ class PersistentStore:
                     "SELECT COUNT(*) FROM kv").fetchone()[0]
                 self._conn.execute("DELETE FROM kv")
                 self._conn.execute("DELETE FROM counters")
-        except sqlite3.Error:
-            self._fail()
+        except sqlite3.Error as exc:
+            self._fail(exc)
             return 0
         return removed
 
@@ -506,8 +658,8 @@ class PersistentStore:
             explicit_compaction = max_entries is None and max_bytes is None
             if (removed or explicit_compaction) and not compacted:
                 conn.execute("VACUUM")
-        except sqlite3.Error:
-            self._fail()
+        except sqlite3.Error as exc:
+            self._fail(exc)
             return removed
         return removed
 

@@ -37,6 +37,24 @@ the compiled fast path (and implies ``--compile`` where that applies);
 all flags are gathered into one :class:`repro.SolverOptions` object and
 threaded through the solver stack as-is.
 
+``--timeout SECONDS``, ``--max-conflicts N``, and ``--max-decisions N``
+bound a counting run with a :class:`repro.Budget`; a tripped budget
+aborts with exit code 4 and leaves every cache consistent, so the same
+command re-run with a larger budget warm-starts from the completed
+work and returns the bit-identical count.
+
+Exit codes
+----------
+
+====  ====================================================
+0     success
+2     command-line usage error (argparse)
+3     bad input: parse errors, unsupported sentences, bad
+      weights (any :class:`repro.ReproError`)
+4     budget exceeded (:class:`repro.BudgetExceededError`)
+70    internal error (``EX_SOFTWARE``; traceback on stderr)
+====  ====================================================
+
 Examples::
 
     python -m repro count "forall x. exists y. R(x, y)" 5
@@ -66,11 +84,13 @@ from fractions import Fraction
 
 from .complexity.spectrum import spectrum
 from .asymptotics.zero_one import mu_n
+from .errors import BudgetExceededError, ReproError
 from .logic.parser import parse
 from .logic.syntax import predicates_of
 from .logic.vocabulary import Vocabulary, Predicate, WeightedVocabulary
 from .options import BACKEND_NAMES, SolverOptions
 from .propositional.counter import engine_stats
+from .resilience.limits import Budget
 from .weights import WeightPair
 from .wfomc.solver import fomc, probability, solver_cache_stats, wfomc, wfomc_batch
 
@@ -95,7 +115,7 @@ def _weighted_vocabulary(formula, weight_options):
     weights = {name: WeightPair(1, 1) for name in arities}
     for name, pair in weight_options or []:
         if name not in weights:
-            raise SystemExit(
+            raise ReproError(
                 "predicate {} does not occur in the sentence".format(name)
             )
         weights[name] = pair
@@ -184,6 +204,29 @@ def build_parser():
                  "interpreter, batched multi-weight pass, float64 with "
                  "tracked error bounds and exact fallback, or per-circuit "
                  "generated code",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock budget for the run; exceeding it exits "
+                 "with code 4 (caches stay consistent, so a rerun with "
+                 "a larger budget warm-starts from the completed work)",
+        )
+        p.add_argument(
+            "--max-conflicts",
+            type=int,
+            default=None,
+            metavar="N",
+            help="abort after N counting-engine conflicts (exit code 4)",
+        )
+        p.add_argument(
+            "--max-decisions",
+            type=int,
+            default=None,
+            metavar="N",
+            help="abort after N counting-engine decisions (exit code 4)",
         )
 
     p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
@@ -385,6 +428,44 @@ def _print_stats_pretty(stream=None):
     if circuits is not None:
         row = "  ".join("{}={}".format(k, v) for k, v in circuits.items())
         print("  {:<{}}  {}".format("circuits", width, row), file=stream)
+    _print_resilience_stats(stream)
+
+
+def _print_resilience_stats(stream):
+    """Store retry/re-enable counters and injected-fault counts, if any."""
+    from .cache.store import _STORES
+    from .resilience.faults import fault_counters
+
+    import os
+
+    rows = {}
+    for store in _STORES.values():
+        if store.pid != os.getpid():
+            continue
+        for name in ("retries", "reenables", "disk_full"):
+            rows[name] = rows.get(name, 0) + getattr(store, name)
+    fired = {k: v for k, v in fault_counters().items() if v}
+    if not any(rows.values()) and not fired:
+        return
+    print("resilience", file=stream)
+    names = list(rows) + ["faults_fired.{}".format(k) for k in fired]
+    width = max(len(name) for name in names)
+    for name, value in rows.items():
+        print("  {:<{}}  {}".format(name, width, value), file=stream)
+    for kind, count in fired.items():
+        print("  {:<{}}  {}".format(
+            "faults_fired.{}".format(kind), width, count), file=stream)
+
+
+def _budget(args):
+    """A :class:`Budget` from the command line, or ``None``."""
+    timeout = getattr(args, "timeout", None)
+    max_conflicts = getattr(args, "max_conflicts", None)
+    max_decisions = getattr(args, "max_decisions", None)
+    if timeout is None and max_conflicts is None and max_decisions is None:
+        return None
+    return Budget(timeout=timeout, max_conflicts=max_conflicts,
+                  max_decisions=max_decisions)
 
 
 def _engine_options(args):
@@ -401,6 +482,7 @@ def _engine_options(args):
                       else None),
         compile=True if getattr(args, "compile", False) else None,
         backend=getattr(args, "backend", None),
+        budget=_budget(args),
     )
 
 
@@ -461,7 +543,29 @@ def _cache_main(args):
 
 
 def main(argv=None):
+    """Parse the command line, run the command, map errors to exit codes.
+
+    Exit codes: ``0`` success; ``2`` usage error (argparse); ``3`` bad
+    input (any :class:`ReproError`); ``4`` budget exceeded; ``70``
+    internal error (``EX_SOFTWARE``, traceback on stderr).
+    """
     args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except BudgetExceededError as exc:
+        print("repro: {}".format(exc), file=sys.stderr)
+        return 4
+    except ReproError as exc:
+        print("repro: {}".format(exc), file=sys.stderr)
+        return 3
+    except Exception:
+        import traceback
+
+        traceback.print_exc()
+        return 70
+
+
+def _run(args):
     if args.command == "cache":
         return _cache_main(args)
     formula = parse(args.formula)
@@ -482,13 +586,13 @@ def main(argv=None):
 
         base = _weighted_vocabulary(formula, args.weight)
         if args.vary not in base.vocabulary:
-            raise SystemExit(
+            raise ReproError(
                 "predicate {} does not occur in the sentence".format(args.vary))
         try:
             wbar = Fraction(args.wbar)
             values = [Fraction(v) for v in args.values.split(",") if v]
         except (ValueError, ZeroDivisionError) as exc:
-            raise SystemExit("bad --values/--wbar: {}".format(exc))
+            raise ReproError("bad --values/--wbar: {}".format(exc)) from None
         vocabularies = [base.with_weight(args.vary, WeightPair(value, wbar))
                         for value in values]
         results = wfomc_weight_sweep(formula, args.n, vocabularies,

@@ -62,7 +62,8 @@ def _save_circuit(store, store_key, circuit):
         store.put(CIRCUITS_NS, store_key, circuit.to_payload())
 
 
-def compile_cnf(cnf, persist=None, cache_dir=None, store_key=None):
+def compile_cnf(cnf, persist=None, cache_dir=None, store_key=None,
+                budget=None):
     """Compile a :class:`~repro.propositional.cnf.CNF` into a circuit.
 
     The circuit's leaves are the CNF's variable *labels*;
@@ -86,7 +87,7 @@ def compile_cnf(cnf, persist=None, cache_dir=None, store_key=None):
         root = builder.const(0)
     else:
         clauses = tuple(cnf.clauses)
-        root = trace_cnf_clauses(clauses, builder)
+        root = trace_cnf_clauses(clauses, builder, budget=budget)
         used = set()
         for c in clauses:
             for lit in c:
@@ -111,7 +112,7 @@ def compile_cnf(cnf, persist=None, cache_dir=None, store_key=None):
 
 
 def compile_formula(formula, universe=(), persist=None, cache_dir=None,
-                    store_key=None):
+                    store_key=None, budget=None):
     """Compile an arbitrary propositional formula into a circuit.
 
     The twin of :func:`~repro.propositional.counter.wmc_formula`: the
@@ -121,11 +122,11 @@ def compile_formula(formula, universe=(), persist=None, cache_dir=None,
     """
     cnf = cnf_for_formula(formula, universe)
     return compile_cnf(cnf, persist=persist, cache_dir=cache_dir,
-                       store_key=store_key)
+                       store_key=store_key, budget=budget)
 
 
 def compile_lineage(formula, n, vocabulary=None, persist=None,
-                    cache_dir=None):
+                    cache_dir=None, budget=None):
     """Compile the lineage of an FO sentence over domain ``[n]``.
 
     Returns a circuit over ground-atom leaves ``(pred, args)`` whose
@@ -146,4 +147,5 @@ def compile_lineage(formula, n, vocabulary=None, persist=None,
     store_key = ("lineage", formula, n,
                  vocabulary_signature(vocabulary, ordered=True))
     return compile_formula(prop, universe, persist=persist,
-                           cache_dir=cache_dir, store_key=store_key)
+                           cache_dir=cache_dir, store_key=store_key,
+                           budget=budget)

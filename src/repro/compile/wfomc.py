@@ -181,7 +181,7 @@ class CompiledWFOMC:
 # -- the FO2 cell-decomposition compiler -------------------------------------
 
 
-def _compile_fo2(formula, n, vocabulary, store=None):
+def _compile_fo2(formula, n, vocabulary, store=None, budget=None):
     """Circuit + fixed fresh-symbol pairs for an FO2 sentence, n >= 1."""
     if num_variables(formula) > 2:
         raise NotFO2Error(
@@ -209,11 +209,12 @@ def _compile_fo2(formula, n, vocabulary, store=None):
     for bits in itertools.product((False, True), repeat=len(zero_preds)):
         zero_assignment = dict(zip(zero_preds, bits))
         zero_key = tuple(sorted(zero_assignment.items()))
-        cells, satisfying = structure.tables(zero_key, zero_assignment)
+        cells, satisfying = structure.tables(zero_key, zero_assignment,
+                                             budget=budget)
         factors = [builder.lit(name, bit)
                    for name, bit in zip(zero_preds, bits)]
         factors.append(_compile_cells(builder, structure, cells,
-                                      satisfying, n))
+                                      satisfying, n, budget=budget))
         terms.append(builder.times(factors))
     total = builder.plus(terms)
 
@@ -235,7 +236,7 @@ def _compile_fo2(formula, n, vocabulary, store=None):
     return circuit, fixed_pairs
 
 
-def _compile_cells(builder, structure, cells, satisfying, n):
+def _compile_cells(builder, structure, cells, satisfying, n, budget=None):
     """The distribution recursion of one zero-ary assignment, as nodes.
 
     Mirrors :meth:`repro.wfomc.fo2.FO2CellDecomposition.run` with node
@@ -270,6 +271,8 @@ def _compile_cells(builder, structure, cells, satisfying, n):
     last = k_cells - 1
 
     def suffix(k, remaining, pending):
+        if budget is not None:
+            budget.tick()
         key = (k, remaining, pending)
         value = memo.get(key)
         if value is not None:
@@ -319,7 +322,7 @@ def _fo2_applicable(formula, vocabulary, n):
 
 
 def compile_wfomc(formula, n, vocabulary=None, method="auto", persist=None,
-                  cache_dir=None):
+                  cache_dir=None, budget=None):
     """Compile one ``(formula, n)`` WFOMC instance into a circuit.
 
     ``vocabulary`` is a plain (unweighted)
@@ -367,14 +370,17 @@ def compile_wfomc(formula, n, vocabulary=None, method="auto", persist=None,
             # Scott/Skolem prenexing assumes a nonempty domain; the
             # trivial instance compiles through the (empty) lineage.
             circuit = compile_lineage(formula, n, vocabulary,
-                                      persist=persist, cache_dir=cache_dir)
+                                      persist=persist, cache_dir=cache_dir,
+                                      budget=budget)
             compiled = CompiledWFOMC(formula, n, "lineage", circuit)
         else:
-            circuit, fixed = _compile_fo2(formula, n, vocabulary, store=store)
+            circuit, fixed = _compile_fo2(formula, n, vocabulary, store=store,
+                                          budget=budget)
             compiled = CompiledWFOMC(formula, n, "fo2", circuit, fixed)
     elif method == "auto" and _fo2_applicable(formula, vocabulary, n):
         try:
-            circuit, fixed = _compile_fo2(formula, n, vocabulary, store=store)
+            circuit, fixed = _compile_fo2(formula, n, vocabulary, store=store,
+                                          budget=budget)
             compiled = CompiledWFOMC(formula, n, "fo2", circuit, fixed)
         except NotFO2Error:
             compiled = None
@@ -382,7 +388,7 @@ def compile_wfomc(formula, n, vocabulary=None, method="auto", persist=None,
         compiled = None
     if compiled is None:
         circuit = compile_lineage(formula, n, vocabulary, persist=persist,
-                                  cache_dir=cache_dir)
+                                  cache_dir=cache_dir, budget=budget)
         compiled = CompiledWFOMC(formula, n, "lineage", circuit)
 
     _COMPILE_COUNTERS["compiled"] += 1

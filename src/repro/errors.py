@@ -1,8 +1,36 @@
 """Exception hierarchy for the ``repro`` library.
 
 Every error raised by the library derives from :class:`ReproError`, so
-callers can catch a single base class.  More specific subclasses indicate
-which solver or transformation rejected the input.
+callers can catch a single base class.  More specific subclasses
+indicate which solver or transformation rejected the input.
+
+The taxonomy splits into three families, and the CLI maps each family
+to a distinct exit code (see :mod:`repro.cli`):
+
+*Input errors* — the request itself is malformed: :class:`ParseError`,
+:class:`UnsupportedFormulaError` (and its fragment-specific
+subclasses), :class:`DomainSizeError`, :class:`WeightError`,
+:class:`EncodingError`, :class:`FaultPlanError`.  Retrying the same
+call can never succeed; the caller must fix the input.  CLI exit
+code 3.
+
+*Resource errors* — the input is fine but the run hit a configured
+limit: :class:`BudgetExceededError`.  These are *anytime* failures:
+every cache layer only ever stores fully computed values, so a retry
+with a larger budget (or none) warm-starts from the work already done
+and completes bit-identically to an uninterrupted run.  CLI exit
+code 4.
+
+*Internal errors* — anything not derived from :class:`ReproError`
+escaping a library call is a bug, never an input problem.  CLI exit
+code 70 (BSD ``EX_SOFTWARE``).
+
+Degraded-but-successful execution (a crashed worker retried or served
+serially, a persistent store disabled after exhausting retries) is
+deliberately *not* an error: results stay bit-identical, and the event
+is reported through stats counters instead (``worker_retries``,
+``degraded_to_serial`` on ``EngineStats``; ``retries``/``reenables``/
+``disk_full`` in ``PersistentStore.stats()``).
 """
 
 from __future__ import annotations
@@ -52,3 +80,46 @@ class WeightError(ReproError):
 
 class EncodingError(ReproError):
     """Raised when a Turing machine cannot be encoded into FO3."""
+
+
+class FaultPlanError(ReproError):
+    """Raised when a fault-plan spec string cannot be parsed.
+
+    See :class:`repro.resilience.faults.FaultPlan` for the grammar.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A run hit its :class:`~repro.resilience.limits.Budget`.
+
+    Attributes
+    ----------
+    reason:
+        What tripped: ``"timeout"``, ``"max_conflicts"``,
+        ``"max_decisions"``, or ``"cancelled"``.
+    elapsed:
+        Wall-clock seconds spent inside the budget when it tripped.
+    spent:
+        ``{"decisions": n, "conflicts": m}`` charged against the budget.
+    engine_stats:
+        The partial :class:`~repro.propositional.counter.EngineStats` of
+        the interrupted engine run, when one was active (``None`` for
+        aborts in the FO2/compile layers before any grounded search).
+
+    The exception is safe to retry: caches only ever hold completed
+    values, so a follow-up call with a fresh budget resumes from the
+    cached partial work and returns the bit-identical final answer.
+    """
+
+    def __init__(self, reason, elapsed=None, spent=None, engine_stats=None):
+        self.reason = reason
+        self.elapsed = elapsed
+        self.spent = dict(spent) if spent else {}
+        self.engine_stats = engine_stats
+        detail = "budget exceeded ({})".format(reason)
+        if elapsed is not None:
+            detail += " after {:.3f}s".format(elapsed)
+        if self.spent:
+            detail += " [{}]".format(", ".join(
+                "{}={}".format(k, v) for k, v in sorted(self.spent.items())))
+        super().__init__(detail)

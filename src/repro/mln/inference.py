@@ -119,9 +119,9 @@ def _compiled_query_sweep(mlns, query, n, opts):
 
     vocabulary = vocabularies[0].vocabulary
     num_c = compile_wfomc(conditioned, n, vocabulary, method=opts.method,
-                          **opts.store_kwargs())
+                          budget=opts.budget, **opts.store_kwargs())
     den_c = compile_wfomc(gamma, n, vocabulary, method=opts.method,
-                          **opts.store_kwargs())
+                          budget=opts.budget, **opts.store_kwargs())
     numerators = num_c.evaluate_many(vocabularies, backend=opts.backend)
     denominators = den_c.evaluate_many(vocabularies, backend=opts.backend)
     results = []

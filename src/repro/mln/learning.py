@@ -130,7 +130,7 @@ def _learning_setup(mln, n, opts):
     vocabulary = Vocabulary(Predicate(name, arity)
                             for name, arity in sorted(arities.items()))
     compiled = compile_wfomc(gamma, n, vocabulary, method=opts.method,
-                             **opts.store_kwargs())
+                             budget=opts.budget, **opts.store_kwargs())
     return entries, vocabulary, compiled
 
 

@@ -75,9 +75,11 @@ class MLNReduction:
             from ..compile import compile_wfomc
 
             num_c = compile_wfomc(conditioned, n, wv.vocabulary,
-                                  method=opts.method, **opts.store_kwargs())
+                                  method=opts.method, budget=opts.budget,
+                                  **opts.store_kwargs())
             den_c = compile_wfomc(self.gamma, n, wv.vocabulary,
-                                  method=opts.method, **opts.store_kwargs())
+                                  method=opts.method, budget=opts.budget,
+                                  **opts.store_kwargs())
             numerator = num_c.evaluate(wv, backend=opts.backend)
             denominator = den_c.evaluate(wv, backend=opts.backend)
         else:

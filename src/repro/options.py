@@ -32,6 +32,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from .resilience.limits import Budget
+
 __all__ = ["SolverOptions", "METHODS", "BRANCHINGS", "BACKEND_NAMES"]
 
 #: Dispatch methods understood by the solver layer.
@@ -72,6 +74,15 @@ class SolverOptions:
         ``"codegen"`` (a specialized compiled Python function per
         circuit).  Setting a backend implies ``compile`` on the entry
         points that support it.
+    budget:
+        A :class:`~repro.resilience.limits.Budget` bounding the call
+        (wall-clock deadline, conflict/decision caps, cooperative
+        cancellation).  Tripping raises
+        :class:`~repro.errors.BudgetExceededError`; caches stay
+        consistent, so a retry warm-starts and completes
+        bit-identically.  The budget is mutable and identity-hashed
+        (it accumulates spend), and it never rides into worker
+        payloads — deadlines are enforced in the parent.
 
     The dataclass is frozen (hashable, safe to share across threads and
     to pickle into worker payloads) and validates its enumerated fields
@@ -89,6 +100,7 @@ class SolverOptions:
     phase_saving: bool | None = None
     compile: bool | None = None
     backend: str | None = None
+    budget: object | None = None
 
     def __post_init__(self):
         if self.method not in METHODS:
@@ -112,6 +124,10 @@ class SolverOptions:
             raise ValueError(
                 "max_learned must be a non-negative int or None, "
                 "got {!r}".format(self.max_learned))
+        if self.budget is not None and not isinstance(self.budget, Budget):
+            raise ValueError(
+                "budget must be a repro.resilience.limits.Budget or None, "
+                "got {!r}".format(self.budget))
 
     # -- the legacy-kwargs shim -------------------------------------------
 

@@ -94,10 +94,14 @@ residual formula without being assigned contribute their full mass
 
 from __future__ import annotations
 
+import os
 import sys
+import time
 from fractions import Fraction
 
+from ..errors import BudgetExceededError
 from ..options import SolverOptions
+from ..resilience.faults import maybe_fire
 from ..utils import LRUCache
 from ..weights import WeightPair
 from .cnf import to_cnf
@@ -185,14 +189,19 @@ class EngineStats:
     ``backjumps``/``backjump_levels`` (non-chronological returns and the
     total number of decision levels they unwound), ``db_reductions``
     (LBD-based learned-database halvings), and ``phase_hits`` (decisions
-    whose first branch polarity came from a saved phase).
+    whose first branch polarity came from a saved phase).  The
+    fault-tolerant parallel path adds ``worker_retries`` (crashed pools
+    retried once on a fresh pool) and ``degraded_to_serial`` (component
+    tasks served in-process after the retry also failed); both paths
+    return bit-identical counts.
     """
 
     __slots__ = ("calls", "decisions", "propagations", "watch_moves",
                  "component_splits", "cache_hits", "cache_misses",
                  "key_hits", "key_misses", "parallel_tasks",
                  "conflicts", "learned_clauses", "backjumps",
-                 "backjump_levels", "db_reductions", "phase_hits")
+                 "backjump_levels", "db_reductions", "phase_hits",
+                 "worker_retries", "degraded_to_serial")
 
     def __init__(self):
         self.reset()
@@ -214,6 +223,8 @@ class EngineStats:
         self.backjump_levels = 0
         self.db_reductions = 0
         self.phase_hits = 0
+        self.worker_retries = 0
+        self.degraded_to_serial = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -789,11 +800,12 @@ class CountingEngine:
                  "workers", "branching", "learn", "max_learned",
                  "activity", "var_inc", "persist_dir", "phase_saving",
                  "saved_phase", "search_conflicts", "search_decisions",
-                 "search_activity_on")
+                 "search_activity_on", "budget")
 
     def __init__(self, weights, totals, cache=None, stats=None,
                  key_cache=None, workers=None, branching=None, learn=None,
-                 max_learned=None, persist_dir=None, phase_saving=None):
+                 max_learned=None, persist_dir=None, phase_saving=None,
+                 budget=None):
         self.weights = weights
         self.totals = totals
         self.cache = _SHARED_CACHE if cache is None else cache
@@ -832,6 +844,11 @@ class CountingEngine:
         self.search_conflicts = 0
         self.search_decisions = 0
         self.search_activity_on = False
+        #: Optional :class:`~repro.resilience.limits.Budget`: charged per
+        #: decision and per conflict; ``None`` costs one attribute load
+        #: per decision.  Never shipped to worker payloads — deadlines
+        #: are enforced in the parent while polling futures.
+        self.budget = budget
 
     # -- public entry ------------------------------------------------------
 
@@ -865,6 +882,13 @@ class CountingEngine:
             sys.setrecursionlimit(needed)
         try:
             return Fraction(self._reduce(normalized))
+        except BudgetExceededError as exc:
+            # Attach the partial statistics once, at the top level: the
+            # inner loops stay free of bookkeeping, and callers see how
+            # far the aborted run got.
+            if exc.engine_stats is None:
+                exc.engine_stats = self.stats
+            raise
         finally:
             if limit < needed:
                 sys.setrecursionlimit(limit)
@@ -1016,6 +1040,8 @@ class CountingEngine:
         """
         self.stats.decisions += 1
         self.search_decisions += 1
+        if self.budget is not None:
+            self.budget.spend_decision()
         if self.branching == "moms" or not self.search_activity_on:
             var = _moms_var(component)
         else:
@@ -1065,6 +1091,7 @@ class CountingEngine:
         activity = self.activity
         evsids = self.branching == "evsids"
         max_learned = self.max_learned
+        budget = self.budget
 
         n_orig = len(component)
         clauses = list(component)
@@ -1094,6 +1121,8 @@ class CountingEngine:
                     return True
                 stats.conflicts += 1
                 self.search_conflicts += 1
+                if budget is not None:
+                    budget.spend_conflict()
                 if (not self.search_activity_on
                         and self.search_conflicts >= _ACTIVITY_MIN_CONFLICTS
                         and self.search_conflicts * _ACTIVITY_RATE_GATE
@@ -1385,6 +1414,8 @@ class CountingEngine:
         """
         stats = self.stats
         stats.decisions += 1
+        if self.budget is not None:
+            self.budget.spend_decision()
         clause_lits = list(component)
 
         # Build pass: watch lists plus MOMS scores in one scan.
@@ -1459,8 +1490,6 @@ class CountingEngine:
         order-independent, so the result is bit-identical to a serial run.
         """
         stats = self.stats
-        weights = self.weights
-        totals = self.totals
         results = [None] * len(components)
         pending = []  # one entry per distinct canonical key
         key_indices = {}
@@ -1482,46 +1511,128 @@ class CountingEngine:
                 stats.cache_hits += 1
                 indices.append(i)
         if pending:
-            pool = _worker_pool(self.workers)
-            futures = []
-            try:
-                # Worker knobs travel as one picklable SolverOptions —
-                # the same object shape every public entry point takes.
-                worker_options = SolverOptions(
-                    branching=self.branching, learn=self.learn,
-                    max_learned=self.max_learned,
-                    persist=True if self.persist_dir is not None else None,
-                    cache_dir=self.persist_dir,
-                    phase_saving=self.phase_saving)
-                for key, component, var_order in pending:
-                    payload = (
-                        component,
-                        {v: weights[v] for v in var_order},
-                        {v: totals[v] for v in var_order},
-                        worker_options,
-                    )
-                    futures.append((key, pool.submit(_count_component_task, payload)))
-                    stats.parallel_tasks += 1
-                for key, future in futures:
-                    value, worker_stats = future.result()
-                    stats.merge_worker(worker_stats)
-                    if len(self.cache) >= MAX_CACHE_ENTRIES:
-                        self.cache.clear()
-                    self.cache[key] = value
-                    for i in key_indices[key]:
-                        results[i] = value
-            except BaseException:
-                # A dead worker (OOM kill, crash) leaves the executor
-                # permanently broken; drop it so the next parallel call
-                # starts a fresh pool instead of failing forever.
-                _discard_pool()
-                raise
+            self._run_parallel_tasks(pending, key_indices, results)
         total = 1
         for value in results:
             if value == 0:
                 return 0
             total *= value
         return total
+
+    def _await_future(self, future, budget):
+        """``future.result()``, polling so a budget can interrupt it.
+
+        The budget never rides into worker payloads (sub-engine searches
+        stay deterministic and payloads picklable); instead the parent
+        polls the future and re-checks the deadline/cancellation token
+        between polls, so a timeout fires within one poll interval even
+        while workers are busy.
+        """
+        if budget is None:
+            return future.result()
+        from concurrent.futures import TimeoutError as FutureTimeout
+
+        while True:
+            try:
+                return future.result(timeout=_FUTURE_POLL_S)
+            except FutureTimeout:
+                budget.check()
+
+    def _run_parallel_tasks(self, pending, key_indices, results):
+        """Dispatch the pending component tasks with crash supervision.
+
+        The failure ladder keeps counts bit-identical at every rung:
+
+        1. a broken pool (a worker OOM-killed or hard-exited) is
+           discarded and every unfinished task resubmitted **once** on a
+           fresh pool after a short backoff (``worker_retries``);
+        2. a second pool failure — or an unpicklable payload, which a
+           retry can never fix — degrades the unfinished tasks to
+           in-process serial counting (``degraded_to_serial``), the same
+           code path a ``workers=None`` run takes;
+        3. any other exception is a real error in the counting code (or
+           a tripped budget): the pool is discarded so the *next*
+           parallel call starts clean, and the exception propagates.
+        """
+        import pickle
+        from concurrent.futures.process import BrokenProcessPool
+
+        stats = self.stats
+        weights = self.weights
+        totals = self.totals
+        budget = self.budget
+        # Worker knobs travel as one picklable SolverOptions — the same
+        # object shape every public entry point takes.  The budget is
+        # deliberately excluded (see :meth:`_await_future`).
+        worker_options = SolverOptions(
+            branching=self.branching, learn=self.learn,
+            max_learned=self.max_learned,
+            persist=True if self.persist_dir is not None else None,
+            cache_dir=self.persist_dir,
+            phase_saving=self.phase_saving)
+
+        def record(key, value, worker_stats):
+            if worker_stats is not None:
+                stats.merge_worker(worker_stats)
+            if len(self.cache) >= MAX_CACHE_ENTRIES:
+                self.cache.clear()
+            self.cache[key] = value
+            for i in key_indices[key]:
+                results[i] = value
+
+        remaining = list(pending)
+        retried = False
+        while remaining:
+            done = 0
+            try:
+                pool = _worker_pool(self.workers)
+                futures = []
+                for key, component, var_order in remaining:
+                    payload = (
+                        component,
+                        {v: weights[v] for v in var_order},
+                        {v: totals[v] for v in var_order},
+                        worker_options,
+                    )
+                    futures.append(
+                        (key, pool.submit(_count_component_task, payload)))
+                    stats.parallel_tasks += 1
+                for key, future in futures:
+                    value, worker_stats = self._await_future(future, budget)
+                    record(key, value, worker_stats)
+                    done += 1
+                remaining = []
+            except BrokenProcessPool:
+                # A dead worker leaves the executor permanently broken;
+                # results already collected stay valid (exact values under
+                # their canonical keys), only unfinished tasks remain.
+                _discard_pool()
+                remaining = remaining[done:]
+                if not retried:
+                    retried = True
+                    stats.worker_retries += 1
+                    time.sleep(_POOL_RETRY_BACKOFF_S)
+                    continue
+                for key, component, var_order in remaining:
+                    stats.degraded_to_serial += 1
+                    record(key, self._count_component_miss(
+                        component, key, var_order), None)
+                remaining = []
+            except (pickle.PicklingError, TypeError):
+                # The payload cannot cross the process boundary; a fresh
+                # pool cannot fix that, so serve the rest in-process.
+                remaining = remaining[done:]
+                for key, component, var_order in remaining:
+                    stats.degraded_to_serial += 1
+                    record(key, self._count_component_miss(
+                        component, key, var_order), None)
+                remaining = []
+            except BaseException:
+                # A genuine task exception or a tripped budget: the pool
+                # may hold queued work for futures nobody will consume;
+                # drop it so the next parallel call starts a fresh pool.
+                _discard_pool()
+                raise
 
 
 def _clause_vars(clauses):
@@ -1563,7 +1674,8 @@ _TRACE_COUNTERS = {"traced_components": 0, "trace_template_hits": 0,
                    "trace_template_misses": 0}
 
 
-def _trace_search(component, comp_vars, builder, key_cache, stats):
+def _trace_search(component, comp_vars, builder, key_cache, stats,
+                  budget=None):
     """Trace one connected component's counting search into the builder.
 
     Mirrors the learning-free search (:meth:`CountingEngine._branch`)
@@ -1573,6 +1685,8 @@ def _trace_search(component, comp_vars, builder, key_cache, stats):
     weight assignment, zeros and negatives included.
     """
     stats.decisions += 1
+    if budget is not None:
+        budget.tick()
     clause_lits = list(component)
     watches = {}
     watch_pair = []
@@ -1595,12 +1709,13 @@ def _trace_search(component, comp_vars, builder, key_cache, stats):
             if v not in assign and v not in residual_vars:
                 factors.append(builder.tot(v))
         for child in components:
-            factors.append(_trace_component(child, builder, key_cache, stats))
+            factors.append(_trace_component(child, builder, key_cache, stats,
+                                            budget))
         branches.append(builder.times(factors))
     return builder.plus(branches)
 
 
-def _trace_component(component, builder, key_cache, stats):
+def _trace_component(component, builder, key_cache, stats, budget=None):
     """Emit one component's subcircuit, sharing canonical templates."""
     rows, var_order = _canonical_entry(component, key_cache, stats)
     memo = builder.memo
@@ -1613,7 +1728,7 @@ def _trace_component(component, builder, key_cache, stats):
         _TRACE_COUNTERS["trace_template_misses"] += 1
         sub = builder.spawn()
         root = _trace_search(rows, range(1, len(var_order) + 1), sub,
-                             key_cache, stats)
+                             key_cache, stats, budget)
         template = sub.extract(root)
         if len(_TRACE_TEMPLATES) >= MAX_TRACE_TEMPLATE_ENTRIES:
             _TRACE_TEMPLATES.clear()
@@ -1627,7 +1742,7 @@ def _trace_component(component, builder, key_cache, stats):
 
 
 def trace_cnf_clauses(clauses, builder, key_cache=None, stats=None,
-                      trusted=False):
+                      trusted=False, budget=None):
     """Trace the counting search over ``clauses`` into circuit nodes.
 
     The symbolic twin of :meth:`CountingEngine.run`: returns the builder
@@ -1638,6 +1753,9 @@ def trace_cnf_clauses(clauses, builder, key_cache=None, stats=None,
     same ``lit``/``tot``/``const``/``times``/``plus``/``spawn``/
     ``extract``/``emit_template``/``memo`` protocol).  ``trusted`` skips
     per-clause literal deduplication exactly like :meth:`~CountingEngine.run`.
+    ``budget`` (a :class:`~repro.resilience.limits.Budget`) bounds the
+    trace; the template/builder memos only ever store completed
+    subcircuits, so an aborted trace retried later warm-starts.
     """
     key_cache = _SHARED_KEY_CACHE if key_cache is None else key_cache
     stats = _SHARED_STATS if stats is None else stats
@@ -1688,7 +1806,7 @@ def trace_cnf_clauses(clauses, builder, key_cache=None, stats=None,
                 factors.append(builder.tot(v))
         for component in components:
             factors.append(_trace_component(component, builder, key_cache,
-                                            stats))
+                                            stats, budget))
         return builder.times(factors)
     finally:
         if limit < needed:
@@ -1699,6 +1817,13 @@ def trace_cnf_clauses(clauses, builder, key_cache=None, stats=None,
 
 _POOL = None
 _POOL_SIZE = 0
+
+#: Backoff before retrying crashed component tasks on a fresh pool, and
+#: the poll interval at which a budgeted parent re-checks its deadline
+#: while waiting on worker futures.  Module-level so tests can shrink
+#: them.
+_POOL_RETRY_BACKOFF_S = 0.05
+_FUTURE_POLL_S = 0.2
 
 
 def _worker_pool(workers):
@@ -1750,6 +1875,11 @@ def _count_component_task(payload):
     reads/writes the same on-disk store through its own store-backed
     cache front.
     """
+    if maybe_fire("worker_crash"):
+        # Fault injection (see repro.resilience.faults): die the way an
+        # OOM kill does — no exception, no cleanup, the raw exit that
+        # breaks a ProcessPoolExecutor for good.
+        os._exit(17)
     component, weights, totals, opts = payload
     cache = None
     if opts.persist and opts.cache_dir is not None:
@@ -1835,7 +1965,8 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, options=None,
                             workers=opts.workers, branching=opts.branching,
                             learn=opts.learn, max_learned=opts.max_learned,
                             persist_dir=persist_dir,
-                            phase_saving=opts.phase_saving)
+                            phase_saving=opts.phase_saving,
+                            budget=opts.budget)
     clauses = tuple(cnf.clauses)
     # ``to_cnf`` guarantees duplicate-free, non-empty clauses.
     result = engine.run(clauses, trusted=True)

@@ -1,0 +1,32 @@
+"""Fault tolerance and resource limits for the counting stack.
+
+Two small, dependency-free modules:
+
+* :mod:`repro.resilience.limits` — :class:`Budget`: wall-clock
+  deadlines, conflict/decision caps, and cooperative cancellation,
+  carried on :class:`~repro.options.SolverOptions` and checked cheaply
+  inside the engine's inner loops.  Tripping raises
+  :class:`~repro.errors.BudgetExceededError` with partial stats;
+  every cache stays consistent, so a retried call warm-starts and
+  completes bit-identically (anytime behavior).
+
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`: a seeded,
+  deterministic fault injector (store busy/corruption/torn-write/
+  disk-full, worker crashes) activatable programmatically or through
+  ``$REPRO_FAULT_PLAN`` for subprocess tests.  The fault-injection
+  differential suite (``tests/test_faults.py``) uses it to prove the
+  solver/MLN entry points return bit-identical results under every
+  fault class.
+"""
+
+from .limits import Budget
+from .faults import FaultPlan, active_plan, clear_plan, install_plan, maybe_fire
+
+__all__ = [
+    "Budget",
+    "FaultPlan",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+    "maybe_fire",
+]

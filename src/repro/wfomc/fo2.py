@@ -200,7 +200,7 @@ class FO2CellStructure:
                 assignment[(name, (element, element))] = bit
         return assignment
 
-    def tables(self, zero_key, zero_assignment):
+    def tables(self, zero_key, zero_assignment, budget=None):
         """``(cells, satisfying)`` for one zero-ary assignment.
 
         ``cells`` lists the valid 1-types (bit tuples over
@@ -228,6 +228,8 @@ class FO2CellStructure:
         # Valid cells: 1-types whose element satisfies psi(x, x).
         cells = []
         for bits in itertools.product((False, True), repeat=len(self.type_slots)):
+            if budget is not None:
+                budget.tick()
             assignment = dict(base)
             assignment.update(self._type_assignment(bits, 1))
             if peval(self.diag_prop, assignment):
@@ -243,6 +245,8 @@ class FO2CellStructure:
                 assignment.update(self._type_assignment(cells[l], 2))
                 good = []
                 for bits in itertools.product((False, True), repeat=len(off_diag_labels)):
+                    if budget is not None:
+                        budget.tick()
                     for label, bit in zip(off_diag_labels, bits):
                         assignment[label] = bit
                     if peval(self.pair_prop_xy, assignment) and peval(
@@ -312,7 +316,7 @@ class FO2CellDecomposition:
             weight *= pair.w if bit else pair.wbar
         return weight
 
-    def _cell_tables(self, zero_key, zero_assignment):
+    def _cell_tables(self, zero_key, zero_assignment, budget=None):
         """Cells, cell weights, and 2-table pair weights for one assignment
         of the zero-ary atoms.  The expensive enumeration lives in the
         shared structure; this layer only sums weights over the stored
@@ -320,7 +324,8 @@ class FO2CellDecomposition:
         cached = self._tables.get(zero_key)
         if cached is not None:
             return cached
-        cells, satisfying = self.structure.tables(zero_key, zero_assignment)
+        cells, satisfying = self.structure.tables(zero_key, zero_assignment,
+                                                  budget=budget)
 
         cell_weights = [self._type_weight(bits) for bits in cells]
 
@@ -342,11 +347,12 @@ class FO2CellDecomposition:
         self._tables[zero_key] = tables
         return tables
 
-    def run(self, n, zero_assignment):
+    def run(self, n, zero_assignment, budget=None):
         """The weighted count for one assignment of the zero-ary atoms."""
         check_domain_size(n)
         zero_key = tuple(sorted(zero_assignment.items()))
-        cells, cell_weights, r = self._cell_tables(zero_key, zero_assignment)
+        cells, cell_weights, r = self._cell_tables(zero_key, zero_assignment,
+                                                   budget=budget)
 
         k_cells = len(cells)
         if k_cells == 0:
@@ -365,6 +371,8 @@ class FO2CellDecomposition:
         last = k_cells - 1
 
         def suffix(k, remaining, pending):
+            if budget is not None:
+                budget.tick()
             key = (zero_key, k, remaining, pending)
             value = memo.get(key, _MISSING)
             if value is not _MISSING:
@@ -404,7 +412,7 @@ class FO2CellDecomposition:
 
 
 def wfomc_fo2(formula, n, weighted_vocabulary=None, persist=None,
-              cache_dir=None):
+              cache_dir=None, budget=None):
     """Symmetric WFOMC of an FO2 sentence in time polynomial in ``n``.
 
     ``formula`` may use nested quantifiers, equality, and any Boolean
@@ -412,6 +420,10 @@ def wfomc_fo2(formula, n, weighted_vocabulary=None, persist=None,
     arity at most two.  Raises :class:`~repro.errors.NotFO2Error`
     otherwise.  ``persist``/``cache_dir`` read the exponential cell and
     2-table enumeration through the on-disk store of :mod:`repro.cache`.
+    ``budget`` (a :class:`~repro.resilience.limits.Budget`) bounds the
+    cell/2-table enumeration and the distribution recursion; aborting
+    leaves every memo table consistent (only completed values are ever
+    stored), so a retried call warm-starts.
     """
     check_domain_size(n)
     wv = weighted_vocabulary or WeightedVocabulary.counting(formula)
@@ -479,7 +491,7 @@ def wfomc_fo2(formula, n, weighted_vocabulary=None, persist=None,
             weight *= pair.w if bit else pair.wbar
         if weight == 0:
             continue
-        total += weight * decomposition.run(n, zero_assignment)
+        total += weight * decomposition.run(n, zero_assignment, budget=budget)
 
     # Predicates never mentioned by the matrix are unconstrained: every
     # ground atom contributes its full mass w + wbar.

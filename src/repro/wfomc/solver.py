@@ -161,7 +161,8 @@ def _dispatch(formula, n, wv, opts):
     """
     method = opts.method
     if method == "fo2":
-        return wfomc_fo2(formula, n, wv, **opts.store_kwargs())
+        return wfomc_fo2(formula, n, wv, budget=opts.budget,
+                         **opts.store_kwargs())
     if method == "lineage":
         return wfomc_lineage(formula, n, wv, options=opts)
     if method == "enumerate":
@@ -172,7 +173,8 @@ def _dispatch(formula, n, wv, opts):
     )
     if fo2_applicable:
         try:
-            return wfomc_fo2(formula, n, wv, **opts.store_kwargs())
+            return wfomc_fo2(formula, n, wv, budget=opts.budget,
+                             **opts.store_kwargs())
         except NotFO2Error:
             pass
     return wfomc_lineage(formula, n, wv, options=opts)
@@ -210,7 +212,8 @@ def probability(formula, n, weighted_vocabulary=None, options=None, **legacy):
         from ..compile import compile_wfomc
 
         compiled = compile_wfomc(formula, n, wv.vocabulary,
-                                 method=opts.method, **opts.store_kwargs())
+                                 method=opts.method, budget=opts.budget,
+                                 **opts.store_kwargs())
         numerator = compiled.evaluate(wv, backend=opts.backend,
                                       store=_codegen_store(opts))
     else:
@@ -259,6 +262,7 @@ def wfomc_batch(formula, ns, weighted_vocabulary=None, options=None, **legacy):
             if compiled is None:
                 compiled = compile_wfomc(formula, n, wv.vocabulary,
                                          method=opts.method,
+                                         budget=opts.budget,
                                          **opts.store_kwargs())
                 registry[n] = compiled
             results[n] = compiled.evaluate(wv, backend=opts.backend,
@@ -335,7 +339,7 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, options=None,
         from ..compile import compile_wfomc
 
         compiled = compile_wfomc(formula, n, vocabulary, method=opts.method,
-                                 **opts.store_kwargs())
+                                 budget=opts.budget, **opts.store_kwargs())
         return compiled.evaluate_many(weight_vocabularies,
                                       backend=opts.backend,
                                       store=_codegen_store(opts))

@@ -1,0 +1,175 @@
+"""Fault-injection differential suite.
+
+The contract under test: **no injected fault may change a counted
+value**.  Every fault class of :mod:`repro.resilience.faults` — store
+busy/locked errors (retried), disk-full (graceful disable), runtime
+corruption (delete-and-recreate), torn writes (decode-failure misses),
+and worker crashes (pool retry, then serial degradation) — is injected
+into real end-to-end runs of the public entry points with persistence
+on, and the result is compared bit for bit against a fault-free
+baseline computed from cold caches.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    MLN,
+    SolverOptions,
+    WeightPair,
+    mln_probability_wfomc,
+    parse,
+    probability,
+    wfomc,
+    wfomc_weight_sweep,
+)
+from repro.cache.store import close_all_stores
+from repro.compile.wfomc import clear_compile_cache
+from repro.grounding.lineage import clear_grounding_caches
+from repro.logic.syntax import predicates_of
+from repro.logic.vocabulary import Predicate, Vocabulary, WeightedVocabulary
+from repro.propositional.counter import reset_engine, shutdown_worker_pool
+from repro.resilience.faults import clear_plan, install_plan
+from repro.wfomc.fo2 import clear_fo2_caches
+from repro.wfomc.solver import clear_solver_caches
+
+
+def _cold():
+    """Drop every in-memory cache and store handle, as a new process would."""
+    close_all_stores()
+    reset_engine()
+    clear_grounding_caches()
+    clear_fo2_caches()
+    clear_solver_caches()
+    clear_compile_cache()
+
+
+@pytest.fixture(autouse=True)
+def _fast_retries_and_clean_plan(monkeypatch):
+    import repro.cache.store as S
+
+    # The injected busy storms would otherwise spend real wall-clock in
+    # backoff sleeps; shrinking the constants keeps the ladder identical.
+    monkeypatch.setattr(S, "_RETRY_BASE_S", 0.0001)
+    monkeypatch.setattr(S, "_RETRY_CAP_S", 0.001)
+    clear_plan()
+    _cold()
+    yield
+    clear_plan()
+    _cold()
+
+
+def _wv(formula, weights):
+    arities = predicates_of(formula)
+    vocab = Vocabulary(Predicate(n, a) for n, a in sorted(arities.items()))
+    pairs = {name: WeightPair(1, 1) for name in arities}
+    pairs.update(weights)
+    return WeightedVocabulary(vocab, pairs)
+
+
+def run_wfomc_fo2(**opts):
+    formula = parse("forall x. exists y. R(x, y)")
+    return wfomc(formula, 5, _wv(formula, {"R": WeightPair(Fraction(1, 2), 2)}),
+                 options=SolverOptions(**opts))
+
+
+def run_wfomc_lineage(**opts):
+    formula = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+    return wfomc(formula, 2, _wv(formula, {"R": WeightPair(Fraction(2, 3), 1)}),
+                 options=SolverOptions(method="lineage", **opts))
+
+
+def run_probability(**opts):
+    formula = parse("exists x. P(x)")
+    return probability(formula, 3, _wv(formula, {}),
+                       options=SolverOptions(**opts))
+
+
+def run_sweep_compiled(**opts):
+    formula = parse("forall x, y. (R(x) | S(x, y))")
+    base = _wv(formula, {})
+    vocabularies = [base.with_weight("R", WeightPair(Fraction(k, 2), 1))
+                    for k in (1, 2, 3)]
+    return tuple(wfomc_weight_sweep(
+        formula, 3, vocabularies,
+        options=SolverOptions(compile=True, **opts)))
+
+
+def run_mln(**opts):
+    mln = MLN([(2, parse("P(x) -> Q(x)"))])
+    return mln_probability_wfomc(mln, parse("exists x. Q(x)"), 2,
+                                 options=SolverOptions(**opts))
+
+
+ENTRY_POINTS = [run_wfomc_fo2, run_wfomc_lineage, run_probability,
+                run_sweep_compiled, run_mln]
+
+STORE_PLANS = [
+    "store_busy@1,2",                 # transient storm, retries absorb it
+    "seed=11;store_busy?0.4",         # random contention, reproducible
+    "store_torn_write~2",             # every other read comes back torn
+    "store_corrupt@2",                # runtime corruption -> recreate
+    "store_disk_full@2",              # disk fills -> graceful disable
+    "seed=3;store_busy?0.25;store_torn_write?0.25;store_disk_full@9",
+]
+
+
+@pytest.mark.parametrize("runner", ENTRY_POINTS,
+                         ids=lambda f: f.__name__)
+@pytest.mark.parametrize("plan", STORE_PLANS)
+def test_store_faults_never_change_results(runner, plan, tmp_path):
+    baseline = runner()
+    _cold()
+    install_plan(plan)
+    faulted = runner(persist=True, cache_dir=str(tmp_path / "store"))
+    assert faulted == baseline
+    clear_plan()
+    # And the store the faulted run left behind (possibly degraded,
+    # recreated, or half-populated) must still warm-start a clean run
+    # to the same value.
+    _cold()
+    again = runner(persist=True, cache_dir=str(tmp_path / "store"))
+    assert again == baseline
+
+
+@pytest.mark.parametrize("spec,expect", [
+    ("worker_crash@1:once={marker}", "retried"),
+    ("worker_crash~1", "degraded"),
+])
+def test_worker_crashes_never_change_results(spec, expect, tmp_path,
+                                             monkeypatch):
+    formula = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+    wv = _wv(formula, {"S": WeightPair(Fraction(1, 3), 2)})
+    baseline = wfomc(formula, 2, wv,
+                     options=SolverOptions(method="lineage"))
+    _cold()
+    monkeypatch.setenv(
+        "REPRO_FAULT_PLAN",
+        spec.format(marker=tmp_path / "crash-marker"))
+    shutdown_worker_pool()  # fresh workers that inherit the plan
+    try:
+        faulted = wfomc(formula, 2, wv,
+                        options=SolverOptions(method="lineage", workers=2))
+        assert faulted == baseline
+    finally:
+        shutdown_worker_pool()
+
+
+def test_store_fault_during_parallel_persist_run(tmp_path, monkeypatch):
+    # Faults on two subsystems at once: workers persist through the same
+    # store the parent uses while the store throws transient errors.
+    formula = parse("forall x, y. (R(x) | S(x, y) | T(y))")
+    wv = _wv(formula, {})
+    baseline = wfomc(formula, 2, wv, options=SolverOptions(method="lineage"))
+    _cold()
+    monkeypatch.setenv("REPRO_FAULT_PLAN", "seed=5;store_busy?0.3")
+    shutdown_worker_pool()
+    try:
+        faulted = wfomc(
+            formula, 2, wv,
+            options=SolverOptions(method="lineage", workers=2, persist=True,
+                                  cache_dir=str(tmp_path / "shared")))
+        assert faulted == baseline
+    finally:
+        shutdown_worker_pool()
