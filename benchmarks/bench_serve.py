@@ -1,0 +1,90 @@
+"""Serving-layer benchmarks: request round-trips through the daemon.
+
+pytest-benchmark smoke tests that keep the :mod:`repro.serve` hot path
+exercised in CI: a live in-process :class:`~repro.serve.ReproServer`
+(real sockets, real HTTP) answering counting requests.  The measured
+quantity is the full request round-trip — protocol parse, admission,
+registry lookup, evaluation on the executor, JSON encode — on a warm
+registry, i.e. the steady-state per-request overhead the daemon adds
+over a direct library call.  Correctness is asserted on every
+iteration: served answers must be bit-identical to the library's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro import SolverOptions, parse, wfomc
+from repro.serve import ReproServer, ServeConfig
+
+FORMULA = "forall x. exists y. R(x, y)"
+
+
+class _LiveServer:
+    def __init__(self, config):
+        self.config = config
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()), daemon=True)
+        self._thread.start()
+        assert self._ready.wait(15)
+
+    async def _amain(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = ReproServer(self.config)
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def post(self, path, payload):
+        conn = http.client.HTTPConnection(*self.server.address, timeout=60)
+        try:
+            conn.request("POST", path, body=json.dumps(payload))
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def close(self):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(30)
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    server = _LiveServer(ServeConfig(options=SolverOptions(compile=True)))
+    yield server
+    server.close()
+
+
+def test_bench_served_wfomc_round_trip(benchmark, live_server):
+    """Warm-registry request round-trip, answer checked every call."""
+    expected = str(wfomc(parse(FORMULA), 5))
+    payload = {"formula": FORMULA, "n": 5}
+    live_server.post("/v1/wfomc", payload)  # prime registry + caches
+
+    def round_trip():
+        status, body = live_server.post("/v1/wfomc", payload)
+        assert status == 200 and body["result"] == expected
+
+    benchmark(round_trip)
+
+
+def test_bench_served_weight_sweep_round_trip(benchmark, live_server):
+    """A compiled k=8 sweep served per request through the registry."""
+    payload = {"formula": FORMULA, "n": 4, "vary": "R",
+               "values": [str(k) for k in range(1, 9)], "wbar": "1"}
+    live_server.post("/v1/wfomc_weight_sweep", payload)
+
+    def round_trip():
+        status, body = live_server.post("/v1/wfomc_weight_sweep", payload)
+        assert status == 200 and len(body["result"]["results"]) == 8
+
+    benchmark(round_trip)

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the ``repro serve`` daemon.
+
+Spawns the real CLI entry point as a subprocess (optionally under an
+ambient ``$REPRO_FAULT_PLAN``), then drives the full request surface
+over real sockets: health and readiness, exact counting and probability
+answers checked against hard-coded known values, a weight sweep, a
+typed 400, a typed 504 from an expired deadline (verifying the
+2x-deadline bound), a ``/metrics`` read, and finally a SIGTERM that
+must drain and exit 0.  Exits non-zero on the first failed check —
+made for a CI job, usable by hand::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+FAILURES = []
+
+
+def check(label, ok, detail=""):
+    status = "ok" if ok else "FAIL"
+    print("[serve-smoke] {:<42} {} {}".format(label, status, detail))
+    if not ok:
+        FAILURES.append(label)
+
+
+def request(host, port, method, path, payload=None, timeout=120):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def main():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    plan = env.get("REPRO_FAULT_PLAN", "")
+    print("[serve-smoke] fault plan: {!r}".format(plan))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--max-concurrency", "2", "--workers", "2", "--compile", "--persist",
+         "--cache-dir", os.path.join(ROOT, ".serve-smoke-cache")],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, cwd=ROOT,
+        text=True)
+    try:
+        line = proc.stdout.readline()
+        check("daemon starts and prints its URL",
+              "listening on http://" in line, line.strip())
+        if FAILURES:
+            return 1
+        host, port_text = line.strip().rsplit("http://", 1)[1].split(":")
+        port = int(port_text)
+
+        status, body = request(host, port, "GET", "/healthz")
+        check("GET /healthz", status == 200 and body.get("ok") is True)
+        status, body = request(host, port, "GET", "/readyz")
+        check("GET /readyz", status == 200)
+
+        status, body = request(host, port, "POST", "/v1/wfomc", {
+            "formula": "forall x. exists y. R(x, y)", "n": 5})
+        check("POST /v1/wfomc exact count",
+              status == 200 and body.get("result") == "28629151",
+              body.get("result"))
+
+        status, body = request(host, port, "POST", "/v1/probability", {
+            "formula": "forall x. exists y. R(x, y)", "n": 3,
+            "weights": {"R": ["1/2", "1"]}})
+        check("POST /v1/probability exact fraction",
+              status == 200 and body.get("result") == "6859/19683",
+              body.get("result"))
+
+        status, body = request(host, port, "POST", "/v1/wfomc_weight_sweep", {
+            "formula": "forall x. exists y. R(x, y)", "n": 3,
+            "vary": "R", "values": ["1", "2"], "wbar": "1"})
+        check("POST /v1/wfomc_weight_sweep",
+              status == 200
+              and body.get("result", {}).get("results") == ["343", "17576"])
+
+        status, body = request(host, port, "POST", "/v1/wfomc", {
+            "formula": "forall x. R(x", "n": 3})
+        check("parse error is a typed 400",
+              status == 400
+              and body.get("error", {}).get("retriable") is False)
+
+        started = time.monotonic()
+        status, body = request(host, port, "POST", "/v1/wfomc", {
+            "formula": "forall x. forall y. exists z."
+                       " ((T(x,y) & T(y,z)) -> T(x,z))",
+            "n": 5, "deadline_ms": 300})
+        elapsed = time.monotonic() - started
+        check("expired deadline is a typed 504",
+              status == 504
+              and body.get("error", {}).get("type") == "BudgetExceededError"
+              and body.get("error", {}).get("retriable") is True)
+        check("deadline answered within 2x + slack",
+              elapsed < 2 * 0.3 + 2.0, "{:.3f}s".format(elapsed))
+
+        status, body = request(host, port, "GET", "/metrics")
+        check("GET /metrics",
+              status == 200 and body.get("server", {}).get("requests", 0) > 0)
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        check("SIGTERM drains and exits 0", code == 0, "exit={}".format(code))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        stderr = proc.stderr.read()
+        if stderr:
+            sys.stderr.write(stderr)
+        proc.stdout.close()
+        proc.stderr.close()
+    if FAILURES:
+        print("[serve-smoke] FAILED: {}".format(", ".join(FAILURES)))
+        return 1
+    print("[serve-smoke] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,8 @@ from .errors import (
     ParseError,
     ReproError,
     SelfJoinError,
+    ServiceDrainingError,
+    ServiceOverloadedError,
     UnsupportedFormulaError,
     WeightError,
 )
@@ -99,6 +101,8 @@ __all__ = [
     "EncodingError",
     "BudgetExceededError",
     "FaultPlanError",
+    "ServiceOverloadedError",
+    "ServiceDrainingError",
     "SolverOptions",
     "Budget",
     "FaultPlan",

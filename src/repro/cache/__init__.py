@@ -25,9 +25,11 @@ from .adapters import (
     StoreBackedComponentCache,
     persistent_component_cache,
 )
+from .netstore import BlobServer, NetworkStoreClient, TieredStore
 from .store import (
     ENGINE_TAG,
     STORE_FILENAME,
+    STORE_URL_ENV,
     PersistentStore,
     close_all_stores,
     decode_value,
@@ -40,6 +42,10 @@ from .store import (
 __all__ = [
     "ENGINE_TAG",
     "STORE_FILENAME",
+    "STORE_URL_ENV",
+    "BlobServer",
+    "NetworkStoreClient",
+    "TieredStore",
     "COMPONENTS_NS",
     "POLYNOMIALS_NS",
     "FO2_TABLES_NS",

@@ -1,0 +1,458 @@
+"""A networked cache tier: HTTP blob server, client, and tiered store.
+
+Symmetric-WFOMC serving fleets amortize compilation and component
+counting across *processes and machines*, not just across calls — so
+the on-disk store gets an optional shared tier: a tiny HTTP blob server
+(:class:`BlobServer`, ``repro cache serve``) exposing a
+:class:`~repro.cache.store.PersistentStore` by content address, a
+client (:class:`NetworkStoreClient`) with the PR-7 failure discipline
+extended across the network boundary, and a :class:`TieredStore` that
+composes the two behind the exact interface the cache adapters speak.
+
+The protocol is deliberately dumb — values are opaque payload bytes
+keyed by the same SHA-256 content addresses the local store uses:
+
+* ``GET /kv/<namespace>/<hex digest>`` → 200 + payload, or 404
+* ``PUT /kv/<namespace>/<hex digest>`` (body = payload) → 204
+* ``GET /healthz`` → 200, ``GET /stats`` → JSON store stats
+
+Failure discipline (mirroring :mod:`repro.cache.store`):
+
+* **Classification** — timeouts, refused/reset connections, and 5xx
+  responses are *transient*; they get bounded retries with jittered
+  exponential backoff (``retries`` counts them).  Anything else
+  surviving the retries trips the circuit breaker.
+* **Circuit breaker** — a failing tier is disabled (every read misses,
+  every write is dropped: the counting path degrades to local-only) and
+  re-probed with a doubling interval via ``GET /healthz``, so a
+  restarted tier is picked back up without operator action
+  (``reenables`` counts recoveries).
+* **Torn payloads** — a truncated or corrupted payload fails to decode
+  and reads as a miss, never as a wrong value (the local store makes
+  the same promise).
+
+Every failure mode is reachable deterministically through the fault
+plans of :mod:`repro.resilience.faults`: ``net_timeout``,
+``net_refused``, ``net_http_error``, and ``net_torn_payload`` fire at
+the client's request boundary.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import re
+import socket
+import threading
+import time
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..resilience.faults import maybe_fire
+from .store import key_digest, decode_value, encode_value
+
+__all__ = [
+    "BlobServer",
+    "NetworkStoreClient",
+    "TieredStore",
+    "serve_blob_store",
+]
+
+#: Bounded jittered exponential backoff for transient network errors:
+#: up to ``_NET_MAX_RETRIES`` retries starting at ``_NET_RETRY_BASE_S``
+#: seconds, doubling, capped.  Module-level so tests can shrink them.
+_NET_RETRY_BASE_S = 0.02
+_NET_RETRY_CAP_S = 0.25
+_NET_MAX_RETRIES = 3
+
+#: Per-request socket timeout (connect + read), seconds.
+_NET_TIMEOUT_S = 5.0
+
+#: Circuit-breaker re-probe schedule: first probe after the base
+#: interval, doubling up to the cap while probes keep failing.
+_NET_PROBE_INTERVAL_S = 0.5
+_NET_PROBE_MAX_S = 60.0
+
+#: Buffered remote writes per flush batch (see :class:`TieredStore`).
+_REMOTE_FLUSH_THRESHOLD = 64
+
+
+class _RemoteHTTPError(Exception):
+    """A 5xx (or otherwise unusable) blob-tier response."""
+
+    def __init__(self, status):
+        super().__init__("blob tier answered HTTP {}".format(status))
+        self.status = status
+
+
+# -- the server --------------------------------------------------------------
+
+_KV_PATH = re.compile(r"^/kv/([A-Za-z0-9_.-]+)/([0-9a-f]{64})$")
+
+
+class _BlobRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-blob/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # the server is a cache tier; request logs are noise
+
+    def _respond(self, status, payload=b"", content_type="application/octet-stream"):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        if payload:
+            self.wfile.write(payload)
+
+    def do_GET(self):
+        store = self.server.store
+        if self.path == "/healthz":
+            self._respond(200, b"ok", "text/plain")
+            return
+        if self.path == "/stats":
+            body = json.dumps(store.stats()).encode("utf-8")
+            self._respond(200, body, "application/json")
+            return
+        match = _KV_PATH.match(self.path)
+        if match is None:
+            self._respond(404)
+            return
+        namespace, digest = match.group(1), bytes.fromhex(match.group(2))
+        payload = store.get_raw(namespace, digest)
+        if payload is None:
+            self._respond(404)
+        else:
+            self._respond(200, payload)
+
+    def do_PUT(self):
+        match = _KV_PATH.match(self.path)
+        if match is None:
+            self._respond(404)
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        payload = self.rfile.read(length)
+        self.server.store.put_raw(
+            match.group(1), bytes.fromhex(match.group(2)), payload)
+        self._respond(204)
+
+
+class BlobServer:
+    """A threaded HTTP blob tier over one :class:`PersistentStore`.
+
+    ``port=0`` binds an ephemeral port (read it back from ``address``).
+    The server thread is a daemon; :meth:`close` shuts it down and
+    flushes the backing store.
+    """
+
+    def __init__(self, store, host="127.0.0.1", port=0):
+        self.store = store
+        self._httpd = ThreadingHTTPServer((host, port), _BlobRequestHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.store = store
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-blob-server",
+            daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self):
+        host, port = self.address
+        return "http://{}:{}".format(host, port)
+
+    def close(self):
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+        self.store.flush()
+
+
+def serve_blob_store(store, host="127.0.0.1", port=0):
+    """Start a :class:`BlobServer`; returns it (callers ``close()`` it)."""
+    return BlobServer(store, host=host, port=port)
+
+
+# -- the client --------------------------------------------------------------
+
+
+class NetworkStoreClient:
+    """Digest-addressed reads/writes against a blob tier, fault-hardened.
+
+    Never raises toward the counting path: a read under any failure is a
+    miss, a write under any failure is dropped, and a tier that keeps
+    failing is circuit-broken (``disabled``) and re-probed with a
+    doubling interval.
+    """
+
+    def __init__(self, base_url, timeout=None, max_retries=None):
+        if "//" not in base_url:
+            base_url = "http://" + base_url
+        parsed = urllib.parse.urlsplit(base_url)
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ValueError(
+                "blob-tier URL must be http://host:port, got {!r}".format(
+                    base_url))
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.base_path = parsed.path.rstrip("/")
+        self.url = "http://{}:{}{}".format(self.host, self.port,
+                                           self.base_path)
+        self.timeout = _NET_TIMEOUT_S if timeout is None else timeout
+        self.max_retries = (_NET_MAX_RETRIES if max_retries is None
+                            else max_retries)
+        self.disabled = False
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.errors = 0
+        self.retries = 0
+        self.reenables = 0
+        self._closed = False
+        self._probe_at = None
+        self._probe_interval = _NET_PROBE_INTERVAL_S
+        #: Jitter stream for retry backoff.  Seeded, so a replayed fault
+        #: plan sees the same sleep schedule (the *decisions* never
+        #: depend on it — only the waiting does).
+        self._rng = random.Random("{}:{}".format(self.host, self.port))
+        #: Guards breaker state and the probe schedule; never held
+        #: across network I/O.
+        self._lock = threading.Lock()
+
+    # -- transport ---------------------------------------------------------
+
+    def _request_once(self, method, path, body=None):
+        """One HTTP exchange (+ deterministic fault injection)."""
+        if maybe_fire("net_refused"):
+            raise ConnectionRefusedError("connection refused (injected)")
+        if maybe_fire("net_timeout"):
+            raise socket.timeout("request timed out (injected)")
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request(method, self.base_path + path, body=body)
+            response = conn.getresponse()
+            status = response.status
+            payload = response.read()
+        finally:
+            conn.close()
+        if maybe_fire("net_http_error"):
+            status, payload = 500, b""
+        if status == 200 and maybe_fire("net_torn_payload"):
+            # Truncate mid-byte; the trailing 0xff never decodes, so the
+            # read becomes a miss rather than a wrong value.
+            payload = payload[:len(payload) // 2] + b"\xff"
+        return status, payload
+
+    def _request(self, method, path, body=None):
+        """The retry loop: transient failures get jittered backoff."""
+        delay = _NET_RETRY_BASE_S
+        attempt = 0
+        while True:
+            try:
+                status, payload = self._request_once(method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                if attempt >= self.max_retries:
+                    raise
+                status, payload = None, exc
+            if status is not None and not 500 <= status < 600:
+                return status, payload
+            if status is not None and attempt >= self.max_retries:
+                raise _RemoteHTTPError(status)
+            attempt += 1
+            self.retries += 1
+            time.sleep(min(delay, _NET_RETRY_CAP_S)
+                       * (0.5 + self._rng.random()))
+            delay = min(delay * 2, _NET_RETRY_CAP_S)
+
+    # -- breaker -----------------------------------------------------------
+
+    def _fail(self):
+        """Retries exhausted: open the breaker and arm the re-probe."""
+        with self._lock:
+            self.errors += 1
+            self.disabled = True
+            self._probe_at = time.monotonic() + self._probe_interval
+
+    def _maybe_reenable(self):
+        """Probe a broken tier for recovery (doubling interval)."""
+        with self._lock:
+            if (not self.disabled or self._closed or self._probe_at is None
+                    or time.monotonic() < self._probe_at):
+                return
+            self._probe_interval = min(self._probe_interval * 2,
+                                       _NET_PROBE_MAX_S)
+            self._probe_at = time.monotonic() + self._probe_interval
+        try:
+            status, _ = self._request_once("GET", "/healthz")
+            ok = status == 200
+        except (OSError, http.client.HTTPException):
+            ok = False
+        if ok:
+            with self._lock:
+                self.disabled = False
+                self.reenables += 1
+                self._probe_at = None
+                self._probe_interval = _NET_PROBE_INTERVAL_S
+
+    def available(self):
+        """Whether the tier is currently worth talking to."""
+        self._maybe_reenable()
+        return not self.disabled and not self._closed
+
+    # -- digest-addressed operations ---------------------------------------
+
+    def get_raw(self, namespace, digest):
+        """Payload bytes for a digest, or ``None`` (miss *or* failure)."""
+        if not self.available():
+            return None
+        try:
+            status, payload = self._request(
+                "GET", "/kv/{}/{}".format(namespace, digest.hex()))
+        except (OSError, http.client.HTTPException, _RemoteHTTPError):
+            self._fail()
+            return None
+        if status == 200:
+            self.hits += 1
+            return payload
+        self.misses += 1
+        return None
+
+    def put_raw(self, namespace, digest, payload):
+        """Store payload bytes under a digest; dropped on any failure."""
+        if not self.available():
+            return False
+        try:
+            status, _ = self._request(
+                "PUT", "/kv/{}/{}".format(namespace, digest.hex()),
+                body=payload)
+        except (OSError, http.client.HTTPException, _RemoteHTTPError):
+            self._fail()
+            return False
+        if status in (200, 201, 204):
+            self.writes += 1
+            return True
+        self.errors += 1
+        return False
+
+    def close(self):
+        self._closed = True
+        self.disabled = True
+
+    def stats(self):
+        return {"url": self.url, "disabled": self.disabled,
+                "hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "errors": self.errors,
+                "retries": self.retries, "reenables": self.reenables}
+
+
+# -- the tiered store --------------------------------------------------------
+
+
+class TieredStore:
+    """Local SQLite store first, shared blob tier second.
+
+    Speaks the exact :class:`~repro.cache.store.PersistentStore`
+    interface the adapters and CLI use (unknown attributes delegate to
+    the local store), adding:
+
+    * **hedged reads** — a local miss is retried against the remote
+      tier; a remote hit is written through to the local store, so each
+      entry crosses the network once per process;
+    * **write-through** — puts land locally at once and are buffered
+      toward the remote tier (flushed in batches, on :meth:`flush`, and
+      at :meth:`close`), so a fleet of workers warm-start each other;
+    * **degradation** — a disabled remote (circuit breaker) silently
+      reduces the store to plain local behavior; a disabled local store
+      still serves remote hits (recompute-and-share beats failing).
+    """
+
+    def __init__(self, local, remote):
+        self.local = local
+        self.remote = (remote if isinstance(remote, NetworkStoreClient)
+                       else NetworkStoreClient(remote))
+        self._remote_pending = []
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name):
+        # pid, directory, path, disabled, entry_counts, vacuum, ... —
+        # everything not overridden is the local store's business.
+        return getattr(self.local, name)
+
+    # Aggregated resilience counters (``repro stats`` reads these off
+    # every registered store).
+    @property
+    def retries(self):
+        return self.local.retries + self.remote.retries
+
+    @property
+    def reenables(self):
+        return self.local.reenables + self.remote.reenables
+
+    @property
+    def errors(self):
+        return self.local.errors + self.remote.errors
+
+    def get(self, namespace, key):
+        value = self.local.get(namespace, key)
+        if value is not None:
+            return value
+        digest = key_digest(namespace, key)
+        payload = self.remote.get_raw(namespace, digest)
+        if payload is None:
+            return None
+        try:
+            value = decode_value(payload)
+        except (ValueError, KeyError, IndexError, TypeError,
+                UnicodeDecodeError):
+            self.remote.errors += 1
+            return None
+        # Write through, so the next read of this entry stays local.
+        self.local.put(namespace, key, value)
+        return value
+
+    def put(self, namespace, key, value):
+        self.local.put(namespace, key, value)
+        try:
+            payload = encode_value(value)
+        except TypeError:
+            return
+        with self._lock:
+            self._remote_pending.append(
+                (namespace, key_digest(namespace, key), payload))
+            batch_due = len(self._remote_pending) >= _REMOTE_FLUSH_THRESHOLD
+        if batch_due:
+            self._flush_remote()
+
+    def _flush_remote(self):
+        with self._lock:
+            pending, self._remote_pending = self._remote_pending, []
+        if not pending:
+            return
+        if not self.remote.available():
+            return  # degrade: the local store already has the rows
+        for namespace, digest, payload in pending:
+            if not self.remote.put_raw(namespace, digest, payload):
+                break  # breaker opened mid-batch; drop the rest
+
+    def flush(self):
+        self.local.flush()
+        self._flush_remote()
+
+    def close(self):
+        self._flush_remote()
+        self.remote.close()
+        self.local.close()
+
+    def stats(self):
+        merged = self.local.stats()
+        merged["remote"] = self.remote.stats()
+        return merged

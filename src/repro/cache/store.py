@@ -54,6 +54,7 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 import time
 from fractions import Fraction
 
@@ -62,6 +63,7 @@ from ..resilience.faults import maybe_fire
 __all__ = [
     "ENGINE_TAG",
     "STORE_FILENAME",
+    "STORE_URL_ENV",
     "PersistentStore",
     "default_cache_dir",
     "open_store",
@@ -154,6 +156,12 @@ CREATE TABLE IF NOT EXISTS counters (
 MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
 MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
+#: When set to a blob-tier URL (``host:port`` or ``http://host:port``),
+#: :func:`open_store` layers the networked store of
+#: :mod:`repro.cache.netstore` over the local SQLite store, so a fleet
+#: of processes warm-starts from a shared cache tier.
+STORE_URL_ENV = "REPRO_STORE_URL"
+
 
 def default_cache_dir():
     """``$REPRO_CACHE_DIR`` when set and non-empty, else ``~/.cache/repro``."""
@@ -234,6 +242,17 @@ def key_digest(namespace, key):
     return h.digest()
 
 
+def _synchronized(method):
+    """Run ``method`` under the store's reentrant lock (see ``_lock``)."""
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+    wrapper.__name__ = method.__name__
+    wrapper.__qualname__ = method.__qualname__
+    wrapper.__doc__ = method.__doc__
+    return wrapper
+
+
 class PersistentStore:
     """One on-disk cache directory: namespaced key/value rows + counters.
 
@@ -245,6 +264,12 @@ class PersistentStore:
         self.directory = os.path.abspath(directory)
         self.path = os.path.join(self.directory, STORE_FILENAME)
         self.pid = os.getpid()
+        #: One store instance is shared by every thread of a process (the
+        #: serving daemon's executor pool in particular); the write-behind
+        #: buffer, the touched-row set, and the failure/probe state are
+        #: all compound mutations, so a reentrant lock serializes them.
+        #: SQLite work dominates any section the lock covers.
+        self._lock = threading.RLock()
         self.disabled = False
         self.hits = 0
         self.misses = 0
@@ -313,6 +338,7 @@ class PersistentStore:
             else:
                 self.disabled = True
 
+    @_synchronized
     def close(self):
         """Flush the write-behind buffer and close the connection.
 
@@ -432,6 +458,7 @@ class PersistentStore:
 
     # -- key/value ---------------------------------------------------------
 
+    @_synchronized
     def get(self, namespace, key):
         """The decoded value stored for ``key``, or ``None``.
 
@@ -477,6 +504,7 @@ class PersistentStore:
         self._touched.add((namespace, digest))
         return value
 
+    @_synchronized
     def put(self, namespace, key, value):
         """Buffer one row for the next flush (write-behind)."""
         self._maybe_reenable()
@@ -492,6 +520,7 @@ class PersistentStore:
         if len(self._pending) >= _FLUSH_THRESHOLD:
             self.flush()
 
+    @_synchronized
     def flush(self):
         """Write buffered rows, hit timestamps, and counter deltas in
         one transaction."""
@@ -534,8 +563,51 @@ class PersistentStore:
         for name in self._unflushed:
             self._unflushed[name] = 0
 
+    # -- raw digest-level access (the networked blob tier) ----------------
+
+    @_synchronized
+    def get_raw(self, namespace, digest):
+        """The stored payload bytes for a precomputed digest, or ``None``.
+
+        The blob tier (:mod:`repro.cache.netstore`) serves entries by
+        their content address without decoding them, so reads skip the
+        codec and the hit/miss session counters (those describe the
+        counting path).
+        """
+        self._maybe_reenable()
+        if self.disabled:
+            return None
+        payload = self._pending.get((namespace, digest))
+        if payload is not None:
+            return payload
+        try:
+            row = self._run(lambda: self._conn.execute(
+                "SELECT value FROM kv WHERE ns=? AND key=?",
+                (namespace, digest)).fetchone())
+        except sqlite3.Error as exc:
+            self._fail(exc)
+            return None
+        return row[0] if row is not None else None
+
+    @_synchronized
+    def put_raw(self, namespace, digest, payload):
+        """Buffer raw payload bytes under a precomputed digest.
+
+        The write-behind contract matches :meth:`put`; the payload is
+        stored as given (a torn or foreign payload decodes to a miss on
+        the read side, never to a wrong value).
+        """
+        self._maybe_reenable()
+        if self.disabled:
+            return
+        self._pending[(namespace, digest)] = bytes(payload)
+        self._unflushed["writes"] += 1
+        if len(self._pending) >= _FLUSH_THRESHOLD:
+            self.flush()
+
     # -- inspection / maintenance -----------------------------------------
 
+    @_synchronized
     def entry_counts(self):
         """``{namespace: row count}`` for the rows on disk."""
         if self.disabled or self._conn is None:
@@ -549,6 +621,7 @@ class PersistentStore:
             return {}
         return dict(rows)
 
+    @_synchronized
     def cumulative_counters(self):
         """Cross-process ``hits``/``misses``/``writes`` totals (flushed)."""
         totals = {"hits": 0, "misses": 0, "writes": 0}
@@ -586,6 +659,7 @@ class PersistentStore:
             "cumulative": self.cumulative_counters(),
         }
 
+    @_synchronized
     def clear(self):
         """Delete every row and counter; returns the rows removed."""
         self._pending.clear()
@@ -605,6 +679,7 @@ class PersistentStore:
             return 0
         return removed
 
+    @_synchronized
     def vacuum(self, max_entries=None, max_bytes=None):
         """Size-bounded LRU eviction plus an SQLite ``VACUUM``.
 
@@ -669,16 +744,27 @@ class PersistentStore:
 _STORES = {}
 
 
-def open_store(cache_dir=None):
-    """The process-wide :class:`PersistentStore` for a cache directory.
+def open_store(cache_dir=None, remote_url=None):
+    """The process-wide store for a cache directory.
 
     One store instance per resolved directory, so the write-behind buffer
     and session counters are shared by every adapter over it.  Never
     raises: a directory that cannot be created or opened yields a
     disabled store whose lookups miss.
+
+    When ``remote_url`` is given — or ``$REPRO_STORE_URL`` is set — the
+    local store is wrapped in a
+    :class:`~repro.cache.netstore.TieredStore` that hedges misses
+    against the shared HTTP blob tier and write-throughs both ways, so
+    a fleet of processes warm-starts from one cache.  A dead or flaky
+    tier degrades to local-only (see the circuit breaker in
+    :mod:`repro.cache.netstore`); it can never fail a lookup.
     """
     path = os.path.abspath(cache_dir or default_cache_dir())
-    store = _STORES.get(path)
+    url = (remote_url if remote_url is not None
+           else os.environ.get(STORE_URL_ENV)) or None
+    registry_key = path if url is None else (path, url)
+    store = _STORES.get(registry_key)
     if store is not None and store.pid != os.getpid():
         # Forked child (e.g. a parallel counting worker): SQLite
         # connections must never be used across fork().  Abandon the
@@ -687,8 +773,17 @@ def open_store(cache_dir=None):
         # fresh one for this process.
         store = None
     if store is None:
-        store = PersistentStore(path)
-        _STORES[path] = store
+        if url is None:
+            store = PersistentStore(path)
+        else:
+            from .netstore import TieredStore
+
+            # The tiered store wraps the plain per-directory instance
+            # (remote_url="" suppresses the env var on the inner call),
+            # so plain and tiered opens of one directory share a single
+            # SQLite connection and write-behind buffer.
+            store = TieredStore(open_store(path, remote_url=""), url)
+        _STORES[registry_key] = store
     return store
 
 

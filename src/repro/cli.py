@@ -30,7 +30,8 @@ served from disk.  The grounded counting engine's conflict-driven
 search is configurable: ``--branching {evsids,moms}`` picks the
 decision heuristic, ``--no-learn`` disables clause learning (the
 pre-CDCL engine), ``--max-learned N`` bounds the learned-clause
-database, and ``--no-phase-saving`` disables backjump polarity memory.
+database, ``--no-phase-saving`` disables backjump polarity memory, and
+``--restarts N`` enables Luby restarts with unit N conflicts.
 None of these change the counted value.  ``--backend
 {exact,batched,float,codegen}`` picks the circuit-evaluation backend of
 the compiled fast path (and implies ``--compile`` where that applies);
@@ -180,6 +181,15 @@ def build_parser():
             action="store_true",
             help="disable backjump phase saving (branch every decision "
                  "w-first; the count is identical)",
+        )
+        p.add_argument(
+            "--restarts",
+            type=int,
+            default=None,
+            metavar="N",
+            help="enable Luby restarts in the clause-learning search "
+                 "with unit N conflicts (default: no restarts; the "
+                 "count is identical)",
         )
         p.add_argument(
             "--persist",
@@ -358,6 +368,9 @@ def build_parser():
         ("vacuum", "evict least-recently-used entries down to a size "
                    "bound and compact the store file"),
         ("path", "print the resolved cache directory"),
+        ("serve", "serve this directory's store as a shared HTTP blob "
+                  "tier (point other processes at it with "
+                  "$REPRO_STORE_URL)"),
     ):
         p = cache_sub.add_parser(name, help=help_text)
         p.add_argument(
@@ -367,6 +380,14 @@ def build_parser():
             help="persistent cache location (default: $REPRO_CACHE_DIR "
                  "or ~/.cache/repro)",
         )
+        if name == "serve":
+            p.add_argument(
+                "--host", default="127.0.0.1", metavar="ADDR",
+                help="bind address (default 127.0.0.1)")
+            p.add_argument(
+                "--port", type=int, default=0, metavar="PORT",
+                help="bind port (default 0 = ephemeral; the bound "
+                     "address is printed on stdout)")
         if name == "vacuum":
             p.add_argument(
                 "--max-entries", type=int, default=None, metavar="N",
@@ -384,6 +405,45 @@ def build_parser():
     p_mu = sub.add_parser("mu", help="labeled-structure fraction mu_n")
     p_mu.add_argument("formula")
     p_mu.add_argument("n", type=int)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP inference daemon (compile once, serve many)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0: pick an ephemeral port and print it)")
+    p_serve.add_argument(
+        "--max-concurrency", type=int, default=4, metavar="N",
+        help="evaluations running at once (also the worker-thread count)")
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="requests allowed to wait for a slot before load is shed "
+             "with HTTP 429")
+    p_serve.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="deadline applied to requests that do not carry their own "
+             "deadline_ms (default: none)")
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight requests (default 10)")
+    p_serve.add_argument(
+        "--method", choices=("auto", "fo2", "lineage", "enumerate"),
+        default="auto")
+    p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes per evaluation (see the counting commands)")
+    p_serve.add_argument(
+        "--compile", action="store_true",
+        help="serve through the compiled-circuit registry (compile each "
+             "instance once, evaluate per request)")
+    p_serve.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="circuit-evaluation backend for compiled serving")
+    p_serve.add_argument(
+        "--persist", action="store_true",
+        help="back every cache layer with the on-disk store")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR")
 
     return parser
 
@@ -442,6 +502,13 @@ def _print_resilience_stats(stream):
     for store in _STORES.values():
         if store.pid != os.getpid():
             continue
+        if hasattr(store, "remote"):
+            # A tiered store's local half is registered separately; only
+            # its network-tier counters are new information here.
+            for name in ("retries", "reenables"):
+                key = "net_{}".format(name)
+                rows[key] = rows.get(key, 0) + getattr(store.remote, name)
+            continue
         for name in ("retries", "reenables", "disk_full"):
             rows[name] = rows.get(name, 0) + getattr(store, name)
     fired = {k: v for k, v in fault_counters().items() if v}
@@ -480,6 +547,7 @@ def _engine_options(args):
         cache_dir=getattr(args, "cache_dir", None),
         phase_saving=(False if getattr(args, "no_phase_saving", False)
                       else None),
+        restarts=getattr(args, "restarts", None),
         compile=True if getattr(args, "compile", False) else None,
         backend=getattr(args, "backend", None),
         budget=_budget(args),
@@ -496,6 +564,8 @@ def _cache_main(args):
     if args.cache_command == "path":
         print(directory)
         return 0
+    if args.cache_command == "serve":
+        return _cache_serve(directory, args.host, args.port)
     store_file = os.path.join(directory, STORE_FILENAME)
     if not os.path.exists(store_file):
         # Don't create a store just to look at it.
@@ -542,6 +612,64 @@ def _cache_main(args):
     return 0
 
 
+def _cache_serve(directory, host, port):
+    """Block serving the directory's store as an HTTP blob tier."""
+    import signal
+    import threading
+
+    from .cache import open_store
+    from .cache.netstore import BlobServer
+
+    store = open_store(directory, remote_url="")
+    server = BlobServer(store, host=host, port=port)
+    print("serving blob store {} on {}".format(store.path, server.url),
+          flush=True)
+    stop = threading.Event()
+    for signame in ("SIGINT", "SIGTERM"):
+        try:
+            signal.signal(getattr(signal, signame), lambda *_: stop.set())
+        except (ValueError, OSError):
+            pass  # non-main thread or unsupported platform
+    try:
+        stop.wait()
+    finally:
+        server.close()
+    return 0
+
+
+def _serve_main(args):
+    """The ``repro serve`` subcommand: block in the inference daemon."""
+    import asyncio
+
+    from .serve import ReproServer, ServeConfig
+
+    options = SolverOptions(
+        method=args.method,
+        workers=args.workers,
+        persist=True if args.persist else None,
+        cache_dir=args.cache_dir,
+        compile=True if args.compile else None,
+        backend=args.backend,
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.default_deadline_ms,
+        drain_timeout_s=args.drain_timeout,
+        options=options,
+    )
+
+    async def _run_server():
+        server = await ReproServer(config).start()
+        print("repro serve listening on {}".format(server.url), flush=True)
+        await server.run()
+
+    asyncio.run(_run_server())
+    return 0
+
+
 def main(argv=None):
     """Parse the command line, run the command, map errors to exit codes.
 
@@ -568,6 +696,8 @@ def main(argv=None):
 def _run(args):
     if args.command == "cache":
         return _cache_main(args)
+    if args.command == "serve":
+        return _serve_main(args)
     formula = parse(args.formula)
 
     options = _engine_options(args)

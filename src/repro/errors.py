@@ -89,6 +89,29 @@ class FaultPlanError(ReproError):
     """
 
 
+class ServiceOverloadedError(ReproError):
+    """The serving daemon shed a request under admission control.
+
+    Retriable by contract: the request was rejected *before* any work
+    started, so resubmitting it (after ``retry_after`` seconds) is
+    always safe.  Maps to HTTP 429 with a ``Retry-After`` header in
+    :mod:`repro.serve`.
+    """
+
+    def __init__(self, message="service overloaded", retry_after=1):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceDrainingError(ReproError):
+    """The serving daemon is shutting down and rejects new work.
+
+    Raised between SIGTERM and process exit; in-flight requests still
+    complete.  Maps to HTTP 503 in :mod:`repro.serve`; retriable
+    against another replica.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A run hit its :class:`~repro.resilience.limits.Budget`.
 

@@ -56,9 +56,15 @@ class SolverOptions:
     workers:
         Process-pool width for parallel component counting (``None`` or
         ``0``/``1`` means serial; results are bit-identical either way).
-    branching / learn / max_learned / phase_saving:
+    branching / learn / max_learned / phase_saving / restarts:
         Conflict-driven-search knobs of the grounded counting engine;
         they steer the search only, never the counted value.
+        ``restarts`` enables Luby-sequence restarts in the
+        clause-learning engine: a positive int is the Luby unit in
+        conflicts (restart after ``unit * luby(i)`` conflicts since the
+        last restart), ``None``/``0`` disables them (the default).
+        Abandoned partial sums are recomputed through the component
+        cache, so counts stay bit-identical with restarts on or off.
     persist / cache_dir:
         Back the in-memory caches with the on-disk store of
         :mod:`repro.cache` (at ``cache_dir``, ``$REPRO_CACHE_DIR``, or
@@ -98,6 +104,7 @@ class SolverOptions:
     persist: bool | None = None
     cache_dir: str | None = None
     phase_saving: bool | None = None
+    restarts: int | None = None
     compile: bool | None = None
     backend: str | None = None
     budget: object | None = None
@@ -124,6 +131,11 @@ class SolverOptions:
             raise ValueError(
                 "max_learned must be a non-negative int or None, "
                 "got {!r}".format(self.max_learned))
+        if self.restarts is not None and (
+                not isinstance(self.restarts, int) or self.restarts < 0):
+            raise ValueError(
+                "restarts must be a non-negative int (the Luby unit in "
+                "conflicts) or None, got {!r}".format(self.restarts))
         if self.budget is not None and not isinstance(self.budget, Budget):
             raise ValueError(
                 "budget must be a repro.resilience.limits.Budget or None, "
@@ -195,6 +207,7 @@ class SolverOptions:
             "persist": self.persist,
             "cache_dir": self.cache_dir,
             "phase_saving": self.phase_saving,
+            "restarts": self.restarts,
         }
 
     def store_kwargs(self):

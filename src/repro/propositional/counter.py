@@ -62,6 +62,13 @@ sharpSAT/Cachet-style conflict-driven counting search:
   decisions branch into it first (w-first order is the fallback) — in an
   exhaustive counting search this only reorders the branches, steering
   where conflicts and learned clauses arise, never the counted value;
+* opt-in **Luby restarts** (``restarts=N``): after ``N * luby(i)``
+  conflicts the search abandons every decision level and re-enters the
+  component from the root, keeping learned clauses and level-0 units.
+  A restart is the same move as a backjump to the root — abandoned
+  partial sums are recomputed through the component cache, so no branch
+  is skipped and the counted value is bit-identical with restarts on or
+  off;
 * a **trace mode** (:func:`trace_cnf_clauses`): the same search replayed
   symbolically, recording decompositions as arithmetic-circuit nodes for
   the knowledge-compilation subsystem (:mod:`repro.compile`) instead of
@@ -148,6 +155,18 @@ DEFAULT_PHASE_SAVING = True
 #: database reduction.
 GLUE_LBD = 2
 
+
+def _luby(i):
+    """The ``i``-th term (1-based) of the Luby sequence 1,1,2,1,1,2,4,...
+
+    The standard universally-optimal restart schedule: the restart
+    after ``i`` fires once ``unit * luby(i)`` conflicts accumulate.
+    """
+    k = i.bit_length()
+    if i + 1 == 1 << k:
+        return 1 << (k - 1)
+    return _luby(i - (1 << (k - 1)) + 1)
+
 #: EVSIDS: activity increments grow by 1/0.95 per conflict; activities are
 #: rescaled when the increment overflows this bound.
 _VSIDS_INV_DECAY = 1.0 / 0.95
@@ -188,8 +207,10 @@ class EngineStats:
     ``learned_clauses`` (1-UIP clauses derived from them),
     ``backjumps``/``backjump_levels`` (non-chronological returns and the
     total number of decision levels they unwound), ``db_reductions``
-    (LBD-based learned-database halvings), and ``phase_hits`` (decisions
-    whose first branch polarity came from a saved phase).  The
+    (LBD-based learned-database halvings), ``phase_hits`` (decisions
+    whose first branch polarity came from a saved phase), and
+    ``restarts`` (Luby restarts taken when the ``restarts=`` knob is
+    on).  The
     fault-tolerant parallel path adds ``worker_retries`` (crashed pools
     retried once on a fresh pool) and ``degraded_to_serial`` (component
     tasks served in-process after the retry also failed); both paths
@@ -201,7 +222,7 @@ class EngineStats:
                  "key_hits", "key_misses", "parallel_tasks",
                  "conflicts", "learned_clauses", "backjumps",
                  "backjump_levels", "db_reductions", "phase_hits",
-                 "worker_retries", "degraded_to_serial")
+                 "restarts", "worker_retries", "degraded_to_serial")
 
     def __init__(self):
         self.reset()
@@ -223,6 +244,7 @@ class EngineStats:
         self.backjump_levels = 0
         self.db_reductions = 0
         self.phase_hits = 0
+        self.restarts = 0
         self.worker_retries = 0
         self.degraded_to_serial = 0
 
@@ -792,20 +814,22 @@ class CountingEngine:
     ``max_learned`` bounds the learned-clause database of one component
     search before an LBD-based reduction drops the worst half.
     ``phase_saving`` (default on) branches each decision into the
-    polarity a backjump last undid for that variable.  All knobs leave
-    the counted value bit-identical — they only steer the search.
+    polarity a backjump last undid for that variable.  ``restarts``
+    (off by default) enables Luby restarts of the learning search with
+    the given unit in conflicts.  All knobs leave the counted value
+    bit-identical — they only steer the search.
     """
 
     __slots__ = ("weights", "totals", "cache", "stats", "key_cache",
                  "workers", "branching", "learn", "max_learned",
                  "activity", "var_inc", "persist_dir", "phase_saving",
-                 "saved_phase", "search_conflicts", "search_decisions",
-                 "search_activity_on", "budget")
+                 "restarts", "saved_phase", "search_conflicts",
+                 "search_decisions", "search_activity_on", "budget")
 
     def __init__(self, weights, totals, cache=None, stats=None,
                  key_cache=None, workers=None, branching=None, learn=None,
                  max_learned=None, persist_dir=None, phase_saving=None,
-                 budget=None):
+                 restarts=None, budget=None):
         self.weights = weights
         self.totals = totals
         self.cache = _SHARED_CACHE if cache is None else cache
@@ -829,6 +853,12 @@ class CountingEngine:
         #: backjumps) happen.
         self.phase_saving = (DEFAULT_PHASE_SAVING if phase_saving is None
                              else bool(phase_saving))
+        #: Luby restart unit in conflicts (0/None = no restarts).  A
+        #: restart abandons every decision level of the current
+        #: component search, keeping learned clauses and level-0 units;
+        #: abandoned partial sums are recomputed through the component
+        #: cache, so the counted value never changes.
+        self.restarts = 0 if restarts is None else int(restarts)
         self.saved_phase = {}
         #: When set, top-level components dispatched to worker processes
         #: carry this cache directory so the workers read and write the
@@ -1196,6 +1226,13 @@ class CountingEngine:
         stack = [root]
         evals = 0
         unproductive = 0
+        # Luby restarts: fire after ``unit * luby(i)`` conflicts in this
+        # search.  ``restart_at`` is the absolute stats.conflicts mark of
+        # the next restart (stats.conflicts only grows within a search).
+        restart_unit = self.restarts
+        restart_idx = 1
+        restart_at = (stats.conflicts + restart_unit * _luby(restart_idx)
+                      if restart_unit else None)
 
         ADVANCE, EVAL, BRANCH_DONE = 0, 1, 2
         state = ADVANCE
@@ -1241,6 +1278,36 @@ class CountingEngine:
                 if conflict >= 0:
                     if handle_conflicts(conflict):
                         return 0
+                    if (restart_at is not None and stats.conflicts >= restart_at
+                            and len(stack) > 1):
+                        # Luby restart: abandon every decision level and
+                        # re-enter from the root — the same move as a
+                        # backjump to level 0, so learned clauses and
+                        # level-0 units survive and the abandoned partial
+                        # sums are recomputed through the component
+                        # cache.  The root's accumulator is untouched (it
+                        # only ever receives the value of its single
+                        # completed branch), so no weight is counted
+                        # twice.
+                        stats.restarts += 1
+                        node = stack[0]
+                        del stack[1:]
+                        if self.phase_saving:
+                            saved_phase = self.saved_phase
+                            for v in trail[node.prop_end:]:
+                                saved_phase[v] = assign[v]
+                                del assign[v]
+                                del vlevel[v]
+                                del reason[v]
+                        else:
+                            for v in trail[node.prop_end:]:
+                                del assign[v]
+                                del vlevel[v]
+                                del reason[v]
+                        del trail[node.prop_end:]
+                        restart_idx += 1
+                        restart_at = (stats.conflicts
+                                      + restart_unit * _luby(restart_idx))
                 else:
                     node.prop_end = len(trail)
                 state = EVAL
@@ -1569,7 +1636,8 @@ class CountingEngine:
             max_learned=self.max_learned,
             persist=True if self.persist_dir is not None else None,
             cache_dir=self.persist_dir,
-            phase_saving=self.phase_saving)
+            phase_saving=self.phase_saving,
+            restarts=self.restarts or None)
 
         def record(key, value, worker_stats):
             if worker_stats is not None:
@@ -1895,7 +1963,8 @@ def _count_component_task(payload):
         engine = CountingEngine(weights, totals, cache=cache, stats=stats,
                                 branching=opts.branching, learn=opts.learn,
                                 max_learned=opts.max_learned,
-                                phase_saving=opts.phase_saving)
+                                phase_saving=opts.phase_saving,
+                                restarts=opts.restarts)
         value = engine._count_component(component)
         return value, stats.as_dict()
     finally:
@@ -1919,7 +1988,8 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, options=None,
     statistics (callers wanting isolation pass fresh instances).
     ``options`` is a :class:`~repro.options.SolverOptions` (legacy
     keyword arguments — ``workers=``, ``branching=``, ``learn=``,
-    ``max_learned=``, ``persist=``, ``cache_dir=``, ``phase_saving=`` —
+    ``max_learned=``, ``persist=``, ``cache_dir=``, ``phase_saving=``,
+    ``restarts=`` —
     keep working and are deprecated).  ``workers`` enables process-pool
     counting of top-level components; the result is bit-identical to a
     serial run.  ``branching``, ``learn`` and ``max_learned`` configure
@@ -1966,6 +2036,7 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, options=None,
                             learn=opts.learn, max_learned=opts.max_learned,
                             persist_dir=persist_dir,
                             phase_saving=opts.phase_saving,
+                            restarts=opts.restarts,
                             budget=opts.budget)
     clauses = tuple(cnf.clauses)
     # ``to_cnf`` guarantees duplicate-free, non-empty clauses.

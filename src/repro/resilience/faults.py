@@ -20,8 +20,8 @@ does not yet exist and atomically creates it when firing — a
 cross-process single-shot marker, e.g. "crash the first worker task,
 but only once across pool retries".
 
-Fault kinds (the injection points live in :mod:`repro.cache.store` and
-:mod:`repro.propositional.counter`):
+Fault kinds (the injection points live in :mod:`repro.cache.store`,
+:mod:`repro.cache.netstore`, and :mod:`repro.propositional.counter`):
 
 ========================  ==============================================
 ``store_busy``            transient ``sqlite3`` "database is locked"
@@ -29,6 +29,10 @@ Fault kinds (the injection points live in :mod:`repro.cache.store` and
 ``store_corrupt``         ``sqlite3`` "database disk image is malformed"
 ``store_torn_write``      a stored payload is truncated mid-byte on read
 ``worker_crash``          a pool worker hard-exits (``os._exit``) mid-task
+``net_timeout``           a networked-store request times out
+``net_refused``           a networked-store connection is refused
+``net_http_error``        the blob tier answers HTTP 500
+``net_torn_payload``      a blob-tier payload is truncated mid-byte
 ========================  ==============================================
 
 Examples::
@@ -36,11 +40,16 @@ Examples::
     REPRO_FAULT_PLAN='store_busy@1,2'          # first two store ops hit BUSY
     REPRO_FAULT_PLAN='worker_crash~1'          # every worker task crashes
     REPRO_FAULT_PLAN='seed=7;store_busy?0.2'   # 20% of ops, reproducibly
+    REPRO_FAULT_PLAN='net_timeout~3'           # every 3rd blob request hangs
 
-Plans are fork-aware: per-kind call counters and probability streams
-reset when the pid changes, so every forked worker sees the same
-deterministic schedule.  The environment variable is re-read whenever
-its value changes, so a test can flip plans without reloading modules.
+Plans are fork-aware *and* thread-safe: per-kind call counters and
+probability streams reset when the pid changes, so every forked (or
+pre-forked serving) worker sees the same deterministic schedule, and
+all counter updates take a per-plan lock, so a plan set via
+``$REPRO_FAULT_PLAN`` is honored — with exact deterministic counts —
+inside ``asyncio`` executor threads and any other concurrent caller.
+The environment variable is re-read whenever its value changes, so a
+test can flip plans without reloading modules.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from __future__ import annotations
 import os
 import random
 import re
+import threading
 
 from ..errors import FaultPlanError
 
@@ -57,7 +67,9 @@ __all__ = ["FAULT_KINDS", "FaultPlan", "active_plan", "clear_plan",
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 FAULT_KINDS = ("store_busy", "store_disk_full", "store_corrupt",
-               "store_torn_write", "worker_crash")
+               "store_torn_write", "worker_crash",
+               "net_timeout", "net_refused", "net_http_error",
+               "net_torn_payload")
 
 _TOKEN = re.compile(
     r"^(?P<kind>[a-z_]+)(?P<op>[@~?])(?P<arg>[^:]+?)(?::once=(?P<once>.+))?$")
@@ -75,6 +87,12 @@ class FaultPlan:
         self.calls = {kind: 0 for kind in self._rules}
         self.fired = {kind: 0 for kind in self._rules}
         self._rngs = {}
+        #: Injection points run on whatever thread executes the faulted
+        #: layer — the serving daemon's executor pool in particular.  The
+        #: lock makes each call-count increment and stream draw atomic,
+        #: so concurrent callers consume the deterministic schedule
+        #: exactly once per call instead of racing increments away.
+        self._lock = threading.Lock()
 
     def _parse(self, spec):
         tokens = [t for t in re.split(r"[;\s]+", spec.strip()) if t]
@@ -147,27 +165,29 @@ class FaultPlan:
         rule = self._rules.get(kind)
         if rule is None:
             return False
-        self._maybe_reset_for_fork()
-        self.calls[kind] += 1
-        count = self.calls[kind]
-        op, payload, once = rule
-        if op == "@":
-            fire = count in payload
-        elif op == "~":
-            fire = count % payload == 0
-        else:
-            fire = self._rng(kind).random() < payload
-        if fire and once is not None:
-            try:
-                with open(once, "x"):
-                    pass
-            except FileExistsError:
-                return False
-            except OSError:
-                return False
-        if fire:
-            self.fired[kind] += 1
-        return fire
+        with self._lock:
+            self._maybe_reset_for_fork()
+            self.calls[kind] += 1
+            count = self.calls[kind]
+            op, payload, once = rule
+            if op == "@":
+                fire = count in payload
+            elif op == "~":
+                fire = count % payload == 0
+            else:
+                fire = self._rng(kind).random() < payload
+            if fire and once is not None:
+                # The marker file is the cross-process single-shot gate;
+                # O_EXCL creation keeps it atomic across processes, the
+                # plan lock keeps it atomic across threads.
+                try:
+                    with open(once, "x"):
+                        pass
+                except OSError:  # exists already, or uncreatable
+                    fire = False
+            if fire:
+                self.fired[kind] += 1
+            return fire
 
     def stats(self):
         """Per-kind call/fired counters (for ``repro stats`` and tests)."""
@@ -189,6 +209,10 @@ class FaultPlan:
 _INSTALLED = None
 _ENV_SPEC = None
 _ENV_PLAN = None
+#: Guards the env-plan cache: concurrent first calls from executor
+#: threads must agree on one plan object (two plans would each keep
+#: private call counters and double the schedule).
+_ENV_LOCK = threading.Lock()
 
 
 def install_plan(plan):
@@ -212,13 +236,14 @@ def active_plan():
     if _INSTALLED is not None:
         return _INSTALLED
     spec = os.environ.get(ENV_VAR)
-    if not spec:
-        _ENV_SPEC = _ENV_PLAN = None
-        return None
-    if spec != _ENV_SPEC:
-        _ENV_PLAN = FaultPlan(spec)
-        _ENV_SPEC = spec
-    return _ENV_PLAN
+    with _ENV_LOCK:
+        if not spec:
+            _ENV_SPEC = _ENV_PLAN = None
+            return None
+        if spec != _ENV_SPEC:
+            _ENV_PLAN = FaultPlan(spec)
+            _ENV_SPEC = spec
+        return _ENV_PLAN
 
 
 def maybe_fire(kind):

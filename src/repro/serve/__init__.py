@@ -1,0 +1,32 @@
+"""``repro.serve``: the resilient HTTP inference daemon.
+
+Run it with ``repro serve`` (see :mod:`repro.cli`) or embed it::
+
+    import asyncio
+    from repro.serve import ReproServer, ServeConfig
+
+    async def main():
+        server = await ReproServer(ServeConfig(port=8080)).start()
+        print(server.url)
+        await server.run()          # serves until SIGTERM/SIGINT
+
+    asyncio.run(main())
+
+The package splits by concern: :mod:`~repro.serve.protocol` (wire
+format and error taxonomy), :mod:`~repro.serve.registry` (single-flight
+compiled-circuit registry), :mod:`~repro.serve.admission` (bounded
+concurrency and load shedding), :mod:`~repro.serve.metrics`
+(``/metrics`` snapshot), and :mod:`~repro.serve.daemon` (the asyncio
+HTTP loop, deadline propagation, degradation, and drain).
+"""
+
+from .admission import AdmissionController
+from .daemon import ReproServer, ServeConfig
+from .registry import CircuitRegistry
+
+__all__ = [
+    "AdmissionController",
+    "CircuitRegistry",
+    "ReproServer",
+    "ServeConfig",
+]

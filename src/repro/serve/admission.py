@@ -1,0 +1,71 @@
+"""Admission control: bounded concurrency, bounded queue, load shedding.
+
+The daemon runs at most ``max_concurrency`` evaluations at once (that is
+also the executor width) and lets at most ``queue_depth`` requests wait
+for a slot.  Anything beyond that is shed *before any work starts* with
+:class:`~repro.errors.ServiceOverloadedError` — HTTP 429 plus a
+``Retry-After`` estimate — so an overloaded daemon stays responsive and
+rejects cheaply instead of queueing unboundedly and timing everything
+out.
+
+All counters are touched only on the event loop, so they need no lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from ..errors import ServiceOverloadedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Semaphore-bounded concurrency with a bounded wait queue."""
+
+    def __init__(self, max_concurrency, queue_depth):
+        self.max_concurrency = max(1, int(max_concurrency))
+        self.queue_depth = max(0, int(queue_depth))
+        self._slots = asyncio.Semaphore(self.max_concurrency)
+        self.running = 0
+        self.waiting = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def retry_after(self):
+        """Seconds a shed client should wait: one drain of the queue."""
+        return max(1, self.waiting)
+
+    @contextlib.asynccontextmanager
+    async def admit(self):
+        """Hold one evaluation slot; shed when the queue is full."""
+        if self.waiting >= self.queue_depth and self._slots.locked():
+            self.shed += 1
+            raise ServiceOverloadedError(
+                "admission queue full ({} running, {} waiting)".format(
+                    self.running, self.waiting),
+                retry_after=self.retry_after())
+        self.waiting += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self.waiting -= 1
+        self.running += 1
+        self.admitted += 1
+        try:
+            yield
+        finally:
+            self.running -= 1
+            self._slots.release()
+
+    def snapshot(self):
+        """Counter view for ``/metrics``."""
+        return {
+            "max_concurrency": self.max_concurrency,
+            "queue_depth": self.queue_depth,
+            "running": self.running,
+            "waiting": self.waiting,
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }

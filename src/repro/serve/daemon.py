@@ -1,0 +1,427 @@
+"""The ``repro serve`` daemon: a resilient HTTP inference service.
+
+A single process loads and compiles circuits once (through the
+single-flight :class:`~repro.serve.registry.CircuitRegistry` and the
+library's own caches) and serves any number of WFOMC / probability /
+sweep requests over plain HTTP/1.1 — the paper's data-independence made
+operational: compilation is weight-independent, so the expensive work
+is amortized across every query a deployment ever answers.
+
+Everything is standard library: ``asyncio`` streams carry the HTTP
+surface, a thread pool runs the (GIL-releasing-free, CPU-bound but
+budget-interruptible) evaluations, and the robustness layers compose
+from PR-7 primitives:
+
+* **deadline propagation** — ``deadline_ms`` becomes a
+  :class:`~repro.resilience.limits.Budget` on the request's
+  :class:`~repro.options.SolverOptions`, charged inside every counting
+  layer and worker-pool poll loop.  The event loop backstops it: at the
+  deadline it fires ``budget.cancel()`` (cooperative, thread-safe) and
+  gives the evaluation until **2x the deadline** total before
+  abandoning the thread and answering 504 anyway — a request never
+  outlives twice its deadline, even if the engine is stuck somewhere
+  that does not charge the budget.
+* **admission control** — :class:`~repro.serve.admission.
+  AdmissionController` bounds running + queued work; excess load is
+  shed with 429 + ``Retry-After`` before any work starts.
+* **graceful degradation** — a failed compile degrades to direct
+  counting (registry failure markers); an accelerated backend that
+  errors internally falls back down the ladder codegen → batched →
+  exact → direct, so the client sees the exact answer, just slower; a
+  down store tier is already absorbed by the cache layer
+  (:mod:`repro.cache`).  Internal faults become typed 500s, never
+  hangs.
+* **graceful drain** — SIGTERM stops the listener, answers 503 on
+  kept-alive connections, lets in-flight evaluations finish within
+  ``drain_timeout_s``, then exits.
+
+Endpoints: ``GET /healthz | /readyz | /metrics`` and ``POST
+/v1/wfomc | /v1/probability | /v1/wfomc_weight_sweep |
+/v1/mln_query_sweep`` (see :mod:`repro.serve.protocol` for the wire
+format).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import functools
+import json
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import BudgetExceededError, ReproError, ServiceDrainingError, \
+    ServiceOverloadedError
+from ..options import SolverOptions
+from ..resilience import Budget
+from . import protocol
+from .admission import AdmissionController
+from .metrics import metrics_snapshot
+from .registry import CircuitRegistry
+
+__all__ = ["ReproServer", "ServeConfig"]
+
+#: Largest accepted request body; circuits are big, requests are not.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Idle keep-alive connections are closed after this many seconds.
+IDLE_TIMEOUT_S = 60.0
+
+#: Multiple of the deadline a request may spend in total before the
+#: daemon abandons the evaluation thread and answers 504 regardless.
+GRACE_FACTOR = 2.0
+
+#: The backend fallback ladder of graceful degradation.
+_BACKEND_LADDER = {
+    "codegen": ("batched", "exact"),
+    "batched": ("exact",),
+    "float": ("exact",),
+}
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Tunables of one :class:`ReproServer` instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_concurrency: int = 4
+    queue_depth: int = 16
+    default_deadline_ms: float | None = None
+    drain_timeout_s: float = 10.0
+    options: SolverOptions = dataclasses.field(default_factory=SolverOptions)
+
+
+class ReproServer:
+    """The asyncio HTTP daemon; create, ``await start()``, ``run()``."""
+
+    def __init__(self, config=None):
+        self.config = config or ServeConfig()
+        self.registry = CircuitRegistry()
+        self.admission = None
+        self.draining = False
+        self.address = None
+        self._server = None
+        self._executor = None
+        self._inflight = 0
+        self._idle = None
+        self._counter_lock = threading.Lock()
+        self.counters = {
+            "requests": 0, "ok": 0, "input_errors": 0, "shed": 0,
+            "draining_rejects": 0, "budget_errors": 0, "internal_errors": 0,
+            "deadline_cancels": 0, "abandoned": 0, "degraded": 0,
+        }
+        self._routes = {
+            "/v1/wfomc": self._prep_wfomc,
+            "/v1/probability": self._prep_probability,
+            "/v1/wfomc_weight_sweep": self._prep_weight_sweep,
+            "/v1/mln_query_sweep": self._prep_mln_query_sweep,
+        }
+
+    def _count(self, name, delta=1):
+        with self._counter_lock:
+            self.counters[name] += delta
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        """Bind the listener; ``self.url`` is valid afterwards."""
+        cfg = self.config
+        self.admission = AdmissionController(cfg.max_concurrency,
+                                             cfg.queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.admission.max_concurrency,
+            thread_name_prefix="repro-serve")
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, cfg.host, cfg.port)
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    @property
+    def url(self):
+        return "http://{}:{}".format(*self.address)
+
+    async def run(self, install_signals=True):
+        """Serve until SIGTERM/SIGINT, then drain and return."""
+        stop = asyncio.Event()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self):
+        """Stop accepting, drain in-flight work, release the executor."""
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(),
+                                   self.config.drain_timeout_s)
+        except asyncio.TimeoutError:
+            pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+
+    # -- the HTTP surface --------------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            while True:
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(), IDLE_TIMEOUT_S)
+                except asyncio.TimeoutError:
+                    break
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").split()
+                if len(parts) != 3:
+                    await self._respond(
+                        writer, 400,
+                        protocol.error_body(ReproError("bad request line")),
+                        close=True)
+                    break
+                method, path, version = parts
+                headers = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if not 0 <= length <= MAX_BODY_BYTES:
+                    await self._respond(
+                        writer, 400,
+                        protocol.error_body(ReproError("bad content length")),
+                        close=True)
+                    break
+                body = await reader.readexactly(length) if length else b""
+                status, payload, extra = await self._dispatch(
+                    method, path, body)
+                keep = (version == "HTTP/1.1" and not self.draining
+                        and headers.get("connection", "").lower() != "close")
+                await self._respond(writer, status, payload, extra,
+                                    close=not keep)
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 429: "Too Many Requests",
+                500: "Internal Server Error", 503: "Service Unavailable",
+                504: "Gateway Timeout"}
+
+    async def _respond(self, writer, status, payload, extra=None,
+                       close=False):
+        body = json.dumps(payload).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(body)),
+            "Connection": "close" if close else "keep-alive",
+        }
+        headers.update(extra or {})
+        head = "HTTP/1.1 {} {}\r\n{}\r\n\r\n".format(
+            status, self._REASONS.get(status, "Error"),
+            "\r\n".join("{}: {}".format(k, v) for k, v in headers.items()))
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _dispatch(self, method, path, body):
+        self._count("requests")
+        try:
+            if method == "GET":
+                return self._dispatch_get(path)
+            if method != "POST":
+                return 405, protocol.error_body(
+                    ReproError("method {} not allowed".format(method))), {}
+            prep = self._routes.get(path)
+            if prep is None:
+                return 404, protocol.error_body(
+                    ReproError("unknown endpoint {}".format(path))), {}
+            if self.draining:
+                raise ServiceDrainingError(
+                    "server is draining; resubmit elsewhere")
+            try:
+                request = json.loads(body.decode("utf-8")) if body else {}
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ReproError(
+                    "request body must be JSON: {}".format(exc)) from None
+            if not isinstance(request, dict):
+                raise ReproError("request body must be a JSON object")
+            deadline_ms = protocol.parse_deadline_ms(
+                request, self.config.default_deadline_ms)
+            call = prep(request)
+            result = await self._admit_and_run(call, deadline_ms)
+            self._count("ok")
+            return 200, {"ok": True,
+                         "result": protocol.encode_result(result)}, {}
+        except Exception as exc:  # noqa: BLE001 — mapped to typed payloads
+            return self._error_response(exc)
+
+    def _dispatch_get(self, path):
+        if path == "/healthz":
+            return 200, {"ok": True, "draining": self.draining}, {}
+        if path == "/readyz":
+            if self.draining:
+                return 503, protocol.error_body(
+                    ServiceDrainingError("draining")), {}
+            return 200, {"ok": True}, {}
+        if path == "/metrics":
+            return 200, metrics_snapshot(self), {}
+        return 404, protocol.error_body(
+            ReproError("unknown endpoint {}".format(path))), {}
+
+    def _error_response(self, exc):
+        status = protocol.error_status(exc)
+        extra = {}
+        if isinstance(exc, ServiceOverloadedError):
+            self._count("shed")
+            extra["Retry-After"] = str(exc.retry_after)
+        elif isinstance(exc, ServiceDrainingError):
+            self._count("draining_rejects")
+        elif isinstance(exc, BudgetExceededError):
+            self._count("budget_errors")
+        elif isinstance(exc, ReproError):
+            self._count("input_errors")
+        else:
+            self._count("internal_errors")
+        return status, protocol.error_body(exc), extra
+
+    # -- evaluation --------------------------------------------------------
+
+    async def _admit_and_run(self, call, deadline_ms):
+        async with self.admission.admit():
+            self._inflight += 1
+            self._idle.clear()
+            try:
+                return await self._run_with_deadline(call, deadline_ms)
+            finally:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.set()
+
+    async def _run_with_deadline(self, call, deadline_ms):
+        loop = asyncio.get_running_loop()
+        options = self.config.options
+        budget = None
+        if deadline_ms is not None:
+            budget = Budget(timeout=deadline_ms / 1000.0)
+            options = options.replace(budget=budget)
+        future = loop.run_in_executor(
+            self._executor, functools.partial(self._evaluate, call, options))
+        if deadline_ms is None:
+            return await future
+        deadline_s = deadline_ms / 1000.0
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), deadline_s)
+        except asyncio.TimeoutError:
+            pass
+        # Deadline reached: cancel cooperatively, grant the budget's
+        # checkpoints until 2x the deadline, then abandon the thread.
+        self._count("deadline_cancels")
+        budget.cancel()
+        grace_s = deadline_s * (GRACE_FACTOR - 1.0)
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), grace_s)
+        except asyncio.TimeoutError:
+            self._count("abandoned")
+            future.add_done_callback(lambda f: f.exception())
+            raise BudgetExceededError(
+                "timeout", elapsed=deadline_s * GRACE_FACTOR) from None
+
+    def _evaluate(self, call, options):
+        """Run one request on an executor thread, degrading as needed."""
+        last = None
+        for attempt in self._degradation_ladder(options):
+            try:
+                return call(attempt)
+            except ReproError:
+                # Typed: input and budget errors are deterministic; a
+                # slower backend cannot fix them.
+                raise
+            except Exception as exc:  # noqa: BLE001 — degrade, then 500
+                last = exc
+                self._count("degraded")
+        raise last
+
+    @staticmethod
+    def _degradation_ladder(options):
+        ladder = [options]
+        for backend in _BACKEND_LADDER.get(options.backend or "", ()):
+            ladder.append(options.replace(backend=backend))
+        if options.compiled:
+            ladder.append(options.replace(compile=None, backend=None))
+        return ladder
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _prep_wfomc(self, body):
+        from ..wfomc import wfomc
+
+        formula = protocol.parse_formula(body)
+        n = protocol.parse_domain_size(body)
+        wv = protocol.parse_weights(formula, body)
+
+        def call(opts):
+            opts = self.registry.prepare(formula, n, wv.vocabulary, opts)
+            return wfomc(formula, n, wv, options=opts)
+
+        return call
+
+    def _prep_probability(self, body):
+        from ..wfomc import probability
+
+        formula = protocol.parse_formula(body)
+        n = protocol.parse_domain_size(body)
+        wv = protocol.parse_weights(formula, body)
+
+        def call(opts):
+            opts = self.registry.prepare(formula, n, wv.vocabulary, opts)
+            return probability(formula, n, wv, options=opts)
+
+        return call
+
+    def _prep_weight_sweep(self, body):
+        from ..wfomc.solver import wfomc_weight_sweep
+
+        formula = protocol.parse_formula(body)
+        n = protocol.parse_domain_size(body)
+        values, vocabularies = protocol.parse_sweep(formula, body)
+
+        def call(opts):
+            opts = self.registry.prepare(
+                formula, n, vocabularies[0].vocabulary, opts)
+            results = wfomc_weight_sweep(formula, n, vocabularies,
+                                         options=opts)
+            return {"values": values, "results": results}
+
+        return call
+
+    def _prep_mln_query_sweep(self, body):
+        from ..mln import mln_query_sweep
+
+        query = protocol.parse_formula(body, "query")
+        n = protocol.parse_domain_size(body)
+        mlns = protocol.parse_mlns(body)
+
+        def call(opts):
+            return mln_query_sweep(mlns, query, n, options=opts)
+
+        return call

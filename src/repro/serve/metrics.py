@@ -1,0 +1,62 @@
+"""The daemon's ``/metrics`` snapshot.
+
+One JSON document merging every observable layer: the HTTP server's own
+request/outcome counters, admission control, the compiled-circuit
+registry, the engine and solver caches, the compilation layer, open
+persistent stores (local counters plus the network tier's retry/breaker
+state), and any active fault-injection plan.  Everything here is a
+cheap in-memory read — ``/metrics`` is safe to poll.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["metrics_snapshot"]
+
+
+def _store_metrics():
+    from ..cache.store import _STORES
+
+    rows = {"retries": 0, "reenables": 0, "disk_full": 0,
+            "net_retries": 0, "net_reenables": 0, "net_errors": 0,
+            "open": 0}
+    for store in list(_STORES.values()):
+        if store.pid != os.getpid():
+            continue
+        rows["open"] += 1
+        if hasattr(store, "remote"):
+            # The tiered store's local half is registered separately;
+            # only the network-tier counters are new information.
+            rows["net_retries"] += store.remote.retries
+            rows["net_reenables"] += store.remote.reenables
+            rows["net_errors"] += store.remote.errors
+            rows["open"] -= 1
+            continue
+        for name in ("retries", "reenables", "disk_full"):
+            rows[name] += getattr(store, name)
+    return rows
+
+
+def metrics_snapshot(server):
+    """Everything observable about a running :class:`ReproServer`."""
+    from ..compile import compile_stats
+    from ..propositional.counter import engine_stats
+    from ..resilience.faults import fault_counters
+    from ..wfomc.solver import solver_cache_stats
+
+    engine = engine_stats()
+    engine.pop("cnf_cache", None)
+    faults = {k: v for k, v in fault_counters().items() if v}
+    return {
+        "ok": True,
+        "draining": server.draining,
+        "server": dict(server.counters),
+        "admission": server.admission.snapshot() if server.admission else {},
+        "registry": server.registry.snapshot(),
+        "engine": engine,
+        "solver_caches": solver_cache_stats(),
+        "compile": compile_stats(),
+        "store": _store_metrics(),
+        "faults_fired": faults,
+    }

@@ -1,0 +1,128 @@
+"""Compiled-circuit registry: compile once, serve every request.
+
+The daemon's amortization heart.  Circuits are weight-independent
+(:func:`repro.compile.compile_wfomc` keys on ``(formula, n, vocabulary
+signature, method)``), so one compile serves every weight vector any
+client ever submits for that instance.  The registry adds what the
+module-level compile cache does not have:
+
+* **single-flight compilation** — N concurrent requests for the same
+  cold instance produce one compile; the rest block on a per-key lock
+  and reuse it (``waits`` counts the queued ones);
+* **failure memoisation** — an instance whose compile failed for a
+  budget-independent reason is marked, and later requests degrade to
+  direct counting immediately instead of re-failing a compile per
+  request;
+* **counters** for ``/metrics``.
+
+Budget discipline: a compile interrupted by the request's
+:class:`~repro.resilience.limits.Budget` propagates
+:class:`~repro.errors.BudgetExceededError` and is *not* marked failed —
+the next request (with its own budget) retries and warm-starts from
+whatever the caches kept.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import BudgetExceededError
+from ..utils import LRUCache, vocabulary_signature
+
+__all__ = ["CircuitRegistry"]
+
+#: Marker cached for instances whose compilation failed deterministically.
+_FAILED = object()
+
+
+class CircuitRegistry:
+    """Single-flight, bounded registry of compiled WFOMC circuits."""
+
+    def __init__(self, capacity=64):
+        self._cache = LRUCache(capacity)
+        self._locks = {}
+        self._meta = threading.Lock()
+        self.compiles = 0
+        self.hits = 0
+        self.waits = 0
+        self.failures = 0
+        self.degraded_direct = 0
+
+    def _count(self, name):
+        with self._meta:
+            setattr(self, name, getattr(self, name) + 1)
+
+    def _key_lock(self, key):
+        with self._meta:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def prepare(self, formula, n, vocabulary, options):
+        """Resolve the options a request should actually run with.
+
+        When ``options`` asks for the compiled fast path, make sure the
+        instance's circuit exists (compiling it under the request's
+        budget if cold).  Returns ``options`` unchanged on success, or a
+        direct-counting replacement when this instance is known not to
+        compile — the graceful-degradation contract: a compile miss
+        costs the requester a slower answer, never an error.
+        """
+        if not options.compiled:
+            return options
+        entry = self._ensure(formula, n, vocabulary, options)
+        if entry is _FAILED:
+            self._count("degraded_direct")
+            return options.replace(compile=None, backend=None)
+        return options
+
+    def _ensure(self, formula, n, vocabulary, options):
+        key = (formula, n, vocabulary_signature(vocabulary, ordered=True),
+               options.method)
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._count("hits")
+            return entry
+        lock = self._key_lock(key)
+        if not lock.acquire(blocking=False):
+            self._count("waits")
+            lock.acquire()
+        try:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._count("hits")
+                return entry
+            entry = self._compile(formula, n, vocabulary, options)
+            self._cache.put(key, entry)
+            return entry
+        finally:
+            lock.release()
+
+    def _compile(self, formula, n, vocabulary, options):
+        from ..compile import compile_wfomc
+
+        try:
+            compiled = compile_wfomc(
+                formula, n, vocabulary, method=options.method,
+                persist=options.persist, cache_dir=options.cache_dir,
+                budget=options.budget)
+        except BudgetExceededError:
+            raise
+        except Exception:
+            self._count("failures")
+            return _FAILED
+        self._count("compiles")
+        return compiled
+
+    def snapshot(self):
+        """Counter view for ``/metrics``."""
+        with self._meta:
+            return {
+                "compiles": self.compiles,
+                "hits": self.hits,
+                "waits": self.waits,
+                "failures": self.failures,
+                "degraded_direct": self.degraded_direct,
+                "entries": len(self._cache._data),
+            }

@@ -9,6 +9,7 @@ counting paths).
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from fractions import Fraction
 from math import comb, factorial
@@ -38,9 +39,15 @@ class LRUCache:
     Used for the solver dispatch, lineage, and cardinality-polynomial
     caches: entries can be large (whole ground lineages), so the bound is
     on entry *count* and callers pick sizes matching the entry weight.
+
+    Thread-safe: the serving daemon (:mod:`repro.serve`) evaluates
+    concurrent requests on executor threads that share every module-level
+    cache, and an unguarded ``move_to_end`` racing an eviction can raise
+    ``KeyError`` off the counting path.  A plain lock around the mutating
+    operations costs nanoseconds against the cache-miss work it guards.
     """
 
-    __slots__ = ("maxsize", "hits", "misses", "_data")
+    __slots__ = ("maxsize", "hits", "misses", "_data", "_lock")
 
     _MISSING = object()
 
@@ -49,23 +56,26 @@ class LRUCache:
         self.hits = 0
         self.misses = 0
         self._data = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key, default=None):
-        value = self._data.get(key, self._MISSING)
-        if value is self._MISSING:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key, self._MISSING)
+            if value is self._MISSING:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
 
     def put(self, key, value):
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
-        data[key] = value
-        while len(data) > self.maxsize:
-            data.popitem(last=False)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+            data[key] = value
+            while len(data) > self.maxsize:
+                data.popitem(last=False)
 
     def __contains__(self, key):
         return key in self._data
@@ -74,9 +84,10 @@ class LRUCache:
         return len(self._data)
 
     def clear(self):
-        self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self):
         lookups = self.hits + self.misses

@@ -72,7 +72,8 @@ def _count_all_ways(cnf, pairs, cache_dir):
 
     Returns ``{name: Fraction}`` for: the default CDCL engine, the MOMS
     branching ablation, the learning-free engine, the phase-saving
-    ablation, a persist-on run (writing the store), a persist-on run
+    ablation, the Luby-restart policy at its most aggressive unit, a
+    persist-on run (writing the store), a persist-on run
     with a *fresh in-memory cache* (so every component it reuses comes
     back from disk), compiled-circuit evaluation from a cold trace
     (fresh template cache) and a cache-warm one, and the circuit served
@@ -91,6 +92,9 @@ def _count_all_ways(cnf, pairs, cache_dir):
         ("moms-branching", {"branching": "moms"}),
         ("no-learn", {"learn": False}),
         ("no-phase-saving", {"phase_saving": False}),
+        # Unit 1 fires a restart after every Luby step — maximally
+        # aggressive, so even small instances exercise the restart path.
+        ("luby-restarts", {"restarts": 1}),
         ("persist-cold", {"persist": True, "cache_dir": cache_dir}),
         ("persist-warm", {"persist": True, "cache_dir": cache_dir}),
     ):

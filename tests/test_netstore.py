@@ -1,0 +1,245 @@
+"""Tests for the networked cache tier (blob server / client / tiering).
+
+Round-trips through a real in-process :class:`BlobServer`, fleet
+warm-start through :class:`TieredStore`, ``$REPRO_STORE_URL`` wiring in
+:func:`open_store`, and the client's failure discipline — retry with
+backoff, circuit-breaker disable and re-probe, torn-payload rejection —
+driven deterministically by the ``net_*`` fault kinds of
+:mod:`repro.resilience.faults`.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cache import open_store
+from repro.cache.netstore import (
+    BlobServer,
+    NetworkStoreClient,
+    TieredStore,
+)
+from repro.cache.store import PersistentStore, key_digest
+from repro.propositional.cnf import CNF
+from repro.propositional.counter import EngineStats, wmc_cnf
+from repro.resilience.faults import clear_plan, install_plan
+from repro.weights import WeightPair
+
+
+@pytest.fixture(autouse=True)
+def _fast_and_clean(monkeypatch):
+    # Millisecond backoff/probe schedules, no ambient fault plan, and no
+    # cross-test store registry leakage.
+    from repro.cache import netstore, store
+
+    monkeypatch.setattr(netstore, "_NET_RETRY_BASE_S", 0.001)
+    monkeypatch.setattr(netstore, "_NET_RETRY_CAP_S", 0.002)
+    monkeypatch.setattr(netstore, "_NET_PROBE_INTERVAL_S", 0.0)
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_STORE_URL", raising=False)
+    clear_plan()
+    saved = dict(store._STORES)
+    store._STORES.clear()
+    yield
+    clear_plan()
+    for s in store._STORES.values():
+        try:
+            s.close()
+        except Exception:
+            pass
+    store._STORES.clear()
+    store._STORES.update(saved)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    backing = PersistentStore(str(tmp_path / "tier"))
+    srv = BlobServer(backing)
+    yield srv
+    srv.close()
+    backing.close()
+
+
+def _tiered(tmp_path, name, url):
+    return TieredStore(PersistentStore(str(tmp_path / name)), url)
+
+
+class TestBlobRoundTrip:
+    def test_raw_get_put_via_http(self, tmp_path, server):
+        client = NetworkStoreClient(server.url)
+        digest = key_digest("components", ("k", 1))
+        assert client.get_raw("components", digest) is None
+        assert client.put_raw("components", digest, b'["t",1,2]') is True
+        assert client.get_raw("components", digest) == b'["t",1,2]'
+        assert client.stats()["writes"] == 1
+
+    def test_healthz_and_stats(self, server):
+        import json
+        import urllib.request
+
+        with urllib.request.urlopen(server.url + "/healthz") as resp:
+            assert resp.status == 200
+        with urllib.request.urlopen(server.url + "/stats") as resp:
+            stats = json.loads(resp.read())
+        assert stats["path"].endswith("store.sqlite")
+
+    def test_unknown_paths_are_404(self, server):
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(server.url + "/kv/components/zz")
+
+
+class TestTieredStore:
+    def test_fleet_warm_start(self, tmp_path, server):
+        # Worker A computes and shares; worker B (fresh local store)
+        # finds the entry through the tier and writes it through.
+        a = _tiered(tmp_path, "a", server.url)
+        a.put("components", ("comp", 7), Fraction(22, 7))
+        a.flush()
+        b = _tiered(tmp_path, "b", server.url)
+        assert b.get("components", ("comp", 7)) == Fraction(22, 7)
+        assert b.remote.hits == 1
+        # ... and the write-through makes the next read local.
+        assert b.get("components", ("comp", 7)) == Fraction(22, 7)
+        assert b.remote.hits == 1
+        a.close()
+        b.close()
+
+    def test_local_hit_never_touches_the_network(self, tmp_path, server):
+        t = _tiered(tmp_path, "a", server.url)
+        t.put("components", ("x",), 5)
+        assert t.get("components", ("x",)) == 5
+        assert t.remote.hits == t.remote.misses == 0
+        t.close()
+
+    def test_interface_delegates_to_local(self, tmp_path, server):
+        import os
+
+        t = _tiered(tmp_path, "a", server.url)
+        assert t.pid == os.getpid()
+        assert t.disabled is False
+        assert isinstance(t.entry_counts(), dict)
+        assert "remote" in t.stats()
+        t.close()
+
+    def test_open_store_honors_env_url(self, tmp_path, server, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "local"))
+        monkeypatch.setenv("REPRO_STORE_URL", server.url)
+        t = open_store()
+        assert isinstance(t, TieredStore)
+        assert t.remote.url.startswith(server.url)
+        # The same directory opened plainly shares the local instance.
+        assert open_store(remote_url="") is t.local
+
+    def test_counting_warm_start_through_the_tier(self, tmp_path, server):
+        cnf = CNF()
+        for v in range(1, 7):
+            cnf.var_for(v)
+        for clause in ((1, 2), (-2, 3), (3, 4, -5), (-1, 5, 6), (2, -6)):
+            cnf.add_clause(clause)
+        pairs = {v: WeightPair(Fraction(v, 2), Fraction(1, v))
+                 for v in range(1, 7)}
+        cold = _tiered(tmp_path, "a", server.url)
+        reference = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                            stats=EngineStats())
+        # Store every component through worker A's tier...
+        from repro.cache.adapters import StoreBackedComponentCache
+
+        cache_a = StoreBackedComponentCache(cold, mem={})
+        got = wmc_cnf(cnf, pairs.__getitem__, engine_cache=cache_a,
+                      stats=EngineStats())
+        assert got == reference
+        cold.flush()
+        # ... and worker B, with an empty local store, reuses them.
+        warm = _tiered(tmp_path, "b", server.url)
+        cache_b = StoreBackedComponentCache(warm, mem={})
+        stats = EngineStats()
+        assert wmc_cnf(cnf, pairs.__getitem__, engine_cache=cache_b,
+                       stats=stats) == reference
+        assert warm.remote.hits > 0
+        cold.close()
+        warm.close()
+
+
+class TestNetworkFaults:
+    def test_transient_http_error_is_retried(self, tmp_path, server):
+        client = NetworkStoreClient(server.url)
+        digest = key_digest("components", ("r",))
+        client.put_raw("components", digest, b"1")
+        install_plan("net_http_error@1")
+        assert client.get_raw("components", digest) == b"1"
+        assert client.retries == 1
+        assert client.disabled is False
+
+    def test_timeouts_exhaust_retries_and_open_the_breaker(
+            self, tmp_path, server):
+        client = NetworkStoreClient(server.url, max_retries=2)
+        digest = key_digest("components", ("t",))
+        install_plan("net_timeout~1")  # every request times out
+        assert client.get_raw("components", digest) is None
+        assert client.disabled is True
+        assert client.retries == 2
+
+    def test_breaker_reprobes_and_recovers(self, tmp_path, server):
+        client = NetworkStoreClient(server.url, max_retries=0)
+        digest = key_digest("components", ("p",))
+        client.put_raw("components", digest, b"7")
+        install_plan("net_refused@2")  # only the 2nd request is refused
+        assert client.get_raw("components", digest) == b"7"
+        assert client.get_raw("components", digest) is None  # breaker opens
+        assert client.disabled is True
+        clear_plan()
+        # The probe interval is patched to 0: the next call re-probes
+        # /healthz, closes the breaker, and serves the read.
+        assert client.get_raw("components", digest) == b"7"
+        assert client.reenables == 1
+
+    def test_torn_payload_reads_as_miss(self, tmp_path, server):
+        tiered = _tiered(tmp_path, "a", server.url)
+        tiered.put("components", ("torn",), Fraction(355, 113))
+        tiered.flush()
+        fresh = _tiered(tmp_path, "b", server.url)
+        install_plan("net_torn_payload@1")
+        assert fresh.get("components", ("torn",)) is None
+        clear_plan()
+        assert fresh.get("components", ("torn",)) == Fraction(355, 113)
+        tiered.close()
+        fresh.close()
+
+    def test_dead_tier_degrades_to_local_only(self, tmp_path):
+        # A URL nothing listens on: refused connections exhaust retries,
+        # the breaker opens, and the store behaves like a local one.
+        t = _tiered(tmp_path, "a", "http://127.0.0.1:9")
+        t.remote.max_retries = 0
+        t.put("components", ("local",), 11)
+        t.flush()
+        assert t.get("components", ("local",)) == 11
+        assert t.get("components", ("absent",)) is None
+        assert t.remote.disabled is True
+        t.close()
+
+    def test_counting_is_bit_identical_under_network_faults(
+            self, tmp_path, server):
+        cnf = CNF()
+        for v in range(1, 9):
+            cnf.var_for(v)
+        for clause in ((1, -2, 3), (2, 4), (-3, 5), (5, -6, 7),
+                       (-7, 8), (-4, 6, -8), (1, 7)):
+            cnf.add_clause(clause)
+        pairs = {v: WeightPair(Fraction(2, v), Fraction(v, 3))
+                 for v in range(1, 9)}
+        reference = wmc_cnf(cnf, pairs.__getitem__, engine_cache={},
+                            stats=EngineStats())
+        from repro.cache.adapters import StoreBackedComponentCache
+
+        install_plan("seed=3;net_timeout?0.3;net_torn_payload?0.2")
+        for name in ("a", "b", "c"):
+            tiered = _tiered(tmp_path, name, server.url)
+            tiered.remote.max_retries = 1
+            cache = StoreBackedComponentCache(tiered, mem={})
+            got = wmc_cnf(cnf, pairs.__getitem__, engine_cache=cache,
+                          stats=EngineStats())
+            assert got == reference
+            tiered.flush()
+            tiered.close()

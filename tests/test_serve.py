@@ -1,0 +1,491 @@
+"""Tests for the ``repro serve`` daemon.
+
+An in-process :class:`ReproServer` (event loop on a background thread,
+real sockets, ``http.client`` requests) checks the wire protocol, exact
+parity with direct library calls, deadline propagation and the 2x-
+deadline bound, admission control, draining, and graceful degradation.
+A subprocess test exercises the CLI entry point and the SIGTERM drain.
+The chaos test replays the acceptance criterion: concurrent requests
+under an injected fault plan answer bit-identically to fault-free
+evaluation or fail with typed retriable errors.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    SolverOptions,
+    mln_query_sweep,
+    parse,
+    probability,
+    wfomc,
+    wfomc_weight_sweep,
+)
+from repro.logic import WeightedVocabulary
+from repro.resilience.faults import clear_plan, install_plan
+from repro.serve import ReproServer, ServeConfig
+from repro.serve.daemon import ReproServer as _Daemon
+from repro.weights import WeightPair
+
+EXISTS = "forall x. exists y. R(x, y)"
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    monkeypatch.delenv("REPRO_STORE_URL", raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class ServerHandle:
+    """A live server on a background event-loop thread."""
+
+    def __init__(self, config):
+        self.config = config
+        self.server = None
+        self.loop = None
+        self._stop = None
+        self._closed = False
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()), daemon=True)
+        self._thread.start()
+        assert self._ready.wait(15), "server did not start"
+
+    async def _amain(self):
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.server = ReproServer(self.config)
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.shutdown()
+
+    def request(self, method, path, payload=None, timeout=120):
+        conn = http.client.HTTPConnection(*self.server.address,
+                                          timeout=timeout)
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            conn.request(method, path, body=body)
+            resp = conn.getresponse()
+            data = json.loads(resp.read())
+            return resp.status, data, dict(resp.headers)
+        finally:
+            conn.close()
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        if self.loop is not None:
+            try:
+                self.loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+        self._thread.join(30)
+
+
+@pytest.fixture()
+def serve():
+    handles = []
+
+    def make(**kwargs):
+        handle = ServerHandle(ServeConfig(**kwargs))
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.close()
+
+
+class TestProtocol:
+    def test_health_ready_metrics(self, serve):
+        h = serve()
+        status, body, _ = h.request("GET", "/healthz")
+        assert (status, body["ok"], body["draining"]) == (200, True, False)
+        status, body, _ = h.request("GET", "/readyz")
+        assert status == 200 and body["ok"] is True
+        status, body, _ = h.request("GET", "/metrics")
+        assert status == 200
+        for section in ("server", "admission", "registry", "engine",
+                        "solver_caches", "compile", "store"):
+            assert section in body
+
+    def test_wfomc_matches_library(self, serve):
+        h = serve()
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc", {"formula": EXISTS, "n": 5})
+        assert status == 200
+        assert body["result"] == str(wfomc(parse(EXISTS), 5)) == "28629151"
+
+    def test_probability_with_weights(self, serve):
+        h = serve()
+        status, body, _ = h.request(
+            "POST", "/v1/probability",
+            {"formula": EXISTS, "n": 3, "weights": {"R": ["1/2", "1"]}})
+        assert status == 200
+        f = parse(EXISTS)
+        wv = WeightedVocabulary.counting(f).with_weight(
+            "R", WeightPair(Fraction(1, 2), 1))
+        assert Fraction(body["result"]) == probability(f, 3, wv)
+
+    def test_weight_sweep_matches_library(self, serve):
+        h = serve()
+        values = [Fraction(1), Fraction(2), Fraction(1, 2)]
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc_weight_sweep",
+            {"formula": EXISTS, "n": 3, "vary": "R",
+             "values": ["1", "2", "1/2"], "wbar": "1"})
+        assert status == 200
+        f = parse(EXISTS)
+        base = WeightedVocabulary.counting(f)
+        expected = wfomc_weight_sweep(
+            f, 3, [base.with_weight("R", WeightPair(v, 1)) for v in values])
+        assert body["result"]["values"] == [str(v) for v in values]
+        assert body["result"]["results"] == [str(v) for v in expected]
+
+    def test_mln_query_sweep_matches_library(self, serve):
+        from repro import HARD, MLN
+
+        h = serve()
+        status, body, _ = h.request(
+            "POST", "/v1/mln_query_sweep",
+            {"query": "S(1)", "n": 3,
+             "mlns": [[["2", "S(x)"]], [["3", "S(x)"]], [["hard", "S(x)"]]]})
+        assert status == 200
+        mlns = [MLN([(Fraction(2), parse("S(x)"))]),
+                MLN([(Fraction(3), parse("S(x)"))]),
+                MLN([(HARD, parse("S(x)"))])]
+        expected = mln_query_sweep(mlns, parse("S(1)"), 3)
+        assert body["result"] == [str(v) for v in expected]
+
+    def test_unknown_endpoint_is_404(self, serve):
+        h = serve()
+        assert h.request("GET", "/nope")[0] == 404
+        assert h.request("POST", "/v1/nope", {})[0] == 404
+
+    def test_non_post_verb_is_405(self, serve):
+        h = serve()
+        assert h.request("PUT", "/v1/wfomc", {})[0] == 405
+
+    def test_bad_json_and_bad_fields_are_typed_400(self, serve):
+        h = serve()
+        conn = http.client.HTTPConnection(*h.server.address, timeout=30)
+        conn.request("POST", "/v1/wfomc", body=b"{nope")
+        resp = conn.getresponse()
+        data = json.loads(resp.read())
+        conn.close()
+        assert resp.status == 400
+        assert data["error"]["retriable"] is False
+        for payload in (
+                {"n": 3},                                   # missing formula
+                {"formula": EXISTS},                        # missing n
+                {"formula": EXISTS, "n": "three"},          # bad type
+                {"formula": "forall x. R(x", "n": 3},       # parse error
+                {"formula": EXISTS, "n": 3,
+                 "weights": {"Q": ["1", "1"]}},             # unknown pred
+                {"formula": EXISTS, "n": 3, "deadline_ms": -1},
+        ):
+            status, body, _ = h.request("POST", "/v1/wfomc", payload)
+            assert status == 400, payload
+            assert body["ok"] is False and body["error"]["retriable"] is False
+
+    def test_keep_alive_serves_multiple_requests(self, serve):
+        h = serve()
+        conn = http.client.HTTPConnection(*h.server.address, timeout=30)
+        try:
+            for _ in range(3):
+                conn.request("POST", "/v1/wfomc", body=json.dumps(
+                    {"formula": EXISTS, "n": 4}))
+                resp = conn.getresponse()
+                assert resp.status == 200
+                assert json.loads(resp.read())["result"] == str(
+                    wfomc(parse(EXISTS), 4))
+        finally:
+            conn.close()
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_typed_504_within_2x(self, serve):
+        # A hard instance (transitivity-like, seconds of search) with a
+        # short deadline: the budget trips inside the engine, and the
+        # daemon's backstop bounds the total at 2x the deadline even if
+        # it did not.  Fresh predicate names dodge the result caches.
+        h = serve()
+        deadline_s = 0.3
+        started = time.monotonic()
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc",
+            {"formula": "forall x. forall y. exists z."
+                        " ((T0(x,y) & T0(y,z)) -> T0(x,z))",
+             "n": 5, "deadline_ms": deadline_s * 1000})
+        elapsed = time.monotonic() - started
+        assert status == 504
+        assert body["error"]["type"] == "BudgetExceededError"
+        assert body["error"]["retriable"] is True
+        # 2x the deadline plus slack for HTTP/JSON and a loaded CI box.
+        assert elapsed < 2 * deadline_s + 1.0
+
+    def test_zero_deadline_trips_immediately(self, serve):
+        h = serve()
+        started = time.monotonic()
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc",
+            {"formula": "forall x. forall y. exists z."
+                        " ((T1(x,y) & T1(y,z)) -> T1(x,z))",
+             "n": 5, "deadline_ms": 0})
+        assert status == 504
+        assert body["error"]["type"] == "BudgetExceededError"
+        assert time.monotonic() - started < 5.0
+
+    def test_generous_deadline_succeeds(self, serve):
+        h = serve()
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc",
+            {"formula": EXISTS, "n": 5, "deadline_ms": 60000})
+        assert status == 200 and body["result"] == "28629151"
+
+    def test_default_deadline_applies(self, serve):
+        h = serve(default_deadline_ms=100.0)
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc",
+            {"formula": "forall x. forall y. exists z."
+                        " ((T2(x,y) & T2(y,z)) -> T2(x,z))", "n": 5})
+        assert status == 504
+        assert body["error"]["type"] == "BudgetExceededError"
+
+
+class TestAdmission:
+    def test_overload_sheds_with_429_and_retry_after(self, serve):
+        h = serve(max_concurrency=1, queue_depth=0)
+        started = threading.Event()
+        release = threading.Event()
+
+        def stuck(call, options):
+            started.set()
+            release.wait(30)
+            return Fraction(1)
+
+        h.server._evaluate = stuck
+        results = []
+        blocker = threading.Thread(
+            target=lambda: results.append(h.request(
+                "POST", "/v1/wfomc", {"formula": EXISTS, "n": 3})))
+        blocker.start()
+        try:
+            assert started.wait(15)
+            status, body, headers = h.request(
+                "POST", "/v1/wfomc", {"formula": EXISTS, "n": 3})
+            assert status == 429
+            assert body["error"]["type"] == "ServiceOverloadedError"
+            assert body["error"]["retriable"] is True
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            release.set()
+            blocker.join(30)
+        assert results and results[0][0] == 200
+
+    def test_draining_rejects_new_requests_with_503(self, serve):
+        h = serve()
+        h.loop.call_soon_threadsafe(setattr, h.server, "draining", True)
+        deadline = time.monotonic() + 5
+        while not h.server.draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc", {"formula": EXISTS, "n": 3})
+        assert status == 503
+        assert body["error"]["type"] == "ServiceDrainingError"
+        assert body["error"]["retriable"] is True
+        assert h.request("GET", "/readyz")[0] == 503
+        assert h.request("GET", "/healthz")[0] == 200
+
+
+class TestDegradation:
+    def test_ladder_orders_backends_then_direct(self):
+        opts = SolverOptions(compile=True, backend="codegen")
+        ladder = _Daemon._degradation_ladder(opts)
+        assert [o.backend for o in ladder] == [
+            "codegen", "batched", "exact", None]
+        assert ladder[-1].compiled is False
+        assert _Daemon._degradation_ladder(SolverOptions()) == [
+            SolverOptions()]
+
+    def test_compile_failure_degrades_to_direct_count(
+            self, serve, monkeypatch):
+        import repro.compile
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected compile crash")
+
+        monkeypatch.setattr(repro.compile, "compile_wfomc", boom)
+        h = serve(options=SolverOptions(compile=True))
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc", {"formula": EXISTS, "n": 4})
+        assert status == 200
+        assert body["result"] == str(wfomc(parse(EXISTS), 4))
+        snap = h.server.registry.snapshot()
+        assert snap["failures"] == 1
+        assert snap["degraded_direct"] == 1
+        # The failure is memoised: the next request degrades without
+        # re-attempting the compile.
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc", {"formula": EXISTS, "n": 4})
+        assert status == 200
+        assert h.server.registry.snapshot()["failures"] == 1
+
+    def test_registry_single_flight_under_concurrency(self, serve):
+        h = serve(options=SolverOptions(compile=True), max_concurrency=4)
+        threads = []
+        results = []
+        lock = threading.Lock()
+
+        def hit():
+            out = h.request("POST", "/v1/wfomc",
+                            {"formula": "forall x. exists y. SF(x, y)",
+                             "n": 5})
+            with lock:
+                results.append(out)
+
+        for _ in range(6):
+            threads.append(threading.Thread(target=hit))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert all(status == 200 and body["result"] == "28629151"
+                   for status, body, _ in results)
+        assert h.server.registry.snapshot()["compiles"] == 1
+
+
+class TestChaosDifferential:
+    def test_concurrent_requests_under_faults_are_bit_identical(
+            self, serve, tmp_path):
+        # The acceptance criterion: N concurrent requests under injected
+        # store and worker faults answer exactly what fault-free
+        # evaluation answers, or fail with typed retriable errors.
+        from repro.wfomc.solver import clear_solver_caches
+
+        requests = []
+        for i in range(4):
+            formula = "forall x. exists y. C{}(x, y)".format(i)
+            requests.append((
+                "/v1/wfomc",
+                {"formula": formula, "n": 4,
+                 "weights": {"C{}".format(i): [str(Fraction(i + 1, 2)), "1"]}},
+                str(wfomc(parse(formula), 4,
+                          WeightedVocabulary.counting(parse(formula))
+                          .with_weight("C{}".format(i),
+                                       WeightPair(Fraction(i + 1, 2), 1))))))
+        for i in range(4):
+            formula = "forall x. forall y. (D{0}(x, y) -> D{0}(y, x))".format(i)
+            requests.append((
+                "/v1/wfomc", {"formula": formula, "n": 3},
+                str(wfomc(parse(formula), 3))))
+        clear_solver_caches()
+
+        h = serve(options=SolverOptions(
+            persist=True, cache_dir=str(tmp_path / "cache"), workers=2),
+            max_concurrency=4, queue_depth=32)
+        install_plan(
+            "seed=5;store_busy?0.25;store_torn_write?0.15;worker_crash?0.1")
+        results = [None] * (2 * len(requests))
+        threads = []
+
+        def run(idx, path, payload, expected):
+            status, body, _ = h.request("POST", path, payload)
+            results[idx] = (status, body, expected)
+
+        for round_ in range(2):
+            for j, (path, payload, expected) in enumerate(requests):
+                idx = round_ * len(requests) + j
+                threads.append(threading.Thread(
+                    target=run, args=(idx, path, payload, expected)))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(180)
+        clear_plan()
+        assert all(r is not None for r in results)
+        for status, body, expected in results:
+            if status == 200:
+                assert body["result"] == expected
+            else:
+                assert status in (429, 503, 504), body
+                assert body["error"]["retriable"] is True
+        h.close()
+        from repro.cache.store import _STORES
+
+        store = _STORES.pop(os.path.abspath(str(tmp_path / "cache")), None)
+        if store is not None:
+            store.close()
+
+
+class TestSigtermDrain:
+    def _spawn(self, *extra):
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        env.pop("REPRO_FAULT_PLAN", None)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             *extra],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            cwd=root, text=True)
+        line = proc.stdout.readline()
+        assert "listening on http://" in line, (line, proc.stderr.read())
+        hostport = line.strip().rsplit("http://", 1)[1]
+        host, port = hostport.split(":")
+        return proc, host, int(port)
+
+    def _post(self, host, port, payload, timeout=120):
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            conn.request("POST", "/v1/wfomc", body=json.dumps(payload))
+            resp = conn.getresponse()
+            return resp.status, json.loads(resp.read())
+        finally:
+            conn.close()
+
+    def test_sigterm_drains_inflight_and_exits_cleanly(self):
+        # ~0.3s of real search in flight when SIGTERM lands: the
+        # response must still arrive, bit-identical, and the process
+        # must exit 0 with the listener closed to new connections.
+        slow = "forall x. forall y. exists z. (G(x,z) & G(z,y))"
+        expected = str(wfomc(parse(slow), 4))
+        proc, host, port = self._spawn("--drain-timeout", "30")
+        try:
+            outcome = {}
+
+            def inflight():
+                outcome["response"] = self._post(
+                    host, port, {"formula": slow, "n": 4})
+
+            t = threading.Thread(target=inflight)
+            t.start()
+            time.sleep(0.15)
+            proc.send_signal(signal.SIGTERM)
+            t.join(60)
+            assert proc.wait(timeout=60) == 0
+            status, body = outcome["response"]
+            assert status == 200 and body["result"] == expected
+            with pytest.raises(OSError):
+                socket.create_connection((host, port), timeout=2).close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+            proc.stderr.close()
