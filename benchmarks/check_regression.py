@@ -40,6 +40,13 @@ decision/per-conflict budget bookkeeping of the fault-tolerance layer
 may add at most ``--budget-overhead`` (default 5%) over the unbudgeted
 run.  Disable with ``--skip-budget``.
 
+The *serving* gate runs the 32-concurrent same-circuit distinct-weight
+``/v1/wfomc`` sweep workload against a coalescing and a non-coalescing
+daemon: cross-request coalescing must deliver at least ``--serve-floor``
+(default 2x) the uncoalesced throughput with answers bit-identical
+between the two modes.  Disable with ``--skip-serve``; ``--only-serve``
+runs just this gate (the CI serve-smoke job uses it).
+
 Usage::
 
     python benchmarks/check_regression.py --baseline BENCH_engine_v3.json
@@ -262,6 +269,45 @@ def check_backends(backend_floor):
         backend_floor))
 
 
+def check_serve(serve_floor):
+    """Coalesced vs uncoalesced serving on the 32-concurrent sweep.
+
+    The cross-request-coalescing gate of the serving layer: 32
+    concurrent same-circuit distinct-weight ``/v1/wfomc`` requests must
+    be served at least ``serve_floor`` times faster by the coalescing
+    daemon than by the non-coalescing one, with answers bit-identical
+    between the two modes.  One retry absorbs scheduler noise, exactly
+    like the other wall-clock gates.
+    """
+    from bench_serve import measure_serve_coalescing
+
+    result = measure_serve_coalescing()
+    if not result["bit_identical"]:
+        raise SystemExit(
+            "coalesced answers differ from uncoalesced answers — the "
+            "batched evaluation returned a wrong value")
+    speedup = result["speedup"]
+    if speedup < serve_floor:
+        result = measure_serve_coalescing()
+        if not result["bit_identical"]:
+            raise SystemExit(
+                "coalesced answers differ from uncoalesced answers")
+        speedup = result["speedup"]
+    status = "FAIL" if speedup < serve_floor else "ok"
+    print(
+        "{:32s} uncoalesced {:.3f}s  coalesced {:.3f}s  speedup {:.2f}x  "
+        "batches {}  (floor {:.1f}x)  [{}]".format(
+            "serve_coalescing_x32", result["uncoalesced_s"],
+            result["coalesced_s"], speedup, result["batches"],
+            serve_floor, status))
+    if speedup < serve_floor:
+        raise SystemExit(
+            "coalesced serving below {:.1f}x over uncoalesced "
+            "(confirmed twice)".format(serve_floor))
+    print("cross-request-coalescing check passed (floor {:.1f}x)".format(
+        serve_floor))
+
+
 def check_budget_overhead(max_overhead):
     """Budget bookkeeping must stay nearly free on the hot counting path.
 
@@ -358,7 +404,25 @@ def main():
         "--skip-budget", action="store_true",
         help="skip the budget-bookkeeping overhead gate",
     )
+    parser.add_argument(
+        "--serve-floor", type=float, default=2.0,
+        help="minimum throughput speedup of the coalescing daemon over "
+             "the non-coalescing one on the 32-concurrent same-circuit "
+             "sweep workload (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-serve", action="store_true",
+        help="skip the cross-request-coalescing serving gate",
+    )
+    parser.add_argument(
+        "--only-serve", action="store_true",
+        help="run only the cross-request-coalescing serving gate (used "
+             "by the CI serve-smoke job)",
+    )
     args = parser.parse_args()
+    if args.only_serve:
+        check_serve(args.serve_floor)
+        return
     check(args.baseline, args.tolerance, args.ablation_floor)
     if not args.skip_persist:
         check_persist(args.persist_floor)
@@ -368,6 +432,8 @@ def main():
         check_backends(args.backend_floor)
     if not args.skip_budget:
         check_budget_overhead(args.budget_overhead)
+    if not args.skip_serve:
+        check_serve(args.serve_floor)
 
 
 if __name__ == "__main__":

@@ -193,7 +193,7 @@ class NetworkStoreClient:
     doubling interval.
     """
 
-    def __init__(self, base_url, timeout=None, max_retries=None):
+    def __init__(self, base_url, timeout=None, max_retries=None, clock=None):
         if "//" not in base_url:
             base_url = "http://" + base_url
         parsed = urllib.parse.urlsplit(base_url)
@@ -219,6 +219,9 @@ class NetworkStoreClient:
         self._closed = False
         self._probe_at = None
         self._probe_interval = _NET_PROBE_INTERVAL_S
+        self._probing = False
+        #: Injectable for tests that pin the recovery schedule.
+        self._clock = clock or time.monotonic
         #: Jitter stream for retry backoff.  Seeded, so a replayed fault
         #: plan sees the same sleep schedule (the *decisions* never
         #: depend on it — only the waiting does).
@@ -280,28 +283,41 @@ class NetworkStoreClient:
         with self._lock:
             self.errors += 1
             self.disabled = True
-            self._probe_at = time.monotonic() + self._probe_interval
+            self._probe_at = self._clock() + self._probe_interval
 
     def _maybe_reenable(self):
-        """Probe a broken tier for recovery (doubling interval)."""
+        """Probe a broken tier for recovery.
+
+        The schedule matches the documented contract: the first probe
+        fires after the *base* interval, and the interval doubles (up to
+        the cap) only after a probe actually fails.  ``_probing``
+        guards the network I/O — which deliberately runs outside
+        ``self._lock`` — so concurrent callers racing past
+        :meth:`available` while a probe is in flight skip instead of
+        issuing duplicate probes.
+        """
         with self._lock:
-            if (not self.disabled or self._closed or self._probe_at is None
-                    or time.monotonic() < self._probe_at):
+            if (not self.disabled or self._closed or self._probing
+                    or self._probe_at is None
+                    or self._clock() < self._probe_at):
                 return
-            self._probe_interval = min(self._probe_interval * 2,
-                                       _NET_PROBE_MAX_S)
-            self._probe_at = time.monotonic() + self._probe_interval
+            self._probing = True
         try:
             status, _ = self._request_once("GET", "/healthz")
             ok = status == 200
         except (OSError, http.client.HTTPException):
             ok = False
-        if ok:
-            with self._lock:
+        with self._lock:
+            self._probing = False
+            if ok:
                 self.disabled = False
                 self.reenables += 1
                 self._probe_at = None
                 self._probe_interval = _NET_PROBE_INTERVAL_S
+            else:
+                self._probe_interval = min(self._probe_interval * 2,
+                                           _NET_PROBE_MAX_S)
+                self._probe_at = self._clock() + self._probe_interval
 
     def available(self):
         """Whether the tier is currently worth talking to."""

@@ -428,6 +428,19 @@ def build_parser():
         "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
         help="how long SIGTERM waits for in-flight requests (default 10)")
     p_serve.add_argument(
+        "--coalesce-window-ms", type=float, default=2.0, metavar="MS",
+        help="how long concurrent requests for one compiled circuit wait "
+             "to be batched into a single vectorized evaluation pass "
+             "(default 2; only with --compile)")
+    p_serve.add_argument(
+        "--max-batch", type=int, default=32, metavar="N",
+        help="flush a coalescing batch as soon as it reaches N requests "
+             "(default 32)")
+    p_serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable cross-request coalescing (serve every request "
+             "with its own evaluation pass)")
+    p_serve.add_argument(
         "--method", choices=("auto", "fo2", "lineage", "enumerate"),
         default="auto")
     p_serve.add_argument(
@@ -658,6 +671,9 @@ def _serve_main(args):
         queue_depth=args.queue_depth,
         default_deadline_ms=args.default_deadline_ms,
         drain_timeout_s=args.drain_timeout,
+        coalesce=not args.no_coalesce,
+        coalesce_window_ms=args.coalesce_window_ms,
+        coalesce_max_batch=args.max_batch,
         options=options,
     )
 

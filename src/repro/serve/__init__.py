@@ -15,18 +15,22 @@ Run it with ``repro serve`` (see :mod:`repro.cli`) or embed it::
 The package splits by concern: :mod:`~repro.serve.protocol` (wire
 format and error taxonomy), :mod:`~repro.serve.registry` (single-flight
 compiled-circuit registry), :mod:`~repro.serve.admission` (bounded
-concurrency and load shedding), :mod:`~repro.serve.metrics`
-(``/metrics`` snapshot), and :mod:`~repro.serve.daemon` (the asyncio
-HTTP loop, deadline propagation, degradation, and drain).
+concurrency and load shedding), :mod:`~repro.serve.coalesce`
+(cross-request batching into vectorized circuit passes),
+:mod:`~repro.serve.metrics` (``/metrics`` snapshot), and
+:mod:`~repro.serve.daemon` (the asyncio HTTP loop, deadline
+propagation, degradation, and drain).
 """
 
 from .admission import AdmissionController
+from .coalesce import RequestCoalescer
 from .daemon import ReproServer, ServeConfig
 from .registry import CircuitRegistry
 
 __all__ = [
     "AdmissionController",
     "CircuitRegistry",
+    "RequestCoalescer",
     "ReproServer",
     "ServeConfig",
 ]

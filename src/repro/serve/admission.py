@@ -8,12 +8,24 @@ for a slot.  Anything beyond that is shed *before any work starts* with
 rejects cheaply instead of queueing unboundedly and timing everything
 out.
 
+Slots are handed off through an explicit FIFO of waiter futures rather
+than an :class:`asyncio.Semaphore`.  The semaphore's cancellation
+semantics have shifted across the 3.10–3.12 interpreters this repo
+supports, and none of its variants covers the window this daemon
+actually hits: a queued waiter whose slot has been *granted* but whose
+task is then cancelled or abandoned (client disconnect, the 2x
+hard-abandon, a pending task destroyed at teardown) must hand the slot
+to the next waiter — otherwise serve capacity shrinks permanently.
+Here the hand-back is explicit and covers ``BaseException``, so even a
+``GeneratorExit`` thrown into an abandoned waiter returns the slot.
+
 All counters are touched only on the event loop, so they need no lock.
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import contextlib
 
 from ..errors import ServiceOverloadedError
@@ -22,42 +34,79 @@ __all__ = ["AdmissionController"]
 
 
 class AdmissionController:
-    """Semaphore-bounded concurrency with a bounded wait queue."""
+    """FIFO slot queue: bounded concurrency with a bounded wait queue."""
 
     def __init__(self, max_concurrency, queue_depth):
         self.max_concurrency = max(1, int(max_concurrency))
         self.queue_depth = max(0, int(queue_depth))
-        self._slots = asyncio.Semaphore(self.max_concurrency)
+        self._free = self.max_concurrency
+        self._waiters = collections.deque()
         self.running = 0
-        self.waiting = 0
         self.admitted = 0
         self.shed = 0
+
+    @property
+    def waiting(self):
+        """Requests queued for a slot right now."""
+        return len(self._waiters)
 
     def retry_after(self):
         """Seconds a shed client should wait: one drain of the queue."""
         return max(1, self.waiting)
 
+    def _grant_next(self):
+        """Hand free slots to queued waiters, oldest first."""
+        while self._free > 0 and self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.done():  # cancelled while queued; skip it
+                continue
+            self._free -= 1
+            waiter.set_result(None)
+
+    def _release_slot(self):
+        self._free += 1
+        self._grant_next()
+
+    async def _acquire_slot(self):
+        if self._free > 0 and not self._waiters:
+            self._free -= 1
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        try:
+            await waiter
+        except BaseException:
+            # Cancelled or abandoned.  If the slot was already granted
+            # to this waiter (future resolved, exception injected before
+            # the task resumed), pass it straight on; otherwise just
+            # leave the queue.
+            if waiter.done() and not waiter.cancelled():
+                self._release_slot()
+            else:
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+            raise
+
     @contextlib.asynccontextmanager
     async def admit(self):
         """Hold one evaluation slot; shed when the queue is full."""
-        if self.waiting >= self.queue_depth and self._slots.locked():
+        must_wait = self._free == 0 or bool(self._waiters)
+        if must_wait and self.waiting >= self.queue_depth:
             self.shed += 1
             raise ServiceOverloadedError(
                 "admission queue full ({} running, {} waiting)".format(
                     self.running, self.waiting),
                 retry_after=self.retry_after())
-        self.waiting += 1
-        try:
-            await self._slots.acquire()
-        finally:
-            self.waiting -= 1
+        await self._acquire_slot()
         self.running += 1
         self.admitted += 1
         try:
             yield
         finally:
             self.running -= 1
-            self._slots.release()
+            self._release_slot()
 
     def snapshot(self):
         """Counter view for ``/metrics``."""

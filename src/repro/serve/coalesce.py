@@ -1,0 +1,244 @@
+"""Cross-request coalescing: many requests, one vectorized circuit pass.
+
+The paper's symmetric-WFOMC setting promises amortization — the
+counting circuit is weight-independent, so one compile serves every
+weight vector any client submits.  The registry already amortizes the
+*compile*; this module amortizes the *evaluation*: concurrent admitted
+requests that target the same circuit identity ``(formula, n, ordered
+vocabulary signature, method)`` are grouped, held for a small window
+(``coalesce_window_ms``) or until the group reaches
+``coalesce_max_batch``, and then served by **one**
+:meth:`~repro.compile.CompiledWFOMC.evaluate_many` pass through the
+batched/codegen backends — a K-column staged sweep over the circuit
+instead of K independent scalar evaluations.  Exact per-request results
+are scattered back to per-request futures, so the wire answers are
+bit-identical to uncoalesced serving (the exact backends are pinned
+bit-identical to direct dispatch by the differential suite).
+
+Resilience contracts, composed rather than weakened:
+
+* the batch runs under the **tightest** member deadline's
+  :class:`~repro.resilience.limits.Budget`, enforced exactly like a
+  single request: a loop-side timer fires ``budget.cancel()`` at the
+  tightest remaining deadline and the evaluation thread is abandoned;
+* a budget trip or a backend fault **splits** the batch: every member
+  falls back to ordinary per-request evaluation with whatever remains
+  of its *own* deadline, so one stuck batch never becomes a collective
+  504 — only members whose own deadlines expired answer 504;
+* requests the batcher cannot serve (cold compiles, instances memoized
+  as failing to compile, non-point endpoints) bypass it unchanged;
+* draining flushes every open window immediately.
+
+Single-threaded discipline: all batcher state is touched only on the
+event loop; the only off-loop work is the evaluation itself, which runs
+on the daemon's executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..resilience import Budget
+
+__all__ = ["CoalesceSpec", "RequestCoalescer"]
+
+
+class CoalesceSpec:
+    """What a request must expose to be coalescable.
+
+    ``wv`` is the request's weighted vocabulary (one future column of a
+    batch); ``finish`` maps the raw circuit count to the endpoint's
+    result (identity for ``/v1/wfomc``, division by the total world
+    weight for ``/v1/probability``), so requests for *different*
+    endpoints can still share one batch when they target one circuit.
+    """
+
+    __slots__ = ("formula", "n", "wv", "finish")
+
+    def __init__(self, formula, n, wv, finish):
+        self.formula = formula
+        self.n = n
+        self.wv = wv
+        self.finish = finish
+
+
+class _Member:
+    __slots__ = ("wv", "finish", "call", "deadline_at", "future")
+
+    def __init__(self, wv, finish, call, deadline_at, future):
+        self.wv = wv
+        self.finish = finish
+        self.call = call
+        self.deadline_at = deadline_at
+        self.future = future
+
+
+class _Group:
+    __slots__ = ("key", "compiled", "members", "timer")
+
+    def __init__(self, key, compiled, timer):
+        self.key = key
+        self.compiled = compiled
+        self.members = []
+        self.timer = timer
+
+
+class RequestCoalescer:
+    """Groups admitted requests by circuit identity; flushes as batches.
+
+    ``run_in_executor`` submits a callable to the daemon's evaluation
+    executor and returns an awaitable; ``fallback`` is the daemon's
+    ordinary per-request path ``async (call, deadline_ms) -> result``,
+    used when a batch splits.
+    """
+
+    def __init__(self, run_in_executor, fallback, window_s, max_batch,
+                 options):
+        self._run_in_executor = run_in_executor
+        self._fallback = fallback
+        self.window_s = max(0.0, float(window_s))
+        self.max_batch = max(1, int(max_batch))
+        self.options = options
+        self._groups = {}
+        self._tasks = set()
+        self._draining = False
+        self.counters = {
+            "batches": 0, "batched_requests": 0, "splits": 0,
+            "split_requests": 0, "flush_window": 0, "flush_full": 0,
+            "flush_drain": 0,
+        }
+
+    # -- submission (event loop only) --------------------------------------
+
+    def submit(self, key, compiled, spec, call, deadline_ms):
+        """Enqueue one request; returns its result future, or ``None``.
+
+        ``None`` means the batcher is draining and the caller must use
+        the ordinary per-request path.
+        """
+        if self._draining:
+            return None
+        loop = asyncio.get_running_loop()
+        deadline_at = (None if deadline_ms is None
+                       else loop.time() + deadline_ms / 1000.0)
+        member = _Member(spec.wv, spec.finish, call, deadline_at,
+                         loop.create_future())
+        group = self._groups.get(key)
+        if group is None:
+            timer = loop.call_later(
+                self.window_s, self._flush, key, "window")
+            group = self._groups[key] = _Group(key, compiled, timer)
+        group.members.append(member)
+        if len(group.members) >= self.max_batch:
+            self._flush(key, "full")
+        return member.future
+
+    def _flush(self, key, reason):
+        group = self._groups.pop(key, None)
+        if group is None:
+            return  # a full/drain flush already took it; the timer lost
+        group.timer.cancel()
+        self.counters["flush_" + reason] += 1
+        self.counters["batches"] += 1
+        self.counters["batched_requests"] += len(group.members)
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(group))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    def drain(self):
+        """Stop accepting and flush every open window immediately."""
+        self._draining = True
+        for key in list(self._groups):
+            self._flush(key, "drain")
+
+    # -- batch execution ---------------------------------------------------
+
+    async def _run_batch(self, group):
+        loop = asyncio.get_running_loop()
+        members = group.members
+        deadlines = [m.deadline_at for m in members
+                     if m.deadline_at is not None]
+        remaining_s = None
+        if deadlines:
+            remaining_s = min(deadlines) - loop.time()
+            if remaining_s <= 0:
+                # The tightest member is already past its deadline:
+                # don't start a doomed batch, settle everyone through
+                # the per-request path (which 504s only the expired).
+                await self._split(members)
+                return
+        budget = Budget(timeout=remaining_s)
+        options = self.options.replace(
+            budget=budget, backend=self.options.backend or "batched")
+        compiled, vocabularies = group.compiled, [m.wv for m in members]
+
+        def evaluate():
+            budget.check()
+            from ..wfomc.solver import _codegen_store
+
+            return compiled.evaluate_many(
+                vocabularies, backend=options.backend,
+                store=_codegen_store(options))
+
+        future = self._run_in_executor(evaluate)
+        try:
+            if remaining_s is None:
+                counts = await future
+            else:
+                counts = await asyncio.wait_for(
+                    asyncio.shield(future), remaining_s)
+        except asyncio.TimeoutError:
+            # Tightest deadline hit: cancel cooperatively, abandon the
+            # batch thread, and split — members with time left fall
+            # back, only the expired ones answer 504.
+            budget.cancel()
+            future.add_done_callback(lambda f: f.exception())
+            await self._split(members)
+            return
+        except Exception:  # noqa: BLE001 — backend fault: split, retry solo
+            await self._split(members)
+            return
+        for member, count in zip(members, counts):
+            if member.future.done():  # requester gone (cancelled)
+                continue
+            try:
+                member.future.set_result(member.finish(count))
+            except Exception as exc:  # noqa: BLE001 — per-member finish
+                member.future.set_exception(exc)
+
+    async def _split(self, members):
+        self.counters["splits"] += 1
+        self.counters["split_requests"] += len(members)
+        loop = asyncio.get_running_loop()
+
+        async def settle(member):
+            if member.future.done():
+                return
+            deadline_ms = None
+            if member.deadline_at is not None:
+                deadline_ms = max(
+                    0.0, (member.deadline_at - loop.time()) * 1000.0)
+            try:
+                result = await self._fallback(member.call, deadline_ms)
+            except Exception as exc:  # noqa: BLE001 — typed per member
+                if not member.future.done():
+                    member.future.set_exception(exc)
+                return
+            if not member.future.done():
+                member.future.set_result(result)
+
+        await asyncio.gather(*(settle(m) for m in members))
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self):
+        """Counter view for ``/metrics``."""
+        view = dict(self.counters)
+        view["open_groups"] = len(self._groups)
+        view["window_ms"] = self.window_s * 1000.0
+        view["max_batch"] = self.max_batch
+        view["avg_batch_size"] = (
+            round(view["batched_requests"] / view["batches"], 3)
+            if view["batches"] else None)
+        return view

@@ -31,9 +31,14 @@ from PR-7 primitives:
   down store tier is already absorbed by the cache layer
   (:mod:`repro.cache`).  Internal faults become typed 500s, never
   hangs.
+* **cross-request coalescing** — concurrent point queries against one
+  warm compiled circuit are batched by
+  :class:`~repro.serve.coalesce.RequestCoalescer` and served by a
+  single vectorized ``evaluate_many`` pass (bit-identical answers,
+  tightest-member budget, split-on-fault fallback to solo evaluation).
 * **graceful drain** — SIGTERM stops the listener, answers 503 on
-  kept-alive connections, lets in-flight evaluations finish within
-  ``drain_timeout_s``, then exits.
+  kept-alive connections, flushes open coalescing windows, lets
+  in-flight evaluations finish within ``drain_timeout_s``, then exits.
 
 Endpoints: ``GET /healthz | /readyz | /metrics`` and ``POST
 /v1/wfomc | /v1/probability | /v1/wfomc_weight_sweep |
@@ -52,11 +57,12 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..errors import BudgetExceededError, ReproError, ServiceDrainingError, \
-    ServiceOverloadedError
+    ServiceOverloadedError, UnsupportedFormulaError
 from ..options import SolverOptions
 from ..resilience import Budget
 from . import protocol
 from .admission import AdmissionController
+from .coalesce import CoalesceSpec, RequestCoalescer
 from .metrics import metrics_snapshot
 from .registry import CircuitRegistry
 
@@ -90,7 +96,29 @@ class ServeConfig:
     queue_depth: int = 16
     default_deadline_ms: float | None = None
     drain_timeout_s: float = 10.0
+    #: Cross-request coalescing (compiled serving only): concurrent
+    #: requests for one circuit identity are held up to
+    #: ``coalesce_window_ms`` (or until ``coalesce_max_batch`` queue up)
+    #: and served by one vectorized ``evaluate_many`` pass.
+    coalesce: bool = True
+    coalesce_window_ms: float = 2.0
+    coalesce_max_batch: int = 32
     options: SolverOptions = dataclasses.field(default_factory=SolverOptions)
+
+
+class _Prepared:
+    """A parsed request: the per-request closure + its coalesce spec.
+
+    ``coalesce`` is ``None`` for endpoints the batcher cannot serve
+    (sweeps are already vectorized per request; MLN sweeps are not
+    keyed on a single circuit identity).
+    """
+
+    __slots__ = ("call", "coalesce")
+
+    def __init__(self, call, coalesce=None):
+        self.call = call
+        self.coalesce = coalesce
 
 
 class ReproServer:
@@ -100,6 +128,7 @@ class ReproServer:
         self.config = config or ServeConfig()
         self.registry = CircuitRegistry()
         self.admission = None
+        self.coalescer = None
         self.draining = False
         self.address = None
         self._server = None
@@ -133,6 +162,15 @@ class ReproServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.admission.max_concurrency,
             thread_name_prefix="repro-serve")
+        if cfg.coalesce:
+            loop = asyncio.get_running_loop()
+            self.coalescer = RequestCoalescer(
+                run_in_executor=lambda fn: loop.run_in_executor(
+                    self._executor, fn),
+                fallback=self._run_with_deadline,
+                window_s=cfg.coalesce_window_ms / 1000.0,
+                max_batch=cfg.coalesce_max_batch,
+                options=cfg.options)
         self._idle = asyncio.Event()
         self._idle.set()
         self._server = await asyncio.start_server(
@@ -157,6 +195,10 @@ class ReproServer:
     async def shutdown(self):
         """Stop accepting, drain in-flight work, release the executor."""
         self.draining = True
+        if self.coalescer is not None:
+            # Open coalescing windows flush now: a drain must not strand
+            # requests waiting out a batching window.
+            self.coalescer.drain()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -267,8 +309,8 @@ class ReproServer:
                 raise ReproError("request body must be a JSON object")
             deadline_ms = protocol.parse_deadline_ms(
                 request, self.config.default_deadline_ms)
-            call = prep(request)
-            result = await self._admit_and_run(call, deadline_ms)
+            prepared = prep(request)
+            result = await self._admit_and_run(prepared, deadline_ms)
             self._count("ok")
             return 200, {"ok": True,
                          "result": protocol.encode_result(result)}, {}
@@ -306,16 +348,45 @@ class ReproServer:
 
     # -- evaluation --------------------------------------------------------
 
-    async def _admit_and_run(self, call, deadline_ms):
+    async def _admit_and_run(self, prepared, deadline_ms):
         async with self.admission.admit():
             self._inflight += 1
             self._idle.clear()
             try:
-                return await self._run_with_deadline(call, deadline_ms)
+                batched = self._try_coalesce(prepared, deadline_ms)
+                if batched is not None:
+                    return await batched
+                return await self._run_with_deadline(prepared.call,
+                                                     deadline_ms)
             finally:
                 self._inflight -= 1
                 if self._inflight == 0:
                     self._idle.set()
+
+    def _try_coalesce(self, prepared, deadline_ms):
+        """The request's batch future, or ``None`` to serve it solo.
+
+        Only point queries against a *warm* compiled circuit coalesce.
+        Cold instances bypass so the batcher never blocks a window on a
+        compile (the first request compiles single-flight as before and
+        the next ones coalesce); instances memoized as failing compile
+        keep degrading to direct counting unchanged; the ``float``
+        backend bypasses because its answers are not the exact wire
+        format uncoalesced serving produces.
+        """
+        spec = prepared.coalesce
+        options = self.config.options
+        if (self.coalescer is None or spec is None or self.draining
+                or not options.compiled or options.backend == "float"):
+            return None
+        compiled = self.registry.peek(spec.formula, spec.n,
+                                      spec.wv.vocabulary, options)
+        if compiled is None:
+            return None
+        key = self.registry.key(spec.formula, spec.n, spec.wv.vocabulary,
+                                options)
+        return self.coalescer.submit(key, compiled, spec, prepared.call,
+                                     deadline_ms)
 
     async def _run_with_deadline(self, call, deadline_ms):
         loop = asyncio.get_running_loop()
@@ -383,7 +454,8 @@ class ReproServer:
             opts = self.registry.prepare(formula, n, wv.vocabulary, opts)
             return wfomc(formula, n, wv, options=opts)
 
-        return call
+        return _Prepared(call, CoalesceSpec(formula, n, wv,
+                                            lambda count: count))
 
     def _prep_probability(self, body):
         from ..wfomc import probability
@@ -396,7 +468,15 @@ class ReproServer:
             opts = self.registry.prepare(formula, n, wv.vocabulary, opts)
             return probability(formula, n, wv, options=opts)
 
-        return call
+        def finish(count):
+            denominator = wv.total_world_weight(n)
+            if denominator == 0:
+                raise UnsupportedFormulaError(
+                    "total world weight is zero; the weights have no "
+                    "probabilistic reading")
+            return count / denominator
+
+        return _Prepared(call, CoalesceSpec(formula, n, wv, finish))
 
     def _prep_weight_sweep(self, body):
         from ..wfomc.solver import wfomc_weight_sweep
@@ -412,7 +492,7 @@ class ReproServer:
                                          options=opts)
             return {"values": values, "results": results}
 
-        return call
+        return _Prepared(call)
 
     def _prep_mln_query_sweep(self, body):
         from ..mln import mln_query_sweep
@@ -424,4 +504,4 @@ class ReproServer:
         def call(opts):
             return mln_query_sweep(mlns, query, n, options=opts)
 
-        return call
+        return _Prepared(call)

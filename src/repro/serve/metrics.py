@@ -53,6 +53,7 @@ def metrics_snapshot(server):
         "draining": server.draining,
         "server": dict(server.counters),
         "admission": server.admission.snapshot() if server.admission else {},
+        "coalesce": server.coalescer.snapshot() if server.coalescer else {},
         "registry": server.registry.snapshot(),
         "engine": engine,
         "solver_caches": solver_cache_stats(),

@@ -40,10 +40,18 @@ class CircuitRegistry:
 
     def __init__(self, capacity=64):
         self._cache = LRUCache(capacity)
-        self._locks = {}
+        # Single-flight locks come from a fixed pool indexed by key hash
+        # rather than a per-key dict: a dict entry per distinct instance
+        # ever served is a memory leak on a long-running daemon (the LRU
+        # evicts the circuit but nothing evicted the lock).  A hash
+        # collision merely serializes two unrelated cold compiles — the
+        # double-checked cache read under the lock keeps single-flight
+        # exact either way.
+        self._locks = tuple(threading.Lock() for _ in range(capacity))
         self._meta = threading.Lock()
         self.compiles = 0
         self.hits = 0
+        self.failure_hits = 0
         self.waits = 0
         self.failures = 0
         self.degraded_direct = 0
@@ -53,11 +61,13 @@ class CircuitRegistry:
             setattr(self, name, getattr(self, name) + 1)
 
     def _key_lock(self, key):
-        with self._meta:
-            lock = self._locks.get(key)
-            if lock is None:
-                lock = self._locks[key] = threading.Lock()
-            return lock
+        return self._locks[hash(key) % len(self._locks)]
+
+    @staticmethod
+    def key(formula, n, vocabulary, options):
+        """The weight-independent circuit identity of a request."""
+        return (formula, n, vocabulary_signature(vocabulary, ordered=True),
+                options.method)
 
     def prepare(self, formula, n, vocabulary, options):
         """Resolve the options a request should actually run with.
@@ -77,12 +87,27 @@ class CircuitRegistry:
             return options.replace(compile=None, backend=None)
         return options
 
+    def peek(self, formula, n, vocabulary, options):
+        """The live compiled circuit for a request, or ``None``.
+
+        Never compiles: a miss (cold instance) and a memoized failure
+        both return ``None``, so callers that can only use a warm
+        circuit (the request coalescer) fall back to the ordinary path
+        without ever blocking on a compile.  A hit refreshes LRU
+        recency — a circuit hot enough to coalesce on should not be the
+        next eviction victim.
+        """
+        entry = self._cache.get(self.key(formula, n, vocabulary, options))
+        if entry is None or entry is _FAILED:
+            return None
+        self._count("hits")
+        return entry
+
     def _ensure(self, formula, n, vocabulary, options):
-        key = (formula, n, vocabulary_signature(vocabulary, ordered=True),
-               options.method)
+        key = self.key(formula, n, vocabulary, options)
         entry = self._cache.get(key)
         if entry is not None:
-            self._count("hits")
+            self._count("failure_hits" if entry is _FAILED else "hits")
             return entry
         lock = self._key_lock(key)
         if not lock.acquire(blocking=False):
@@ -91,7 +116,7 @@ class CircuitRegistry:
         try:
             entry = self._cache.get(key)
             if entry is not None:
-                self._count("hits")
+                self._count("failure_hits" if entry is _FAILED else "hits")
                 return entry
             entry = self._compile(formula, n, vocabulary, options)
             self._cache.put(key, entry)
@@ -116,13 +141,23 @@ class CircuitRegistry:
         return compiled
 
     def snapshot(self):
-        """Counter view for ``/metrics``."""
+        """Counter view for ``/metrics``.
+
+        ``entries`` counts live circuits only; instances memoized as
+        failed are reported separately as ``failed_entries`` (both read
+        through the cache's locked accessors, never its internals).
+        """
+        failed = sum(1 for entry in self._cache.values()
+                     if entry is _FAILED)
+        total = len(self._cache)
         with self._meta:
             return {
                 "compiles": self.compiles,
                 "hits": self.hits,
+                "failure_hits": self.failure_hits,
                 "waits": self.waits,
                 "failures": self.failures,
                 "degraded_direct": self.degraded_direct,
-                "entries": len(self._cache._data),
+                "entries": total - failed,
+                "failed_entries": failed,
             }

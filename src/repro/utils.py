@@ -78,10 +78,26 @@ class LRUCache:
                 data.popitem(last=False)
 
     def __contains__(self, key):
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self):
-        return len(self._data)
+        # Locked: ``len(OrderedDict)`` racing a ``put`` mid-eviction can
+        # observe a transiently wrong size; metrics readers (the serving
+        # daemon's ``/metrics``) want a consistent count.
+        with self._lock:
+            return len(self._data)
+
+    def values(self):
+        """A consistent point-in-time list of the cached values."""
+        with self._lock:
+            return list(self._data.values())
+
+    def peek(self, key, default=None):
+        """``get`` without touching recency or the hit/miss counters."""
+        with self._lock:
+            value = self._data.get(key, self._MISSING)
+            return default if value is self._MISSING else value
 
     def clear(self):
         with self._lock:
@@ -92,7 +108,7 @@ class LRUCache:
     def stats(self):
         lookups = self.hits + self.misses
         return {
-            "entries": len(self._data),
+            "entries": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hits / lookups, 4) if lookups else None,

@@ -466,3 +466,27 @@ class TestLRUCache:
         assert cache.stats() == {
             "entries": 0, "hits": 0, "misses": 0, "hit_rate": None,
         }
+
+    def test_values_is_a_point_in_time_snapshot(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        snapshot = cache.values()
+        assert sorted(snapshot) == [1, 2]
+        cache.put("c", 3)
+        assert sorted(snapshot) == [1, 2]  # unaffected by later puts
+
+    def test_peek_does_not_touch_recency_or_counters(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        assert cache.peek("missing", default="d") == "d"
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"]) == (0, 0)
+        # "a" was NOT refreshed by the peek, so it is still the LRU
+        # eviction victim.
+        cache.put("c", 3)
+        assert "a" not in cache
+        assert "b" in cache

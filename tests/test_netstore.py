@@ -8,6 +8,7 @@ driven deterministically by the ``net_*`` fault kinds of
 :mod:`repro.resilience.faults`.
 """
 
+import threading
 from fractions import Fraction
 
 import pytest
@@ -194,6 +195,106 @@ class TestNetworkFaults:
         # /healthz, closes the breaker, and serves the read.
         assert client.get_raw("components", digest) == b"7"
         assert client.reenables == 1
+
+    def test_probe_schedule_pinned_with_fake_clock(
+            self, tmp_path, server, monkeypatch):
+        # The documented breaker contract, pinned on an injected clock:
+        # the first probe fires at the *base* interval after the breaker
+        # opens, the interval doubles only after a probe actually
+        # fails, and a successful probe resets the schedule.
+        from repro.cache import netstore
+
+        monkeypatch.setattr(netstore, "_NET_PROBE_INTERVAL_S", 0.5)
+        now = [0.0]
+        client = NetworkStoreClient(server.url, max_retries=0,
+                                    clock=lambda: now[0])
+        probes = []
+        real_once = client._request_once
+
+        def counting_once(method, path, body=None):
+            if path == "/healthz":
+                probes.append(now[0])
+            return real_once(method, path, body)
+
+        client._request_once = counting_once
+        digest = key_digest("components", ("sched",))
+        client.put_raw("components", digest, b"9")
+        install_plan("net_refused~1")  # everything refused from here
+        assert client.get_raw("components", digest) is None
+        assert client.disabled is True
+        # Armed at the base interval: nothing probes before t=0.5.
+        now[0] = 0.49
+        assert client.available() is False
+        assert probes == []
+        # First probe exactly at the base interval; it fails, so the
+        # interval doubles to 1.0 — next probe due at 1.5.
+        now[0] = 0.5
+        assert client.available() is False
+        assert probes == [0.5]
+        now[0] = 1.49
+        client.available()
+        assert probes == [0.5]
+        now[0] = 1.5
+        client.available()
+        assert probes == [0.5, 1.5]
+        # Doubling again: 1.5 + 2.0 = 3.5.
+        now[0] = 3.5
+        client.available()
+        assert probes == [0.5, 1.5, 3.5]
+        # The tier comes back; the probe at 3.5 + 4.0 = 7.5 succeeds.
+        clear_plan()
+        now[0] = 7.5
+        assert client.available() is True
+        assert client.reenables == 1
+        assert probes == [0.5, 1.5, 3.5, 7.5]
+        # Success reset the schedule: a fresh failure arms at the base
+        # interval again, not at the last doubled value.
+        install_plan("net_refused~1")
+        assert client.get_raw("components", digest) is None
+        now[0] = 8.0
+        client.available()
+        assert probes == [0.5, 1.5, 3.5, 7.5, 8.0]
+
+    def test_no_duplicate_inflight_probes(self, tmp_path, server):
+        # The duplicate-probe regression: the /healthz probe runs
+        # outside the breaker lock (deliberately — no network I/O under
+        # a lock), so pre-fix two callers racing past ``available()``
+        # while one probe was still on the wire both probed.  A second
+        # caller must skip while a probe is in flight.
+        client = NetworkStoreClient(server.url, max_retries=0)
+        in_probe = threading.Event()
+        release = threading.Event()
+        probes = []
+        real_once = client._request_once
+
+        def slow_probe(method, path, body=None):
+            if path == "/healthz":
+                probes.append(path)
+                in_probe.set()
+                release.wait(10)
+            return real_once(method, path, body)
+
+        client._request_once = slow_probe
+        install_plan("net_refused@1")
+        digest = key_digest("components", ("dup",))
+        assert client.get_raw("components", digest) is None
+        assert client.disabled is True
+        clear_plan()
+        # The fixture's zero probe interval makes the probe due at
+        # once; park it on the wire on a helper thread.
+        prober = threading.Thread(target=client.available)
+        prober.start()
+        try:
+            assert in_probe.wait(10)
+            # A concurrent caller arrives mid-probe: skip, don't probe.
+            assert client.available() is False
+            assert len(probes) == 1
+        finally:
+            release.set()
+            prober.join(10)
+        assert client.available() is True
+        assert client.reenables == 1
+        assert len(probes) == 1
 
     def test_torn_payload_reads_as_miss(self, tmp_path, server):
         tiered = _tiered(tmp_path, "a", server.url)

@@ -121,9 +121,16 @@ class TestProtocol:
         assert status == 200 and body["ok"] is True
         status, body, _ = h.request("GET", "/metrics")
         assert status == 200
-        for section in ("server", "admission", "registry", "engine",
-                        "solver_caches", "compile", "store"):
+        for section in ("server", "admission", "coalesce", "registry",
+                        "engine", "solver_caches", "compile", "store"):
             assert section in body
+        # Registry metrics distinguish live circuits from memoized
+        # compile failures, and cache hits from failure hits.
+        for key in ("hits", "failure_hits", "entries", "failed_entries"):
+            assert key in body["registry"]
+        for key in ("batches", "batched_requests", "splits",
+                    "open_groups", "avg_batch_size"):
+            assert key in body["coalesce"]
 
     def test_wfomc_matches_library(self, serve):
         h = serve()
@@ -299,6 +306,79 @@ class TestAdmission:
             blocker.join(30)
         assert results and results[0][0] == 200
 
+    def test_abandoned_granted_waiter_returns_slot(self):
+        # The slot-leak regression: a queued waiter whose slot has just
+        # been granted and whose task is then *destroyed* (client gone,
+        # pending handler torn down) receives GeneratorExit at the
+        # await, not CancelledError.  Pre-fix (asyncio.Semaphore-backed
+        # admission) the granted slot was lost forever and the waiting
+        # gauge went stale; the controller must hand the slot to the
+        # next request and keep its counters exact.
+        from repro.serve.admission import AdmissionController
+
+        async def scenario():
+            ac = AdmissionController(max_concurrency=1, queue_depth=4)
+            release = asyncio.Event()
+
+            async def hold():
+                async with ac.admit():
+                    await release.wait()
+
+            holder = asyncio.ensure_future(hold())
+            await asyncio.sleep(0)
+            assert ac.running == 1
+
+            # Drive a second admission by hand to its suspension point,
+            # exactly where a real handler task would be parked.
+            aenter = ac.admit().__aenter__()
+            aenter.send(None)
+            assert ac.waiting == 1
+
+            release.set()
+            await holder  # hands the freed slot to the queued waiter
+            assert ac.waiting == 0
+
+            aenter.close()  # GeneratorExit into the granted waiter
+
+            # The granted-then-abandoned slot must be back in service.
+            async with ac.admit():
+                assert ac.running == 1
+            assert ac.waiting == 0
+
+        asyncio.run(scenario())
+
+    def test_cancelled_queued_waiters_restore_capacity(self):
+        # Clients that disconnect while queued (plain task cancellation)
+        # must leave full capacity and an empty queue behind.
+        from repro.serve.admission import AdmissionController
+
+        async def scenario():
+            ac = AdmissionController(max_concurrency=2, queue_depth=8)
+            release = asyncio.Event()
+
+            async def hold():
+                async with ac.admit():
+                    await release.wait()
+
+            holders = [asyncio.ensure_future(hold()) for _ in range(2)]
+            await asyncio.sleep(0)
+            queued = [asyncio.ensure_future(hold()) for _ in range(3)]
+            await asyncio.sleep(0)
+            assert (ac.running, ac.waiting) == (2, 3)
+            for task in queued:
+                task.cancel()
+            await asyncio.gather(*queued, return_exceptions=True)
+            assert ac.waiting == 0
+            release.set()
+            await asyncio.gather(*holders)
+            # Both slots admit concurrently again.
+            async with ac.admit():
+                async with ac.admit():
+                    assert ac.running == 2
+            assert (ac.running, ac.waiting) == (0, 0)
+
+        asyncio.run(scenario())
+
     def test_draining_rejects_new_requests_with_503(self, serve):
         h = serve()
         h.loop.call_soon_threadsafe(setattr, h.server, "draining", True)
@@ -371,6 +451,267 @@ class TestDegradation:
         assert h.server.registry.snapshot()["compiles"] == 1
 
 
+class TestRegistryBugfixes:
+    def test_single_flight_lock_pool_is_bounded(self, monkeypatch):
+        # The lock-leak regression: pre-fix the registry kept one lock
+        # per distinct key forever — the LRU evicted circuits but
+        # nothing evicted locks, an unbounded leak on a long-running
+        # daemon.  Churning more instances than the capacity must leave
+        # the lock structure at the pool bound.
+        import repro.compile
+        from repro.serve.registry import CircuitRegistry
+
+        marker = object()
+        monkeypatch.setattr(repro.compile, "compile_wfomc",
+                            lambda *args, **kwargs: marker)
+        registry = CircuitRegistry(capacity=64)
+        f = parse(EXISTS)
+        voc = WeightedVocabulary.counting(f).vocabulary
+        opts = SolverOptions(compile=True)
+        for n in range(2, 102):  # 100 distinct instances > capacity
+            assert registry.prepare(f, n, voc, opts) is opts
+        assert len(registry._locks) <= 64
+        snap = registry.snapshot()
+        assert snap["compiles"] == 100
+        assert snap["entries"] <= 64
+        # The pool still single-flights: a warm instance is a peek hit.
+        assert registry.peek(f, 101, voc, opts) is marker
+
+    def test_failed_compiles_are_neither_hits_nor_entries(
+            self, monkeypatch):
+        # The metrics-lie regression: pre-fix a memoized compile failure
+        # counted as a cache *hit* on every later request and as a live
+        # *entry* in the snapshot.  Failures must be reported on their
+        # own axes.
+        import repro.compile
+        from repro.serve.registry import CircuitRegistry
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected compile crash")
+
+        monkeypatch.setattr(repro.compile, "compile_wfomc", boom)
+        registry = CircuitRegistry()
+        f = parse(EXISTS)
+        voc = WeightedVocabulary.counting(f).vocabulary
+        opts = SolverOptions(compile=True)
+        for _ in range(2):
+            resolved = registry.prepare(f, 3, voc, opts)
+            assert not resolved.compiled  # degraded to direct counting
+        assert registry.peek(f, 3, voc, opts) is None
+        snap = registry.snapshot()
+        assert snap["failures"] == 1
+        assert snap["failure_hits"] == 1
+        assert snap["hits"] == 0
+        assert snap["entries"] == 0
+        assert snap["failed_entries"] == 1
+        assert snap["degraded_direct"] == 2
+
+
+class TestCoalescing:
+    FORMULA = "forall x. exists y. B(x, y)"
+
+    def test_concurrent_mixed_endpoints_share_batches_bit_identical(
+            self, serve):
+        h = serve(options=SolverOptions(compile=True), max_concurrency=8,
+                  coalesce_window_ms=1000.0, coalesce_max_batch=8)
+        # Warm the circuit: the cold request bypasses the batcher and
+        # compiles single-flight.
+        assert h.request("POST", "/v1/wfomc",
+                         {"formula": self.FORMULA, "n": 4})[0] == 200
+        f = parse(self.FORMULA)
+        jobs = []
+        for i in range(4):
+            w = Fraction(i + 1, 3)
+            wv = WeightedVocabulary.counting(f).with_weight(
+                "B", WeightPair(w, 1))
+            jobs.append(("/v1/wfomc",
+                         {"formula": self.FORMULA, "n": 4,
+                          "weights": {"B": [str(w), "1"]}},
+                         str(wfomc(f, 4, wv))))
+        for i in range(4):
+            w = Fraction(i + 2, 5)
+            wv = WeightedVocabulary.counting(f).with_weight(
+                "B", WeightPair(w, 1))
+            jobs.append(("/v1/probability",
+                         {"formula": self.FORMULA, "n": 4,
+                          "weights": {"B": [str(w), "1"]}},
+                         str(probability(f, 4, wv))))
+        results = [None] * len(jobs)
+
+        def run(idx, path, payload, expected):
+            results[idx] = (h.request("POST", path, payload), expected)
+
+        threads = [threading.Thread(target=run, args=(i, *job))
+                   for i, job in enumerate(jobs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        for (status, body, _), expected in results:
+            assert status == 200
+            assert body["result"] == expected
+        snap = h.request("GET", "/metrics")[1]["coalesce"]
+        # Every warm request went through the batcher (wfomc and
+        # probability coalesce together: one circuit, two finishers),
+        # and no batch needed to split.
+        assert snap["batched_requests"] == len(jobs)
+        assert snap["batches"] >= 1
+        assert snap["splits"] == 0
+
+    def test_cold_instance_bypasses_then_warm_singleton_batches(
+            self, serve):
+        h = serve(options=SolverOptions(compile=True),
+                  coalesce_window_ms=5.0)
+        formula = "forall x. exists y. CO(x, y)"
+        assert h.request("POST", "/v1/wfomc",
+                         {"formula": formula, "n": 4})[0] == 200
+        snap = h.request("GET", "/metrics")[1]["coalesce"]
+        assert (snap["batches"], snap["batched_requests"]) == (0, 0)
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc",
+            {"formula": formula, "n": 4, "weights": {"CO": ["2", "1"]}})
+        assert status == 200
+        wv = WeightedVocabulary.counting(parse(formula)).with_weight(
+            "CO", WeightPair(Fraction(2), 1))
+        assert body["result"] == str(wfomc(parse(formula), 4, wv))
+        snap = h.request("GET", "/metrics")[1]["coalesce"]
+        assert snap["batches"] == 1
+        assert snap["batched_requests"] == 1
+        assert snap["flush_window"] == 1
+
+    def test_drain_flushes_open_window_promptly(self, serve):
+        # A request parked in a 30s batching window when the drain
+        # lands must be flushed and answered now, not stranded.
+        h = serve(options=SolverOptions(compile=True),
+                  coalesce_window_ms=30000.0)
+        formula = "forall x. exists y. DR(x, y)"
+        assert h.request("POST", "/v1/wfomc",
+                         {"formula": formula, "n": 4})[0] == 200
+        out = {}
+
+        def post():
+            out["resp"] = h.request(
+                "POST", "/v1/wfomc",
+                {"formula": formula, "n": 4,
+                 "weights": {"DR": ["1/2", "1"]}})
+
+        t = threading.Thread(target=post)
+        t.start()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if h.server.coalescer.snapshot()["open_groups"]:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("request never entered a coalescing window")
+        started = time.monotonic()
+        h.close()
+        t.join(30)
+        elapsed = time.monotonic() - started
+        status, body, _ = out["resp"]
+        wv = WeightedVocabulary.counting(parse(formula)).with_weight(
+            "DR", WeightPair(Fraction(1, 2), 1))
+        assert status == 200
+        assert body["result"] == str(wfomc(parse(formula), 4, wv))
+        assert elapsed < 10.0  # flushed by the drain, not the window
+
+    def test_budget_trip_splits_batch_not_collective_504(self):
+        # The tightest member's budget trips mid-batch: the batch must
+        # split to per-request fallback with each member's *own*
+        # remaining deadline — only the expired member answers 504.
+        from repro.errors import BudgetExceededError
+        from repro.serve.coalesce import CoalesceSpec, RequestCoalescer
+
+        release = threading.Event()
+
+        class StuckCompiled:
+            def evaluate_many(self, vocabularies, backend=None,
+                              store=None):
+                release.wait(30)
+                return [Fraction(0)] * len(vocabularies)
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+
+            async def fallback(call, deadline_ms):
+                if deadline_ms is not None and deadline_ms < 50.0:
+                    raise BudgetExceededError("timeout", elapsed=0.0)
+                return ("solo", call)
+
+            coalescer = RequestCoalescer(
+                run_in_executor=lambda fn: loop.run_in_executor(None, fn),
+                fallback=fallback, window_s=60.0, max_batch=2,
+                options=SolverOptions(compile=True))
+            spec = CoalesceSpec("f", 3, object(), lambda count: count)
+            tight = coalescer.submit("k", StuckCompiled(), spec, "tight",
+                                     100.0)
+            roomy = coalescer.submit("k", StuckCompiled(), spec, "roomy",
+                                     60000.0)  # triggers the full flush
+            assert await roomy == ("solo", "roomy")
+            with pytest.raises(BudgetExceededError):
+                await tight
+            snap = coalescer.snapshot()
+            assert snap["flush_full"] == 1
+            assert snap["splits"] == 1
+            assert snap["split_requests"] == 2
+            release.set()
+
+        asyncio.run(scenario())
+
+    def test_backend_fault_splits_to_solo_fallback(self):
+        # A backend fault inside evaluate_many must retry every member
+        # through the ordinary per-request path, never surface the
+        # batch's internal error collectively.
+        from repro.serve.coalesce import CoalesceSpec, RequestCoalescer
+
+        class BrokenCompiled:
+            def evaluate_many(self, vocabularies, backend=None,
+                              store=None):
+                raise RuntimeError("injected backend fault")
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            calls = []
+
+            async def fallback(call, deadline_ms):
+                calls.append((call, deadline_ms))
+                return Fraction(42)
+
+            coalescer = RequestCoalescer(
+                run_in_executor=lambda fn: loop.run_in_executor(None, fn),
+                fallback=fallback, window_s=0.001, max_batch=32,
+                options=SolverOptions(compile=True))
+            spec = CoalesceSpec("f", 3, object(), lambda count: count)
+            futures = [
+                coalescer.submit("k", BrokenCompiled(), spec,
+                                 "call{}".format(i), None)
+                for i in range(3)]
+            assert await asyncio.gather(*futures) == [Fraction(42)] * 3
+            assert sorted(call for call, _ in calls) == [
+                "call0", "call1", "call2"]
+            assert all(deadline is None for _, deadline in calls)
+            snap = coalescer.snapshot()
+            assert snap["splits"] == 1
+            assert snap["split_requests"] == 3
+            assert snap["flush_window"] == 1
+
+        asyncio.run(scenario())
+
+    def test_draining_batcher_refuses_new_submissions(self):
+        from repro.serve.coalesce import CoalesceSpec, RequestCoalescer
+
+        async def scenario():
+            coalescer = RequestCoalescer(
+                run_in_executor=lambda fn: None,
+                fallback=None, window_s=1.0, max_batch=4,
+                options=SolverOptions(compile=True))
+            coalescer.drain()
+            spec = CoalesceSpec("f", 3, object(), lambda count: count)
+            assert coalescer.submit("k", object(), spec, "c", None) is None
+
+        asyncio.run(scenario())
+
+
 class TestChaosDifferential:
     def test_concurrent_requests_under_faults_are_bit_identical(
             self, serve, tmp_path):
@@ -432,6 +773,96 @@ class TestChaosDifferential:
         store = _STORES.pop(os.path.abspath(str(tmp_path / "cache")), None)
         if store is not None:
             store.close()
+
+    def test_coalesced_mixed_identities_and_budget_trips_under_faults(
+            self, serve, tmp_path, monkeypatch):
+        # Coalescing under chaos: concurrent requests against *two*
+        # circuit identities, store + worker + network faults firing,
+        # and per-circuit members whose deadlines expire mid-batch.
+        # Every 200 must be bit-identical to the fault-free serial
+        # reference; everything else must be a typed retriable error —
+        # a tripped batch splits, it never 504s its batchmates.
+        from repro.cache.netstore import BlobServer
+        from repro.cache.store import PersistentStore, _STORES
+        from repro.wfomc.solver import clear_solver_caches
+
+        backing = PersistentStore(str(tmp_path / "tier"))
+        blob = BlobServer(backing)
+        monkeypatch.setenv("REPRO_STORE_URL", blob.url)
+        formulas = ["forall x. exists y. M0(x, y)",
+                    "forall x. exists y. M1(x, y)"]
+        jobs = []  # (payload, fault-free expected, may_time_out)
+        for fi, text in enumerate(formulas):
+            f = parse(text)
+            pred = "M{}".format(fi)
+            for i in range(4):
+                w = Fraction(i + 1, 2)
+                wv = WeightedVocabulary.counting(f).with_weight(
+                    pred, WeightPair(w, 1))
+                jobs.append((
+                    {"formula": text, "n": 4,
+                     "weights": {pred: [str(w), "1"]},
+                     "deadline_ms": 60000},
+                    str(wfomc(f, 4, wv)), False))
+            # One member per circuit with an immediately-expiring
+            # deadline: it lands mid-batch and must trip and split
+            # without dragging its batchmates down with it.
+            wv = WeightedVocabulary.counting(f).with_weight(
+                pred, WeightPair(Fraction(1, 3), 1))
+            jobs.append((
+                {"formula": text, "n": 4,
+                 "weights": {pred: ["1/3", "1"]}, "deadline_ms": 1},
+                str(wfomc(f, 4, wv)), True))
+        clear_solver_caches()
+
+        h = serve(options=SolverOptions(
+            compile=True, persist=True,
+            cache_dir=str(tmp_path / "cache")),
+            max_concurrency=4, queue_depth=32, coalesce_window_ms=25.0)
+        # Warm both circuits fault-free so the batcher engages.
+        for text in formulas:
+            assert h.request("POST", "/v1/wfomc",
+                             {"formula": text, "n": 4})[0] == 200
+        install_plan(
+            "seed=11;store_busy?0.2;store_torn_write?0.1;"
+            "worker_crash?0.1;net_timeout?0.25;net_torn_payload?0.15")
+        results = [None] * len(jobs)
+
+        def run(idx, payload, expected):
+            status, body, _ = h.request("POST", "/v1/wfomc", payload)
+            results[idx] = (status, body, expected)
+
+        threads = [threading.Thread(
+            target=run, args=(i, payload, expected))
+            for i, (payload, expected, _) in enumerate(jobs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(180)
+        clear_plan()
+        assert all(r is not None for r in results)
+        roomy_ok = 0
+        for (status, body, expected), (_, _, may_time_out) in zip(
+                results, jobs):
+            if status == 200:
+                assert body["result"] == expected
+                roomy_ok += not may_time_out
+            else:
+                assert status in (429, 503, 504), body
+                assert body["error"]["retriable"] is True
+                if not may_time_out:
+                    # Generous deadlines never answer 504 — a split
+                    # batch retries them solo; only shedding and
+                    # drain-class rejections remain.
+                    assert status != 504, body
+        # The sweep is not vacuous: warm-circuit requests succeeded.
+        assert roomy_ok >= 1
+        h.close()
+        for key in list(_STORES):
+            if str(tmp_path) in key:
+                _STORES.pop(key).close()
+        blob.close()
+        backing.close()
 
 
 class TestSigtermDrain:
