@@ -40,6 +40,12 @@ decision/per-conflict budget bookkeeping of the fault-tolerance layer
 may add at most ``--budget-overhead`` (default 5%) over the unbudgeted
 run.  Disable with ``--skip-budget``.
 
+The *observability-overhead* gate re-times the steady-state compiled
+Theta_1 sweep with tracing enabled (span recorder active plus
+per-request histogram accounting) against the tracing-off run: the obs
+layer may add at most ``--obs-overhead`` (default 5%) with bit-identical
+results.  Disable with ``--skip-obs``.
+
 The *serving* gate runs the 32-concurrent same-circuit distinct-weight
 ``/v1/wfomc`` sweep workload against a coalescing and a non-coalescing
 daemon: cross-request coalescing must deliver at least ``--serve-floor``
@@ -348,6 +354,45 @@ def check_budget_overhead(max_overhead):
     print("budget-overhead check passed (max {:.0%})".format(max_overhead))
 
 
+def check_obs_overhead(max_overhead):
+    """Tracing enabled must stay nearly free on the serving hot path.
+
+    The observability layer promises a daemon can leave tracing on:
+    this gate re-times the steady-state compiled Theta_1 k=32 sweep
+    with the span recorder active and per-request histogram accounting
+    against the tracing-off run (both best-of-5, same process, same
+    machine) and fails when the relative overhead exceeds
+    ``max_overhead``.  One re-measurement absorbs scheduler noise,
+    exactly like the other wall-clock gates.
+    """
+    from bench_obs import measure_obs_overhead
+
+    result = measure_obs_overhead()
+    if not result["bit_identical"]:
+        raise SystemExit(
+            "traced sweep counts differ from untraced counts — the "
+            "observability layer changed a result")
+    overhead = result["overhead"]
+    if overhead > max_overhead:
+        result = measure_obs_overhead()
+        if not result["bit_identical"]:
+            raise SystemExit(
+                "traced sweep counts differ from untraced counts")
+        overhead = result["overhead"]
+    status = "FAIL" if overhead > max_overhead else "ok"
+    print(
+        "{:32s} off {:.4f}s  on {:.4f}s  overhead {:+.1%}  "
+        "(max {:.0%})  [{}]".format(
+            "obs_overhead_theta1", result["off_s"], result["on_s"],
+            overhead, max_overhead, status))
+    if overhead > max_overhead:
+        raise SystemExit(
+            "tracing overhead {:.1%} exceeds {:.0%} "
+            "(confirmed twice)".format(overhead, max_overhead))
+    print("observability-overhead check passed (max {:.0%})".format(
+        max_overhead))
+
+
 def main():
     here = os.path.dirname(os.path.abspath(__file__))
     sys.path.insert(0, here)  # for bench_parallel
@@ -405,6 +450,15 @@ def main():
         help="skip the budget-bookkeeping overhead gate",
     )
     parser.add_argument(
+        "--obs-overhead", type=float, default=0.05,
+        help="maximum relative slowdown enabled tracing may add to the "
+             "steady-state compiled Theta_1 sweep (default 0.05)",
+    )
+    parser.add_argument(
+        "--skip-obs", action="store_true",
+        help="skip the observability-overhead gate",
+    )
+    parser.add_argument(
         "--serve-floor", type=float, default=2.0,
         help="minimum throughput speedup of the coalescing daemon over "
              "the non-coalescing one on the 32-concurrent same-circuit "
@@ -432,6 +486,8 @@ def main():
         check_backends(args.backend_floor)
     if not args.skip_budget:
         check_budget_overhead(args.budget_overhead)
+    if not args.skip_obs:
+        check_obs_overhead(args.obs_overhead)
     if not args.skip_serve:
         check_serve(args.serve_floor)
 

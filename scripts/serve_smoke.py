@@ -6,8 +6,9 @@ ambient ``$REPRO_FAULT_PLAN``), then drives the full request surface
 over real sockets: health and readiness, exact counting and probability
 answers checked against hard-coded known values, a weight sweep, a
 typed 400, a typed 504 from an expired deadline (verifying the
-2x-deadline bound), a ``/metrics`` read, and finally a SIGTERM that
-must drain and exit 0.  Exits non-zero on the first failed check —
+2x-deadline bound), a ``/metrics`` read (JSON and Prometheus text
+exposition, with per-endpoint latency quantiles), request-id echo, and
+finally a SIGTERM that must drain and exit 0.  Exits non-zero on the first failed check —
 made for a CI job, usable by hand::
 
     PYTHONPATH=src python scripts/serve_smoke.py
@@ -33,15 +34,49 @@ def check(label, ok, detail=""):
         FAILURES.append(label)
 
 
-def request(host, port, method, path, payload=None, timeout=120):
+def request(host, port, method, path, payload=None, timeout=120,
+            headers=None):
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         body = json.dumps(payload) if payload is not None else None
-        conn.request(method, path, body=body)
+        conn.request(method, path, body=body, headers=headers or {})
         resp = conn.getresponse()
-        return resp.status, json.loads(resp.read())
+        return resp.status, json.loads(resp.read()), dict(resp.getheaders())
     finally:
         conn.close()
+
+
+def request_text(host, port, method, path, timeout=120):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode("utf-8"), dict(resp.getheaders())
+    finally:
+        conn.close()
+
+
+def prometheus_parses(text):
+    """Every line is a ``# TYPE`` comment or ``name{labels} value``."""
+    families = set()
+    for line in text.splitlines():
+        if not line.strip():
+            return False
+        if line.startswith("# TYPE "):
+            families.add(line.split()[2])
+            continue
+        name_part, _, value = line.rpartition(" ")
+        name = name_part.partition("{")[0]
+        for suffix in ("_sum", "_count"):
+            if name.endswith(suffix):
+                name = name[:-len(suffix)]
+        if name not in families:
+            return False
+        try:
+            float(value)
+        except ValueError:
+            return False
+    return True
 
 
 def main():
@@ -64,39 +99,39 @@ def main():
         host, port_text = line.strip().rsplit("http://", 1)[1].split(":")
         port = int(port_text)
 
-        status, body = request(host, port, "GET", "/healthz")
+        status, body, _ = request(host, port, "GET", "/healthz")
         check("GET /healthz", status == 200 and body.get("ok") is True)
-        status, body = request(host, port, "GET", "/readyz")
+        status, body, _ = request(host, port, "GET", "/readyz")
         check("GET /readyz", status == 200)
 
-        status, body = request(host, port, "POST", "/v1/wfomc", {
+        status, body, _ = request(host, port, "POST", "/v1/wfomc", {
             "formula": "forall x. exists y. R(x, y)", "n": 5})
         check("POST /v1/wfomc exact count",
               status == 200 and body.get("result") == "28629151",
               body.get("result"))
 
-        status, body = request(host, port, "POST", "/v1/probability", {
+        status, body, _ = request(host, port, "POST", "/v1/probability", {
             "formula": "forall x. exists y. R(x, y)", "n": 3,
             "weights": {"R": ["1/2", "1"]}})
         check("POST /v1/probability exact fraction",
               status == 200 and body.get("result") == "6859/19683",
               body.get("result"))
 
-        status, body = request(host, port, "POST", "/v1/wfomc_weight_sweep", {
+        status, body, _ = request(host, port, "POST", "/v1/wfomc_weight_sweep", {
             "formula": "forall x. exists y. R(x, y)", "n": 3,
             "vary": "R", "values": ["1", "2"], "wbar": "1"})
         check("POST /v1/wfomc_weight_sweep",
               status == 200
               and body.get("result", {}).get("results") == ["343", "17576"])
 
-        status, body = request(host, port, "POST", "/v1/wfomc", {
+        status, body, _ = request(host, port, "POST", "/v1/wfomc", {
             "formula": "forall x. R(x", "n": 3})
         check("parse error is a typed 400",
               status == 400
               and body.get("error", {}).get("retriable") is False)
 
         started = time.monotonic()
-        status, body = request(host, port, "POST", "/v1/wfomc", {
+        status, body, _ = request(host, port, "POST", "/v1/wfomc", {
             "formula": "forall x. forall y. exists z."
                        " ((T(x,y) & T(y,z)) -> T(x,z))",
             "n": 5, "deadline_ms": 300})
@@ -108,9 +143,32 @@ def main():
         check("deadline answered within 2x + slack",
               elapsed < 2 * 0.3 + 2.0, "{:.3f}s".format(elapsed))
 
-        status, body = request(host, port, "GET", "/metrics")
+        status, body, headers = request(host, port, "GET", "/metrics")
         check("GET /metrics",
               status == 200 and body.get("server", {}).get("requests", 0) > 0)
+        check("/metrics carries per-endpoint latency",
+              body.get("latency", {}).get("/v1/wfomc", {}).get("count", 0) > 0)
+        check("responses carry X-Request-Id",
+              len(headers.get("X-Request-Id", "")) == 16,
+              headers.get("X-Request-Id", ""))
+
+        status, body, headers = request(
+            host, port, "GET", "/healthz",
+            headers={"X-Request-Id": "smoke-req-1"})
+        check("client X-Request-Id is echoed back",
+              headers.get("X-Request-Id") == "smoke-req-1")
+
+        status, text, headers = request_text(
+            host, port, "GET", "/metrics?format=prometheus")
+        check("GET /metrics?format=prometheus",
+              status == 200
+              and headers.get("Content-Type", "").startswith("text/plain"))
+        check("prometheus exposition parses",
+              prometheus_parses(text), "{} lines".format(len(text.splitlines())))
+        check("prometheus carries request-duration quantiles",
+              'repro_request_duration_seconds{endpoint="/v1/wfomc",'
+              'quantile="0.99"}' in text
+              and "repro_server_requests_total" in text)
 
         proc.send_signal(signal.SIGTERM)
         code = proc.wait(timeout=60)

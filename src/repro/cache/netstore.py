@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import logging
 import random
 import re
 import socket
@@ -49,8 +50,12 @@ import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..obs import get_logger, slog, span
 from ..resilience.faults import maybe_fire
 from .store import key_digest, decode_value, encode_value
+
+#: Structured-log channel for breaker open/close events.
+_LOG = get_logger("cache.net")
 
 __all__ = [
     "BlobServer",
@@ -284,6 +289,8 @@ class NetworkStoreClient:
             self.errors += 1
             self.disabled = True
             self._probe_at = self._clock() + self._probe_interval
+        slog(_LOG, logging.WARNING, "breaker_open", url=self.url,
+             errors=self.errors)
 
     def _maybe_reenable(self):
         """Probe a broken tier for recovery.
@@ -314,6 +321,8 @@ class NetworkStoreClient:
                 self.reenables += 1
                 self._probe_at = None
                 self._probe_interval = _NET_PROBE_INTERVAL_S
+                slog(_LOG, logging.WARNING, "breaker_closed", url=self.url,
+                     reenables=self.reenables)
             else:
                 self._probe_interval = min(self._probe_interval * 2,
                                            _NET_PROBE_MAX_S)
@@ -331,8 +340,9 @@ class NetworkStoreClient:
         if not self.available():
             return None
         try:
-            status, payload = self._request(
-                "GET", "/kv/{}/{}".format(namespace, digest.hex()))
+            with span("net.get", cat="cache", ns=namespace):
+                status, payload = self._request(
+                    "GET", "/kv/{}/{}".format(namespace, digest.hex()))
         except (OSError, http.client.HTTPException, _RemoteHTTPError):
             self._fail()
             return None
@@ -347,9 +357,10 @@ class NetworkStoreClient:
         if not self.available():
             return False
         try:
-            status, _ = self._request(
-                "PUT", "/kv/{}/{}".format(namespace, digest.hex()),
-                body=payload)
+            with span("net.put", cat="cache", ns=namespace):
+                status, _ = self._request(
+                    "PUT", "/kv/{}/{}".format(namespace, digest.hex()),
+                    body=payload)
         except (OSError, http.client.HTTPException, _RemoteHTTPError):
             self._fail()
             return False

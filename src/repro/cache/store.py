@@ -52,13 +52,18 @@ from __future__ import annotations
 import atexit
 import hashlib
 import json
+import logging
 import os
 import sqlite3
 import threading
 import time
 from fractions import Fraction
 
+from ..obs import get_logger, slog, span
 from ..resilience.faults import maybe_fire
+
+#: Structured-log channel for store lifecycle events (disable/re-enable).
+_LOG = get_logger("cache.store")
 
 __all__ = [
     "ENGINE_TAG",
@@ -439,6 +444,8 @@ class PersistentStore:
                 return
         self.disabled = True
         self._probe_at = time.monotonic() + self._probe_interval
+        slog(_LOG, logging.WARNING, "store_disabled", path=self.path,
+             kind=kind, errors=self.errors)
 
     def _maybe_reenable(self):
         """Probe a failure-disabled store for recovery (doubling interval)."""
@@ -455,6 +462,8 @@ class PersistentStore:
             self.reenables += 1
             self._probe_at = None
             self._probe_interval = _PROBE_INTERVAL_S
+            slog(_LOG, logging.WARNING, "store_reenabled", path=self.path,
+                 reenables=self.reenables)
 
     # -- key/value ---------------------------------------------------------
 
@@ -474,9 +483,10 @@ class PersistentStore:
         payload = self._pending.get((namespace, digest))
         if payload is None:
             try:
-                row = self._run(lambda: self._conn.execute(
-                    "SELECT value FROM kv WHERE ns=? AND key=?",
-                    (namespace, digest)).fetchone())
+                with span("store.get", cat="cache", ns=namespace):
+                    row = self._run(lambda: self._conn.execute(
+                        "SELECT value FROM kv WHERE ns=? AND key=?",
+                        (namespace, digest)).fetchone())
             except sqlite3.Error as exc:
                 self._fail(exc)
                 row = None
@@ -554,7 +564,9 @@ class PersistentStore:
                         "value = value + excluded.value", (name, delta))
 
         try:
-            self._run(write)
+            with span("store.flush", cat="cache", rows=len(rows),
+                      touched=len(touched)):
+                self._run(write)
         except sqlite3.Error as exc:
             self._fail(exc)
             return
@@ -581,9 +593,10 @@ class PersistentStore:
         if payload is not None:
             return payload
         try:
-            row = self._run(lambda: self._conn.execute(
-                "SELECT value FROM kv WHERE ns=? AND key=?",
-                (namespace, digest)).fetchone())
+            with span("store.get_raw", cat="cache", ns=namespace):
+                row = self._run(lambda: self._conn.execute(
+                    "SELECT value FROM kv WHERE ns=? AND key=?",
+                    (namespace, digest)).fetchone())
         except sqlite3.Error as exc:
             self._fail(exc)
             return None

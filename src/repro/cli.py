@@ -238,6 +238,14 @@ def build_parser():
             metavar="N",
             help="abort after N counting-engine decisions (exit code 4)",
         )
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="record spans for the run and write Chrome trace-event "
+                 "JSON to FILE (load it at chrome://tracing or "
+                 "ui.perfetto.dev); results are unchanged",
+        )
 
     p_count = sub.add_parser("count", help="unweighted model count (FOMC)")
     add_common(p_count)
@@ -355,6 +363,12 @@ def build_parser():
         metavar="NAME=w,wbar",
         help="weights for one predicate (default 1,1); repeatable",
     )
+    p_stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result and every statistic as one JSON document "
+             "on stdout (scrapeable without the daemon)",
+    )
 
     p_cache = sub.add_parser(
         "cache",
@@ -380,6 +394,12 @@ def build_parser():
             help="persistent cache location (default: $REPRO_CACHE_DIR "
                  "or ~/.cache/repro)",
         )
+        if name == "stats":
+            p.add_argument(
+                "--json",
+                action="store_true",
+                help="emit the store statistics as one JSON document",
+            )
         if name == "serve":
             p.add_argument(
                 "--host", default="127.0.0.1", metavar="ADDR",
@@ -397,6 +417,19 @@ def build_parser():
                 "--max-bytes", type=int, default=None, metavar="N",
                 help="shrink the store file to at most N bytes (default "
                      "268435456 = 256 MiB when neither bound is given)")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run any repro command with span tracing on and write "
+             "Chrome trace-event JSON, e.g. "
+             "repro trace -o t.json sweep ... --compile")
+    p_trace.add_argument(
+        "--out", "-o", default="trace.json", metavar="FILE",
+        help="trace output file (default trace.json); place this flag "
+             "BEFORE the wrapped command")
+    p_trace.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="command ...",
+        help="the repro command to run under tracing")
 
     p_spec = sub.add_parser("spectrum", help="domain sizes with a model")
     p_spec.add_argument("formula")
@@ -457,6 +490,15 @@ def build_parser():
         "--persist", action="store_true",
         help="back every cache layer with the on-disk store")
     p_serve.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_serve.add_argument(
+        "--slow-request-ms", type=float, default=1000.0, metavar="MS",
+        help="requests slower than this log a warn-level slow_request "
+             "event in addition to the access line (default 1000)")
+    p_serve.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="level of the daemon's structured JSON logs on stderr "
+             "(access log at info, degradation events at warning)")
 
     return parser
 
@@ -537,6 +579,20 @@ def _print_resilience_stats(stream):
             "faults_fired.{}".format(kind), width, count), file=stream)
 
 
+def _stats_document(result=None):
+    """The statistics of :func:`_print_stats_pretty` as one JSON-safe dict."""
+    from .compile import compile_stats
+
+    document = {
+        "engine": engine_stats(),
+        "solver_caches": solver_cache_stats(),
+        "compile": compile_stats(),
+    }
+    if result is not None:
+        document["result"] = str(result)
+    return document
+
+
 def _budget(args):
     """A :class:`Budget` from the command line, or ``None``."""
     timeout = getattr(args, "timeout", None)
@@ -583,8 +639,14 @@ def _cache_main(args):
     if not os.path.exists(store_file):
         # Don't create a store just to look at it.
         if args.cache_command == "stats":
-            print("path     {}".format(store_file))
-            print("entries  0  (no store file)")
+            if getattr(args, "json", False):
+                import json
+
+                print(json.dumps({"path": store_file, "entries": 0,
+                                  "exists": False}))
+            else:
+                print("path     {}".format(store_file))
+                print("entries  0  (no store file)")
         else:
             print("cleared 0 entries (no store file at {})".format(store_file))
         return 0
@@ -608,6 +670,11 @@ def _cache_main(args):
             sum(store.entry_counts().values())))
         return 0
     stats = store.stats()
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(stats, default=str))
+        return 0
     print("path     {}".format(stats["path"]))
     print("size     {} bytes".format(stats["size_bytes"]))
     if stats["disabled"]:
@@ -653,9 +720,12 @@ def _cache_serve(directory, host, port):
 def _serve_main(args):
     """The ``repro serve`` subcommand: block in the inference daemon."""
     import asyncio
+    import logging
 
+    from .obs import configure_logging
     from .serve import ReproServer, ServeConfig
 
+    configure_logging(level=getattr(logging, args.log_level.upper()))
     options = SolverOptions(
         method=args.method,
         workers=args.workers,
@@ -674,6 +744,7 @@ def _serve_main(args):
         coalesce=not args.no_coalesce,
         coalesce_window_ms=args.coalesce_window_ms,
         coalesce_max_batch=args.max_batch,
+        slow_request_ms=args.slow_request_ms,
         options=options,
     )
 
@@ -709,7 +780,53 @@ def main(argv=None):
         return 70
 
 
+def _trace_main(args):
+    """``repro trace [-o FILE] <command ...>``: one enable/export pair."""
+    from .obs import disable_tracing, enable_tracing, export_trace
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise ReproError(
+            "trace needs a command to run, e.g. repro trace -o t.json "
+            "count 'forall x. exists y. R(x, y)' 5")
+    wrapped = build_parser().parse_args(rest)
+    if wrapped.command == "trace":
+        raise ReproError("trace cannot wrap itself")
+    enable_tracing()
+    try:
+        code = _run(wrapped)
+    finally:
+        events = export_trace(args.out, recorder=disable_tracing())
+        print("trace: wrote {} events to {}".format(events, args.out),
+              file=sys.stderr)
+    return code
+
+
 def _run(args):
+    if args.command == "trace":
+        return _trace_main(args)
+    trace_file = getattr(args, "trace", None)
+    if trace_file:
+        from .obs import disable_tracing, enable_tracing, export_trace, \
+            tracing_enabled
+
+        if tracing_enabled():
+            # Already under ``repro trace`` (or an embedding caller's
+            # recorder): let the outer wrapper own enable/export.
+            return _run_command(args)
+        enable_tracing()
+        try:
+            return _run_command(args)
+        finally:
+            events = export_trace(trace_file, recorder=disable_tracing())
+            print("trace: wrote {} events to {}".format(events, trace_file),
+                  file=sys.stderr)
+    return _run_command(args)
+
+
+def _run_command(args):
     if args.command == "cache":
         return _cache_main(args)
     if args.command == "serve":
@@ -767,8 +884,13 @@ def _run(args):
     elif args.command == "stats":
         wv = _weighted_vocabulary(formula, args.weight)
         value = wfomc(formula, args.n, wv, options=options)
-        print("result  {}".format(value))
-        _print_stats_pretty()
+        if args.json:
+            import json
+
+            print(json.dumps(_stats_document(value), default=str))
+        else:
+            print("result  {}".format(value))
+            _print_stats_pretty()
     elif args.command == "spectrum":
         members = spectrum(formula, args.max_n)
         print(" ".join(str(n) for n in sorted(members)) or "(empty)")

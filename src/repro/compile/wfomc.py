@@ -35,6 +35,7 @@ from ..errors import NotFO2Error
 from ..logic.scott import scott_normalize, skolemize_scott
 from ..logic.syntax import num_variables, predicates_of
 from ..logic.vocabulary import Predicate, Vocabulary, WeightedVocabulary
+from ..obs import span
 from ..utils import LRUCache, binomial, check_domain_size, vocabulary_signature
 from ..wfomc.fo2 import _STRUCTURE_CACHE, FO2CellStructure, _combine_universal
 from .circuit import CIRCUIT_FORMAT, Circuit, CircuitBuilder
@@ -137,11 +138,13 @@ class CompiledWFOMC:
         """
         pair_fns = [self._pair_fn(wv) for wv in weight_vocabularies]
         _COMPILE_COUNTERS["evaluations"] += len(pair_fns)
-        if backend is None:
-            return [self.circuit.evaluate(pf) for pf in pair_fns]
-        from .backends import get_backend
-        return get_backend(backend).evaluate_many(self.circuit, pair_fns,
-                                                  store=store)
+        with span("evaluate_many", cat="compile", n=self.n,
+                  k=len(pair_fns), backend=backend or "exact"):
+            if backend is None:
+                return [self.circuit.evaluate(pf) for pf in pair_fns]
+            from .backends import get_backend
+            return get_backend(backend).evaluate_many(self.circuit, pair_fns,
+                                                      store=store)
 
     def evaluate_batch(self, weight_vocabularies):
         """Deprecated alias of :meth:`evaluate_many` (exact backend)."""
@@ -365,31 +368,33 @@ def compile_wfomc(formula, n, vocabulary=None, method="auto", persist=None,
             _COMPILED_CACHE.put(cache_key, compiled)
             return compiled
 
-    if method == "fo2":
-        if n == 0:
-            # Scott/Skolem prenexing assumes a nonempty domain; the
-            # trivial instance compiles through the (empty) lineage.
-            circuit = compile_lineage(formula, n, vocabulary,
-                                      persist=persist, cache_dir=cache_dir,
-                                      budget=budget)
-            compiled = CompiledWFOMC(formula, n, "lineage", circuit)
+    with span("compile_wfomc", cat="compile", n=n, method=method):
+        if method == "fo2":
+            if n == 0:
+                # Scott/Skolem prenexing assumes a nonempty domain; the
+                # trivial instance compiles through the (empty) lineage.
+                circuit = compile_lineage(formula, n, vocabulary,
+                                          persist=persist,
+                                          cache_dir=cache_dir,
+                                          budget=budget)
+                compiled = CompiledWFOMC(formula, n, "lineage", circuit)
+            else:
+                circuit, fixed = _compile_fo2(formula, n, vocabulary,
+                                              store=store, budget=budget)
+                compiled = CompiledWFOMC(formula, n, "fo2", circuit, fixed)
+        elif method == "auto" and _fo2_applicable(formula, vocabulary, n):
+            try:
+                circuit, fixed = _compile_fo2(formula, n, vocabulary,
+                                              store=store, budget=budget)
+                compiled = CompiledWFOMC(formula, n, "fo2", circuit, fixed)
+            except NotFO2Error:
+                compiled = None
         else:
-            circuit, fixed = _compile_fo2(formula, n, vocabulary, store=store,
-                                          budget=budget)
-            compiled = CompiledWFOMC(formula, n, "fo2", circuit, fixed)
-    elif method == "auto" and _fo2_applicable(formula, vocabulary, n):
-        try:
-            circuit, fixed = _compile_fo2(formula, n, vocabulary, store=store,
-                                          budget=budget)
-            compiled = CompiledWFOMC(formula, n, "fo2", circuit, fixed)
-        except NotFO2Error:
             compiled = None
-    else:
-        compiled = None
-    if compiled is None:
-        circuit = compile_lineage(formula, n, vocabulary, persist=persist,
-                                  cache_dir=cache_dir, budget=budget)
-        compiled = CompiledWFOMC(formula, n, "lineage", circuit)
+        if compiled is None:
+            circuit = compile_lineage(formula, n, vocabulary, persist=persist,
+                                      cache_dir=cache_dir, budget=budget)
+            compiled = CompiledWFOMC(formula, n, "lineage", circuit)
 
     _COMPILE_COUNTERS["compiled"] += 1
     _COMPILED_CACHE.put(cache_key, compiled)

@@ -1,0 +1,59 @@
+"""``repro.obs``: zero-dependency tracing, histograms, structured logs.
+
+The observability layer of the WFOMC stack, threaded through every
+package but **off by default** and CI-gated at <= 5% overhead when on
+(``benchmarks/bench_obs.py`` / ``check_regression.py --obs-overhead``,
+the same discipline as the budget-bookkeeping gate):
+
+* :mod:`.trace` — lightweight spans into a bounded ring buffer,
+  contextvar-nested across threads, exported as Chrome/Perfetto
+  ``trace_event`` JSON (``repro trace <command>``, ``--trace FILE``);
+* :mod:`.hist` — fixed-bucket log-scale latency histograms with
+  lock-cheap ``record`` and p50/p95/p99 snapshots, used by the daemon
+  for per-endpoint and per-phase latency;
+* :mod:`.slog` — structured JSON logging over stdlib ``logging``
+  (``repro.*`` hierarchy): the daemon's per-request access log, slow-
+  request log, and warn-level events at every degradation point.
+
+Instrumentation never changes results: spans and histograms observe the
+exact pipeline, they do not steer it, and the serve chaos/differential
+suites pin bit-identical answers with observability on.
+"""
+
+from .hist import Histogram
+from .slog import (
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+    new_request_id,
+    slog,
+)
+from .trace import (
+    TraceRecorder,
+    carry,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    export_trace,
+    span,
+    trace_events,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Histogram",
+    "JsonFormatter",
+    "TraceRecorder",
+    "carry",
+    "configure_logging",
+    "current_span_id",
+    "disable_tracing",
+    "enable_tracing",
+    "export_trace",
+    "get_logger",
+    "new_request_id",
+    "slog",
+    "span",
+    "trace_events",
+    "tracing_enabled",
+]

@@ -1,0 +1,118 @@
+"""Fixed-bucket log-scale latency histograms with lock-cheap recording.
+
+The serving tier needs quantiles, not averages: a p99 regression hides
+completely inside a mean.  :class:`Histogram` covers 1 microsecond to
+about one hour in 64 geometric buckets (factor ``sqrt(2)``, so bucket
+boundaries are ~41% apart — plenty for latency work), records in O(1)
+under a mutex held for a few instructions, and snapshots to
+``count/sum/min/max/p50/p95/p99`` without stopping writers.
+
+Quantiles are read from the bucket histogram: the reported value is the
+upper bound of the bucket containing the q-th observation, clamped into
+the observed ``[min, max]`` — i.e. at most one bucket factor above the
+true quantile, and exact at the extremes.  That is the standard
+fixed-bucket trade (Prometheus histograms make the same one) and it
+keeps ``record`` allocation-free.
+
+Everything is stdlib; instances are safe to share across threads and
+cheap enough to keep per endpoint *and* per phase.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Histogram"]
+
+#: Lowest bucket upper bound, in seconds (everything faster lands here).
+_LOW_S = 1e-6
+#: Geometric growth factor between bucket upper bounds.
+_FACTOR = 2.0 ** 0.5
+_LOG_FACTOR = math.log(_FACTOR)
+#: Bucket count: covers up to _LOW_S * _FACTOR**63 ~ 2.9e3 s (~48 min);
+#: slower observations land in the last bucket (the snapshot's ``max``
+#: stays exact regardless).
+_BUCKETS = 64
+
+#: Upper bound of each bucket, precomputed once.
+_BOUNDS = tuple(_LOW_S * _FACTOR ** i for i in range(_BUCKETS))
+
+
+class Histogram:
+    """A thread-safe log-scale histogram of durations in seconds."""
+
+    __slots__ = ("_lock", "_counts", "count", "total", "min", "max")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = [0] * _BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def record(self, seconds):
+        """Record one observation (negatives clamp to zero)."""
+        value = seconds if seconds > 0.0 else 0.0
+        if value <= _LOW_S:
+            index = 0
+        else:
+            index = min(_BUCKETS - 1,
+                        1 + int(math.log(value / _LOW_S) / _LOG_FACTOR))
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    @staticmethod
+    def _quantile(counts, count, lo, hi, q):
+        """Upper bound of the bucket holding the q-th observation."""
+        if count == 0:
+            return None
+        rank = q * count
+        seen = 0
+        for index, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank:
+                value = _BOUNDS[index]
+                break
+        else:
+            value = _BOUNDS[-1]
+        # Clamp into the observed range: the extremes are known exactly.
+        if hi is not None:
+            value = min(value, hi)
+        if lo is not None:
+            value = max(value, lo)
+        return value
+
+    def snapshot(self, buckets=False):
+        """A consistent ``{count, sum, min, max, p50, p95, p99}`` view.
+
+        With ``buckets=True`` the nonzero buckets ride along as
+        ``[[upper_bound_s, count], ...]`` (the Prometheus exposition and
+        the tests read them).
+        """
+        with self._lock:
+            counts = list(self._counts)
+            view = {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+            }
+        for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            view[name] = self._quantile(counts, view["count"], view["min"],
+                                        view["max"], q)
+        if buckets:
+            view["buckets"] = [[_BOUNDS[i], c]
+                               for i, c in enumerate(counts) if c]
+        return view
+
+    def __repr__(self):
+        return "Histogram(count={}, sum={:.6f})".format(self.count,
+                                                        self.total)

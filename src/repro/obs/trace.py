@@ -1,0 +1,262 @@
+"""Lightweight spans: where does a WFOMC request actually spend its time?
+
+A *span* is one timed region of one thread — ``with span("compile",
+cat="registry", n=5): ...`` — recorded into a process-global bounded
+ring buffer when tracing is enabled and costing one dict build plus one
+predicate check when it is not (tracing is **off by default**; the CI
+overhead gate in ``benchmarks/bench_obs.py`` holds the enabled cost on
+the Theta_1 serving workload to <= 5%).
+
+Spans nest through a :mod:`contextvars` variable, so the parent
+relationship survives ``await`` boundaries on the event loop; work
+submitted to a thread pool keeps its parent when the submitter wraps
+the callable with :func:`carry` (plain ``run_in_executor`` does not
+propagate context).  The serve daemon does exactly that, so a request's
+span tree spans the loop thread *and* its executor thread.
+
+The buffer exports as Chrome/Perfetto ``trace_event`` JSON
+(:func:`export_trace`, or :func:`trace_events` for the raw list):
+complete ``"X"`` events carrying ``span_id``/``parent_id`` args, so the
+tree is reconstructible even where parent and child ran on different
+threads.  ``repro trace <command>`` and the ``--trace FILE`` flag on
+the counting commands wrap a CLI run in one enable/export pair; load
+the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Everything is monotonic-clock (``time.monotonic_ns``) and thread-safe;
+the ring buffer drops the *oldest* events under pressure and counts the
+drops, so a long-running daemon can keep tracing enabled without
+unbounded memory.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "TraceRecorder",
+    "carry",
+    "current_span_id",
+    "disable_tracing",
+    "enable_tracing",
+    "export_trace",
+    "span",
+    "trace_events",
+    "tracing_enabled",
+]
+
+#: Default ring-buffer capacity (completed spans retained).
+DEFAULT_CAPACITY = 65536
+
+#: The active recorder, or ``None`` — the one branch ``span()`` takes
+#: when tracing is off.
+_RECORDER = None
+_RECORDER_LOCK = threading.Lock()
+
+#: Span id of the innermost open span in this context (0 = root).
+_CURRENT = contextvars.ContextVar("repro_obs_parent", default=0)
+_IDS = itertools.count(1)
+
+
+class TraceRecorder:
+    """A bounded, thread-safe ring buffer of completed spans."""
+
+    __slots__ = ("capacity", "dropped", "started_ns", "_events", "_lock")
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        self.capacity = max(1, int(capacity))
+        self.dropped = 0
+        self.started_ns = time.monotonic_ns()
+        self._events = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def record(self, name, cat, start_ns, dur_ns, tid, span_id, parent_id,
+               args):
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(
+                (name, cat, start_ns, dur_ns, tid, span_id, parent_id, args))
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    def snapshot(self):
+        """The recorded span tuples, oldest first (a consistent copy)."""
+        with self._lock:
+            return list(self._events)
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL = _NullSpan()
+
+
+class _LiveSpan:
+    __slots__ = ("name", "cat", "args", "_recorder", "_id", "_token",
+                 "_start_ns")
+
+    def __init__(self, recorder, name, cat, args):
+        self._recorder = recorder
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self):
+        self._id = next(_IDS)
+        self._token = _CURRENT.set(self._id)
+        self._start_ns = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end_ns = time.monotonic_ns()
+        token = self._token
+        parent_id = token.old_value
+        if parent_id is contextvars.Token.MISSING:
+            parent_id = 0
+        _CURRENT.reset(token)
+        if exc_type is not None:
+            args = dict(self.args)
+            args["error"] = exc_type.__name__
+        else:
+            args = self.args
+        self._recorder.record(
+            self.name, self.cat, self._start_ns, end_ns - self._start_ns,
+            threading.get_ident(), self._id, parent_id, args)
+        return False
+
+
+def span(name, cat="repro", **args):
+    """A context manager timing one region; near-free when tracing is off.
+
+    ``cat`` groups spans by layer (``solver``, ``compile``, ``engine``,
+    ``cache``, ``serve``, ...); keyword ``args`` become the Chrome
+    event's ``args`` payload (keep them small and JSON-friendly).
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return _NULL
+    return _LiveSpan(recorder, name, cat, args)
+
+
+def tracing_enabled():
+    """Whether a recorder is active."""
+    return _RECORDER is not None
+
+
+def current_span_id():
+    """Span id of the innermost open span in this context (0 = none)."""
+    return _CURRENT.get()
+
+
+def enable_tracing(capacity=DEFAULT_CAPACITY):
+    """Install (or return the already-active) process-global recorder."""
+    global _RECORDER
+    with _RECORDER_LOCK:
+        if _RECORDER is None:
+            _RECORDER = TraceRecorder(capacity)
+        return _RECORDER
+
+
+def disable_tracing():
+    """Stop recording; returns the detached recorder (or ``None``).
+
+    The recorder keeps its events, so the usual shape is
+    ``export_trace(path, recorder=disable_tracing())``.
+    """
+    global _RECORDER
+    with _RECORDER_LOCK:
+        recorder, _RECORDER = _RECORDER, None
+        return recorder
+
+
+def carry(fn):
+    """Wrap ``fn`` so it runs in the submitter's context on another thread.
+
+    ``loop.run_in_executor`` (unlike ``asyncio.to_thread``) does not
+    propagate :mod:`contextvars`; submitting ``carry(fn)`` instead of
+    ``fn`` keeps the open span's parent relationship across the hop.
+    A no-op passthrough while tracing is off.
+    """
+    if _RECORDER is None:
+        return fn
+    ctx = contextvars.copy_context()
+    return lambda: ctx.run(fn)
+
+
+def trace_events(recorder=None):
+    """The recorded spans as Chrome ``trace_event`` dicts.
+
+    Complete events (``"ph": "X"``) with microsecond timestamps relative
+    to the recorder's start, plus metadata events naming the process and
+    each thread.  ``span_id``/``parent_id`` ride in ``args`` so the span
+    *tree* survives cross-thread parentage.
+    """
+    recorder = recorder or _RECORDER
+    if recorder is None:
+        return []
+    pid = os.getpid()
+    events = []
+    tids = {}
+    for name, cat, start_ns, dur_ns, tid, span_id, parent_id, args in \
+            recorder.snapshot():
+        tids.setdefault(tid, len(tids))
+        payload = dict(args)
+        payload["span_id"] = span_id
+        payload["parent_id"] = parent_id
+        events.append({
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": (start_ns - recorder.started_ns) / 1000.0,
+            "dur": dur_ns / 1000.0,
+            "pid": pid,
+            "tid": tids[tid],
+            "args": payload,
+        })
+    meta = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "repro"},
+    }]
+    for tid, short in sorted(tids.items(), key=lambda kv: kv[1]):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": short,
+            "args": {"name": "thread-{}".format(tid)},
+        })
+    return meta + events
+
+
+def export_trace(path_or_file, recorder=None):
+    """Write the Chrome trace JSON document; returns the event count.
+
+    ``path_or_file`` is a filesystem path or an open text file.  The
+    document shape is ``{"traceEvents": [...], "displayTimeUnit": "ms"}``
+    plus a ``droppedEvents`` count when the ring buffer overflowed.
+    """
+    recorder = recorder or _RECORDER
+    events = trace_events(recorder)
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if recorder is not None and recorder.dropped:
+        document["droppedEvents"] = recorder.dropped
+    if hasattr(path_or_file, "write"):
+        json.dump(document, path_or_file)
+    else:
+        with open(path_or_file, "w") as fh:
+            json.dump(document, fh)
+    return len(events)

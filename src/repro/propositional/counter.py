@@ -101,12 +101,15 @@ residual formula without being assigned contribute their full mass
 
 from __future__ import annotations
 
+import logging
 import os
 import sys
+import threading
 import time
 from fractions import Fraction
 
 from ..errors import BudgetExceededError
+from ..obs import get_logger, slog, span
 from ..options import SolverOptions
 from ..resilience.faults import maybe_fire
 from ..utils import LRUCache
@@ -291,27 +294,47 @@ _SHARED_STATS = EngineStats()
 _CNF_CACHE = LRUCache(maxsize=64)
 
 
+#: Serializes :func:`engine_stats` against :func:`reset_engine`: a
+#: snapshot assembled while a concurrent reset zeroes the counters one
+#: by one would report a torn view (some counters pre-reset, some
+#: post), and ``dict(_TRACE_COUNTERS)`` mid-``clear`` can raise.  The
+#: lock makes both operations atomic with respect to each other; the
+#: engine's hot path never touches it.
+_STATS_LOCK = threading.Lock()
+
+#: Structured-log channel for engine degradation events (worker crashes,
+#: serial fallbacks).  Silent unless the host configures logging.
+_LOG = get_logger("engine")
+
+
 def engine_stats():
-    """Shared engine statistics plus cache sizes and per-cache hit rates."""
-    stats = _SHARED_STATS.as_dict()
-    stats["cache_entries"] = len(_SHARED_CACHE)
-    stats["key_entries"] = len(_SHARED_KEY_CACHE)
-    stats["cnf_cache"] = _CNF_CACHE.stats()
-    stats["trace_templates"] = len(_TRACE_TEMPLATES)
-    stats.update(_TRACE_COUNTERS)
-    stats.update(_SHARED_STATS.hit_rates())
+    """Shared engine statistics plus cache sizes and per-cache hit rates.
+
+    Returns a fresh dict (callers may mutate it freely); the reads are
+    taken under one lock shared with :func:`reset_engine`, so a
+    snapshot is never torn by a concurrent reset.
+    """
+    with _STATS_LOCK:
+        stats = _SHARED_STATS.as_dict()
+        stats["cache_entries"] = len(_SHARED_CACHE)
+        stats["key_entries"] = len(_SHARED_KEY_CACHE)
+        stats["cnf_cache"] = _CNF_CACHE.stats()
+        stats["trace_templates"] = len(_TRACE_TEMPLATES)
+        stats.update(_TRACE_COUNTERS)
+        stats.update(_SHARED_STATS.hit_rates())
     return stats
 
 
 def reset_engine():
     """Clear the shared caches and zero the shared statistics."""
-    _SHARED_CACHE.clear()
-    _SHARED_KEY_CACHE.clear()
-    _CNF_CACHE.clear()
-    _TRACE_TEMPLATES.clear()
-    for name in _TRACE_COUNTERS:
-        _TRACE_COUNTERS[name] = 0
-    _SHARED_STATS.reset()
+    with _STATS_LOCK:
+        _SHARED_CACHE.clear()
+        _SHARED_KEY_CACHE.clear()
+        _CNF_CACHE.clear()
+        _TRACE_TEMPLATES.clear()
+        for name in _TRACE_COUNTERS:
+            _TRACE_COUNTERS[name] = 0
+        _SHARED_STATS.reset()
 
 
 def _exact(value):
@@ -1679,8 +1702,12 @@ class CountingEngine:
                 if not retried:
                     retried = True
                     stats.worker_retries += 1
+                    slog(_LOG, logging.WARNING, "worker_pool_retry",
+                         unfinished=len(remaining), workers=self.workers)
                     time.sleep(_POOL_RETRY_BACKOFF_S)
                     continue
+                slog(_LOG, logging.WARNING, "worker_pool_degraded_to_serial",
+                     unfinished=len(remaining), workers=self.workers)
                 for key, component, var_order in remaining:
                     stats.degraded_to_serial += 1
                     record(key, self._count_component_miss(
@@ -1867,15 +1894,17 @@ def trace_cnf_clauses(clauses, builder, key_cache=None, stats=None,
     if limit < needed:
         sys.setrecursionlimit(needed)
     try:
-        factors = [builder.lit(v, assign[v]) for v in trail]
-        components, residual_vars = _residual_components(watched, assign)
-        for v in all_vars:
-            if v not in assign and v not in residual_vars:
-                factors.append(builder.tot(v))
-        for component in components:
-            factors.append(_trace_component(component, builder, key_cache,
-                                            stats, budget))
-        return builder.times(factors)
+        with span("trace_cnf", cat="engine", vars=len(all_vars),
+                  clauses=len(normalized)):
+            factors = [builder.lit(v, assign[v]) for v in trail]
+            components, residual_vars = _residual_components(watched, assign)
+            for v in all_vars:
+                if v not in assign and v not in residual_vars:
+                    factors.append(builder.tot(v))
+            for component in components:
+                factors.append(_trace_component(component, builder, key_cache,
+                                                stats, budget))
+            return builder.times(factors)
     finally:
         if limit < needed:
             sys.setrecursionlimit(limit)
@@ -2040,7 +2069,9 @@ def wmc_cnf(cnf, weight_of_label, engine_cache=None, stats=None, options=None,
                             budget=opts.budget)
     clauses = tuple(cnf.clauses)
     # ``to_cnf`` guarantees duplicate-free, non-empty clauses.
-    result = engine.run(clauses, trusted=True)
+    with span("wmc_cnf", cat="engine", vars=cnf.num_vars,
+              clauses=len(clauses)):
+        result = engine.run(clauses, trusted=True)
 
     # Labeled variables never mentioned by any clause are unconstrained.
     used = _clause_vars(clauses)

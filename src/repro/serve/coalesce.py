@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 
+from ..obs import span
 from ..resilience import Budget
 
 __all__ = ["CoalesceSpec", "RequestCoalescer"]
@@ -63,14 +64,16 @@ class CoalesceSpec:
 
 
 class _Member:
-    __slots__ = ("wv", "finish", "call", "deadline_at", "future")
+    __slots__ = ("wv", "finish", "call", "deadline_at", "future",
+                 "submitted_at")
 
-    def __init__(self, wv, finish, call, deadline_at, future):
+    def __init__(self, wv, finish, call, deadline_at, future, submitted_at):
         self.wv = wv
         self.finish = finish
         self.call = call
         self.deadline_at = deadline_at
         self.future = future
+        self.submitted_at = submitted_at
 
 
 class _Group:
@@ -93,12 +96,15 @@ class RequestCoalescer:
     """
 
     def __init__(self, run_in_executor, fallback, window_s, max_batch,
-                 options):
+                 options, hold_hist=None):
         self._run_in_executor = run_in_executor
         self._fallback = fallback
         self.window_s = max(0.0, float(window_s))
         self.max_batch = max(1, int(max_batch))
         self.options = options
+        #: Optional :class:`~repro.obs.Histogram` of per-member window
+        #: hold time (submit -> batch start), fed to ``/metrics``.
+        self.hold_hist = hold_hist
         self._groups = {}
         self._tasks = set()
         self._draining = False
@@ -122,7 +128,7 @@ class RequestCoalescer:
         deadline_at = (None if deadline_ms is None
                        else loop.time() + deadline_ms / 1000.0)
         member = _Member(spec.wv, spec.finish, call, deadline_at,
-                         loop.create_future())
+                         loop.create_future(), loop.time())
         group = self._groups.get(key)
         if group is None:
             timer = loop.call_later(
@@ -157,6 +163,10 @@ class RequestCoalescer:
     async def _run_batch(self, group):
         loop = asyncio.get_running_loop()
         members = group.members
+        if self.hold_hist is not None:
+            now = loop.time()
+            for m in members:
+                self.hold_hist.record(now - m.submitted_at)
         deadlines = [m.deadline_at for m in members
                      if m.deadline_at is not None]
         remaining_s = None
@@ -177,9 +187,11 @@ class RequestCoalescer:
             budget.check()
             from ..wfomc.solver import _codegen_store
 
-            return compiled.evaluate_many(
-                vocabularies, backend=options.backend,
-                store=_codegen_store(options))
+            with span("coalesced_batch", cat="serve", k=len(vocabularies),
+                      backend=options.backend):
+                return compiled.evaluate_many(
+                    vocabularies, backend=options.backend,
+                    store=_codegen_store(options))
 
         future = self._run_in_executor(evaluate)
         try:

@@ -52,18 +52,21 @@ import asyncio
 import dataclasses
 import functools
 import json
+import logging
 import signal
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from ..errors import BudgetExceededError, ReproError, ServiceDrainingError, \
     ServiceOverloadedError, UnsupportedFormulaError
+from ..obs import Histogram, carry, get_logger, new_request_id, slog, span
 from ..options import SolverOptions
 from ..resilience import Budget
 from . import protocol
 from .admission import AdmissionController
 from .coalesce import CoalesceSpec, RequestCoalescer
-from .metrics import metrics_snapshot
+from .metrics import metrics_snapshot, prometheus_text
 from .registry import CircuitRegistry
 
 __all__ = ["ReproServer", "ServeConfig"]
@@ -103,7 +106,32 @@ class ServeConfig:
     coalesce: bool = True
     coalesce_window_ms: float = 2.0
     coalesce_max_batch: int = 32
+    #: Requests slower than this log a warn-level ``slow_request`` event
+    #: on ``repro.serve.access`` in addition to the INFO access line.
+    slow_request_ms: float = 1000.0
     options: SolverOptions = dataclasses.field(default_factory=SolverOptions)
+
+
+#: The latency phases the daemon histograms (see ``/metrics``):
+#: request parsing, admission-queue wait, registry compiles, executor
+#: evaluation, coalescing window hold, and response encoding.
+_PHASES = ("parse", "queue", "compile", "evaluate", "coalesce_hold",
+           "encode")
+
+
+def _safe_request_id(value):
+    """The client's ``X-Request-Id`` sanitized for echoing, or a fresh one.
+
+    Only filename-safe characters survive (an id is echoed into a
+    response header and the access log, so CR/LF and friends must not);
+    anything unusable is replaced by a generated id.
+    """
+    if value:
+        value = "".join(ch for ch in value[:64]
+                        if ch.isalnum() or ch in "-_.")
+        if value:
+            return value
+    return new_request_id()
 
 
 class _Prepared:
@@ -147,10 +175,35 @@ class ReproServer:
             "/v1/wfomc_weight_sweep": self._prep_weight_sweep,
             "/v1/mln_query_sweep": self._prep_mln_query_sweep,
         }
+        # Per-endpoint end-to-end latency; paths outside the routing
+        # table share one "other" histogram so probing garbage paths
+        # cannot grow the dict without bound.
+        self.latency = {}
+        self._latency_lock = threading.Lock()
+        self.phases = {name: Histogram() for name in _PHASES}
+        self.registry.compile_hist = self.phases["compile"]
+        self._access_log = get_logger("serve.access")
+        self._events_log = get_logger("serve")
 
     def _count(self, name, delta=1):
         with self._counter_lock:
             self.counters[name] += delta
+
+    def counters_snapshot(self):
+        """A consistent copy of the outcome counters (never torn)."""
+        with self._counter_lock:
+            return dict(self.counters)
+
+    def _endpoint_hist(self, path):
+        """The latency histogram a request records into."""
+        if path not in self._routes and path not in ("/healthz", "/readyz",
+                                                     "/metrics"):
+            path = "other"
+        with self._latency_lock:
+            hist = self.latency.get(path)
+            if hist is None:
+                hist = self.latency[path] = Histogram()
+        return hist
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -166,11 +219,12 @@ class ReproServer:
             loop = asyncio.get_running_loop()
             self.coalescer = RequestCoalescer(
                 run_in_executor=lambda fn: loop.run_in_executor(
-                    self._executor, fn),
+                    self._executor, carry(fn)),
                 fallback=self._run_with_deadline,
                 window_s=cfg.coalesce_window_ms / 1000.0,
                 max_batch=cfg.coalesce_max_batch,
-                options=cfg.options)
+                options=cfg.options,
+                hold_hist=self.phases["coalesce_hold"])
         self._idle = asyncio.Event()
         self._idle.set()
         self._server = await asyncio.start_server(
@@ -248,8 +302,19 @@ class ReproServer:
                         close=True)
                     break
                 body = await reader.readexactly(length) if length else b""
-                status, payload, extra = await self._dispatch(
-                    method, path, body)
+                request_id = _safe_request_id(headers.get("x-request-id"))
+                endpoint = path.partition("?")[0]
+                started = time.monotonic()
+                with span("request", cat="serve", method=method,
+                          path=endpoint, id=request_id):
+                    status, payload, extra = await self._dispatch(
+                        method, path, body)
+                elapsed = time.monotonic() - started
+                self._endpoint_hist(endpoint).record(elapsed)
+                self._access_logs(method, endpoint, status, elapsed,
+                                  request_id)
+                extra = dict(extra or {})
+                extra["X-Request-Id"] = request_id
                 keep = (version == "HTTP/1.1" and not self.draining
                         and headers.get("connection", "").lower() != "close")
                 await self._respond(writer, status, payload, extra,
@@ -265,6 +330,16 @@ class ReproServer:
             except (ConnectionError, OSError):
                 pass
 
+    def _access_logs(self, method, endpoint, status, elapsed, request_id):
+        """One INFO access line per request; WARNING above the threshold."""
+        ms = round(elapsed * 1000.0, 3)
+        slog(self._access_log, logging.INFO, "request", id=request_id,
+             method=method, path=endpoint, status=status, ms=ms)
+        if ms >= self.config.slow_request_ms:
+            slog(self._access_log, logging.WARNING, "slow_request",
+                 id=request_id, method=method, path=endpoint, status=status,
+                 ms=ms, threshold_ms=self.config.slow_request_ms)
+
     _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 405: "Method Not Allowed", 429: "Too Many Requests",
                 500: "Internal Server Error", 503: "Service Unavailable",
@@ -272,9 +347,16 @@ class ReproServer:
 
     async def _respond(self, writer, status, payload, extra=None,
                        close=False):
-        body = json.dumps(payload).encode("utf-8")
+        # Endpoint payloads are JSON objects; a bare string is already
+        # rendered text (the Prometheus exposition) and ships verbatim.
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         headers = {
-            "Content-Type": "application/json",
+            "Content-Type": content_type,
             "Content-Length": str(len(body)),
             "Connection": "close" if close else "keep-alive",
         }
@@ -300,6 +382,7 @@ class ReproServer:
             if self.draining:
                 raise ServiceDrainingError(
                     "server is draining; resubmit elsewhere")
+            parse_started = time.monotonic()
             try:
                 request = json.loads(body.decode("utf-8")) if body else {}
             except (ValueError, UnicodeDecodeError) as exc:
@@ -309,15 +392,21 @@ class ReproServer:
                 raise ReproError("request body must be a JSON object")
             deadline_ms = protocol.parse_deadline_ms(
                 request, self.config.default_deadline_ms)
-            prepared = prep(request)
+            with span("parse", cat="serve", path=path):
+                prepared = prep(request)
+            self.phases["parse"].record(time.monotonic() - parse_started)
             result = await self._admit_and_run(prepared, deadline_ms)
             self._count("ok")
-            return 200, {"ok": True,
-                         "result": protocol.encode_result(result)}, {}
+            encode_started = time.monotonic()
+            with span("encode", cat="serve"):
+                encoded = protocol.encode_result(result)
+            self.phases["encode"].record(time.monotonic() - encode_started)
+            return 200, {"ok": True, "result": encoded}, {}
         except Exception as exc:  # noqa: BLE001 — mapped to typed payloads
             return self._error_response(exc)
 
     def _dispatch_get(self, path):
+        path, _, query = path.partition("?")
         if path == "/healthz":
             return 200, {"ok": True, "draining": self.draining}, {}
         if path == "/readyz":
@@ -326,6 +415,8 @@ class ReproServer:
                     ServiceDrainingError("draining")), {}
             return 200, {"ok": True}, {}
         if path == "/metrics":
+            if "format=prometheus" in query.split("&"):
+                return 200, prometheus_text(self), {}
             return 200, metrics_snapshot(self), {}
         return 404, protocol.error_body(
             ReproError("unknown endpoint {}".format(path))), {}
@@ -349,7 +440,9 @@ class ReproServer:
     # -- evaluation --------------------------------------------------------
 
     async def _admit_and_run(self, prepared, deadline_ms):
+        queued = time.monotonic()
         async with self.admission.admit():
+            self.phases["queue"].record(time.monotonic() - queued)
             self._inflight += 1
             self._idle.clear()
             try:
@@ -396,7 +489,8 @@ class ReproServer:
             budget = Budget(timeout=deadline_ms / 1000.0)
             options = options.replace(budget=budget)
         future = loop.run_in_executor(
-            self._executor, functools.partial(self._evaluate, call, options))
+            self._executor,
+            carry(functools.partial(self._evaluate, call, options)))
         if deadline_ms is None:
             return await future
         deadline_s = deadline_ms / 1000.0
@@ -419,18 +513,29 @@ class ReproServer:
 
     def _evaluate(self, call, options):
         """Run one request on an executor thread, degrading as needed."""
+        started = time.monotonic()
         last = None
-        for attempt in self._degradation_ladder(options):
-            try:
-                return call(attempt)
-            except ReproError:
-                # Typed: input and budget errors are deterministic; a
-                # slower backend cannot fix them.
-                raise
-            except Exception as exc:  # noqa: BLE001 — degrade, then 500
-                last = exc
-                self._count("degraded")
-        raise last
+        try:
+            for attempt in self._degradation_ladder(options):
+                try:
+                    with span("evaluate", cat="serve",
+                              backend=attempt.backend or "exact"):
+                        return call(attempt)
+                except ReproError:
+                    # Typed: input and budget errors are deterministic; a
+                    # slower backend cannot fix them.
+                    raise
+                except Exception as exc:  # noqa: BLE001 — degrade, then 500
+                    last = exc
+                    self._count("degraded")
+                    slog(self._events_log, logging.WARNING,
+                         "backend_degraded",
+                         backend=attempt.backend or "exact",
+                         compiled=attempt.compiled,
+                         exc_type=type(exc).__name__)
+            raise last
+        finally:
+            self.phases["evaluate"].record(time.monotonic() - started)
 
     @staticmethod
     def _degradation_ladder(options):

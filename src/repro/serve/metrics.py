@@ -1,18 +1,24 @@
-"""The daemon's ``/metrics`` snapshot.
+"""The daemon's ``/metrics`` snapshot and Prometheus exposition.
 
 One JSON document merging every observable layer: the HTTP server's own
-request/outcome counters, admission control, the compiled-circuit
+request/outcome counters, per-endpoint latency and per-phase timing
+histograms (p50/p95/p99), admission control, the compiled-circuit
 registry, the engine and solver caches, the compilation layer, open
 persistent stores (local counters plus the network tier's retry/breaker
 state), and any active fault-injection plan.  Everything here is a
 cheap in-memory read — ``/metrics`` is safe to poll.
+
+``/metrics?format=prometheus`` renders the same data as Prometheus text
+exposition (format 0.0.4): the outcome counters as ``repro_*_total``
+counters, the latency histograms as summaries with ``quantile`` labels
+— scrapeable by a stock Prometheus without an exporter sidecar.
 """
 
 from __future__ import annotations
 
 import os
 
-__all__ = ["metrics_snapshot"]
+__all__ = ["metrics_snapshot", "prometheus_text"]
 
 
 def _store_metrics():
@@ -38,6 +44,12 @@ def _store_metrics():
     return rows
 
 
+def _latency_metrics(server):
+    with server._latency_lock:
+        hists = dict(server.latency)
+    return {endpoint: hist.snapshot() for endpoint, hist in hists.items()}
+
+
 def metrics_snapshot(server):
     """Everything observable about a running :class:`ReproServer`."""
     from ..compile import compile_stats
@@ -51,7 +63,10 @@ def metrics_snapshot(server):
     return {
         "ok": True,
         "draining": server.draining,
-        "server": dict(server.counters),
+        "server": server.counters_snapshot(),
+        "latency": _latency_metrics(server),
+        "phases": {name: hist.snapshot()
+                   for name, hist in server.phases.items()},
         "admission": server.admission.snapshot() if server.admission else {},
         "coalesce": server.coalescer.snapshot() if server.coalescer else {},
         "registry": server.registry.snapshot(),
@@ -61,3 +76,45 @@ def metrics_snapshot(server):
         "store": _store_metrics(),
         "faults_fired": faults,
     }
+
+
+def _escape_label(value):
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _summary_lines(lines, metric, label, snapshots):
+    """Render ``{label_value: Histogram.snapshot()}`` as one summary
+    metric family with ``quantile`` labels plus ``_sum``/``_count``."""
+    lines.append("# TYPE {} summary".format(metric))
+    for value, snap in sorted(snapshots.items()):
+        if not snap["count"]:
+            continue
+        tag = '{}="{}"'.format(label, _escape_label(value))
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append('{}{{{},quantile="{}"}} {}'.format(
+                metric, tag, q, snap[key]))
+        lines.append("{}_sum{{{}}} {}".format(metric, tag, snap["sum"]))
+        lines.append("{}_count{{{}}} {}".format(metric, tag, snap["count"]))
+
+
+def prometheus_text(server):
+    """The Prometheus text exposition (format 0.0.4) of the snapshot."""
+    lines = []
+    for name, value in sorted(server.counters_snapshot().items()):
+        metric = "repro_server_{}_total".format(name)
+        lines.append("# TYPE {} counter".format(metric))
+        lines.append("{} {}".format(metric, value))
+    lines.append("# TYPE repro_server_draining gauge")
+    lines.append("repro_server_draining {}".format(int(server.draining)))
+    _summary_lines(lines, "repro_request_duration_seconds", "endpoint",
+                   _latency_metrics(server))
+    _summary_lines(lines, "repro_phase_duration_seconds", "phase",
+                   {name: hist.snapshot()
+                    for name, hist in server.phases.items()})
+    if server.admission is not None:
+        for name, value in sorted(server.admission.snapshot().items()):
+            metric = "repro_admission_{}".format(name)
+            lines.append("# TYPE {} gauge".format(metric))
+            lines.append("{} {}".format(metric, value))
+    return "\n".join(lines) + "\n"

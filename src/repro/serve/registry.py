@@ -24,10 +24,15 @@ whatever the caches kept.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 
 from ..errors import BudgetExceededError
+from ..obs import get_logger, slog, span
 from ..utils import LRUCache, vocabulary_signature
+
+_LOG = get_logger("serve.registry")
 
 __all__ = ["CircuitRegistry"]
 
@@ -49,6 +54,9 @@ class CircuitRegistry:
         # exact either way.
         self._locks = tuple(threading.Lock() for _ in range(capacity))
         self._meta = threading.Lock()
+        #: Optional :class:`~repro.obs.Histogram` of compile durations;
+        #: the daemon points it at its ``compile`` phase histogram.
+        self.compile_hist = None
         self.compiles = 0
         self.hits = 0
         self.failure_hits = 0
@@ -127,16 +135,24 @@ class CircuitRegistry:
     def _compile(self, formula, n, vocabulary, options):
         from ..compile import compile_wfomc
 
+        started = time.monotonic()
         try:
-            compiled = compile_wfomc(
-                formula, n, vocabulary, method=options.method,
-                persist=options.persist, cache_dir=options.cache_dir,
-                budget=options.budget)
+            with span("registry_compile", cat="serve", n=n,
+                      method=options.method):
+                compiled = compile_wfomc(
+                    formula, n, vocabulary, method=options.method,
+                    persist=options.persist, cache_dir=options.cache_dir,
+                    budget=options.budget)
         except BudgetExceededError:
             raise
-        except Exception:
+        except Exception as exc:  # noqa: BLE001 — memoized as failed
             self._count("failures")
+            slog(_LOG, logging.WARNING, "compile_failed", n=n,
+                 method=options.method, exc_type=type(exc).__name__)
             return _FAILED
+        finally:
+            if self.compile_hist is not None:
+                self.compile_hist.record(time.monotonic() - started)
         self._count("compiles")
         return compiled
 

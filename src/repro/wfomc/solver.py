@@ -41,6 +41,7 @@ from ..errors import NotFO2Error, UnsupportedFormulaError
 from ..grounding.lineage import clear_grounding_caches, grounding_cache_stats
 from ..logic.syntax import num_variables
 from ..logic.vocabulary import WeightedVocabulary
+from ..obs import span
 from ..options import SolverOptions
 from ..utils import LRUCache, vocabulary_signature, weights_signature
 from .bruteforce import wfomc_enumerate, wfomc_lineage
@@ -148,7 +149,8 @@ def wfomc(formula, n, weighted_vocabulary=None, options=None, **legacy):
     if cached is not None:
         return cached
 
-    result = _dispatch(formula, n, wv, opts)
+    with span("wfomc", cat="solver", n=n, method=opts.method):
+        result = _dispatch(formula, n, wv, opts)
     _RESULT_CACHE.put(key, result)
     return result
 
@@ -340,17 +342,21 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, options=None,
 
         compiled = compile_wfomc(formula, n, vocabulary, method=opts.method,
                                  budget=opts.budget, **opts.store_kwargs())
-        return compiled.evaluate_many(weight_vocabularies,
-                                      backend=opts.backend,
-                                      store=_codegen_store(opts))
+        with span("weight_sweep", cat="solver", route="compiled", n=n,
+                  k=len(weight_vocabularies)):
+            return compiled.evaluate_many(weight_vocabularies,
+                                          backend=opts.backend,
+                                          store=_codegen_store(opts))
 
     if via_polynomial is None:
         grid = _cardinality_grid_size(vocabulary, n)
         via_polynomial = grid <= _SWEEP_GRID_FACTOR * len(weight_vocabularies)
 
     if not via_polynomial:
-        return [wfomc(formula, n, wv, options=opts)
-                for wv in weight_vocabularies]
+        with span("weight_sweep", cat="solver", route="dispatch", n=n,
+                  k=len(weight_vocabularies)):
+            return [wfomc(formula, n, wv, options=opts)
+                    for wv in weight_vocabularies]
 
     # Coefficient vectors are ordered by this vocabulary's iteration
     # order, so the key must be order-*sensitive*: the same predicates in
@@ -367,12 +373,13 @@ def wfomc_weight_sweep(formula, n, weight_vocabularies, options=None,
         if coefficients is not None:
             _POLYNOMIAL_CACHE.put(key, coefficients)
     if coefficients is None:
-        coefficients = wfomc_cardinality_polynomial(
-            formula,
-            n,
-            vocabulary,
-            lambda f, size, wv: wfomc(f, size, wv, options=opts),
-        )
+        with span("cardinality_polynomial", cat="solver", n=n):
+            coefficients = wfomc_cardinality_polynomial(
+                formula,
+                n,
+                vocabulary,
+                lambda f, size, wv: wfomc(f, size, wv, options=opts),
+            )
         _POLYNOMIAL_CACHE.put(key, coefficients)
         if store is not None and not store.disabled:
             store.put("polynomials", key, coefficients)

@@ -74,15 +74,27 @@ class ServerHandle:
         await self._stop.wait()
         await self.server.shutdown()
 
-    def request(self, method, path, payload=None, timeout=120):
+    def request(self, method, path, payload=None, timeout=120,
+                headers=None):
         conn = http.client.HTTPConnection(*self.server.address,
                                           timeout=timeout)
         try:
             body = json.dumps(payload) if payload is not None else None
-            conn.request(method, path, body=body)
+            conn.request(method, path, body=body, headers=headers or {})
             resp = conn.getresponse()
             data = json.loads(resp.read())
             return resp.status, data, dict(resp.headers)
+        finally:
+            conn.close()
+
+    def request_text(self, method, path, timeout=120):
+        """Like :meth:`request` but returns the raw body text."""
+        conn = http.client.HTTPConnection(*self.server.address,
+                                          timeout=timeout)
+        try:
+            conn.request(method, path)
+            resp = conn.getresponse()
+            return resp.status, resp.read().decode(), dict(resp.headers)
         finally:
             conn.close()
 
@@ -920,3 +932,118 @@ class TestSigtermDrain:
                 proc.kill()
             proc.stdout.close()
             proc.stderr.close()
+
+class TestObservability:
+    """Request ids, access-visible latency metrics, Prometheus text."""
+
+    def test_request_id_generated_and_echoed(self, serve):
+        h = serve()
+        _, _, headers = h.request("GET", "/healthz")
+        generated = headers.get("X-Request-Id")
+        assert generated and len(generated) == 16
+        _, _, headers = h.request("GET", "/healthz",
+                                  headers={"X-Request-Id": "client-id-42"})
+        assert headers.get("X-Request-Id") == "client-id-42"
+
+    def test_client_request_id_is_sanitized(self, serve):
+        h = serve()
+        # Header-splitting characters must never be echoed back.
+        _, _, headers = h.request(
+            "GET", "/healthz", headers={"X-Request-Id": "a b!c"})
+        assert headers.get("X-Request-Id") == "abc"
+
+    def test_metrics_latency_and_phases_sections(self, serve):
+        h = serve()
+        status, body, _ = h.request(
+            "POST", "/v1/wfomc", {"formula": EXISTS, "n": 3})
+        assert status == 200
+        _, metrics, _ = h.request("GET", "/metrics")
+        assert "/v1/wfomc" in metrics["latency"]
+        snap = metrics["latency"]["/v1/wfomc"]
+        assert snap["count"] >= 1
+        assert snap["min"] <= snap["p50"] <= snap["p95"] <= snap["p99"] \
+            <= snap["max"]
+        for phase in ("parse", "queue", "compile", "evaluate",
+                      "coalesce_hold", "encode"):
+            assert phase in metrics["phases"]
+        assert metrics["phases"]["parse"]["count"] >= 1
+        assert metrics["phases"]["evaluate"]["count"] >= 1
+
+    def test_metrics_prometheus_exposition_parses(self, serve):
+        h = serve()
+        assert h.request("POST", "/v1/wfomc",
+                         {"formula": EXISTS, "n": 3})[0] == 200
+        status, text, headers = h.request_text(
+            "GET", "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        families = {}
+        for line in text.strip().splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                families[name] = kind
+                continue
+            assert not line.startswith("#")
+            name_and_labels, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses as a number
+            base = name_and_labels.split("{", 1)[0]
+            family = base
+            for suffix in ("_sum", "_count"):
+                if base.endswith(suffix) and base[:-len(suffix)] in families:
+                    family = base[:-len(suffix)]
+            assert family in families, line
+        assert families["repro_server_requests_total"] == "counter"
+        assert families["repro_request_duration_seconds"] == "summary"
+        assert 'repro_request_duration_seconds{endpoint="/v1/wfomc"' in text
+        assert 'quantile="0.99"' in text
+
+    def test_metrics_well_formed_under_concurrent_load(self, serve):
+        h = serve(max_concurrency=4, queue_depth=64,
+                  options=SolverOptions(compile=True, backend="batched"))
+        inflight = 32
+        results = [None] * inflight
+        polls = []
+
+        def fire(i):
+            results[i] = h.request(
+                "POST", "/v1/wfomc",
+                {"formula": EXISTS, "n": 3,
+                 "weights": {"R": [str(Fraction(i + 1, 7)), "1"]}})
+
+        threads = [threading.Thread(target=fire, args=(i,))
+                   for i in range(inflight)]
+        for t in threads:
+            t.start()
+        # Poll /metrics while the 32 requests are in flight.
+        for _ in range(10):
+            _, snap, _ = h.request("GET", "/metrics")
+            polls.append(snap)
+            time.sleep(0.01)
+        for t in threads:
+            t.join(120)
+        _, final, _ = h.request("GET", "/metrics")
+        polls.append(final)
+
+        expected_ok = 0
+        for i, (status, body, _) in enumerate(results):
+            assert status == 200
+            wv = WeightedVocabulary.counting(parse(EXISTS)).with_weight(
+                "R", WeightPair(Fraction(i + 1, 7), 1))
+            assert body["result"] == str(wfomc(parse(EXISTS), 3, wv))
+            expected_ok += 1
+
+        monotone = ("requests", "ok", "input_errors", "internal_errors")
+        for earlier, later in zip(polls, polls[1:]):
+            assert earlier["ok"] is True
+            for section in ("server", "latency", "phases", "admission",
+                            "registry", "engine"):
+                assert section in earlier
+            for name in monotone:
+                assert earlier["server"][name] <= later["server"][name]
+        assert final["server"]["ok"] >= expected_ok
+        snap = final["latency"]["/v1/wfomc"]
+        assert snap["count"] >= inflight
+        assert 0.0 <= snap["p50"] <= snap["p95"] <= snap["p99"]
+        assert snap["p99"] <= snap["max"] <= 120.0
+        queue = final["phases"]["queue"]
+        assert queue["count"] >= inflight and queue["p99"] >= 0.0
